@@ -1,0 +1,293 @@
+//! An Airavat-style MapReduce DP runtime (Roy et al., NSDI 2010).
+//!
+//! Airavat runs an **untrusted mapper** over individual records and
+//! feeds the key-value pairs into **trusted reducers** that add Laplace
+//! noise before release. Its privacy contract requires the mapper to
+//! declare, up front, (a) the range its values fall in and (b) how many
+//! pairs it emits per record — the runtime clamps/truncates to those
+//! declarations, bounding each record's influence.
+//!
+//! Faithfully to Table 1:
+//! - the *budget* is runtime-managed (charged before the job runs), so
+//!   budget attacks fail;
+//! - the mapper executes unconfined per record and may carry state
+//!   across records (state attack surface **open**);
+//! - execution is unpadded (timing attack surface **open**);
+//! - expressiveness is limited: no global state between map and reduce,
+//!   only the fixed reducer menu (`Sum`, `Count`, `Average`).
+
+use gupt_dp::{laplace_mechanism, DpError, Epsilon, OutputRange, PrivacyLedger, Sensitivity};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Mutex;
+
+/// The trusted aggregations Airavat offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reducer {
+    /// Noisy per-key sum of mapped values.
+    Sum,
+    /// Noisy per-key count of mapped pairs.
+    Count,
+    /// Noisy sum / noisy count (budget split between them).
+    Average,
+}
+
+/// An untrusted mapper: record → key-value pairs.
+///
+/// `Send + Sync` because the runtime may shard records across threads.
+/// Mappers *can* capture shared state (that is the point — the state
+/// attack surface is real); the runtime bounds only their *data* influence.
+pub trait AiravatMapper: Send + Sync {
+    /// Maps one record to (key, value) pairs.
+    fn map(&self, record: &[f64]) -> Vec<(usize, f64)>;
+    /// Declared maximum pairs per record (excess pairs are dropped).
+    fn max_pairs(&self) -> usize;
+    /// Declared value range (values are clamped into it).
+    fn value_range(&self) -> OutputRange;
+}
+
+/// Adapts a closure into an [`AiravatMapper`].
+pub struct FnMapper<F> {
+    f: F,
+    max_pairs: usize,
+    value_range: OutputRange,
+}
+
+impl<F> FnMapper<F>
+where
+    F: Fn(&[f64]) -> Vec<(usize, f64)> + Send + Sync,
+{
+    /// Wraps `f` with its influence declarations.
+    pub fn new(max_pairs: usize, value_range: OutputRange, f: F) -> Self {
+        FnMapper {
+            f,
+            max_pairs,
+            value_range,
+        }
+    }
+}
+
+impl<F> AiravatMapper for FnMapper<F>
+where
+    F: Fn(&[f64]) -> Vec<(usize, f64)> + Send + Sync,
+{
+    fn map(&self, record: &[f64]) -> Vec<(usize, f64)> {
+        (self.f)(record)
+    }
+
+    fn max_pairs(&self) -> usize {
+        self.max_pairs
+    }
+
+    fn value_range(&self) -> OutputRange {
+        self.value_range
+    }
+}
+
+/// One MapReduce job.
+pub struct AiravatJob<'m> {
+    /// The untrusted mapper.
+    pub mapper: &'m dyn AiravatMapper,
+    /// The trusted reducer applied per key.
+    pub reducer: Reducer,
+    /// Number of output keys (mapper keys ≥ this are dropped).
+    pub num_keys: usize,
+}
+
+/// The Airavat runtime: a dataset with a runtime-managed budget ledger.
+pub struct AiravatRuntime {
+    rows: Vec<Vec<f64>>,
+    ledger: PrivacyLedger,
+    rng: Mutex<StdRng>,
+}
+
+impl AiravatRuntime {
+    /// Wraps `rows` with a lifetime budget.
+    pub fn new(rows: Vec<Vec<f64>>, budget: Epsilon, seed: u64) -> Self {
+        AiravatRuntime {
+            rows,
+            ledger: PrivacyLedger::new(budget),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Remaining lifetime budget.
+    pub fn remaining_budget(&self) -> f64 {
+        self.ledger.remaining()
+    }
+
+    /// Runs a job with budget `eps`, returning one noisy value per key.
+    ///
+    /// The charge happens *before* the mapper sees any record: a mapper
+    /// cannot react to data by issuing further queries (budget-attack
+    /// defense, matching Table 1).
+    pub fn run(&self, job: &AiravatJob<'_>, eps: Epsilon) -> Result<Vec<f64>, DpError> {
+        self.ledger.charge(eps)?;
+        let num_keys = job.num_keys.max(1);
+        let range = job.mapper.value_range();
+        let max_pairs = job.mapper.max_pairs().max(1);
+
+        let mut sums = vec![0.0f64; num_keys];
+        let mut counts = vec![0.0f64; num_keys];
+        for record in &self.rows {
+            let pairs = job.mapper.map(record);
+            // Influence bounding: truncate to the declaration, clamp values.
+            for (key, value) in pairs.into_iter().take(max_pairs) {
+                if key >= num_keys {
+                    continue;
+                }
+                sums[key] += range.clamp(value);
+                counts[key] += 1.0;
+            }
+        }
+
+        // Per-record influence on any single key's sum/count.
+        let value_sens =
+            Sensitivity::new(max_pairs as f64 * range.lo().abs().max(range.hi().abs()))?;
+        let count_sens = Sensitivity::new(max_pairs as f64)?;
+        let mut rng = self.rng.lock().expect("airavat rng poisoned");
+
+        let out = match job.reducer {
+            Reducer::Sum => sums
+                .iter()
+                .map(|&s| laplace_mechanism(s, value_sens, eps, &mut *rng))
+                .collect(),
+            Reducer::Count => counts
+                .iter()
+                .map(|&c| laplace_mechanism(c, count_sens, eps, &mut *rng))
+                .collect(),
+            Reducer::Average => {
+                let half = eps.halve();
+                sums.iter()
+                    .zip(&counts)
+                    .map(|(&s, &c)| {
+                        let ns = laplace_mechanism(s, value_sens, half, &mut *rng);
+                        let nc = laplace_mechanism(c, count_sens, half, &mut *rng).max(1.0);
+                        range.clamp(ns / nc)
+                    })
+                    .collect()
+            }
+        };
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn range(lo: f64, hi: f64) -> OutputRange {
+        OutputRange::new(lo, hi).unwrap()
+    }
+
+    fn ages(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![20.0 + (i % 40) as f64]).collect()
+    }
+
+    #[test]
+    fn average_job_close_to_truth() {
+        let rt = AiravatRuntime::new(ages(4000), eps(100.0), 1);
+        let mapper = FnMapper::new(1, range(0.0, 100.0), |r: &[f64]| vec![(0usize, r[0])]);
+        let job = AiravatJob {
+            mapper: &mapper,
+            reducer: Reducer::Average,
+            num_keys: 1,
+        };
+        let out = rt.run(&job, eps(10.0)).unwrap();
+        assert!((out[0] - 39.5).abs() < 2.0, "avg = {}", out[0]);
+    }
+
+    #[test]
+    fn count_job_per_key() {
+        let rt = AiravatRuntime::new(ages(1000), eps(100.0), 2);
+        // Key by decade.
+        let mapper = FnMapper::new(1, range(0.0, 1.0), |r: &[f64]| {
+            vec![((r[0] / 10.0) as usize, 1.0)]
+        });
+        let job = AiravatJob {
+            mapper: &mapper,
+            reducer: Reducer::Count,
+            num_keys: 10,
+        };
+        let out = rt.run(&job, eps(20.0)).unwrap();
+        assert_eq!(out.len(), 10);
+        let total: f64 = out.iter().sum();
+        assert!((total - 1000.0).abs() < 20.0, "total = {total}");
+    }
+
+    #[test]
+    fn influence_bounding_truncates_and_clamps() {
+        // A hostile mapper tries to emit 100 huge pairs per record; the
+        // declaration (1 pair, values ≤ 10) bounds its influence.
+        let rt = AiravatRuntime::new(ages(100), eps(1e6), 3);
+        let mapper = FnMapper::new(1, range(0.0, 10.0), |_: &[f64]| {
+            (0..100).map(|_| (0usize, 1e9)).collect()
+        });
+        let job = AiravatJob {
+            mapper: &mapper,
+            reducer: Reducer::Sum,
+            num_keys: 1,
+        };
+        let out = rt.run(&job, eps(1e5)).unwrap();
+        // 100 records × 1 pair × clamp(1e9 → 10) = 1000.
+        assert!((out[0] - 1000.0).abs() < 5.0, "sum = {}", out[0]);
+    }
+
+    #[test]
+    fn out_of_range_keys_dropped() {
+        let rt = AiravatRuntime::new(ages(50), eps(100.0), 4);
+        let mapper = FnMapper::new(1, range(0.0, 1.0), |_: &[f64]| vec![(99usize, 1.0)]);
+        let job = AiravatJob {
+            mapper: &mapper,
+            reducer: Reducer::Count,
+            num_keys: 2,
+        };
+        let out = rt.run(&job, eps(50.0)).unwrap();
+        // All pairs dropped: counts are pure noise around 0.
+        assert!(out[0].abs() < 2.0 && out[1].abs() < 2.0, "{out:?}");
+    }
+
+    #[test]
+    fn budget_attack_fails_closed() {
+        // Budget is charged before the mapper runs; once exhausted, no
+        // further data-dependent queries are possible.
+        let rt = AiravatRuntime::new(ages(100), eps(1.0), 5);
+        let mapper = FnMapper::new(1, range(0.0, 100.0), |r: &[f64]| vec![(0usize, r[0])]);
+        let job = AiravatJob {
+            mapper: &mapper,
+            reducer: Reducer::Sum,
+            num_keys: 1,
+        };
+        rt.run(&job, eps(0.8)).unwrap();
+        let err = rt.run(&job, eps(0.8)).unwrap_err();
+        assert!(matches!(err, DpError::BudgetExhausted { .. }));
+        assert!((rt.remaining_budget() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_attack_surface_is_open() {
+        // A mapper can carry state across records — the Table 1 row
+        // Airavat does NOT defend.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let rt = AiravatRuntime::new(ages(100), eps(10.0), 6);
+        let mapper = FnMapper::new(1, range(0.0, 100.0), move |r: &[f64]| {
+            if r[0] == 37.0 {
+                seen2.fetch_add(1, Ordering::SeqCst);
+            }
+            vec![(0usize, r[0])]
+        });
+        let job = AiravatJob {
+            mapper: &mapper,
+            reducer: Reducer::Sum,
+            num_keys: 1,
+        };
+        rt.run(&job, eps(1.0)).unwrap();
+        assert!(seen.load(Ordering::SeqCst) > 0, "state channel open");
+    }
+}

@@ -1,0 +1,27 @@
+//! Comparator runtimes: PINQ- and Airavat-style systems (§2.2, §7.3).
+//!
+//! The paper positions GUPT against the two prior general-purpose
+//! differentially private platforms. These are faithful re-implementations
+//! of their *privacy architectures* — enough to reproduce Figure 5 (PINQ's
+//! per-iteration budget splitting) and the Table 1 feature/attack matrix —
+//! not ports of their codebases:
+//!
+//! - [`pinq`]: an LINQ-style composable query API where the analyst
+//!   programs against DP primitives (`noisy_count`, `noisy_sum`,
+//!   `partition`, …) and must split the budget across operations
+//!   manually. Analyst lambdas execute in the analyst's own process:
+//!   state and timing channels are open, and (as in the 2012-era PINQ)
+//!   budget accounting can be raced by data-dependent querying.
+//! - [`airavat`]: a MapReduce model with an *untrusted* mapper and a
+//!   *trusted* DP reducer. Budget is runtime-managed (safe against budget
+//!   attacks) but mappers may hold state across records and run
+//!   unpadded — state and timing channels remain (Table 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airavat;
+pub mod pinq;
+
+pub use airavat::{AiravatJob, AiravatMapper, AiravatRuntime, FnMapper, Reducer};
+pub use pinq::{PinqError, PinqKMeans, PinqQueryable};

@@ -1,0 +1,217 @@
+//! Iterative k-means written against the PINQ API (Figure 5's subject).
+//!
+//! The analyst must pre-commit to an iteration count `T` and split the
+//! budget as `ε/T` per iteration; within an iteration, each cluster's
+//! new center costs one parallel charge split across `d` noisy sums and
+//! one noisy count. Choosing `T` conservatively large (because
+//! convergence is unknown a priori) multiplies the per-iteration noise —
+//! exactly the failure mode GUPT's black-box design avoids.
+
+use super::queryable::{PinqError, PinqQueryable};
+use gupt_dp::{Epsilon, OutputRange};
+use gupt_ml::kmeans::intra_cluster_variance;
+
+/// Configuration of the PINQ k-means driver.
+#[derive(Debug, Clone)]
+pub struct PinqKMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Pre-committed number of Lloyd iterations (the budget divisor).
+    pub iterations: usize,
+    /// Per-dimension data range for clamped sums.
+    pub dim_ranges: Vec<OutputRange>,
+    /// Total privacy budget for the whole clustering.
+    pub total_epsilon: Epsilon,
+}
+
+/// Result of a PINQ k-means run.
+#[derive(Debug, Clone)]
+pub struct PinqKMeansResult {
+    /// Final (noisy) cluster centers.
+    pub centers: Vec<Vec<f64>>,
+    /// Intra-cluster variance of the final centers on the raw data
+    /// (non-private evaluation metric, as in Figure 5).
+    pub intra_cluster_variance: f64,
+    /// ε actually charged.
+    pub epsilon_spent: f64,
+}
+
+impl PinqKMeans {
+    /// Runs the iterative algorithm over `queryable`.
+    ///
+    /// Initial centers are spread along the per-dimension ranges
+    /// (deterministic — initialisation must not read the data for free).
+    pub fn run(&self, queryable: &PinqQueryable) -> Result<PinqKMeansResult, PinqError> {
+        let d = self.dim_ranges.len();
+        let k = self.k.max(1);
+        let iterations = self.iterations.max(1);
+
+        // ε/T per iteration; within an iteration one parallel charge pays
+        // for all clusters, split across d sums + 1 count.
+        let eps_iter = Epsilon::new(self.total_epsilon.value() / iterations as f64)
+            .map_err(PinqError::Dp)?;
+        let eps_op = Epsilon::new(eps_iter.value() / (d + 1) as f64).map_err(PinqError::Dp)?;
+
+        let mut centers: Vec<Vec<f64>> = (0..k)
+            .map(|c| {
+                self.dim_ranges
+                    .iter()
+                    .map(|r| r.lo() + r.width() * (c as f64 + 0.5) / k as f64)
+                    .collect()
+            })
+            .collect();
+
+        let mut spent = 0.0;
+        for _ in 0..iterations {
+            let assignments = {
+                let centers = centers.clone();
+                queryable.partition(k, move |row| nearest(row, &centers))
+            };
+            // Parallel composition: all clusters updated for eps_iter.
+            assignments.charge_parallel(eps_iter)?;
+            spent += eps_iter.value();
+            for (c, center) in centers.iter_mut().enumerate() {
+                let count = assignments.noisy_count_prepaid(c, eps_op).max(1.0);
+                for (j, range) in self.dim_ranges.iter().enumerate() {
+                    let sum = assignments.noisy_sum_prepaid(c, j, *range, eps_op);
+                    center[j] = range.clamp(sum / count);
+                }
+            }
+        }
+
+        let icv = intra_cluster_variance(queryable.raw_rows(), &centers);
+        Ok(PinqKMeansResult {
+            centers,
+            intra_cluster_variance: icv,
+            epsilon_spent: spent,
+        })
+    }
+}
+
+fn nearest(row: &[f64], centers: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centers.iter().enumerate() {
+        let d: f64 = row
+            .iter()
+            .zip(c)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn range(lo: f64, hi: f64) -> OutputRange {
+        OutputRange::new(lo, hi).unwrap()
+    }
+
+    /// Two well-separated 1-D blobs around 10 and 90.
+    fn blobs(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut r = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let base = if i % 2 == 0 { 10.0 } else { 90.0 };
+                vec![base + 4.0 * (r.random::<f64>() - 0.5)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_separated_clusters_with_few_iterations() {
+        let q = PinqQueryable::new(blobs(4000, 1), eps(100.0), 11);
+        let result = PinqKMeans {
+            k: 2,
+            iterations: 5,
+            dim_ranges: vec![range(0.0, 100.0)],
+            total_epsilon: eps(8.0),
+        }
+        .run(&q)
+        .unwrap();
+        let mut cs: Vec<f64> = result.centers.iter().map(|c| c[0]).collect();
+        cs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((cs[0] - 10.0).abs() < 5.0, "centers = {cs:?}");
+        assert!((cs[1] - 90.0).abs() < 5.0, "centers = {cs:?}");
+    }
+
+    #[test]
+    fn more_iterations_hurt_accuracy() {
+        // The Figure 5 effect: same budget, more pre-committed iterations
+        // → more noise per iteration → worse ICV.
+        let run = |iterations: usize| {
+            let q = PinqQueryable::new(blobs(2000, 2), eps(1000.0), 12);
+            PinqKMeans {
+                k: 2,
+                iterations,
+                dim_ranges: vec![range(0.0, 100.0)],
+                total_epsilon: eps(2.0),
+            }
+            .run(&q)
+            .unwrap()
+            .intra_cluster_variance
+        };
+        let few: f64 = (0..5).map(|_| run(5)).sum::<f64>() / 5.0;
+        let many: f64 = (0..5).map(|_| run(200)).sum::<f64>() / 5.0;
+        assert!(
+            many > few,
+            "200 iterations (ICV {many}) should be worse than 5 (ICV {few})"
+        );
+    }
+
+    #[test]
+    fn budget_accounting_matches_iterations() {
+        let q = PinqQueryable::new(blobs(500, 3), eps(10.0), 13);
+        let result = PinqKMeans {
+            k: 2,
+            iterations: 4,
+            dim_ranges: vec![range(0.0, 100.0)],
+            total_epsilon: eps(2.0),
+        }
+        .run(&q)
+        .unwrap();
+        assert!((result.epsilon_spent - 2.0).abs() < 1e-9);
+        assert!((q.remaining_budget() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_budget_aborts() {
+        let q = PinqQueryable::new(blobs(500, 4), eps(1.0), 14);
+        let err = PinqKMeans {
+            k: 2,
+            iterations: 10,
+            dim_ranges: vec![range(0.0, 100.0)],
+            total_epsilon: eps(2.0), // exceeds the queryable's budget
+        }
+        .run(&q)
+        .unwrap_err();
+        assert!(matches!(err, PinqError::Dp(_)));
+    }
+
+    #[test]
+    fn centers_stay_in_range() {
+        let q = PinqQueryable::new(blobs(200, 5), eps(100.0), 15);
+        let result = PinqKMeans {
+            k: 3,
+            iterations: 3,
+            dim_ranges: vec![range(0.0, 100.0)],
+            total_epsilon: eps(0.1), // very noisy
+        }
+        .run(&q)
+        .unwrap();
+        for c in &result.centers {
+            assert!((0.0..=100.0).contains(&c[0]), "center {c:?}");
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! A PINQ-style composable DP query API (McSherry, SIGMOD 2009).
+//!
+//! PINQ exposes differential privacy as an algebra over protected
+//! collections: transformations (`where`, `partition`) are free but
+//! tracked, aggregations (`noisy_count`, `noisy_sum`, `noisy_average`)
+//! charge ε against the collection's budget. The crucial contrast with
+//! GUPT (§7.1.2): the *analyst* decides how much ε each operation gets,
+//! so iterative algorithms must pre-commit to an iteration count and
+//! split the budget across it — guessing too high drowns the result in
+//! noise, too low fails to converge. That trade-off is Figure 5.
+
+mod kmeans;
+mod queryable;
+
+pub use kmeans::{PinqKMeans, PinqKMeansResult};
+pub use queryable::{PartitionSet, PinqError, PinqQueryable};

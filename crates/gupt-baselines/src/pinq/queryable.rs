@@ -1,0 +1,345 @@
+//! The protected collection and its DP operators.
+
+use gupt_dp::{laplace_mechanism, DpError, Epsilon, OutputRange, PrivacyLedger, Sensitivity};
+use rand::{rngs::StdRng, SeedableRng};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Errors from PINQ operations.
+#[derive(Debug)]
+pub enum PinqError {
+    /// The underlying budget ledger refused the charge.
+    Dp(DpError),
+    /// A partition produced a key the analyst did not declare.
+    UnknownKey(String),
+}
+
+impl fmt::Display for PinqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinqError::Dp(e) => write!(f, "pinq: {e}"),
+            PinqError::UnknownKey(k) => write!(f, "pinq: undeclared partition key {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PinqError {}
+
+impl From<DpError> for PinqError {
+    fn from(e: DpError) -> Self {
+        PinqError::Dp(e)
+    }
+}
+
+/// A PINQ protected collection: rows plus a shared budget ledger.
+///
+/// Transformations return child queryables that share the parent's
+/// ledger (sequential composition across the whole tree — except
+/// [`PinqQueryable::partition`], whose children deliberately share one
+/// ledger *per sibling set* to model PINQ's parallel composition).
+#[derive(Clone)]
+pub struct PinqQueryable {
+    rows: Arc<Vec<Vec<f64>>>,
+    ledger: Arc<PrivacyLedger>,
+    rng: Arc<Mutex<StdRng>>,
+}
+
+impl PinqQueryable {
+    /// Wraps `rows` with a lifetime budget.
+    pub fn new(rows: Vec<Vec<f64>>, budget: Epsilon, seed: u64) -> Self {
+        PinqQueryable {
+            rows: Arc::new(rows),
+            ledger: Arc::new(PrivacyLedger::new(budget)),
+            rng: Arc::new(Mutex::new(StdRng::seed_from_u64(seed))),
+        }
+    }
+
+    /// Remaining budget. PINQ exposes this to the analyst — which is
+    /// precisely what makes the §6.2 *privacy budget attack* observable.
+    pub fn remaining_budget(&self) -> f64 {
+        self.ledger.remaining()
+    }
+
+    /// Number of noisy aggregations charged so far.
+    pub fn operations_charged(&self) -> usize {
+        self.ledger.query_count()
+    }
+
+    /// `Where`: a free (budget-wise) filter transformation. The predicate
+    /// is an analyst lambda executing in the analyst's process — the
+    /// state/timing attack surface of Table 1.
+    pub fn where_filter<F>(&self, predicate: F) -> PinqQueryable
+    where
+        F: Fn(&[f64]) -> bool,
+    {
+        let rows: Vec<Vec<f64>> = self
+            .rows
+            .iter()
+            .filter(|r| predicate(r))
+            .cloned()
+            .collect();
+        PinqQueryable {
+            rows: Arc::new(rows),
+            ledger: Arc::clone(&self.ledger),
+            rng: Arc::clone(&self.rng),
+        }
+    }
+
+    /// `Select`: a free per-row projection.
+    pub fn select<F>(&self, projection: F) -> PinqQueryable
+    where
+        F: Fn(&[f64]) -> Vec<f64>,
+    {
+        let rows: Vec<Vec<f64>> = self.rows.iter().map(|r| projection(r)).collect();
+        PinqQueryable {
+            rows: Arc::new(rows),
+            ledger: Arc::clone(&self.ledger),
+            rng: Arc::clone(&self.rng),
+        }
+    }
+
+    /// `Partition`: splits rows by a key function into `num_keys`
+    /// disjoint children. Under PINQ's parallel composition the children
+    /// collectively cost only the *maximum* ε spent among them; this is
+    /// modelled by giving each child its own view onto the shared ledger
+    /// and charging through [`PartitionSet::charge_parallel`].
+    pub fn partition<F>(&self, num_keys: usize, key_of: F) -> PartitionSet
+    where
+        F: Fn(&[f64]) -> usize,
+    {
+        let mut parts: Vec<Vec<Vec<f64>>> = vec![Vec::new(); num_keys.max(1)];
+        for row in self.rows.iter() {
+            let k = key_of(row).min(num_keys.saturating_sub(1));
+            parts[k].push(row.clone());
+        }
+        PartitionSet {
+            parts,
+            ledger: Arc::clone(&self.ledger),
+            rng: Arc::clone(&self.rng),
+        }
+    }
+
+    /// Noisy record count: `|rows| + Lap(1/ε)`.
+    pub fn noisy_count(&self, eps: Epsilon) -> Result<f64, PinqError> {
+        self.ledger.charge(eps)?;
+        let sens = Sensitivity::new(1.0).expect("valid");
+        let mut rng = self.rng.lock().expect("pinq rng poisoned");
+        Ok(laplace_mechanism(self.rows.len() as f64, sens, eps, &mut *rng))
+    }
+
+    /// Noisy sum of column `dim`, with per-record clamping into `range`
+    /// (sensitivity = max(|lo|, |hi|)).
+    pub fn noisy_sum(
+        &self,
+        dim: usize,
+        range: OutputRange,
+        eps: Epsilon,
+    ) -> Result<f64, PinqError> {
+        self.ledger.charge(eps)?;
+        let sum: f64 = self
+            .rows
+            .iter()
+            .map(|r| range.clamp(r.get(dim).copied().unwrap_or(0.0)))
+            .sum();
+        let sens = Sensitivity::new(range.lo().abs().max(range.hi().abs())).map_err(PinqError::Dp)?;
+        let mut rng = self.rng.lock().expect("pinq rng poisoned");
+        Ok(laplace_mechanism(sum, sens, eps, &mut *rng))
+    }
+
+    /// Noisy average of column `dim`: NoisySum/NoisyCount with the
+    /// budget split evenly between the two (PINQ's NoisyAvg idiom).
+    pub fn noisy_average(
+        &self,
+        dim: usize,
+        range: OutputRange,
+        eps: Epsilon,
+    ) -> Result<f64, PinqError> {
+        let half = eps.halve();
+        let sum = self.noisy_sum(dim, range, half)?;
+        let count = self.noisy_count(half)?.max(1.0);
+        Ok(range.clamp(sum / count))
+    }
+
+    /// Raw rows — internal to the trusted runtime (PINQ would never
+    /// release these; exposed as `pub(crate)` for the k-means driver's
+    /// *non-private evaluation metric* only).
+    pub(crate) fn raw_rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+}
+
+/// The children of a [`PinqQueryable::partition`] call.
+pub struct PartitionSet {
+    parts: Vec<Vec<Vec<f64>>>,
+    ledger: Arc<PrivacyLedger>,
+    rng: Arc<Mutex<StdRng>>,
+}
+
+impl PartitionSet {
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether there are no partitions.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Charges `eps` once for an operation performed on **every** child
+    /// (parallel composition: disjoint children cost their max, and the
+    /// caller performs the same op on each).
+    pub fn charge_parallel(&self, eps: Epsilon) -> Result<(), PinqError> {
+        self.ledger.charge(eps)?;
+        Ok(())
+    }
+
+    /// Noisy count of child `k`, **without** charging (the caller must
+    /// have paid via [`Self::charge_parallel`]).
+    pub fn noisy_count_prepaid(&self, k: usize, eps: Epsilon) -> f64 {
+        let sens = Sensitivity::new(1.0).expect("valid");
+        let mut rng = self.rng.lock().expect("pinq rng poisoned");
+        laplace_mechanism(self.parts[k].len() as f64, sens, eps, &mut *rng)
+    }
+
+    /// Noisy clamped sum of column `dim` of child `k`, without charging.
+    pub fn noisy_sum_prepaid(&self, k: usize, dim: usize, range: OutputRange, eps: Epsilon) -> f64 {
+        let sum: f64 = self.parts[k]
+            .iter()
+            .map(|r| range.clamp(r.get(dim).copied().unwrap_or(0.0)))
+            .sum();
+        let sens = Sensitivity::new(range.lo().abs().max(range.hi().abs())).expect("finite range");
+        let mut rng = self.rng.lock().expect("pinq rng poisoned");
+        laplace_mechanism(sum, sens, eps, &mut *rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn range(lo: f64, hi: f64) -> OutputRange {
+        OutputRange::new(lo, hi).unwrap()
+    }
+
+    fn table(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![(i % 10) as f64, i as f64]).collect()
+    }
+
+    #[test]
+    fn noisy_count_close_to_truth() {
+        let q = PinqQueryable::new(table(1000), eps(100.0), 1);
+        let c = q.noisy_count(eps(10.0)).unwrap();
+        assert!((c - 1000.0).abs() < 5.0, "count = {c}");
+    }
+
+    #[test]
+    fn charges_accumulate_and_exhaust() {
+        let q = PinqQueryable::new(table(10), eps(1.0), 2);
+        q.noisy_count(eps(0.6)).unwrap();
+        assert!((q.remaining_budget() - 0.4).abs() < 1e-12);
+        let err = q.noisy_count(eps(0.6)).unwrap_err();
+        assert!(matches!(err, PinqError::Dp(DpError::BudgetExhausted { .. })));
+        assert_eq!(q.operations_charged(), 1);
+    }
+
+    #[test]
+    fn where_filter_shares_ledger() {
+        let q = PinqQueryable::new(table(100), eps(1.0), 3);
+        let evens = q.where_filter(|r| (r[1] as usize).is_multiple_of(2));
+        evens.noisy_count(eps(0.8)).unwrap();
+        // Parent budget depleted through the child.
+        assert!((q.remaining_budget() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_projects_rows() {
+        let q = PinqQueryable::new(table(50), eps(10.0), 4);
+        let doubled = q.select(|r| vec![r[0] * 2.0]);
+        let s = doubled.noisy_sum(0, range(0.0, 18.0), eps(5.0)).unwrap();
+        let truth: f64 = (0..50).map(|i| ((i % 10) * 2) as f64).sum();
+        assert!((s - truth).abs() < 20.0, "sum = {s}, truth = {truth}");
+    }
+
+    #[test]
+    fn noisy_sum_clamps_outliers() {
+        let mut rows = table(100);
+        rows.push(vec![1e9, 0.0]); // outlier clamped to 9
+        let q = PinqQueryable::new(rows, eps(1000.0), 5);
+        let s = q.noisy_sum(0, range(0.0, 9.0), eps(500.0)).unwrap();
+        let truth: f64 = (0..100).map(|i| (i % 10) as f64).sum::<f64>() + 9.0;
+        assert!((s - truth).abs() < 1.0, "sum = {s}");
+    }
+
+    #[test]
+    fn noisy_average_within_range() {
+        let q = PinqQueryable::new(table(2000), eps(100.0), 6);
+        let avg = q.noisy_average(0, range(0.0, 9.0), eps(10.0)).unwrap();
+        assert!((avg - 4.5).abs() < 1.0, "avg = {avg}");
+        assert!((0.0..=9.0).contains(&avg));
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_parallel() {
+        let q = PinqQueryable::new(table(100), eps(2.0), 7);
+        let parts = q.partition(10, |r| r[0] as usize);
+        assert_eq!(parts.len(), 10);
+        // One parallel charge covers counting every child.
+        parts.charge_parallel(eps(1.0)).unwrap();
+        let total: f64 = (0..10)
+            .map(|k| parts.noisy_count_prepaid(k, eps(1.0)))
+            .sum();
+        assert!((total - 100.0).abs() < 30.0, "total = {total}");
+        assert!((q.remaining_budget() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_unknown_keys_clamp_to_last() {
+        let q = PinqQueryable::new(table(10), eps(1.0), 8);
+        let parts = q.partition(2, |r| r[0] as usize); // keys 0..9 clamp to 1
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn state_attack_surface_is_open() {
+        // The analyst's lambda can flip external state conditioned on a
+        // record — the Table 1 "state attack" row for PINQ.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let seen = Arc::new(AtomicBool::new(false));
+        let q = PinqQueryable::new(table(100), eps(10.0), 9);
+        let seen2 = Arc::clone(&seen);
+        let _ = q.where_filter(move |r| {
+            if r[1] == 37.0 {
+                seen2.store(true, Ordering::SeqCst);
+            }
+            true
+        });
+        assert!(seen.load(Ordering::SeqCst), "state channel should be open");
+    }
+
+    #[test]
+    fn budget_attack_surface_is_open() {
+        // A data-dependent query pattern leaks through the *observable*
+        // remaining budget — the Table 1 "privacy budget attack" row.
+        let attack = |rows: Vec<Vec<f64>>| -> f64 {
+            let q = PinqQueryable::new(rows, eps(1.0), 10);
+            let victim_present = q.raw_rows().iter().any(|r| r[1] == 5.0);
+            if victim_present {
+                // Issue extra queries to drain the budget.
+                let _ = q.noisy_count(eps(0.5));
+            }
+            let _ = q.noisy_count(eps(0.2));
+            q.remaining_budget()
+        };
+        let with_victim = attack(table(10));
+        let without_victim = attack(table(4)); // rows 0..3: no r[1] == 5
+        assert!(
+            (with_victim - without_victim).abs() > 0.1,
+            "budget side channel should distinguish: {with_victim} vs {without_victim}"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the DP primitives: Laplace sampling,
+//! the Laplace mechanism, DP percentile estimation and the exponential
+//! mechanism (Gumbel-max sampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gupt_dp::{
+    dp_percentile, exponential_mechanism, geometric_mechanism, laplace_mechanism,
+    report_noisy_max, Epsilon, Laplace, OutputRange, Percentile, Sensitivity,
+};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_laplace(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let dist = Laplace::new(0.0, 1.0).expect("valid");
+    c.bench_function("laplace/sample", |b| {
+        b.iter(|| black_box(dist.sample(&mut rng)))
+    });
+
+    let eps = Epsilon::new(1.0).expect("valid");
+    let sens = Sensitivity::new(1.0).expect("valid");
+    c.bench_function("laplace/mechanism", |b| {
+        b.iter(|| black_box(laplace_mechanism(black_box(42.0), sens, eps, &mut rng)))
+    });
+}
+
+fn bench_percentile(c: &mut Criterion) {
+    let eps = Epsilon::new(1.0).expect("valid");
+    let domain = OutputRange::new(0.0, 1000.0).expect("valid");
+    let mut group = c.benchmark_group("dp_percentile");
+    for n in [100usize, 1_000, 10_000] {
+        let data: Vec<f64> = (0..n).map(|i| (i % 997) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                black_box(
+                    dp_percentile(data, Percentile::MEDIAN, domain, eps, &mut rng)
+                        .expect("non-empty"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exponential(c: &mut Criterion) {
+    let eps = Epsilon::new(1.0).expect("valid");
+    let sens = Sensitivity::new(1.0).expect("valid");
+    let mut group = c.benchmark_group("exponential_mechanism");
+    for n in [16usize, 256, 4096] {
+        let candidates: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &candidates, |b, cands| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                black_box(
+                    exponential_mechanism(cands, |x| *x, sens, eps, &mut rng)
+                        .expect("non-empty"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_geometric(c: &mut Criterion) {
+    let eps = Epsilon::new(1.0).expect("valid");
+    let mut rng = StdRng::seed_from_u64(4);
+    c.bench_function("geometric/mechanism", |b| {
+        b.iter(|| black_box(geometric_mechanism(black_box(1000), 1, eps, &mut rng).unwrap()))
+    });
+}
+
+fn bench_noisy_max(c: &mut Criterion) {
+    let eps = Epsilon::new(1.0).expect("valid");
+    let sens = Sensitivity::new(1.0).expect("valid");
+    let scores: Vec<f64> = (0..256).map(|i| (i as f64).sin() * 100.0).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    c.bench_function("noisy_max/256_candidates", |b| {
+        b.iter(|| black_box(report_noisy_max(&scores, sens, eps, &mut rng).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_laplace,
+    bench_percentile,
+    bench_exponential,
+    bench_geometric,
+    bench_noisy_max
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Ablation (§4.3 / Example 3): the aged-data block-size optimizer vs
+//! the paper's default β = n^0.6.
+//!
+//! For a *mean* the optimal block size is 1 — expected error O(1/n)
+//! instead of the default's O(1/n^0.4). For a *median* the optimum is
+//! interior. This harness lets the optimizer choose and compares the
+//! realised RMSE against the default.
+//!
+//! Run: `cargo run -p gupt-bench --bin ablation_block_optimizer --release`
+
+use gupt_bench::programs::{mean_program, median_program};
+use gupt_bench::report::{banner, render_string_table};
+use gupt_core::{Dataset, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt_datasets::internet_ads::InternetAdsDataset;
+use gupt_dp::{Epsilon, OutputRange};
+use gupt_ml::stats;
+use gupt_sandbox::BlockProgram;
+use std::sync::Arc;
+
+fn main() {
+    banner("Ablation: aged-data block-size optimizer vs default n^0.6 (§4.3)");
+
+    let trials = gupt_bench::trials(40);
+    let ads = InternetAdsDataset::generate(0xAB2);
+    let rows = ads.rows();
+    let range = OutputRange::new(0.0, 15.0).expect("static");
+    let eps = 2.0;
+
+    let dataset = || {
+        Dataset::new(rows.clone())
+            .expect("valid")
+            .with_aged_fraction(0.15)
+            .expect("valid")
+    };
+
+    let truth_of = |median: bool| {
+        if median {
+            stats::median(ads.ratios())
+        } else {
+            stats::mean(ads.ratios())
+        }
+    };
+
+    let rmse = |program: &Arc<dyn BlockProgram>,
+                truth: f64,
+                optimized: bool,
+                seed_base: u64|
+     -> (f64, usize) {
+        let mut sq = 0.0;
+        let mut beta = 0usize;
+        for trial in 0..trials {
+            let mut runtime = GuptRuntimeBuilder::new()
+                .register("ads", dataset(), Epsilon::new(1e9).expect("valid"))
+                .expect("registers")
+                .seed(seed_base + trial as u64)
+                .build();
+            let mut spec = QuerySpec::from_program(Arc::clone(program))
+                .epsilon(Epsilon::new(eps).expect("valid"))
+                .range_estimation(RangeEstimation::Tight(vec![range]));
+            if optimized {
+                spec = spec.optimized_block_size();
+            }
+            let answer = runtime.run("ads", spec).expect("query runs");
+            sq += (answer.values[0] - truth).powi(2);
+            beta = answer.block_size;
+        }
+        ((sq / trials as f64).sqrt() / truth, beta)
+    };
+
+    println!("rows = {} (15% aged), ε = {eps}, trials = {trials}\n", ads.len());
+
+    let mut out_rows = Vec::new();
+    for (name, program, is_median) in [
+        ("mean", mean_program(), false),
+        ("median", median_program(), true),
+    ] {
+        let truth = truth_of(is_median);
+        let (default_rmse, default_beta) = rmse(&program, truth, false, 0xAB2_000);
+        let (opt_rmse, opt_beta) = rmse(&program, truth, true, 0xAB2_500);
+        out_rows.push(vec![
+            name.to_string(),
+            format!("{default_beta}"),
+            format!("{default_rmse:.4}"),
+            format!("{opt_beta}"),
+            format!("{opt_rmse:.4}"),
+            format!("{:.1}x", default_rmse / opt_rmse.max(1e-9)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_string_table(
+            &["query", "default_beta", "default_rmse", "opt_beta", "opt_rmse", "gain"],
+            &out_rows
+        )
+    );
+    println!("Expected shape: for the mean the optimizer collapses β toward 1 and");
+    println!("cuts the error substantially (Example 3); for the median it picks an");
+    println!("interior β and still beats the default.");
+}

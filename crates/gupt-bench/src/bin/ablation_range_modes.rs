@@ -1,0 +1,88 @@
+//! Ablation (§4.1 / Theorem 1): what do the three range-estimation
+//! modes cost at the same total ε?
+//!
+//! GUPT-tight spends the whole budget on aggregation; GUPT-loose and
+//! GUPT-helper each burn half on DP percentile estimation but can start
+//! from much weaker analyst knowledge. This sweep quantifies the error
+//! ladder on the census mean query, at loose ranges of growing
+//! pessimism.
+//!
+//! Run: `cargo run -p gupt-bench --bin ablation_range_modes --release`
+
+use gupt_bench::programs::mean_program;
+use gupt_bench::report::{banner, SeriesTable};
+use gupt_core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation, RangeTranslator};
+use gupt_datasets::census::{CensusDataset, TRUE_MEAN_AGE};
+use gupt_dp::{Epsilon, OutputRange};
+use std::sync::Arc;
+
+fn main() {
+    banner("Ablation: range-estimation modes at equal ε (§4.1, Theorem 1)");
+
+    let trials = gupt_bench::trials(60);
+    let census = CensusDataset::generate(0xAB3);
+    let data = census.rows();
+    let eps = 2.0;
+    let beta = 100;
+
+    let rmse = |mode_of: &dyn Fn(f64) -> RangeEstimation, loose_hi: f64, seed: u64| -> f64 {
+        let mut sq = 0.0;
+        for trial in 0..trials {
+            let mut runtime = GuptRuntimeBuilder::new()
+                .register_dataset("census", data.clone(), Epsilon::new(1e9).expect("valid"))
+                .expect("registers")
+                .seed(seed + trial as u64)
+                .build();
+            let spec = QuerySpec::from_program(Arc::clone(&mean_program()))
+                .epsilon(Epsilon::new(eps).expect("valid"))
+                .fixed_block_size(beta)
+                .range_estimation(mode_of(loose_hi));
+            let answer = runtime.run("census", spec).expect("query runs");
+            sq += (answer.values[0] - TRUE_MEAN_AGE).powi(2);
+        }
+        (sq / trials as f64).sqrt() / TRUE_MEAN_AGE
+    };
+
+    println!(
+        "rows = {}, ε = {eps}, block size = {beta}, trials = {trials}\n",
+        census.len()
+    );
+
+    let tight = |_hi: f64| {
+        RangeEstimation::Tight(vec![OutputRange::new(17.0, 90.0).expect("static")])
+    };
+    let loose = |hi: f64| {
+        RangeEstimation::Loose(vec![OutputRange::new(0.0, hi).expect("valid")])
+    };
+    let helper = |hi: f64| {
+        let translate: RangeTranslator = Arc::new(|inputs: &[OutputRange]| inputs.to_vec());
+        RangeEstimation::Helper {
+            input_ranges: vec![OutputRange::new(0.0, hi).expect("valid")],
+            translate,
+        }
+    };
+
+    let mut table = SeriesTable::new(
+        "loose_upper_bound",
+        &["tight_rmse", "loose_rmse", "helper_rmse"],
+    );
+    for hi in [150.0, 1_000.0, 10_000.0] {
+        table.push(
+            hi,
+            vec![
+                rmse(&tight, hi, 0xAB3_000),
+                rmse(&loose, hi, 0xAB3_100),
+                rmse(&helper, hi, 0xAB3_200),
+            ],
+        );
+    }
+
+    println!("{}", table.render());
+    println!("Expected shape: loose/helper error is independent of how pessimistic");
+    println!("the analyst's bound is — the DP percentile recovers the true spread.");
+    println!("Notably they can even beat 'tight' min/max ranges here: clamping to");
+    println!("the estimated interquartile range shrinks the Laplace sensitivity by");
+    println!("more than the halved aggregation budget costs (the §4.1 observation");
+    println!("that noisy quartiles 'give good results for a large class of");
+    println!("problems').");
+}

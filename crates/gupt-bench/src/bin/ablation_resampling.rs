@@ -1,0 +1,64 @@
+//! Ablation (§4.2): how much does γ-fold resampling buy, and where does
+//! it stop paying?
+//!
+//! Claim 1 says resampling adds no noise for a fixed block size; the
+//! benefit is reduced partition variance. The paper notes "the increase
+//! in accuracy with the increase of γ becomes insignificant beyond a
+//! threshold". This sweep measures median-query RMSE against γ.
+//!
+//! Run: `cargo run -p gupt-bench --bin ablation_resampling --release`
+
+use gupt_bench::programs::median_program;
+use gupt_bench::report::{banner, SeriesTable};
+use gupt_core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt_datasets::internet_ads::InternetAdsDataset;
+use gupt_dp::{Epsilon, OutputRange};
+use gupt_ml::stats;
+use std::sync::Arc;
+
+fn main() {
+    banner("Ablation: resampling factor γ vs median-query error (§4.2)");
+
+    let trials = gupt_bench::trials(40);
+    let ads = InternetAdsDataset::generate(0xAB1);
+    let data = ads.rows();
+    let range = OutputRange::new(0.0, 15.0).expect("static");
+    let truth = stats::median(ads.ratios());
+    let beta = 25;
+    let program = median_program();
+
+    println!(
+        "rows = {}, block size = {beta}, ε = 6, trials = {trials}, true median = {truth:.3}\n",
+        ads.len()
+    );
+
+    let mut table = SeriesTable::new("gamma", &["normalized_rmse", "blocks"]);
+    for gamma in [1usize, 2, 4, 8, 16] {
+        let mut sq = 0.0;
+        let mut blocks = 0usize;
+        for trial in 0..trials {
+            let mut runtime = GuptRuntimeBuilder::new()
+                .register_dataset("ads", data.clone(), Epsilon::new(1e9).expect("valid"))
+                .expect("registers")
+                .seed(0xAB1_000 + gamma as u64 * 1000 + trial as u64)
+                .build();
+            let spec = QuerySpec::from_program(Arc::clone(&program))
+                .epsilon(Epsilon::new(6.0).expect("valid"))
+                .fixed_block_size(beta)
+                .resampling(gamma)
+                .range_estimation(RangeEstimation::Tight(vec![range]));
+            let answer = runtime.run("ads", spec).expect("query runs");
+            sq += (answer.values[0] - truth).powi(2);
+            blocks = answer.num_blocks;
+        }
+        table.push(
+            gamma as f64,
+            vec![(sq / trials as f64).sqrt() / truth, blocks as f64],
+        );
+    }
+
+    println!("{}", table.render());
+    println!("Expected shape: RMSE falls from γ=1 and flattens — the partition");
+    println!("variance shrinks like 1/γ while the (γ-invariant) Laplace noise");
+    println!("becomes the floor.");
+}

@@ -1,0 +1,74 @@
+//! Figure 3: logistic-regression prediction accuracy vs privacy budget.
+//!
+//! Paper result (§7.1.1): the MSR logistic package scores 94 % on the
+//! life-sciences dataset when run directly; under GUPT-tight it scores
+//! 75–80 % across ε ∈ [2, 10], and the authors attribute most of the gap
+//! to block-level estimation error (a single n^0.6-row block fits at
+//! ≈82 %).
+//!
+//! Run: `cargo run -p gupt-bench --bin fig3_logistic --release`
+//! Scale knobs: `GUPT_ROWS` (default 26733), `GUPT_TRIALS` (default 5).
+
+use gupt_bench::programs::logistic_program;
+use gupt_bench::report::{banner, SeriesTable};
+use gupt_core::{default_block_size, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt_datasets::life_sciences::{LifeSciencesConfig, LifeSciencesDataset};
+use gupt_dp::{Epsilon, OutputRange};
+use gupt_ml::logistic::{train_logistic, LogisticConfig, LogisticModel};
+
+/// Tight per-weight output range the analyst supplies (GUPT-tight).
+const WEIGHT_BOUND: f64 = 2.0;
+
+fn main() {
+    banner("Figure 3: logistic regression accuracy vs privacy budget (GUPT-tight)");
+
+    let n = gupt_bench::rows(26_733);
+    let trials = gupt_bench::trials(5);
+    let config = LifeSciencesConfig {
+        rows: n,
+        ..LifeSciencesConfig::paper(0xF163)
+    };
+    let dataset = LifeSciencesDataset::generate(&config);
+    let data = dataset.labeled_rows();
+    let dims = config.features;
+
+    // Non-private baseline: the package run directly on the full table.
+    let baseline = train_logistic(&data, LogisticConfig::default());
+    let baseline_acc = baseline.accuracy(&data);
+
+    // Diagnostic the paper quotes: accuracy of a single block-sized fit.
+    let beta = default_block_size(n);
+    let block_fit = train_logistic(&data[..beta.min(data.len())], LogisticConfig::default());
+    let block_acc = block_fit.accuracy(&data);
+
+    println!("rows = {n}, block size n^0.6 = {beta}, trials per ε = {trials}");
+    println!("non-private baseline accuracy = {baseline_acc:.3} (paper: 0.94)");
+    println!("single-block fit accuracy     = {block_acc:.3} (paper: ~0.82)\n");
+
+    let ranges: Vec<OutputRange> = (0..=dims)
+        .map(|_| OutputRange::new(-WEIGHT_BOUND, WEIGHT_BOUND).expect("static range"))
+        .collect();
+
+    let mut table = SeriesTable::new("epsilon", &["gupt_tight_accuracy", "non_private_baseline"]);
+    for eps_i in [2.0, 4.0, 6.0, 8.0, 10.0] {
+        let mut acc_sum = 0.0;
+        for trial in 0..trials {
+            let mut runtime = GuptRuntimeBuilder::new()
+                .register_dataset("ds1.10", data.clone(), Epsilon::new(1e6).expect("valid"))
+                .expect("dataset registers")
+                .seed(0x0F16_3000 + (eps_i * 10.0) as u64 * 100 + trial as u64)
+                .build();
+            let spec = QuerySpec::from_program(logistic_program(dims))
+                .epsilon(Epsilon::new(eps_i).expect("valid"))
+                .range_estimation(RangeEstimation::Tight(ranges.clone()));
+            let answer = runtime.run("ds1.10", spec).expect("query runs");
+            let model = LogisticModel::from_flat(&answer.values);
+            acc_sum += model.accuracy(&data);
+        }
+        table.push(eps_i, vec![acc_sum / trials as f64, baseline_acc]);
+    }
+
+    println!("{}", table.render());
+    println!("Expected shape: GUPT-tight rises with ε and plateaus several points");
+    println!("below the non-private baseline (estimation error dominates).");
+}

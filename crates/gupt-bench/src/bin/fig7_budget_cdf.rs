@@ -1,0 +1,125 @@
+//! Figure 7: CDF of result accuracy under three budget policies.
+//!
+//! Paper result (§7.2.1): querying the average age of the census dataset
+//! (true mean 38.5816, loose output range [0, 150]) with
+//!
+//! - a constant ε = 1 *overshoots* the "90 % accuracy for 90 % of
+//!   queries" requirement (wasting budget),
+//! - a constant ε = 0.3 *undershoots* it (a visible fraction of queries
+//!   miss the accuracy bar),
+//! - GUPT's variable ε — derived from the goal via 10 % aged data — meets
+//!   it with the least sufficient budget.
+//!
+//! Run: `cargo run -p gupt-bench --bin fig7_budget_cdf --release`
+
+use gupt_bench::programs::mean_program;
+use gupt_bench::report::{banner, SeriesTable};
+use gupt_core::{AccuracyGoal, Dataset, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt_datasets::census::{CensusDataset, TRUE_MEAN_AGE};
+use gupt_dp::{Epsilon, OutputRange};
+use std::sync::Arc;
+
+/// Fixed block size; ~208 blocks over the 29 305 private rows — the
+/// operating point at which the goal-driven ε lands near 0.45, matching
+/// the paper's 2.3× lifetime gain over constant ε = 1 (Figure 8).
+const BLOCK_SIZE: usize = 141;
+
+fn main() {
+    banner("Figure 7: CDF of query accuracy for privacy budget allocation mechanisms");
+
+    let runs = gupt_bench::trials(300);
+    let census = CensusDataset::generate(0xF167);
+    let range = OutputRange::new(0.0, 150.0).expect("static");
+    let goal = AccuracyGoal::new(0.9, 0.9).expect("valid goal").with_laplace_tail();
+
+    let dataset = || {
+        Dataset::new(census.rows())
+            .expect("valid rows")
+            .with_aged_fraction(0.10)
+            .expect("valid fraction")
+    };
+
+    // The variable ε the goal implies (computed once; it depends only on
+    // the aged data, the block plan and the range).
+    let probe = GuptRuntimeBuilder::new()
+        .register("census", dataset(), Epsilon::new(1e9).expect("valid"))
+        .expect("registers")
+        .seed(1)
+        .build();
+    let goal_spec = QuerySpec::from_program(mean_program())
+        .accuracy_goal(goal)
+        .fixed_block_size(BLOCK_SIZE)
+        .range_estimation(RangeEstimation::Tight(vec![range]));
+    let variable_eps = probe
+        .estimate_epsilon_for("census", &goal_spec)
+        .expect("aged data present");
+
+    println!(
+        "rows = {}, aged fraction = 10%, block size = {BLOCK_SIZE}, runs = {runs}\n\
+         goal: {:.0}% accuracy for {:.0}% of queries\n\
+         variable ε from aged data = {:.4} (constant arms: 1.0 and 0.3)\n",
+        census.len(),
+        goal.accuracy * 100.0,
+        goal.confidence * 100.0,
+        variable_eps.value()
+    );
+
+    let policies: Vec<(&str, f64)> = vec![
+        ("eps_1.0", 1.0),
+        ("eps_0.3", 0.3),
+        ("variable", variable_eps.value()),
+    ];
+
+    // Gather per-run accuracies for each policy.
+    let mut accuracies: Vec<Vec<f64>> = Vec::new();
+    for (p_idx, (_, eps)) in policies.iter().enumerate() {
+        let mut acc = Vec::with_capacity(runs);
+        for run in 0..runs {
+            let mut runtime = GuptRuntimeBuilder::new()
+                .register("census", dataset(), Epsilon::new(1e9).expect("valid"))
+                .expect("registers")
+                .seed(0xF167_0000 + p_idx as u64 * 10_000 + run as u64)
+                .build();
+            let spec = QuerySpec::from_program(Arc::clone(&mean_program()))
+                .epsilon(Epsilon::new(*eps).expect("valid"))
+                .fixed_block_size(BLOCK_SIZE)
+                .range_estimation(RangeEstimation::Tight(vec![range]));
+            let answer = runtime.run("census", spec).expect("query runs");
+            let rel_acc = 1.0 - (answer.values[0] - TRUE_MEAN_AGE).abs() / TRUE_MEAN_AGE;
+            acc.push(rel_acc.max(0.0) * 100.0);
+        }
+        acc.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        accuracies.push(acc);
+    }
+
+    // CDF: accuracy at each portion-of-queries decile.
+    let mut table = SeriesTable::new(
+        "portion_of_queries_pct",
+        &["eps_1.0", "eps_0.3", "variable_eps", "expected_accuracy"],
+    );
+    for portion in (0..=100).step_by(10) {
+        let idx = ((portion as f64 / 100.0) * (runs - 1) as f64).round() as usize;
+        table.push(
+            portion as f64,
+            vec![
+                accuracies[0][idx],
+                accuracies[1][idx],
+                accuracies[2][idx],
+                goal.accuracy * 100.0,
+            ],
+        );
+    }
+    println!("{}", table.render());
+
+    for ((name, _), acc) in policies.iter().zip(&accuracies) {
+        let met = acc.iter().filter(|&&a| a >= goal.accuracy * 100.0).count();
+        println!(
+            "{name}: {:.1}% of queries met the {:.0}% accuracy goal",
+            100.0 * met as f64 / runs as f64,
+            goal.accuracy * 100.0
+        );
+    }
+    println!("\nExpected shape: ε=1 overshoots the goal everywhere; ε=0.3 misses it");
+    println!("for the bottom tail of queries; the variable ε meets it with the");
+    println!("smallest sufficient budget.");
+}

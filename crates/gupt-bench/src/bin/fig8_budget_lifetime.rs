@@ -1,0 +1,100 @@
+//! Figure 8: privacy-budget lifetime under the three budget policies.
+//!
+//! Paper result (§7.2.1): repeatedly running the census average-age query
+//! until the dataset's lifetime budget is exhausted, GUPT's variable-ε
+//! policy executes ≈2.3× more queries than a constant ε = 1 (and a
+//! constant ε = 0.3 runs ≈3.3× more — but Figure 7 shows it *fails* the
+//! accuracy goal for part of its queries, so its lifetime is not
+//! honestly comparable).
+//!
+//! Run: `cargo run -p gupt-bench --bin fig8_budget_lifetime --release`
+
+use gupt_bench::programs::mean_program;
+use gupt_bench::report::{banner, render_string_table};
+use gupt_core::{AccuracyGoal, Dataset, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt_datasets::census::CensusDataset;
+use gupt_dp::{Epsilon, OutputRange};
+use std::sync::Arc;
+
+/// Same operating point as Figure 7.
+const BLOCK_SIZE: usize = 141;
+
+/// Lifetime budget the data owner grants the dataset.
+const TOTAL_BUDGET: f64 = 30.0;
+
+fn main() {
+    banner("Figure 8: normalized privacy budget lifetime");
+
+    let census = CensusDataset::generate(0xF168);
+    let range = OutputRange::new(0.0, 150.0).expect("static");
+    let goal = AccuracyGoal::new(0.9, 0.9).expect("valid goal").with_laplace_tail();
+
+    let make_runtime = |seed: u64| {
+        GuptRuntimeBuilder::new()
+            .register(
+                "census",
+                Dataset::new(census.rows())
+                    .expect("valid rows")
+                    .with_aged_fraction(0.10)
+                    .expect("valid fraction"),
+                Epsilon::new(TOTAL_BUDGET).expect("valid"),
+            )
+            .expect("registers")
+            .seed(seed)
+            .build()
+    };
+
+    // How many queries each policy completes before the ledger refuses.
+    let mut results: Vec<(String, usize)> = Vec::new();
+    for (name, policy) in [
+        ("constant ε=1.0", Some(1.0)),
+        ("variable ε (goal-driven)", None),
+        ("constant ε=0.3", Some(0.3)),
+    ] {
+        let mut runtime = make_runtime(0xF168_0000 + results.len() as u64);
+        let mut count = 0usize;
+        loop {
+            let spec = match policy {
+                Some(eps) => QuerySpec::from_program(Arc::clone(&mean_program()))
+                    .epsilon(Epsilon::new(eps).expect("valid")),
+                None => QuerySpec::from_program(Arc::clone(&mean_program())).accuracy_goal(goal),
+            }
+            .fixed_block_size(BLOCK_SIZE)
+            .range_estimation(RangeEstimation::Tight(vec![range]));
+            match runtime.run("census", spec) {
+                Ok(_) => count += 1,
+                Err(_) => break,
+            }
+            if count > 100_000 {
+                break; // safety valve
+            }
+        }
+        results.push((name.to_string(), count));
+    }
+
+    let base = results
+        .iter()
+        .find(|(n, _)| n.contains("ε=1.0"))
+        .map(|&(_, c)| c)
+        .unwrap_or(1)
+        .max(1);
+
+    println!("total budget ε = {TOTAL_BUDGET}, block size = {BLOCK_SIZE}\n");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, count)| {
+            vec![
+                name.clone(),
+                count.to_string(),
+                format!("{:.2}", *count as f64 / base as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_string_table(&["policy", "queries_run", "normalized_lifetime"], &rows)
+    );
+    println!("Expected shape: variable ε runs ≈2–2.5× more queries than constant");
+    println!("ε=1 (paper: 2.3×); constant ε=0.3 runs ≈3.3× more but fails the");
+    println!("accuracy goal for part of them (Figure 7).");
+}

@@ -1,0 +1,45 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (§7); `EXPERIMENTS.md` maps them to the paper's
+//! numbers. This library holds what they share: the analyst programs as
+//! GUPT sees them (black boxes), experiment sizing knobs, and plain-text
+//! series/table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod programs;
+pub mod report;
+
+/// Reads an experiment-scale factor from `GUPT_TRIALS` (default
+/// `default_trials`), so CI can shrink runs and a full reproduction can
+/// grow them without code changes.
+pub fn trials(default_trials: usize) -> usize {
+    std::env::var("GUPT_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(default_trials)
+}
+
+/// Reads a dataset-scale override from `GUPT_ROWS` (default
+/// `default_rows`). Figures match the paper at full scale; smaller scales
+/// keep smoke runs fast.
+pub fn rows(default_rows: usize) -> usize {
+    std::env::var("GUPT_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(default_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_overrides_parse() {
+        // Not setting the vars yields the defaults.
+        assert_eq!(super::trials(7), 7);
+        assert_eq!(super::rows(123), 123);
+    }
+}

@@ -1,0 +1,121 @@
+//! The analyst programs used by the evaluation, packaged as the opaque
+//! block programs GUPT runs (§7.1: scipy k-means, the MSR logistic
+//! package; §7.2: mean/median queries).
+
+use gupt_ml::kmeans::{kmeans, KMeansConfig};
+use gupt_ml::logistic::{train_logistic, LogisticConfig};
+use gupt_sandbox::{BlockProgram, ClosureProgram};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+
+/// Mean of column 0 — the §7.2 census "average age" query.
+pub fn mean_program() -> Arc<dyn BlockProgram> {
+    Arc::new(
+        ClosureProgram::new(1, |block: &[Vec<f64>]| {
+            if block.is_empty() {
+                return vec![0.0];
+            }
+            vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len() as f64]
+        })
+        .named("mean"),
+    )
+}
+
+/// Median of column 0 — the §7.2.2 internet-ads query.
+pub fn median_program() -> Arc<dyn BlockProgram> {
+    Arc::new(
+        ClosureProgram::new(1, |block: &[Vec<f64>]| {
+            if block.is_empty() {
+                return vec![0.0];
+            }
+            let mut v: Vec<f64> = block.iter().map(|r| r[0]).collect();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite data"));
+            let n = v.len();
+            // Interpolated median: averaging the central pair avoids the
+            // upper-median bias that alternates with block-size parity.
+            let m = if n % 2 == 1 {
+                v[n / 2]
+            } else {
+                (v[n / 2 - 1] + v[n / 2]) / 2.0
+            };
+            vec![m]
+        })
+        .named("median"),
+    )
+}
+
+/// k-means over `dims`-dimensional rows, flattened to `k·dims` outputs
+/// with canonical center ordering (§8). `iterations` is a *fixed* Lloyd
+/// iteration count (no early stopping), matching how Figures 5 and 6
+/// sweep the analyst's conservatively declared iteration budget.
+pub fn kmeans_program(k: usize, dims: usize, iterations: usize, seed: u64) -> Arc<dyn BlockProgram> {
+    Arc::new(
+        ClosureProgram::new(k * dims, move |block: &[Vec<f64>]| {
+            // The program carries its own seed: a black box has no access
+            // to the runtime RNG (and must not, for reproducibility of
+            // the runtime's noise draws).
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = kmeans(
+                block,
+                KMeansConfig {
+                    k,
+                    max_iterations: iterations,
+                    tolerance: 0.0,
+                },
+                &mut rng,
+            );
+            model.flatten()
+        })
+        .named("kmeans"),
+    )
+}
+
+/// Logistic regression over `[x…, y]` rows, returning `dims + 1` weights
+/// (the §7.1 classification program).
+pub fn logistic_program(dims: usize) -> Arc<dyn BlockProgram> {
+    Arc::new(
+        ClosureProgram::new(dims + 1, move |block: &[Vec<f64>]| {
+            train_logistic(block, LogisticConfig::default()).weights
+        })
+        .named("logistic-regression"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupt_sandbox::Scratch;
+
+    #[test]
+    fn mean_program_output() {
+        let mut s = Scratch::new();
+        let out = mean_program().run(&[vec![2.0], vec![4.0]], &mut s);
+        assert_eq!(out, vec![3.0]);
+        assert_eq!(mean_program().run(&[], &mut s), vec![0.0]);
+    }
+
+    #[test]
+    fn median_program_output() {
+        let mut s = Scratch::new();
+        let rows: Vec<Vec<f64>> = [5.0, 1.0, 3.0].iter().map(|&v| vec![v]).collect();
+        assert_eq!(median_program().run(&rows, &mut s), vec![3.0]);
+    }
+
+    #[test]
+    fn kmeans_program_dimension() {
+        let p = kmeans_program(3, 2, 10, 7);
+        assert_eq!(p.output_dimension(), 6);
+        let mut s = Scratch::new();
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 0.0]).collect();
+        assert_eq!(p.run(&rows, &mut s).len(), 6);
+    }
+
+    #[test]
+    fn logistic_program_dimension() {
+        let p = logistic_program(2);
+        assert_eq!(p.output_dimension(), 3);
+        let mut s = Scratch::new();
+        let rows = vec![vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]];
+        assert_eq!(p.run(&rows, &mut s).len(), 3);
+    }
+}

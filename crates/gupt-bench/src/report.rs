@@ -1,0 +1,160 @@
+//! Plain-text rendering of experiment series and tables.
+//!
+//! The paper's figures are line charts; the binaries print the underlying
+//! series as aligned text tables (x column + one column per series), which
+//! is what `EXPERIMENTS.md` quotes.
+
+use std::fmt::Write as _;
+
+/// A labelled (x, y…) table: one x column, many named series.
+#[derive(Debug, Clone)]
+pub struct SeriesTable {
+    x_label: String,
+    series_labels: Vec<String>,
+    rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl SeriesTable {
+    /// Creates a table with an x-axis label and series names.
+    pub fn new(x_label: impl Into<String>, series_labels: &[&str]) -> Self {
+        SeriesTable {
+            x_label: x_label.into(),
+            series_labels: series_labels.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; `ys` must match the series count.
+    pub fn push(&mut self, x: f64, ys: Vec<f64>) {
+        assert_eq!(
+            ys.len(),
+            self.series_labels.len(),
+            "row width must match series count"
+        );
+        self.rows.push((x, ys));
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The series values for column `i` (in push order).
+    pub fn series(&self, i: usize) -> Vec<f64> {
+        self.rows.iter().map(|(_, ys)| ys[i]).collect()
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series_labels.iter().cloned());
+        let mut cells: Vec<Vec<String>> = vec![header];
+        for (x, ys) in &self.rows {
+            let mut row = vec![format_num(*x)];
+            row.extend(ys.iter().map(|y| format_num(*y)));
+            cells.push(row);
+        }
+        render_cells(&cells)
+    }
+}
+
+/// Renders a generic string table (used for Table 1).
+pub fn render_string_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut cells: Vec<Vec<String>> = vec![header.iter().map(|s| s.to_string()).collect()];
+    for row in rows {
+        cells.push(row.clone());
+    }
+    render_cells(&cells)
+}
+
+fn render_cells(cells: &[Vec<String>]) -> String {
+    let cols = cells.iter().map(Vec::len).max().unwrap_or(0);
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| {
+            cells
+                .iter()
+                .map(|row| row.get(c).map_or(0, String::len))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut out = String::new();
+    for (i, row) in cells.iter().enumerate() {
+        for (c, w) in widths.iter().enumerate() {
+            let cell = row.get(c).map(String::as_str).unwrap_or("");
+            let _ = write!(out, "{cell:>w$}  ", w = w);
+        }
+        out.pop();
+        out.pop();
+        out.push('\n');
+        if i == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn format_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Prints a figure banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_table_renders_aligned() {
+        let mut t = SeriesTable::new("eps", &["gupt", "baseline"]);
+        t.push(1.0, vec![0.75, 0.94]);
+        t.push(2.0, vec![0.78, 0.94]);
+        let s = t.render();
+        assert!(s.contains("eps"));
+        assert!(s.contains("gupt"));
+        assert!(s.contains("0.7500"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.series(1), vec![0.94, 0.94]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = SeriesTable::new("x", &["a"]);
+        t.push(0.0, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn string_table_renders() {
+        let s = render_string_table(
+            &["Feature", "GUPT", "PINQ"],
+            &[vec!["state attack".into(), "Yes".into(), "No".into()]],
+        );
+        assert!(s.contains("Feature"));
+        assert!(s.contains("state attack"));
+        assert!(s.contains("---"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(2.0), "2");
+        assert_eq!(format_num(0.12345), "0.1235");
+        assert_eq!(format_num(123.456), "123.5");
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: positional arguments plus `--key value` flags.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+/// Argument-parsing errors.
+#[derive(Debug, PartialEq)]
+pub enum ArgError {
+    /// A `--flag` appeared with no following value.
+    MissingValue(String),
+    /// A required flag was absent.
+    Required(String),
+    /// A flag value failed to parse.
+    Invalid {
+        /// The flag name.
+        flag: String,
+        /// The raw value supplied.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// The same flag was passed twice.
+    Duplicate(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "--{flag} requires a value"),
+            ArgError::Required(flag) => write!(f, "--{flag} is required"),
+            ArgError::Invalid {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag} {value:?}: expected {expected}"),
+            ArgError::Duplicate(flag) => write!(f, "--{flag} given more than once"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = argv.iter();
+        while let Some(token) = it.next() {
+            if let Some(flag) = token.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(flag.to_string()))?;
+                if args
+                    .flags
+                    .insert(flag.to_string(), value.clone())
+                    .is_some()
+                {
+                    return Err(ArgError::Duplicate(flag.to_string()));
+                }
+            } else {
+                args.positional.push(token.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// The positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
+        self.get(flag)
+            .ok_or_else(|| ArgError::Required(flag.to_string()))
+    }
+
+    /// An optional parsed flag.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        expected: &'static str,
+    ) -> Result<Option<T>, ArgError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<T>().map(Some).map_err(|_| ArgError::Invalid {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// A required parsed flag.
+    pub fn require_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        self.get_parsed(flag, expected)?
+            .ok_or_else(|| ArgError::Required(flag.to_string()))
+    }
+
+    /// Parses `--range lo,hi` into a pair.
+    pub fn range(&self, flag: &str) -> Result<Option<(f64, f64)>, ArgError> {
+        let Some(raw) = self.get(flag) else {
+            return Ok(None);
+        };
+        let invalid = || ArgError::Invalid {
+            flag: flag.to_string(),
+            value: raw.to_string(),
+            expected: "lo,hi",
+        };
+        let (lo, hi) = raw.split_once(',').ok_or_else(invalid)?;
+        let lo: f64 = lo.trim().parse().map_err(|_| invalid())?;
+        let hi: f64 = hi.trim().parse().map_err(|_| invalid())?;
+        Ok(Some((lo, hi)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = Args::parse(&argv("query --data x.csv --epsilon 0.5 extra")).unwrap();
+        assert_eq!(a.positional(), ["query", "extra"]);
+        assert_eq!(a.get("data"), Some("x.csv"));
+        assert_eq!(a.require("epsilon").unwrap(), "0.5");
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert_eq!(
+            Args::parse(&argv("query --data")).unwrap_err(),
+            ArgError::MissingValue("data".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        assert_eq!(
+            Args::parse(&argv("--a 1 --a 2")).unwrap_err(),
+            ArgError::Duplicate("a".into())
+        );
+    }
+
+    #[test]
+    fn required_missing() {
+        let a = Args::parse(&argv("query")).unwrap();
+        assert_eq!(a.require("data").unwrap_err(), ArgError::Required("data".into()));
+    }
+
+    #[test]
+    fn parsed_flags() {
+        let a = Args::parse(&argv("--rows 100 --epsilon 0.5")).unwrap();
+        assert_eq!(a.require_parsed::<usize>("rows", "integer").unwrap(), 100);
+        assert_eq!(
+            a.get_parsed::<f64>("epsilon", "number").unwrap(),
+            Some(0.5)
+        );
+        assert_eq!(a.get_parsed::<u64>("seed", "integer").unwrap(), None);
+    }
+
+    #[test]
+    fn parse_failures_name_the_flag() {
+        let a = Args::parse(&argv("--rows abc")).unwrap();
+        let err = a.require_parsed::<usize>("rows", "integer").unwrap_err();
+        assert!(err.to_string().contains("rows"));
+        assert!(err.to_string().contains("integer"));
+    }
+
+    #[test]
+    fn range_parsing() {
+        let a = Args::parse(&argv("--range 0,150 --bad 5")).unwrap();
+        assert_eq!(a.range("range").unwrap(), Some((0.0, 150.0)));
+        assert_eq!(a.range("missing").unwrap(), None);
+        assert!(a.range("bad").is_err());
+    }
+
+    #[test]
+    fn range_with_spaces_and_negatives() {
+        let a = Args::parse(&["--range".into(), "-2.5, 3".into()]).unwrap();
+        assert_eq!(a.range("range").unwrap(), Some((-2.5, 3.0)));
+    }
+}

@@ -1,0 +1,496 @@
+//! Command dispatch and implementations.
+
+use crate::args::Args;
+use crate::ledger::FileLedger;
+use crate::programs;
+use gupt_core::{
+    AccuracyGoal, Aggregator, Dataset, GuptRuntimeBuilder, QuerySpec, RangeEstimation,
+};
+use gupt_datasets::census::CensusDataset;
+use gupt_datasets::csv;
+use gupt_datasets::internet_ads::InternetAdsDataset;
+use gupt_datasets::life_sciences::{LifeSciencesConfig, LifeSciencesDataset};
+use gupt_dp::{Epsilon, OutputRange};
+use std::fmt::Write as _;
+
+/// Top-level error type: boxed because every subsystem has its own.
+pub type CliError = Box<dyn std::error::Error>;
+
+/// Dispatches a parsed command line, returning the text to print.
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv)?;
+    match args.positional() {
+        [] => Ok(usage()),
+        [cmd, rest @ ..] => match (cmd.as_str(), rest) {
+            ("help", _) => Ok(usage()),
+            ("generate", [which]) => generate(which, &args),
+            ("ledger", [sub]) => ledger_cmd(sub, &args),
+            ("query", []) => query(&args),
+            _ => Err(format!(
+                "unknown command {:?}; run `gupt-cli help`",
+                args.positional().join(" ")
+            )
+            .into()),
+        },
+    }
+}
+
+fn usage() -> String {
+    "gupt-cli — differentially private analytics from the command line
+
+USAGE:
+  gupt-cli generate <census|ads|life-sciences> --out FILE.csv [--rows N] [--seed S]
+  gupt-cli ledger init --ledger FILE --budget EPS
+  gupt-cli ledger show --ledger FILE
+  gupt-cli query --data FILE.csv --program SPEC --range LO,HI
+                 (--epsilon EPS | --accuracy RHO --confidence P --aged-fraction F)
+                 [--ledger FILE] [--block-size B] [--gamma G] [--seed S]
+                 [--header yes] [--range-mode tight|loose] [--aggregator mean|median]
+                 [--group-column N]     (user-level privacy, §8.1)
+
+PROGRAMS:
+  mean:COL  median:COL  variance:COL  count  histogram:COL:BINS
+
+EXAMPLES:
+  gupt-cli generate census --out ages.csv
+  gupt-cli ledger init --ledger ages.ledger --budget 5
+  gupt-cli query --data ages.csv --ledger ages.ledger \\
+      --program mean:0 --epsilon 0.5 --range 0,150
+"
+    .to_string()
+}
+
+fn generate(which: &str, args: &Args) -> Result<String, CliError> {
+    let out = args.require("out")?;
+    let seed: u64 = args.get_parsed("seed", "integer")?.unwrap_or(7);
+    let rows_override: Option<usize> = args.get_parsed("rows", "integer")?;
+    let (rows, header): (Vec<Vec<f64>>, Vec<&str>) = match which {
+        "census" => {
+            let n = rows_override.unwrap_or(gupt_datasets::census::CENSUS_ROWS);
+            (CensusDataset::generate_sized(n, seed).rows(), vec!["age"])
+        }
+        "ads" => {
+            let n = rows_override.unwrap_or(gupt_datasets::internet_ads::ADS_ROWS);
+            (
+                InternetAdsDataset::generate_sized(n, seed).rows(),
+                vec!["aspect_ratio"],
+            )
+        }
+        "life-sciences" => {
+            let mut config = LifeSciencesConfig::paper(seed);
+            if let Some(n) = rows_override {
+                config.rows = n;
+            }
+            let ds = LifeSciencesDataset::generate(&config);
+            (
+                ds.labeled_rows(),
+                vec![
+                    "pc1", "pc2", "pc3", "pc4", "pc5", "pc6", "pc7", "pc8", "pc9", "pc10",
+                    "reactive",
+                ],
+            )
+        }
+        other => {
+            return Err(format!(
+                "unknown dataset {other:?}; available: census, ads, life-sciences"
+            )
+            .into())
+        }
+    };
+    csv::write_csv(out, Some(&header), &rows)?;
+    Ok(format!(
+        "wrote {} rows × {} columns to {out}\n",
+        rows.len(),
+        rows.first().map_or(0, Vec::len)
+    ))
+}
+
+fn ledger_cmd(sub: &str, args: &Args) -> Result<String, CliError> {
+    let path = args.require("ledger")?;
+    match sub {
+        "init" => {
+            let budget: f64 = args.require_parsed("budget", "positive number")?;
+            let ledger = FileLedger::init(path, Epsilon::new(budget)?)?;
+            Ok(format!(
+                "initialised {path} with lifetime budget ε = {}\n",
+                ledger.total()
+            ))
+        }
+        "show" => {
+            let ledger = FileLedger::open(path)?;
+            Ok(format!(
+                "ledger {path}\n  total     ε = {}\n  spent     ε = {}\n  remaining ε = {}\n  queries     = {}\n",
+                ledger.total(),
+                ledger.spent(),
+                ledger.remaining(),
+                ledger.queries()
+            ))
+        }
+        other => Err(format!("unknown ledger subcommand {other:?} (init|show)").into()),
+    }
+}
+
+fn query(args: &Args) -> Result<String, CliError> {
+    let data_path = args.require("data")?;
+    let has_header = matches!(args.get("header"), Some("yes" | "true" | "1"));
+    let rows = csv::read_csv(data_path, has_header)?;
+    if rows.is_empty() {
+        return Err("dataset is empty".into());
+    }
+
+    let spec_str = args.require("program")?;
+    let resolved = programs::resolve(spec_str)?;
+    let description = resolved.description.clone();
+    let (lo, hi) = args
+        .range("range")?
+        .ok_or("--range LO,HI is required (non-sensitive output bounds)")?;
+
+    // Histograms re-bind the range to the buckets and release fractions.
+    let (program, output_ranges, is_histogram) = if spec_str.starts_with("histogram:") {
+        let mut parts = spec_str.split(':').skip(1);
+        let col: usize = parts.next().unwrap().parse()?;
+        let bins: usize = parts.next().unwrap().parse()?;
+        let unit = OutputRange::new(0.0, 1.0)?;
+        (
+            programs::histogram_with_range(col, bins, lo, hi),
+            vec![unit; bins],
+            true,
+        )
+    } else {
+        (
+            resolved.program,
+            vec![OutputRange::new(lo, hi)?; resolved.output_dim],
+            false,
+        )
+    };
+
+    let seed: u64 = args.get_parsed("seed", "integer")?.unwrap_or_else(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    });
+    let gamma: usize = args.get_parsed("gamma", "integer")?.unwrap_or(1);
+    let block_size: Option<usize> = args.get_parsed("block-size", "integer")?;
+    let aged_fraction: Option<f64> = args.get_parsed("aged-fraction", "fraction")?;
+    let group_column: Option<usize> = args.get_parsed("group-column", "column index")?;
+    let aggregator = match args.get("aggregator") {
+        None | Some("mean") => Aggregator::LaplaceMean,
+        Some("median") => Aggregator::DpMedian,
+        Some(other) => {
+            return Err(format!("unknown aggregator {other:?} (mean|median)").into())
+        }
+    };
+    let range_mode = args.get("range-mode").unwrap_or("tight");
+
+    // Build the dataset (with an aged view / user grouping when requested).
+    let mut dataset = Dataset::new(rows)?;
+    if let Some(f) = aged_fraction {
+        dataset = dataset.with_aged_fraction(f)?;
+    }
+    if let Some(col) = group_column {
+        dataset = dataset.with_group_column(col)?;
+    }
+
+    // Resolve the budget: explicit ε or accuracy goal.
+    let epsilon_flag: Option<f64> = args.get_parsed("epsilon", "positive number")?;
+    let accuracy: Option<f64> = args.get_parsed("accuracy", "fraction in (0,1)")?;
+
+    let estimation = match range_mode {
+        "tight" => RangeEstimation::Tight(output_ranges),
+        "loose" => RangeEstimation::Loose(output_ranges),
+        other => return Err(format!("unknown range mode {other:?} (tight|loose)").into()),
+    };
+    let mut spec = QuerySpec::from_program(program)
+        .resampling(gamma)
+        .aggregator(aggregator)
+        .range_estimation(estimation);
+    if let Some(b) = block_size {
+        spec = spec.fixed_block_size(b);
+    }
+
+    // Ephemeral runtime: the *persistent* accounting is the file ledger;
+    // the in-process ledger only carries this one query's budget.
+    let build_runtime = |budget: Epsilon, ds: Dataset| -> Result<_, CliError> {
+        Ok(GuptRuntimeBuilder::new()
+            .register("data", ds, budget)?
+            .seed(seed)
+            .build())
+    };
+
+    let eps = match (epsilon_flag, accuracy) {
+        (Some(e), None) => Epsilon::new(e)?,
+        (None, Some(rho)) => {
+            let confidence: f64 = args.require_parsed("confidence", "fraction in (0,1)")?;
+            if aged_fraction.is_none() {
+                return Err(
+                    "--accuracy needs --aged-fraction F: the goal-to-ε translation \
+                     uses aged (non-sensitive) data (§5.1)"
+                        .into(),
+                );
+            }
+            let goal = AccuracyGoal::new(rho, confidence)?.with_laplace_tail();
+            let probe = build_runtime(Epsilon::new(1e9)?, dataset.clone())?;
+            probe.estimate_epsilon_for("data", &spec.clone().accuracy_goal(goal))?
+        }
+        (Some(_), Some(_)) => {
+            return Err("--epsilon and --accuracy are mutually exclusive".into())
+        }
+        (None, None) => return Err("one of --epsilon or --accuracy is required".into()),
+    };
+
+    // Charge the persistent ledger first (fail closed).
+    let ledger_state = match args.get("ledger") {
+        Some(path) => {
+            let mut ledger = FileLedger::open(path)?;
+            ledger.charge(eps)?;
+            Some((path.to_string(), ledger.remaining(), ledger.queries()))
+        }
+        None => None,
+    };
+
+    let mut runtime = build_runtime(eps, dataset)?;
+    let answer = runtime.run("data", spec.epsilon(eps))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "program     : {spec_str} ({description})");
+    let _ = writeln!(out, "epsilon     : {:.6}", answer.epsilon_spent);
+    let _ = writeln!(
+        out,
+        "blocks      : {} × ~{} rows (γ = {})",
+        answer.num_blocks, answer.block_size, answer.gamma
+    );
+    if is_histogram {
+        let _ = writeln!(out, "answer      : bucket fractions over [{lo}, {hi})");
+        let width = (hi - lo) / answer.values.len() as f64;
+        for (i, v) in answer.values.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  [{:.3}, {:.3}) : {:.4}",
+                lo + i as f64 * width,
+                lo + (i + 1) as f64 * width,
+                v.max(0.0)
+            );
+        }
+    } else {
+        let _ = writeln!(out, "answer      : {:?}", answer.values);
+    }
+    match ledger_state {
+        Some((path, remaining, queries)) => {
+            let _ = writeln!(
+                out,
+                "ledger      : {path} (remaining ε = {remaining:.6}, queries = {queries})"
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "ledger      : none — budget NOT persisted across invocations"
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &str) -> Result<String, CliError> {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        dispatch(&argv)
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("gupt_cli_cmd_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert!(run("help").unwrap().contains("USAGE"));
+        assert!(dispatch(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command() {
+        assert!(run("frobnicate").is_err());
+    }
+
+    #[test]
+    fn generate_census_and_query_roundtrip() {
+        let csv_path = tmp("roundtrip.csv");
+        let out = run(&format!(
+            "generate census --rows 3000 --seed 5 --out {csv_path}"
+        ))
+        .unwrap();
+        assert!(out.contains("3000 rows"), "{out}");
+
+        let result = run(&format!(
+            "query --data {csv_path} --program mean:0 --epsilon 2.0 --range 0,150 \
+             --seed 9 --header yes"
+        ))
+        .unwrap();
+        assert!(result.contains("program     : mean:0 (mean of column 0)"), "{result}");
+        // Parse the answer out and sanity-check it.
+        let answer_line = result
+            .lines()
+            .find(|l| l.starts_with("answer"))
+            .expect("answer line");
+        let value: f64 = answer_line
+            .split(['[', ']'])
+            .nth(1)
+            .expect("bracketed value")
+            .parse()
+            .expect("numeric answer");
+        assert!((value - 38.58).abs() < 8.0, "answer = {value}");
+    }
+
+    #[test]
+    fn ledger_lifecycle_via_cli() {
+        let csv_path = tmp("ledger_data.csv");
+        let ledger_path = tmp("lifecycle.ledger");
+        run(&format!("generate ads --rows 1000 --out {csv_path}")).unwrap();
+        run(&format!("ledger init --ledger {ledger_path} --budget 1.0")).unwrap();
+
+        let q = format!(
+            "query --data {csv_path} --ledger {ledger_path} --program median:0 \
+             --epsilon 0.6 --range 0,15 --seed 4 --header yes"
+        );
+        assert!(run(&q).unwrap().contains("remaining ε = 0.4"));
+        // Second identical query exceeds the ledger.
+        let err = run(&q).unwrap_err().to_string();
+        assert!(err.contains("exhausted"), "{err}");
+
+        let show = run(&format!("ledger show --ledger {ledger_path}")).unwrap();
+        assert!(show.contains("queries     = 1"), "{show}");
+    }
+
+    #[test]
+    fn ledger_init_refuses_overwrite() {
+        let ledger_path = tmp("no_overwrite.ledger");
+        run(&format!("ledger init --ledger {ledger_path} --budget 2")).unwrap();
+        assert!(run(&format!("ledger init --ledger {ledger_path} --budget 9")).is_err());
+    }
+
+    #[test]
+    fn histogram_query_prints_buckets() {
+        let csv_path = tmp("hist.csv");
+        run(&format!("generate ads --rows 2000 --out {csv_path}")).unwrap();
+        let out = run(&format!(
+            "query --data {csv_path} --program histogram:0:5 --epsilon 5 \
+             --range 0,10 --seed 3 --header yes"
+        ))
+        .unwrap();
+        assert!(out.contains("bucket fractions"), "{out}");
+        assert!(out.matches("[").count() >= 5, "{out}");
+    }
+
+    #[test]
+    fn accuracy_goal_requires_aged_fraction() {
+        let csv_path = tmp("goal.csv");
+        run(&format!("generate census --rows 3000 --out {csv_path}")).unwrap();
+        let err = run(&format!(
+            "query --data {csv_path} --program mean:0 --accuracy 0.9 \
+             --confidence 0.9 --range 0,150 --header yes"
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("aged-fraction"), "{err}");
+    }
+
+    #[test]
+    fn accuracy_goal_end_to_end() {
+        let csv_path = tmp("goal_ok.csv");
+        run(&format!("generate census --rows 8000 --seed 2 --out {csv_path}")).unwrap();
+        let out = run(&format!(
+            "query --data {csv_path} --program mean:0 --accuracy 0.9 \
+             --confidence 0.9 --aged-fraction 0.1 --block-size 50 \
+             --range 0,150 --seed 6 --header yes"
+        ))
+        .unwrap();
+        assert!(out.contains("epsilon"), "{out}");
+        // The derived ε must be positive and well below a naive 1.0.
+        let eps_line = out.lines().find(|l| l.starts_with("epsilon")).unwrap();
+        let eps: f64 = eps_line.split(':').nth(1).unwrap().trim().parse().unwrap();
+        assert!(eps > 0.0 && eps < 1.0, "derived ε = {eps}");
+    }
+
+    #[test]
+    fn median_aggregator_and_loose_mode() {
+        let csv_path = tmp("agg.csv");
+        run(&format!("generate ads --rows 2000 --seed 4 --out {csv_path}")).unwrap();
+        let out = run(&format!(
+            "query --data {csv_path} --program mean:0 --epsilon 6 --range 0,15              --range-mode loose --aggregator median --seed 2 --header yes"
+        ))
+        .unwrap();
+        let answer_line = out.lines().find(|l| l.starts_with("answer")).unwrap();
+        let value: f64 = answer_line
+            .split(['[', ']'])
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((0.0..=15.0).contains(&value), "{out}");
+        assert!(run(&format!(
+            "query --data {csv_path} --program mean:0 --epsilon 1 --range 0,15              --aggregator bogus --header yes"
+        ))
+        .is_err());
+        assert!(run(&format!(
+            "query --data {csv_path} --program mean:0 --epsilon 1 --range 0,15              --range-mode bogus --header yes"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn group_column_flag() {
+        // Two-column data: [user_id, value] via life-sciences won't fit;
+        // use a handwritten CSV.
+        let csv_path = tmp("groups.csv");
+        let mut text = String::from("user,value\n");
+        for user in 0..50 {
+            for visit in 0..4 {
+                text.push_str(&format!("{user},{}\n", 10 + visit));
+            }
+        }
+        std::fs::write(&csv_path, text).unwrap();
+        let out = run(&format!(
+            "query --data {csv_path} --program mean:1 --epsilon 5 --range 0,20              --group-column 0 --block-size 20 --seed 3 --header yes"
+        ))
+        .unwrap();
+        assert!(out.contains("program"), "{out}");
+        // Out-of-range column rejected.
+        assert!(run(&format!(
+            "query --data {csv_path} --program mean:1 --epsilon 5 --range 0,20              --group-column 9 --header yes"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn mutually_exclusive_budget_flags() {
+        let csv_path = tmp("both.csv");
+        run(&format!("generate ads --rows 100 --out {csv_path}")).unwrap();
+        let err = run(&format!(
+            "query --data {csv_path} --program mean:0 --epsilon 1 --accuracy 0.9 \
+             --confidence 0.9 --range 0,15 --header yes"
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn missing_range_is_explained() {
+        let csv_path = tmp("norange.csv");
+        run(&format!("generate ads --rows 100 --out {csv_path}")).unwrap();
+        let err = run(&format!(
+            "query --data {csv_path} --program mean:0 --epsilon 1 --header yes"
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--range"), "{err}");
+    }
+}

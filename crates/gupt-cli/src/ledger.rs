@@ -1,0 +1,289 @@
+//! A file-persisted privacy ledger.
+//!
+//! The in-memory [`gupt_dp::PrivacyLedger`] dies with the process; a
+//! hosted GUPT must remember spend across invocations or the lifetime
+//! budget is meaningless. The format is a deliberately trivial
+//! line-oriented key=value file (auditable with `cat`):
+//!
+//! ```text
+//! total=5
+//! spent=1.25
+//! queries=3
+//! ```
+//!
+//! Charges are written *before* the query executes (fail-closed: a
+//! crash after the charge wastes budget rather than leaking it).
+
+use gupt_dp::{DpError, Epsilon};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A privacy ledger persisted to a file.
+#[derive(Debug)]
+pub struct FileLedger {
+    path: PathBuf,
+    total: f64,
+    spent: f64,
+    queries: u64,
+}
+
+/// Ledger errors.
+#[derive(Debug)]
+pub enum LedgerError {
+    /// File I/O failed.
+    Io(io::Error),
+    /// The ledger file is malformed.
+    Corrupt(String),
+    /// The charge exceeds the remaining budget.
+    Exhausted {
+        /// ε requested.
+        requested: f64,
+        /// ε remaining.
+        remaining: f64,
+    },
+    /// The file already exists (on `init`).
+    AlreadyExists(PathBuf),
+    /// Invalid budget parameter.
+    Dp(DpError),
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Io(e) => write!(f, "ledger io: {e}"),
+            LedgerError::Corrupt(why) => write!(f, "ledger corrupt: {why}"),
+            LedgerError::Exhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+            ),
+            LedgerError::AlreadyExists(p) => {
+                write!(f, "ledger {} already exists", p.display())
+            }
+            LedgerError::Dp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl From<io::Error> for LedgerError {
+    fn from(e: io::Error) -> Self {
+        LedgerError::Io(e)
+    }
+}
+
+impl From<DpError> for LedgerError {
+    fn from(e: DpError) -> Self {
+        LedgerError::Dp(e)
+    }
+}
+
+impl FileLedger {
+    /// Creates a new ledger file with the given lifetime budget. Fails
+    /// if the file exists (a budget must never be silently reset).
+    pub fn init(path: impl AsRef<Path>, total: Epsilon) -> Result<FileLedger, LedgerError> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            return Err(LedgerError::AlreadyExists(path));
+        }
+        let ledger = FileLedger {
+            path,
+            total: total.value(),
+            spent: 0.0,
+            queries: 0,
+        };
+        ledger.persist()?;
+        Ok(ledger)
+    }
+
+    /// Opens an existing ledger file.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileLedger, LedgerError> {
+        let path = path.as_ref().to_path_buf();
+        let text = fs::read_to_string(&path)?;
+        let mut total = None;
+        let mut spent = None;
+        let mut queries = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| LedgerError::Corrupt(format!("bad line {line:?}")))?;
+            let parse = |v: &str| -> Result<f64, LedgerError> {
+                v.trim()
+                    .parse()
+                    .map_err(|_| LedgerError::Corrupt(format!("bad number {v:?}")))
+            };
+            match key.trim() {
+                "total" => total = Some(parse(value)?),
+                "spent" => spent = Some(parse(value)?),
+                "queries" => queries = Some(parse(value)? as u64),
+                other => {
+                    return Err(LedgerError::Corrupt(format!("unknown key {other:?}")))
+                }
+            }
+        }
+        let total = total.ok_or_else(|| LedgerError::Corrupt("missing total".into()))?;
+        let spent = spent.ok_or_else(|| LedgerError::Corrupt("missing spent".into()))?;
+        if !(total.is_finite() && total > 0.0 && spent.is_finite() && spent >= 0.0) {
+            return Err(LedgerError::Corrupt(format!(
+                "implausible budget numbers: total={total}, spent={spent}"
+            )));
+        }
+        Ok(FileLedger {
+            path,
+            total,
+            spent,
+            queries: queries.unwrap_or(0),
+        })
+    }
+
+    /// Charges `eps`, persisting the new state before returning.
+    pub fn charge(&mut self, eps: Epsilon) -> Result<(), LedgerError> {
+        let e = eps.value();
+        if self.spent + e > self.total * (1.0 + 1e-12) {
+            return Err(LedgerError::Exhausted {
+                requested: e,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += e;
+        self.queries += 1;
+        self.persist()
+    }
+
+    /// Lifetime budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// ε remaining.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Queries charged so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    fn persist(&self) -> Result<(), LedgerError> {
+        // Write-then-rename for atomicity against crashes mid-write.
+        let tmp = self.path.with_extension("ledger.tmp");
+        fs::write(
+            &tmp,
+            format!(
+                "total={}\nspent={}\nqueries={}\n",
+                self.total, self.spent, self.queries
+            ),
+        )?;
+        fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("gupt_cli_ledger_tests");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn init_charge_reopen_roundtrip() {
+        let path = tmp_path("roundtrip.ledger");
+        let mut ledger = FileLedger::init(&path, eps(2.0)).unwrap();
+        ledger.charge(eps(0.5)).unwrap();
+        ledger.charge(eps(0.25)).unwrap();
+        drop(ledger);
+
+        let reopened = FileLedger::open(&path).unwrap();
+        assert_eq!(reopened.total(), 2.0);
+        assert!((reopened.spent() - 0.75).abs() < 1e-12);
+        assert_eq!(reopened.queries(), 2);
+        assert!((reopened.remaining() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn init_refuses_to_overwrite() {
+        let path = tmp_path("no_overwrite.ledger");
+        FileLedger::init(&path, eps(1.0)).unwrap();
+        assert!(matches!(
+            FileLedger::init(&path, eps(9.0)).unwrap_err(),
+            LedgerError::AlreadyExists(_)
+        ));
+    }
+
+    #[test]
+    fn exhaustion_fails_closed_and_persists_nothing() {
+        let path = tmp_path("exhaustion.ledger");
+        let mut ledger = FileLedger::init(&path, eps(1.0)).unwrap();
+        ledger.charge(eps(0.9)).unwrap();
+        assert!(matches!(
+            ledger.charge(eps(0.2)).unwrap_err(),
+            LedgerError::Exhausted { .. }
+        ));
+        let reopened = FileLedger::open(&path).unwrap();
+        assert!((reopened.spent() - 0.9).abs() < 1e-12);
+        assert_eq!(reopened.queries(), 1);
+    }
+
+    #[test]
+    fn corrupt_files_rejected() {
+        let path = tmp_path("corrupt.ledger");
+        fs::write(&path, "garbage\n").unwrap();
+        assert!(matches!(
+            FileLedger::open(&path).unwrap_err(),
+            LedgerError::Corrupt(_)
+        ));
+
+        fs::write(&path, "total=abc\nspent=0\n").unwrap();
+        assert!(FileLedger::open(&path).is_err());
+
+        fs::write(&path, "spent=0\n").unwrap();
+        assert!(FileLedger::open(&path).is_err());
+
+        fs::write(&path, "total=-5\nspent=0\n").unwrap();
+        assert!(FileLedger::open(&path).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            FileLedger::open("/definitely/not/here.ledger").unwrap_err(),
+            LedgerError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn tampering_with_spent_is_visible() {
+        // The format is plain text by design: an owner can audit it. A
+        // *negative* spend (the only tampering that would grant extra
+        // budget) is rejected at open.
+        let path = tmp_path("tamper.ledger");
+        FileLedger::init(&path, eps(1.0)).unwrap();
+        fs::write(&path, "total=1\nspent=-4\nqueries=0\n").unwrap();
+        assert!(FileLedger::open(&path).is_err());
+    }
+}

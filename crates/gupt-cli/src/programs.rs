@@ -1,0 +1,267 @@
+//! The CLI's built-in analyst-program registry.
+//!
+//! Program specs are strings like `mean:0`, `median:2`, `variance:0`,
+//! `count`, or `histogram:0:10` (column 0, 10 buckets). Each resolves to
+//! a [`BlockProgram`] plus its natural output arity, so the query
+//! command only needs per-dimension ranges from the user.
+
+use gupt_ml::histogram::Histogram;
+use gupt_ml::stats;
+use gupt_sandbox::{BlockProgram, ClosureProgram};
+use std::fmt;
+use std::sync::Arc;
+
+/// A resolved program: the block program and its output arity.
+pub struct ResolvedProgram {
+    /// The executable program.
+    pub program: Arc<dyn BlockProgram>,
+    /// Declared output dimensions.
+    pub output_dim: usize,
+    /// Human-readable description for the query report.
+    pub description: String,
+}
+
+/// Errors from program-spec parsing.
+#[derive(Debug, PartialEq)]
+pub enum ProgramError {
+    /// Unknown program name.
+    Unknown(String),
+    /// The spec had the wrong number or type of parameters.
+    BadSpec {
+        /// The raw spec.
+        spec: String,
+        /// Usage string for the program family.
+        usage: &'static str,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Unknown(name) => write!(
+                f,
+                "unknown program {name:?}; available: mean:COL, median:COL, \
+                 variance:COL, count, histogram:COL:BINS"
+            ),
+            ProgramError::BadSpec { spec, usage } => {
+                write!(f, "bad program spec {spec:?}; usage: {usage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Parses a program spec string into an executable program.
+pub fn resolve(spec: &str) -> Result<ResolvedProgram, ProgramError> {
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or_default();
+    let params: Vec<&str> = parts.collect();
+    match name {
+        "mean" => {
+            let col = one_column(spec, &params, "mean:COL")?;
+            Ok(ResolvedProgram {
+                program: Arc::new(
+                    ClosureProgram::new(1, move |b: &[Vec<f64>]| {
+                        vec![stats::mean(&column(b, col))]
+                    })
+                    .named(format!("mean:{col}")),
+                ),
+                output_dim: 1,
+                description: format!("mean of column {col}"),
+            })
+        }
+        "median" => {
+            let col = one_column(spec, &params, "median:COL")?;
+            Ok(ResolvedProgram {
+                program: Arc::new(
+                    ClosureProgram::new(1, move |b: &[Vec<f64>]| {
+                        vec![stats::median(&column(b, col))]
+                    })
+                    .named(format!("median:{col}")),
+                ),
+                output_dim: 1,
+                description: format!("median of column {col}"),
+            })
+        }
+        "variance" => {
+            let col = one_column(spec, &params, "variance:COL")?;
+            Ok(ResolvedProgram {
+                program: Arc::new(
+                    ClosureProgram::new(1, move |b: &[Vec<f64>]| {
+                        vec![stats::variance(&column(b, col))]
+                    })
+                    .named(format!("variance:{col}")),
+                ),
+                output_dim: 1,
+                description: format!("variance of column {col}"),
+            })
+        }
+        "count" => {
+            if !params.is_empty() {
+                return Err(ProgramError::BadSpec {
+                    spec: spec.to_string(),
+                    usage: "count",
+                });
+            }
+            Ok(ResolvedProgram {
+                program: Arc::new(
+                    ClosureProgram::new(1, |b: &[Vec<f64>]| vec![b.len() as f64])
+                        .named("count"),
+                ),
+                output_dim: 1,
+                description: "record count per block".to_string(),
+            })
+        }
+        "histogram" => {
+            let usage = "histogram:COL:BINS (range required via --range)";
+            if params.len() != 2 {
+                return Err(ProgramError::BadSpec {
+                    spec: spec.to_string(),
+                    usage,
+                });
+            }
+            let col: usize = params[0].parse().map_err(|_| ProgramError::BadSpec {
+                spec: spec.to_string(),
+                usage,
+            })?;
+            let bins: usize = params[1].parse().map_err(|_| ProgramError::BadSpec {
+                spec: spec.to_string(),
+                usage,
+            })?;
+            if bins == 0 {
+                return Err(ProgramError::BadSpec {
+                    spec: spec.to_string(),
+                    usage,
+                });
+            }
+            Ok(ResolvedProgram {
+                // The bucket range is injected at query time via a
+                // wrapper because the CLI's --range flag provides it;
+                // here the program bins over [0, 1) and the command
+                // rescales inputs. Simpler: the command re-resolves with
+                // the real range through `histogram_with_range`.
+                program: histogram_with_range(col, bins, 0.0, 1.0),
+                output_dim: bins,
+                description: format!("histogram of column {col} over {bins} buckets"),
+            })
+        }
+        other => Err(ProgramError::Unknown(other.to_string())),
+    }
+}
+
+/// Builds a histogram program over a concrete value range. Block output
+/// = per-bucket *fractions* (each in [0, 1]).
+pub fn histogram_with_range(
+    col: usize,
+    bins: usize,
+    lo: f64,
+    hi: f64,
+) -> Arc<dyn BlockProgram> {
+    Arc::new(
+        ClosureProgram::new(bins, move |b: &[Vec<f64>]| {
+            Histogram::build(&column(b, col), lo, hi, bins).fractions()
+        })
+        .named(format!("histogram:{col}:{bins}")),
+    )
+}
+
+fn one_column(
+    spec: &str,
+    params: &[&str],
+    usage: &'static str,
+) -> Result<usize, ProgramError> {
+    if params.len() != 1 {
+        return Err(ProgramError::BadSpec {
+            spec: spec.to_string(),
+            usage,
+        });
+    }
+    params[0].parse().map_err(|_| ProgramError::BadSpec {
+        spec: spec.to_string(),
+        usage,
+    })
+}
+
+fn column(rows: &[Vec<f64>], col: usize) -> Vec<f64> {
+    rows.iter()
+        .map(|r| r.get(col).copied().unwrap_or(0.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupt_sandbox::Scratch;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]
+    }
+
+    #[test]
+    fn mean_program() {
+        let p = resolve("mean:1").unwrap();
+        assert_eq!(p.output_dim, 1);
+        let mut s = Scratch::new();
+        assert_eq!(p.program.run(&rows(), &mut s), vec![20.0]);
+    }
+
+    #[test]
+    fn median_and_variance() {
+        let mut s = Scratch::new();
+        assert_eq!(
+            resolve("median:0").unwrap().program.run(&rows(), &mut s),
+            vec![2.0]
+        );
+        let v = resolve("variance:0").unwrap().program.run(&rows(), &mut s)[0];
+        assert!((v - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_program() {
+        let mut s = Scratch::new();
+        assert_eq!(
+            resolve("count").unwrap().program.run(&rows(), &mut s),
+            vec![3.0]
+        );
+        assert!(resolve("count:0").is_err());
+    }
+
+    #[test]
+    fn histogram_program() {
+        let p = resolve("histogram:0:3").unwrap();
+        assert_eq!(p.output_dim, 3);
+        let real = histogram_with_range(0, 3, 0.0, 3.0);
+        let mut s = Scratch::new();
+        let fr = real.run(&rows(), &mut s);
+        // values 1, 2, 3 over [0,3): buckets [0,1),[1,2),[2,3) → 0,1,2 (3 clamps into last).
+        assert_eq!(fr, vec![0.0, 1.0 / 3.0, 2.0 / 3.0]);
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(matches!(resolve("mean"), Err(ProgramError::BadSpec { .. })));
+        assert!(matches!(
+            resolve("mean:x"),
+            Err(ProgramError::BadSpec { .. })
+        ));
+        assert!(matches!(
+            resolve("histogram:0:0"),
+            Err(ProgramError::BadSpec { .. })
+        ));
+        assert!(matches!(
+            resolve("histogram:0"),
+            Err(ProgramError::BadSpec { .. })
+        ));
+        assert!(matches!(resolve("nope:1"), Err(ProgramError::Unknown(_))));
+    }
+
+    #[test]
+    fn out_of_range_columns_read_zero() {
+        let mut s = Scratch::new();
+        assert_eq!(
+            resolve("mean:9").unwrap().program.run(&rows(), &mut s),
+            vec![0.0]
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Aging-of-sensitivity support (§3.3).
+//!
+//! GUPT's aging model assumes a fraction of the dataset (or a companion
+//! dataset from the same distribution) has "aged out" of privacy
+//! sensitivity. The runtime mines this aged data for distributional
+//! facts — how block outputs vary with block size — and uses them to
+//! pick optimal block sizes (§4.3) and translate accuracy goals into
+//! budgets (§5.1). None of these computations touch the private table or
+//! the ledger.
+
+use crate::computation_manager::ComputationManager;
+use crate::error::GuptError;
+use gupt_sandbox::BlockProgram;
+use std::sync::Arc;
+
+/// Program outputs measured on aged data at one block size.
+#[derive(Debug, Clone)]
+pub struct AgedBlockStats {
+    /// Output of the program on each aged block (deterministic chunking).
+    pub block_outputs: Vec<Vec<f64>>,
+    /// Output of the program on the full aged dataset.
+    pub full_output: Vec<f64>,
+    /// The block size used.
+    pub block_size: usize,
+}
+
+impl AgedBlockStats {
+    /// Per-dimension mean of the block outputs.
+    pub fn block_mean(&self) -> Vec<f64> {
+        let p = self.full_output.len();
+        let l = self.block_outputs.len().max(1) as f64;
+        (0..p)
+            .map(|d| self.block_outputs.iter().map(|o| o[d]).sum::<f64>() / l)
+            .collect()
+    }
+
+    /// Per-dimension variance of the block outputs.
+    pub fn block_variance(&self) -> Vec<f64> {
+        let means = self.block_mean();
+        let l = self.block_outputs.len().max(1) as f64;
+        means
+            .iter()
+            .enumerate()
+            .map(|(d, m)| {
+                self.block_outputs
+                    .iter()
+                    .map(|o| (o[d] - m).powi(2))
+                    .sum::<f64>()
+                    / l
+            })
+            .collect()
+    }
+
+    /// The §4.3 estimation-error term `A`: L∞ distance between the mean
+    /// of the aged block outputs and the full aged output.
+    pub fn estimation_error(&self) -> f64 {
+        self.block_mean()
+            .iter()
+            .zip(&self.full_output)
+            .map(|(m, f)| (m - f).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs `program` over aged data chunked into blocks of `block_size`, and
+/// once over the full aged dataset.
+///
+/// Chunking is deterministic (the aged rows are an i.i.d. sample, so a
+/// shuffle would only add variance to the estimate).
+pub fn aged_block_stats(
+    manager: &ComputationManager,
+    program: &Arc<dyn BlockProgram>,
+    aged_rows: &[Vec<f64>],
+    block_size: usize,
+) -> Result<AgedBlockStats, GuptError> {
+    if aged_rows.is_empty() {
+        return Err(GuptError::NoAgedData("<aged view>".into()));
+    }
+    let block_size = block_size.clamp(1, aged_rows.len());
+    let blocks: Vec<Vec<Vec<f64>>> = aged_rows
+        .chunks(block_size)
+        .map(|c| c.to_vec())
+        .collect();
+    let block_outputs = manager
+        .execute_blocks(program, blocks)
+        .into_iter()
+        .map(|r| r.output)
+        .collect();
+    let full_output = manager.execute_full(program, aged_rows).output;
+    Ok(AgedBlockStats {
+        block_outputs,
+        full_output,
+        block_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupt_sandbox::{ChamberPolicy, ClosureProgram};
+
+    fn manager() -> ComputationManager {
+        ComputationManager::new(ChamberPolicy::unbounded(), 2)
+    }
+
+    fn mean_program() -> Arc<dyn BlockProgram> {
+        Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+            vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
+        }))
+    }
+
+    fn rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![(i % 10) as f64]).collect()
+    }
+
+    #[test]
+    fn stats_cover_all_blocks() {
+        let stats = aged_block_stats(&manager(), &mean_program(), &rows(100), 10).unwrap();
+        assert_eq!(stats.block_outputs.len(), 10);
+        assert_eq!(stats.block_size, 10);
+        // Every block of rows(100) chunked by 10 holds digits 0..9: mean 4.5.
+        assert!((stats.full_output[0] - 4.5).abs() < 1e-12);
+        assert!(stats.estimation_error() < 1e-12);
+    }
+
+    #[test]
+    fn estimation_error_grows_for_mismatched_blocks() {
+        // Mean of the square: nonlinear, so block means differ from the
+        // full-data output.
+        let program: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |b: &[Vec<f64>]| {
+            let m = b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64;
+            vec![m * m]
+        }));
+        let stats = aged_block_stats(&manager(), &program, &rows(100), 3).unwrap();
+        assert!(stats.estimation_error() > 0.0);
+    }
+
+    #[test]
+    fn empty_aged_rows_error() {
+        assert!(matches!(
+            aged_block_stats(&manager(), &mean_program(), &[], 10).unwrap_err(),
+            GuptError::NoAgedData(_)
+        ));
+    }
+
+    #[test]
+    fn block_size_clamped() {
+        let stats = aged_block_stats(&manager(), &mean_program(), &rows(5), 100).unwrap();
+        assert_eq!(stats.block_size, 5);
+        assert_eq!(stats.block_outputs.len(), 1);
+    }
+
+    #[test]
+    fn variance_of_identical_blocks_is_zero() {
+        let stats = aged_block_stats(&manager(), &mean_program(), &rows(100), 10).unwrap();
+        assert!(stats.block_variance()[0] < 1e-20);
+    }
+
+    #[test]
+    fn variance_positive_for_heterogeneous_blocks() {
+        let mut data = rows(50);
+        data.extend((0..50).map(|i| vec![(i % 10) as f64 + 100.0]));
+        let stats = aged_block_stats(&manager(), &mean_program(), &data, 10).unwrap();
+        assert!(stats.block_variance()[0] > 1.0);
+    }
+}

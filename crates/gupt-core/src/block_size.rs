@@ -1,0 +1,254 @@
+//! Optimal block-size selection from aged data (§4.3).
+//!
+//! Increasing the block size β shrinks the estimation error (each block
+//! sees more data) but grows the Laplace noise (fewer blocks ℓ = n/β, so
+//! the average's sensitivity `s/ℓ` rises). The paper picks `ℓ = n^α` by
+//! minimising the empirical error on the aged dataset (Equation 2):
+//!
+//! ```text
+//!   err(α) = |mean_i f(T_np,i) − f(T_np)|  +  √2·s / (ε·n^α)
+//!            └──────── A: estimation ────┘   └── B: noise ──┘
+//! ```
+//!
+//! over `α ∈ [1 − log n_np / log n, 1]` (the lower limit keeps the block
+//! size within the aged sample). The paper suggests hill climbing; this
+//! implementation evaluates a coarse grid and then refines around the
+//! best grid point, caching program runs per distinct block size.
+
+use crate::aging::aged_block_stats;
+use crate::computation_manager::ComputationManager;
+use crate::error::GuptError;
+use gupt_dp::Epsilon;
+use gupt_sandbox::BlockProgram;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Result of the optimizer: the chosen block size and its predicted error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockSizeChoice {
+    /// Chosen block size β.
+    pub block_size: usize,
+    /// Empirical error (Equation 2) at that block size.
+    pub predicted_error: f64,
+    /// The corresponding exponent α (ℓ = n^α).
+    pub alpha: f64,
+}
+
+/// Number of coarse grid points over the feasible α interval.
+const GRID_POINTS: usize = 12;
+
+/// Number of hill-climbing refinement rounds around the best grid point.
+const REFINE_ROUNDS: usize = 4;
+
+/// Picks the block size minimising Equation 2 on the aged data.
+///
+/// * `n` — size of the *private* dataset the query will run on.
+/// * `output_width` — the clamping-range width `s` (max across dims).
+/// * `eps_per_dim` — the aggregation budget per output dimension.
+pub fn optimal_block_size(
+    manager: &ComputationManager,
+    program: &Arc<dyn BlockProgram>,
+    aged_rows: &[Vec<f64>],
+    n: usize,
+    output_width: f64,
+    eps_per_dim: Epsilon,
+) -> Result<BlockSizeChoice, GuptError> {
+    if aged_rows.is_empty() {
+        return Err(GuptError::NoAgedData("<aged view>".into()));
+    }
+    if n < 2 {
+        return Err(GuptError::InvalidSpec(
+            "block-size optimization needs n ≥ 2".into(),
+        ));
+    }
+    let n_np = aged_rows.len();
+    let ln_n = (n as f64).ln();
+    // Feasibility: block size n^{1−α} ≤ n_np ⇒ α ≥ 1 − ln n_np / ln n.
+    let alpha_min = (1.0 - (n_np as f64).ln() / ln_n).max(0.0);
+    let alpha_max = 1.0;
+
+    let mut cache: HashMap<usize, f64> = HashMap::new();
+    let mut eval = |alpha: f64| -> Result<(f64, usize), GuptError> {
+        let alpha = alpha.clamp(alpha_min, alpha_max);
+        let beta = ((n as f64).powf(1.0 - alpha).round() as usize).clamp(1, n_np);
+        let estimation = match cache.get(&beta) {
+            Some(&a) => a,
+            None => {
+                let stats = aged_block_stats(manager, program, aged_rows, beta)?;
+                let a = stats.estimation_error();
+                cache.insert(beta, a);
+                a
+            }
+        };
+        let noise = std::f64::consts::SQRT_2 * output_width
+            / (eps_per_dim.value() * (n as f64).powf(alpha));
+        Ok((estimation + noise, beta))
+    };
+
+    // Coarse grid.
+    let mut best_alpha = alpha_max;
+    let mut best = eval(alpha_max)?;
+    for i in 0..GRID_POINTS {
+        let alpha = alpha_min + (alpha_max - alpha_min) * i as f64 / (GRID_POINTS - 1) as f64;
+        let candidate = eval(alpha)?;
+        if candidate.0 < best.0 {
+            best = candidate;
+            best_alpha = alpha;
+        }
+    }
+
+    // Local refinement: shrink a symmetric step around the incumbent.
+    let mut step = (alpha_max - alpha_min) / (GRID_POINTS - 1) as f64;
+    for _ in 0..REFINE_ROUNDS {
+        step /= 2.0;
+        for alpha in [best_alpha - step, best_alpha + step] {
+            if !(alpha_min..=alpha_max).contains(&alpha) {
+                continue;
+            }
+            let candidate = eval(alpha)?;
+            if candidate.0 < best.0 {
+                best = candidate;
+                best_alpha = alpha;
+            }
+        }
+    }
+
+    Ok(BlockSizeChoice {
+        block_size: best.1,
+        predicted_error: best.0,
+        alpha: best_alpha,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupt_sandbox::{ChamberPolicy, ClosureProgram};
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn manager() -> ComputationManager {
+        ComputationManager::new(ChamberPolicy::unbounded(), 2)
+    }
+
+    fn mean_program() -> Arc<dyn BlockProgram> {
+        Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+            vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
+        }))
+    }
+
+    fn median_program() -> Arc<dyn BlockProgram> {
+        Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+            let mut v: Vec<f64> = block.iter().map(|r| r[0]).collect();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            vec![v[v.len() / 2]]
+        }))
+    }
+
+    fn skewed_rows(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut r = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                // Right-skewed: mostly small, occasionally large.
+                let u: f64 = r.random();
+                vec![if u < 0.8 { u } else { 10.0 * u }]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mean_prefers_small_blocks() {
+        // For a linear statistic the estimation error is ~0 at any block
+        // size, so the noise term dominates and β → small (Example 3).
+        let aged = skewed_rows(2000, 1);
+        let choice = optimal_block_size(
+            &manager(),
+            &mean_program(),
+            &aged,
+            20_000,
+            10.0,
+            Epsilon::new(1.0).unwrap(),
+        )
+        .unwrap();
+        assert!(choice.block_size <= 4, "β = {}", choice.block_size);
+        assert!(choice.alpha > 0.9);
+    }
+
+    #[test]
+    fn median_prefers_larger_blocks_than_mean() {
+        let aged = skewed_rows(2000, 2);
+        let eps = Epsilon::new(2.0).unwrap();
+        let mean_choice =
+            optimal_block_size(&manager(), &mean_program(), &aged, 20_000, 10.0, eps).unwrap();
+        let median_choice =
+            optimal_block_size(&manager(), &median_program(), &aged, 20_000, 10.0, eps).unwrap();
+        assert!(
+            median_choice.block_size > mean_choice.block_size,
+            "median β {} !> mean β {}",
+            median_choice.block_size,
+            mean_choice.block_size
+        );
+    }
+
+    #[test]
+    fn predicted_error_is_positive_and_finite() {
+        let aged = skewed_rows(500, 3);
+        let choice = optimal_block_size(
+            &manager(),
+            &median_program(),
+            &aged,
+            5_000,
+            10.0,
+            Epsilon::new(1.0).unwrap(),
+        )
+        .unwrap();
+        assert!(choice.predicted_error.is_finite());
+        assert!(choice.predicted_error > 0.0);
+        assert!(choice.block_size >= 1 && choice.block_size <= 500);
+    }
+
+    #[test]
+    fn no_aged_data_error() {
+        assert!(matches!(
+            optimal_block_size(
+                &manager(),
+                &mean_program(),
+                &[],
+                1000,
+                1.0,
+                Epsilon::new(1.0).unwrap()
+            )
+            .unwrap_err(),
+            GuptError::NoAgedData(_)
+        ));
+    }
+
+    #[test]
+    fn tiny_private_dataset_rejected() {
+        let aged = skewed_rows(100, 4);
+        assert!(optimal_block_size(
+            &manager(),
+            &mean_program(),
+            &aged,
+            1,
+            1.0,
+            Epsilon::new(1.0).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn block_size_never_exceeds_aged_sample() {
+        // Aged sample much smaller than n: feasibility bound must hold.
+        let aged = skewed_rows(50, 5);
+        let choice = optimal_block_size(
+            &manager(),
+            &median_program(),
+            &aged,
+            100_000,
+            10.0,
+            Epsilon::new(6.0).unwrap(),
+        )
+        .unwrap();
+        assert!(choice.block_size <= 50);
+    }
+}

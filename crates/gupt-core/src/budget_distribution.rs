@@ -1,0 +1,169 @@
+//! Automatic privacy-budget distribution across queries (§5.2).
+//!
+//! Splitting a budget evenly across queries with different sensitivities
+//! wastes it: in the paper's Example 4, an average (sensitivity ∝ max)
+//! and a variance (sensitivity ∝ max²) split evenly leaves the variance
+//! estimate a factor `max` noisier. GUPT instead equalises the Laplace
+//! noise *scale* across queries: with `ζᵢ/εᵢ` the Laplace scale of query
+//! `i`, allocating `εᵢ = ζᵢ/Σζⱼ · ε` makes every query's noise scale the
+//! common value `Σζⱼ/ε`.
+
+use crate::error::GuptError;
+use gupt_dp::Epsilon;
+
+/// The noise profile of one pending query: everything that determines
+/// its Laplace scale numerator `ζ = γ·s/ℓ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryNoiseProfile {
+    /// Clamping-range width `s` (max across output dimensions).
+    pub output_width: f64,
+    /// Number of blocks `ℓ` the query will aggregate over.
+    pub num_blocks: usize,
+    /// Resampling factor γ.
+    pub gamma: usize,
+}
+
+impl QueryNoiseProfile {
+    /// The Laplace scale numerator `ζ = γ·s/ℓ`.
+    pub fn zeta(&self) -> f64 {
+        self.gamma.max(1) as f64 * self.output_width / self.num_blocks.max(1) as f64
+    }
+}
+
+/// Splits `total` across the queries so each gets `εᵢ = ζᵢ/Σζⱼ · ε`.
+///
+/// Queries with `ζ = 0` (constant outputs) receive no budget; if *all*
+/// are zero the split is even (no noise will be added anyway, and even
+/// shares keep the accounting well-defined).
+pub fn distribute_budget(
+    total: Epsilon,
+    profiles: &[QueryNoiseProfile],
+) -> Result<Vec<Epsilon>, GuptError> {
+    if profiles.is_empty() {
+        return Err(GuptError::InvalidSpec(
+            "no queries to distribute budget across".into(),
+        ));
+    }
+    let zetas: Vec<f64> = profiles.iter().map(QueryNoiseProfile::zeta).collect();
+    let sum: f64 = zetas.iter().sum();
+    if sum <= 0.0 {
+        let share = total.split(profiles.len()).map_err(GuptError::Dp)?;
+        return Ok(vec![share; profiles.len()]);
+    }
+    zetas
+        .into_iter()
+        .map(|z| {
+            if z <= 0.0 {
+                // A zero-sensitivity query: charge the smallest
+                // representable share so the ledger still records it.
+                Epsilon::new(total.value() * 1e-12).map_err(GuptError::Dp)
+            } else {
+                total.proportional(z, sum).map_err(GuptError::Dp)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn profile(width: f64) -> QueryNoiseProfile {
+        QueryNoiseProfile {
+            output_width: width,
+            num_blocks: 100,
+            gamma: 1,
+        }
+    }
+
+    #[test]
+    fn zeta_formula() {
+        let p = QueryNoiseProfile {
+            output_width: 10.0,
+            num_blocks: 50,
+            gamma: 2,
+        };
+        assert!((p.zeta() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_4_average_vs_variance() {
+        // Average: s = max; variance: s = max². Allocation 1 : max.
+        let max = 100.0;
+        let shares = distribute_budget(eps(1.0), &[profile(max), profile(max * max)]).unwrap();
+        assert!((shares[1].value() / shares[0].value() - max).abs() < 1e-9);
+        let total: f64 = shares.iter().map(|e| e.value()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_profiles_split_evenly() {
+        let shares = distribute_budget(eps(3.0), &[profile(5.0); 3]).unwrap();
+        for s in &shares {
+            assert!((s.value() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn equalises_noise_scale() {
+        // After allocation, ζᵢ/εᵢ must be the same for every query.
+        let profiles = [
+            QueryNoiseProfile {
+                output_width: 3.0,
+                num_blocks: 10,
+                gamma: 1,
+            },
+            QueryNoiseProfile {
+                output_width: 40.0,
+                num_blocks: 25,
+                gamma: 2,
+            },
+            QueryNoiseProfile {
+                output_width: 1.0,
+                num_blocks: 400,
+                gamma: 1,
+            },
+        ];
+        let shares = distribute_budget(eps(2.0), &profiles).unwrap();
+        let scales: Vec<f64> = profiles
+            .iter()
+            .zip(&shares)
+            .map(|(p, e)| p.zeta() / e.value())
+            .collect();
+        for s in &scales[1..] {
+            assert!((s - scales[0]).abs() < 1e-9, "scales = {scales:?}");
+        }
+    }
+
+    #[test]
+    fn empty_profiles_rejected() {
+        assert!(distribute_budget(eps(1.0), &[]).is_err());
+    }
+
+    #[test]
+    fn all_zero_widths_split_evenly() {
+        let shares = distribute_budget(eps(1.0), &[profile(0.0), profile(0.0)]).unwrap();
+        assert!((shares[0].value() - 0.5).abs() < 1e-12);
+        assert!((shares[1].value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_zero_width_gets_nominal_share() {
+        let shares = distribute_budget(eps(1.0), &[profile(0.0), profile(10.0)]).unwrap();
+        assert!(shares[0].value() < 1e-9);
+        assert!(shares[1].value() > 0.99);
+    }
+
+    #[test]
+    fn shares_never_exceed_total() {
+        let profiles: Vec<QueryNoiseProfile> =
+            (1..=10).map(|i| profile(i as f64)).collect();
+        let shares = distribute_budget(eps(0.5), &profiles).unwrap();
+        let total: f64 = shares.iter().map(|e| e.value()).sum();
+        assert!(total <= 0.5 * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,152 @@
+//! The computation manager (§3.1, §6).
+//!
+//! In the paper the computation manager is split into a *server*
+//! component that talks to the analyst and a *client* component on each
+//! cluster node that instantiates chambers, pipes block data in and
+//! forwards outputs back through a trusted agent. This module is that
+//! orchestration layer: it owns the chamber pool, materialises blocks
+//! into the chambers and collects the per-block reports, from which the
+//! runtime computes the DP aggregate. The untrusted program never
+//! communicates with anything but its own chamber.
+
+use gupt_sandbox::{BlockProgram, ChamberOutcome, ChamberPolicy, ChamberPool, ChamberReport};
+use std::sync::Arc;
+
+/// Summary of how a batch of chamber executions went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutionSummary {
+    /// Blocks whose program completed normally.
+    pub completed: usize,
+    /// Blocks killed for exceeding the execution budget.
+    pub timed_out: usize,
+    /// Blocks whose program panicked.
+    pub panicked: usize,
+}
+
+impl ExecutionSummary {
+    /// Builds a summary from chamber reports.
+    pub fn from_reports(reports: &[ChamberReport]) -> Self {
+        let mut summary = ExecutionSummary::default();
+        for r in reports {
+            match r.outcome {
+                ChamberOutcome::Completed => summary.completed += 1,
+                ChamberOutcome::TimedOut => summary.timed_out += 1,
+                ChamberOutcome::Panicked => summary.panicked += 1,
+            }
+        }
+        summary
+    }
+
+    /// Total number of block executions.
+    pub fn total(&self) -> usize {
+        self.completed + self.timed_out + self.panicked
+    }
+}
+
+/// Orchestrates chamber execution for the runtime.
+#[derive(Debug, Clone)]
+pub struct ComputationManager {
+    pool: ChamberPool,
+}
+
+impl ComputationManager {
+    /// Creates a manager whose chambers run under `policy` with `workers`
+    /// parallel threads.
+    pub fn new(policy: ChamberPolicy, workers: usize) -> Self {
+        ComputationManager {
+            pool: ChamberPool::new(policy, workers),
+        }
+    }
+
+    /// Creates a manager sized to the machine's parallelism.
+    pub fn with_default_parallelism(policy: ChamberPolicy) -> Self {
+        ComputationManager {
+            pool: ChamberPool::with_default_parallelism(policy),
+        }
+    }
+
+    /// Number of parallel chamber workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Runs `program` on every block in its own chamber; report order
+    /// matches block order.
+    pub fn execute_blocks(
+        &self,
+        program: &Arc<dyn BlockProgram>,
+        blocks: Vec<Vec<Vec<f64>>>,
+    ) -> Vec<ChamberReport> {
+        self.pool.run_all(program, blocks)
+    }
+
+    /// Runs `program` once over an entire row set (used on aged,
+    /// non-private data by the estimators, and by non-private baselines).
+    pub fn execute_full(
+        &self,
+        program: &Arc<dyn BlockProgram>,
+        rows: &[Vec<f64>],
+    ) -> ChamberReport {
+        let mut reports = self.pool.run_all(program, vec![rows.to_vec()]);
+        reports
+            .pop()
+            .expect("pool returns one report per block")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupt_sandbox::ClosureProgram;
+
+    fn mean_program() -> Arc<dyn BlockProgram> {
+        Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+            if block.is_empty() {
+                return vec![0.0];
+            }
+            vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len() as f64]
+        }))
+    }
+
+    #[test]
+    fn executes_blocks_in_order() {
+        let manager = ComputationManager::new(ChamberPolicy::unbounded(), 4);
+        let blocks: Vec<Vec<Vec<f64>>> = (0..10)
+            .map(|b| (0..5).map(|_| vec![b as f64]).collect())
+            .collect();
+        let reports = manager.execute_blocks(&mean_program(), blocks);
+        for (b, r) in reports.iter().enumerate() {
+            assert_eq!(r.output, vec![b as f64]);
+        }
+    }
+
+    #[test]
+    fn execute_full_runs_whole_table() {
+        let manager = ComputationManager::new(ChamberPolicy::unbounded(), 2);
+        let rows: Vec<Vec<f64>> = (0..=10).map(|i| vec![i as f64]).collect();
+        let report = manager.execute_full(&mean_program(), &rows);
+        assert_eq!(report.output, vec![5.0]);
+    }
+
+    #[test]
+    fn summary_counts_outcomes() {
+        let manager = ComputationManager::new(ChamberPolicy::unbounded(), 2);
+        let picky: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |b: &[Vec<f64>]| {
+            assert!(b[0][0] >= 0.0);
+            vec![b[0][0]]
+        }));
+        let blocks = vec![vec![vec![1.0]], vec![vec![-1.0]], vec![vec![3.0]]];
+        let reports = manager.execute_blocks(&picky, blocks);
+        let summary = ExecutionSummary::from_reports(&reports);
+        assert_eq!(summary.completed, 2);
+        assert_eq!(summary.panicked, 1);
+        assert_eq!(summary.timed_out, 0);
+        assert_eq!(summary.total(), 3);
+    }
+
+    #[test]
+    fn default_parallelism() {
+        let manager = ComputationManager::with_default_parallelism(ChamberPolicy::unbounded());
+        assert!(manager.workers() >= 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Datasets as registered by the data owner (§3.1).
+//!
+//! The owner supplies (a) a table of real-valued vectors, (b) a lifetime
+//! privacy budget and (c) optionally non-sensitive per-dimension input
+//! ranges. Under the aging-of-sensitivity model (§3.3) the owner may also
+//! mark a fraction of the records as *aged* — drawn from the same
+//! distribution but no longer privacy-sensitive — which the runtime uses
+//! to tune block sizes and translate accuracy goals into budgets.
+
+use crate::error::GuptError;
+use gupt_dp::OutputRange;
+
+/// A registered dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    rows: Vec<Vec<f64>>,
+    input_ranges: Option<Vec<OutputRange>>,
+    aged_rows: Vec<Vec<f64>>,
+    group_column: Option<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset from row-major records. All rows must be
+    /// non-empty and of equal width.
+    pub fn new(rows: Vec<Vec<f64>>) -> Result<Self, GuptError> {
+        let Some(first) = rows.first() else {
+            return Err(GuptError::InvalidDataset("dataset has no rows".into()));
+        };
+        let width = first.len();
+        if width == 0 {
+            return Err(GuptError::InvalidDataset("rows have zero width".into()));
+        }
+        if let Some(bad) = rows.iter().position(|r| r.len() != width) {
+            return Err(GuptError::InvalidDataset(format!(
+                "row {bad} has width {} but row 0 has width {width}",
+                rows[bad].len()
+            )));
+        }
+        if rows
+            .iter()
+            .any(|r| r.iter().any(|v| !v.is_finite()))
+        {
+            return Err(GuptError::InvalidDataset(
+                "rows contain non-finite values".into(),
+            ));
+        }
+        Ok(Dataset {
+            rows,
+            input_ranges: None,
+            aged_rows: Vec::new(),
+            group_column: None,
+        })
+    }
+
+    /// Attaches non-sensitive per-dimension input ranges (e.g. household
+    /// income in `[0, 500 000]`). The count must match the row width.
+    pub fn with_input_ranges(mut self, ranges: Vec<OutputRange>) -> Result<Self, GuptError> {
+        if ranges.len() != self.dimension() {
+            return Err(GuptError::DimensionMismatch {
+                expected: self.dimension(),
+                got: ranges.len(),
+            });
+        }
+        self.input_ranges = Some(ranges);
+        Ok(self)
+    }
+
+    /// Marks the leading `fraction ∈ (0, 1)` of records as aged: they are
+    /// moved out of the private table into the non-private aged view.
+    ///
+    /// The paper's experiments treat 10 % of the census dataset this way
+    /// (§7.2.1). Generators produce i.i.d. rows, so taking a prefix is an
+    /// unbiased sample.
+    pub fn with_aged_fraction(mut self, fraction: f64) -> Result<Self, GuptError> {
+        if !(fraction.is_finite() && 0.0 < fraction && fraction < 1.0) {
+            return Err(GuptError::InvalidDataset(format!(
+                "aged fraction must lie in (0, 1), got {fraction}"
+            )));
+        }
+        let cut = ((self.rows.len() as f64) * fraction).round() as usize;
+        let cut = cut.clamp(1, self.rows.len().saturating_sub(1));
+        self.aged_rows = self.rows.drain(..cut).collect();
+        Ok(self)
+    }
+
+    /// Supplies an explicit aged dataset (drawn from the same
+    /// distribution) instead of carving off a fraction.
+    pub fn with_aged_rows(mut self, aged: Vec<Vec<f64>>) -> Result<Self, GuptError> {
+        if aged.iter().any(|r| r.len() != self.dimension()) {
+            return Err(GuptError::InvalidDataset(
+                "aged rows have mismatched width".into(),
+            ));
+        }
+        self.aged_rows = aged;
+        Ok(self)
+    }
+
+    /// The privacy-sensitive records.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// The aged, non-private records (empty unless configured).
+    pub fn aged_rows(&self) -> &[Vec<f64>] {
+        &self.aged_rows
+    }
+
+    /// Whether an aged view is available.
+    pub fn has_aged_data(&self) -> bool {
+        !self.aged_rows.is_empty()
+    }
+
+    /// Number of privacy-sensitive records.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the private table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row width `k`.
+    pub fn dimension(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Owner-declared input ranges, if any.
+    pub fn input_ranges(&self) -> Option<&[OutputRange]> {
+        self.input_ranges.as_deref()
+    }
+
+    /// Declares column `col` as the user/entity identifier, switching
+    /// the runtime to **user-level privacy** (§8.1): all records sharing
+    /// the identifier are partitioned atomically, so the ε guarantee
+    /// covers a user's entire record set, not single rows.
+    pub fn with_group_column(mut self, col: usize) -> Result<Self, GuptError> {
+        if col >= self.dimension() {
+            return Err(GuptError::DimensionMismatch {
+                expected: self.dimension(),
+                got: col,
+            });
+        }
+        self.group_column = Some(col);
+        Ok(self)
+    }
+
+    /// The declared group column, if any.
+    pub fn group_column(&self) -> Option<usize> {
+        self.group_column
+    }
+
+    /// Builds the per-group record-index lists for the declared group
+    /// column (`None` when no column is declared). Keys compare by exact
+    /// bit pattern; group order is first-appearance.
+    pub fn groups(&self) -> Option<Vec<Vec<usize>>> {
+        let col = self.group_column?;
+        let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let key = row[col].to_bits();
+            let g = *index.entry(key).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(i);
+        }
+        Some(groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64, (i * 2) as f64]).collect()
+    }
+
+    #[test]
+    fn valid_dataset() {
+        let ds = Dataset::new(rows(10)).unwrap();
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.dimension(), 2);
+        assert!(!ds.has_aged_data());
+        assert!(ds.input_ranges().is_none());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Dataset::new(Vec::new()).is_err());
+        assert!(Dataset::new(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let mut r = rows(3);
+        r[1].push(9.0);
+        assert!(Dataset::new(r).is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(Dataset::new(vec![vec![1.0], vec![f64::NAN]]).is_err());
+        assert!(Dataset::new(vec![vec![f64::INFINITY]]).is_err());
+    }
+
+    #[test]
+    fn input_ranges_must_match_width() {
+        let ds = Dataset::new(rows(5)).unwrap();
+        let one = vec![OutputRange::new(0.0, 10.0).unwrap()];
+        assert!(matches!(
+            ds.clone().with_input_ranges(one).unwrap_err(),
+            GuptError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+        let two = vec![
+            OutputRange::new(0.0, 10.0).unwrap(),
+            OutputRange::new(0.0, 20.0).unwrap(),
+        ];
+        let ds = ds.with_input_ranges(two).unwrap();
+        assert_eq!(ds.input_ranges().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn aged_fraction_moves_rows() {
+        let ds = Dataset::new(rows(100))
+            .unwrap()
+            .with_aged_fraction(0.1)
+            .unwrap();
+        assert_eq!(ds.aged_rows().len(), 10);
+        assert_eq!(ds.len(), 90);
+        assert!(ds.has_aged_data());
+        // Aged rows are the prefix.
+        assert_eq!(ds.aged_rows()[0], vec![0.0, 0.0]);
+        assert_eq!(ds.rows()[0], vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn aged_fraction_bounds() {
+        let ds = Dataset::new(rows(10)).unwrap();
+        assert!(ds.clone().with_aged_fraction(0.0).is_err());
+        assert!(ds.clone().with_aged_fraction(1.0).is_err());
+        assert!(ds.clone().with_aged_fraction(f64::NAN).is_err());
+        // Tiny fraction still leaves at least one aged row.
+        let tiny = ds.with_aged_fraction(0.001).unwrap();
+        assert_eq!(tiny.aged_rows().len(), 1);
+    }
+
+    #[test]
+    fn group_column_validation() {
+        let ds = Dataset::new(rows(5)).unwrap();
+        assert!(ds.clone().with_group_column(5).is_err());
+        let ds = ds.with_group_column(0).unwrap();
+        assert_eq!(ds.group_column(), Some(0));
+    }
+
+    #[test]
+    fn groups_collect_matching_rows() {
+        // Column 0 repeats every 3 rows: users 0,1,2 each with repeats.
+        let data: Vec<Vec<f64>> = (0..9).map(|i| vec![(i % 3) as f64, i as f64]).collect();
+        let ds = Dataset::new(data).unwrap().with_group_column(0).unwrap();
+        let groups = ds.groups().unwrap();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], vec![0, 3, 6]);
+        assert_eq!(groups[1], vec![1, 4, 7]);
+        assert_eq!(groups[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn no_group_column_means_no_groups() {
+        let ds = Dataset::new(rows(4)).unwrap();
+        assert!(ds.groups().is_none());
+    }
+
+    #[test]
+    fn explicit_aged_rows() {
+        let ds = Dataset::new(rows(5))
+            .unwrap()
+            .with_aged_rows(rows(3))
+            .unwrap();
+        assert_eq!(ds.aged_rows().len(), 3);
+        assert_eq!(ds.len(), 5); // private table untouched
+        // Width mismatch rejected.
+        let bad = Dataset::new(rows(5))
+            .unwrap()
+            .with_aged_rows(vec![vec![1.0]]);
+        assert!(bad.is_err());
+    }
+}

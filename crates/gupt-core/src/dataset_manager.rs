@@ -1,0 +1,150 @@
+//! The dataset manager (§3.1): registration and per-dataset budget ledgers.
+//!
+//! "The dataset manager is a database that registers instances of the
+//! available datasets and maintains the available privacy budget." Every
+//! query the runtime executes is charged against the owning dataset's
+//! [`PrivacyLedger`] *before* any computation touches the private rows —
+//! this ordering is the §6.2 privacy-budget-attack defense: accounting is
+//! runtime-side and fails closed.
+
+use crate::dataset::Dataset;
+use crate::error::GuptError;
+use gupt_dp::{Epsilon, PrivacyLedger};
+use std::collections::BTreeMap;
+
+/// A registered dataset together with its lifetime budget ledger.
+#[derive(Debug)]
+pub struct DatasetEntry {
+    dataset: Dataset,
+    ledger: PrivacyLedger,
+}
+
+impl DatasetEntry {
+    /// The dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The budget ledger.
+    pub fn ledger(&self) -> &PrivacyLedger {
+        &self.ledger
+    }
+}
+
+/// Registry of datasets available to analysts.
+#[derive(Debug, Default)]
+pub struct DatasetManager {
+    entries: BTreeMap<String, DatasetEntry>,
+}
+
+impl DatasetManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        DatasetManager::default()
+    }
+
+    /// Registers `dataset` under `name` with a lifetime privacy budget.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        dataset: Dataset,
+        total_budget: Epsilon,
+    ) -> Result<(), GuptError> {
+        let name = name.into();
+        if self.entries.contains_key(&name) {
+            return Err(GuptError::DatasetExists(name));
+        }
+        self.entries.insert(
+            name,
+            DatasetEntry {
+                dataset,
+                ledger: PrivacyLedger::new(total_budget),
+            },
+        );
+        Ok(())
+    }
+
+    /// Looks up a dataset entry.
+    pub fn get(&self, name: &str) -> Result<&DatasetEntry, GuptError> {
+        self.entries
+            .get(name)
+            .ok_or_else(|| GuptError::DatasetNotFound(name.to_string()))
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no datasets are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::new((0..n).map(|i| vec![i as f64]).collect()).unwrap()
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut m = DatasetManager::new();
+        m.register("ages", dataset(10), eps(2.0)).unwrap();
+        let entry = m.get("ages").unwrap();
+        assert_eq!(entry.dataset().len(), 10);
+        assert_eq!(entry.ledger().total(), 2.0);
+        assert_eq!(m.names(), vec!["ages"]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut m = DatasetManager::new();
+        m.register("x", dataset(5), eps(1.0)).unwrap();
+        assert!(matches!(
+            m.register("x", dataset(5), eps(1.0)).unwrap_err(),
+            GuptError::DatasetExists(_)
+        ));
+    }
+
+    #[test]
+    fn missing_dataset_error() {
+        let m = DatasetManager::new();
+        assert!(matches!(
+            m.get("nope").unwrap_err(),
+            GuptError::DatasetNotFound(_)
+        ));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn ledger_charges_are_per_dataset() {
+        let mut m = DatasetManager::new();
+        m.register("a", dataset(5), eps(1.0)).unwrap();
+        m.register("b", dataset(5), eps(1.0)).unwrap();
+        m.get("a").unwrap().ledger().charge(eps(0.7)).unwrap();
+        assert!((m.get("a").unwrap().ledger().remaining() - 0.3).abs() < 1e-12);
+        assert_eq!(m.get("b").unwrap().ledger().remaining(), 1.0);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut m = DatasetManager::new();
+        m.register("zeta", dataset(2), eps(1.0)).unwrap();
+        m.register("alpha", dataset(2), eps(1.0)).unwrap();
+        assert_eq!(m.names(), vec!["alpha", "zeta"]);
+    }
+}

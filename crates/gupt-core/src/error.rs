@@ -1,0 +1,122 @@
+//! The runtime's error type.
+
+use gupt_dp::DpError;
+use std::fmt;
+
+/// Errors surfaced by the GUPT runtime.
+#[derive(Debug)]
+pub enum GuptError {
+    /// No dataset registered under the given name.
+    DatasetNotFound(String),
+    /// A dataset with this name is already registered.
+    DatasetExists(String),
+    /// The dataset has no rows (or rows of inconsistent width).
+    InvalidDataset(String),
+    /// A query declared `expected` output/input dimensions but `got` were
+    /// supplied (e.g. wrong number of tight ranges).
+    DimensionMismatch {
+        /// What the query spec requires.
+        expected: usize,
+        /// What was supplied.
+        got: usize,
+    },
+    /// An underlying DP primitive failed (budget exhaustion, invalid ε…).
+    Dp(DpError),
+    /// §5.1: the requested accuracy goal cannot be met at any ε because
+    /// the estimation error alone already exceeds the permitted variance.
+    InfeasibleAccuracyGoal {
+        /// Permitted output standard deviation derived from the goal.
+        permitted_std: f64,
+        /// Estimation-error standard deviation measured on aged data.
+        estimation_std: f64,
+    },
+    /// An operation needed aged (privacy-insensitive) data but the
+    /// dataset was registered without an aged fraction.
+    NoAgedData(String),
+    /// The query specification is internally inconsistent.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for GuptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuptError::DatasetNotFound(name) => write!(f, "dataset {name:?} is not registered"),
+            GuptError::DatasetExists(name) => {
+                write!(f, "dataset {name:?} is already registered")
+            }
+            GuptError::InvalidDataset(why) => write!(f, "invalid dataset: {why}"),
+            GuptError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            GuptError::Dp(e) => write!(f, "differential privacy error: {e}"),
+            GuptError::InfeasibleAccuracyGoal {
+                permitted_std,
+                estimation_std,
+            } => write!(
+                f,
+                "accuracy goal infeasible: permitted std {permitted_std} is below the \
+                 estimation-error std {estimation_std}; use larger blocks or relax the goal"
+            ),
+            GuptError::NoAgedData(name) => {
+                write!(f, "dataset {name:?} has no aged (privacy-insensitive) portion")
+            }
+            GuptError::InvalidSpec(why) => write!(f, "invalid query spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GuptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GuptError::Dp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DpError> for GuptError {
+    fn from(e: DpError) -> Self {
+        GuptError::Dp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(GuptError, &str)> = vec![
+            (GuptError::DatasetNotFound("x".into()), "not registered"),
+            (GuptError::DatasetExists("x".into()), "already"),
+            (GuptError::InvalidDataset("empty".into()), "empty"),
+            (
+                GuptError::DimensionMismatch {
+                    expected: 2,
+                    got: 3,
+                },
+                "expected 2",
+            ),
+            (GuptError::Dp(DpError::EmptyInput), "empty"),
+            (
+                GuptError::InfeasibleAccuracyGoal {
+                    permitted_std: 0.1,
+                    estimation_std: 0.5,
+                },
+                "infeasible",
+            ),
+            (GuptError::NoAgedData("x".into()), "aged"),
+            (GuptError::InvalidSpec("bad".into()), "bad"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn dp_error_converts_and_sources() {
+        let err: GuptError = DpError::EmptyInput.into();
+        assert!(matches!(err, GuptError::Dp(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

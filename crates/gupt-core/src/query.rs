@@ -1,0 +1,217 @@
+//! The analyst's query specification (§3.1, "Interface with the analyst").
+//!
+//! An analyst submits (a) an arbitrary program, (b) *either* a privacy
+//! budget *or* an accuracy goal, and (c) one of the three output-range
+//! mechanisms. Optionally a block-size strategy and a resampling factor.
+//! [`QuerySpec`] is the builder carrying all of that into
+//! [`crate::runtime::GuptRuntime::run`].
+
+use crate::aggregator::Aggregator;
+use crate::budget_estimator::AccuracyGoal;
+use crate::output_range::RangeEstimation;
+use gupt_dp::Epsilon;
+use gupt_sandbox::{BlockProgram, ClosureProgram};
+use std::fmt;
+use std::sync::Arc;
+
+/// How the query's privacy budget is determined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetSpec {
+    /// An explicit ε (the classic differential-privacy interface).
+    Epsilon(Epsilon),
+    /// An accuracy goal; GUPT derives the minimal ε from aged data (§5.1).
+    Accuracy(AccuracyGoal),
+}
+
+/// How the block size is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockSizeSpec {
+    /// The paper default `β = n^0.6` (ℓ = n^0.4 blocks).
+    Default,
+    /// An explicit block size.
+    Fixed(usize),
+    /// Optimise β on the dataset's aged view (§4.3).
+    Optimized,
+}
+
+/// A complete analyst query.
+#[derive(Clone)]
+pub struct QuerySpec {
+    pub(crate) program: Arc<dyn BlockProgram>,
+    pub(crate) budget: BudgetSpec,
+    pub(crate) range_estimation: Option<RangeEstimation>,
+    pub(crate) block_size: BlockSizeSpec,
+    pub(crate) gamma: usize,
+    pub(crate) aggregator: Aggregator,
+}
+
+impl fmt::Debug for QuerySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuerySpec")
+            .field("program", &self.program.name())
+            .field("budget", &self.budget)
+            .field("range_estimation", &self.range_estimation)
+            .field("block_size", &self.block_size)
+            .field("gamma", &self.gamma)
+            .field("aggregator", &self.aggregator)
+            .finish()
+    }
+}
+
+impl QuerySpec {
+    /// Wraps a scalar-output closure (`output_dimension = 1`).
+    pub fn program<F>(f: F) -> QuerySpec
+    where
+        F: Fn(&[Vec<f64>]) -> Vec<f64> + Send + Sync + 'static,
+    {
+        QuerySpec::program_with_dim(1, f)
+    }
+
+    /// Wraps a closure with a declared output dimension `p`.
+    pub fn program_with_dim<F>(output_dim: usize, f: F) -> QuerySpec
+    where
+        F: Fn(&[Vec<f64>]) -> Vec<f64> + Send + Sync + 'static,
+    {
+        QuerySpec::from_program(Arc::new(ClosureProgram::new(output_dim, f)))
+    }
+
+    /// Uses an existing [`BlockProgram`] (e.g. a wrapped binary).
+    pub fn from_program(program: Arc<dyn BlockProgram>) -> QuerySpec {
+        QuerySpec {
+            program,
+            budget: BudgetSpec::Epsilon(
+                Epsilon::new(1.0).expect("1.0 is a valid epsilon"),
+            ),
+            range_estimation: None,
+            block_size: BlockSizeSpec::Default,
+            gamma: 1,
+            aggregator: Aggregator::default(),
+        }
+    }
+
+    /// Sets an explicit privacy budget.
+    pub fn epsilon(mut self, eps: Epsilon) -> Self {
+        self.budget = BudgetSpec::Epsilon(eps);
+        self
+    }
+
+    /// Sets an accuracy goal instead of a budget (requires the dataset to
+    /// have an aged view).
+    pub fn accuracy_goal(mut self, goal: AccuracyGoal) -> Self {
+        self.budget = BudgetSpec::Accuracy(goal);
+        self
+    }
+
+    /// Chooses the output-range mechanism (required before running).
+    pub fn range_estimation(mut self, mode: RangeEstimation) -> Self {
+        self.range_estimation = Some(mode);
+        self
+    }
+
+    /// Fixes the block size explicitly.
+    pub fn fixed_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = BlockSizeSpec::Fixed(block_size);
+        self
+    }
+
+    /// Requests aged-data block-size optimisation (§4.3).
+    pub fn optimized_block_size(mut self) -> Self {
+        self.block_size = BlockSizeSpec::Optimized;
+        self
+    }
+
+    /// Sets the resampling factor γ ≥ 1 (§4.2).
+    pub fn resampling(mut self, gamma: usize) -> Self {
+        self.gamma = gamma.max(1);
+        self
+    }
+
+    /// Chooses the aggregation strategy (default: Algorithm 1's noisy
+    /// mean; [`Aggregator::DpMedian`] for robustness to hostile blocks).
+    pub fn aggregator(mut self, aggregator: Aggregator) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// The program's declared output dimension.
+    pub fn output_dimension(&self) -> usize {
+        self.program.output_dimension()
+    }
+
+    /// The budget specification.
+    pub fn budget(&self) -> BudgetSpec {
+        self.budget
+    }
+
+    /// The block-size strategy.
+    pub fn block_size_spec(&self) -> BlockSizeSpec {
+        self.block_size
+    }
+
+    /// The resampling factor.
+    pub fn gamma(&self) -> usize {
+        self.gamma
+    }
+
+    /// The aggregation strategy.
+    pub fn aggregation_strategy(&self) -> Aggregator {
+        self.aggregator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupt_dp::OutputRange;
+
+    #[test]
+    fn builder_defaults() {
+        let spec = QuerySpec::program(|_: &[Vec<f64>]| vec![0.0]);
+        assert_eq!(spec.output_dimension(), 1);
+        assert!(matches!(spec.budget(), BudgetSpec::Epsilon(e) if e.value() == 1.0));
+        assert_eq!(spec.block_size_spec(), BlockSizeSpec::Default);
+        assert_eq!(spec.gamma(), 1);
+        assert!(spec.range_estimation.is_none());
+    }
+
+    #[test]
+    fn builder_setters() {
+        let spec = QuerySpec::program_with_dim(3, |_: &[Vec<f64>]| vec![0.0; 3])
+            .epsilon(Epsilon::new(2.0).unwrap())
+            .range_estimation(RangeEstimation::Tight(vec![
+                OutputRange::new(0.0, 1.0).unwrap();
+                3
+            ]))
+            .fixed_block_size(25)
+            .resampling(4);
+        assert_eq!(spec.output_dimension(), 3);
+        assert_eq!(spec.block_size_spec(), BlockSizeSpec::Fixed(25));
+        assert_eq!(spec.gamma(), 4);
+        assert!(matches!(spec.budget(), BudgetSpec::Epsilon(e) if e.value() == 2.0));
+    }
+
+    #[test]
+    fn gamma_clamped_to_one() {
+        let spec = QuerySpec::program(|_: &[Vec<f64>]| vec![0.0]).resampling(0);
+        assert_eq!(spec.gamma(), 1);
+    }
+
+    #[test]
+    fn accuracy_goal_budget() {
+        let goal = crate::budget_estimator::AccuracyGoal::new(0.9, 0.9).unwrap();
+        let spec = QuerySpec::program(|_: &[Vec<f64>]| vec![0.0]).accuracy_goal(goal);
+        assert!(matches!(spec.budget(), BudgetSpec::Accuracy(g) if g == goal));
+    }
+
+    #[test]
+    fn debug_uses_program_name() {
+        let spec = QuerySpec::program(|_: &[Vec<f64>]| vec![0.0]);
+        assert!(format!("{spec:?}").contains("closure-program"));
+    }
+
+    #[test]
+    fn optimized_block_size_flag() {
+        let spec = QuerySpec::program(|_: &[Vec<f64>]| vec![0.0]).optimized_block_size();
+        assert_eq!(spec.block_size_spec(), BlockSizeSpec::Optimized);
+    }
+}

@@ -1,0 +1,661 @@
+//! The GUPT runtime: the analyst-facing entry point.
+//!
+//! [`GuptRuntime::run`] executes one query end-to-end:
+//!
+//! 1. **Budget resolution** — an explicit ε, or the minimum ε derived
+//!    from the accuracy goal on aged data (§5.1).
+//! 2. **Ledger charge** — the dataset's lifetime budget is debited *up
+//!    front*; exhaustion fails the query before any private data is read
+//!    (the budget-attack defense).
+//! 3. **Block planning** — default `β = n^0.6`, a fixed β, or the §4.3
+//!    aged-data optimum; γ-fold resampling (§4.2).
+//! 4. **Chambered execution** — every block runs in its own isolated
+//!    chamber, in parallel (§6).
+//! 5. **Range resolution** — GUPT-tight / GUPT-loose / GUPT-helper, with
+//!    the Theorem 1 budget split across input/output dimensions.
+//! 6. **Aggregation** — clamp, average, Laplace noise (Algorithm 1).
+//!
+//! Only the final noisy vector leaves the runtime.
+
+use crate::blocks::{default_block_size, partition, partition_grouped};
+use crate::budget_estimator::{estimate_epsilon, AccuracyGoal};
+use crate::computation_manager::{ComputationManager, ExecutionSummary};
+use crate::dataset::Dataset;
+use crate::dataset_manager::DatasetManager;
+use crate::error::GuptError;
+use crate::output_range::{resolve_helper, resolve_loose, resolve_tight, RangeEstimation};
+use crate::query::{BlockSizeSpec, BudgetSpec, QuerySpec};
+use crate::aggregator::aggregate;
+use gupt_dp::{Epsilon, OutputRange};
+use gupt_sandbox::ChamberPolicy;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// A differentially private answer.
+#[derive(Debug, Clone)]
+pub struct PrivateAnswer {
+    /// The noisy output vector (one value per output dimension).
+    pub values: Vec<f64>,
+    /// Total ε charged for this query.
+    pub epsilon_spent: f64,
+    /// Block size β used.
+    pub block_size: usize,
+    /// Number of blocks ℓ aggregated.
+    pub num_blocks: usize,
+    /// Resampling factor γ.
+    pub gamma: usize,
+    /// The clamping ranges finally used (resolved, for loose/helper).
+    pub ranges: Vec<OutputRange>,
+    /// Chamber outcome counts.
+    pub execution: ExecutionSummary,
+}
+
+/// Builder for [`GuptRuntime`].
+pub struct GuptRuntimeBuilder {
+    manager: DatasetManager,
+    seed: Option<u64>,
+    policy: ChamberPolicy,
+    workers: Option<usize>,
+}
+
+impl GuptRuntimeBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        GuptRuntimeBuilder {
+            manager: DatasetManager::new(),
+            seed: None,
+            policy: ChamberPolicy::unbounded(),
+            workers: None,
+        }
+    }
+
+    /// Registers a raw row table under `name` with a lifetime budget.
+    pub fn register_dataset(
+        mut self,
+        name: impl Into<String>,
+        rows: Vec<Vec<f64>>,
+        total_budget: Epsilon,
+    ) -> Result<Self, GuptError> {
+        self.manager.register(name, Dataset::new(rows)?, total_budget)?;
+        Ok(self)
+    }
+
+    /// Registers a pre-built [`Dataset`] (with input ranges / aged view).
+    pub fn register(
+        mut self,
+        name: impl Into<String>,
+        dataset: Dataset,
+        total_budget: Epsilon,
+    ) -> Result<Self, GuptError> {
+        self.manager.register(name, dataset, total_budget)?;
+        Ok(self)
+    }
+
+    /// Seeds the runtime RNG for reproducible experiments.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the chamber policy (default: unbounded; production
+    /// deployments pass [`ChamberPolicy::bounded`]).
+    pub fn chamber_policy(mut self, policy: ChamberPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the number of parallel chamber workers.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(self) -> GuptRuntime {
+        let computation = match self.workers {
+            Some(w) => ComputationManager::new(self.policy, w),
+            None => ComputationManager::with_default_parallelism(self.policy),
+        };
+        let rng = match self.seed {
+            Some(s) => StdRng::seed_from_u64(s),
+            None => StdRng::from_rng(&mut rand::rng()),
+        };
+        GuptRuntime {
+            manager: self.manager,
+            computation,
+            rng,
+        }
+    }
+}
+
+impl Default for GuptRuntimeBuilder {
+    fn default() -> Self {
+        GuptRuntimeBuilder::new()
+    }
+}
+
+/// The GUPT service: dataset manager + computation manager + RNG.
+pub struct GuptRuntime {
+    manager: DatasetManager,
+    computation: ComputationManager,
+    rng: StdRng,
+}
+
+impl GuptRuntime {
+    /// Remaining lifetime budget of a dataset.
+    pub fn remaining_budget(&self, dataset: &str) -> Result<f64, GuptError> {
+        Ok(self.manager.get(dataset)?.ledger().remaining())
+    }
+
+    /// Number of queries successfully charged against a dataset.
+    pub fn queries_run(&self, dataset: &str) -> Result<usize, GuptError> {
+        Ok(self.manager.get(dataset)?.ledger().query_count())
+    }
+
+    /// Registered dataset names.
+    pub fn dataset_names(&self) -> Vec<&str> {
+        self.manager.names()
+    }
+
+    /// Number of private rows in a dataset.
+    pub fn dataset_len(&self, dataset: &str) -> Result<usize, GuptError> {
+        Ok(self.manager.get(dataset)?.dataset().len())
+    }
+
+    /// Row width of a dataset.
+    pub fn dataset_dimension(&self, dataset: &str) -> Result<usize, GuptError> {
+        Ok(self.manager.get(dataset)?.dataset().dimension())
+    }
+
+    /// Whether a dataset declared a user/group column (§8.1).
+    pub fn dataset_has_groups(&self, dataset: &str) -> Result<bool, GuptError> {
+        Ok(self.manager.get(dataset)?.dataset().group_column().is_some())
+    }
+
+    /// The computation manager (exposed for benchmarking harnesses).
+    pub fn computation_manager(&self) -> &ComputationManager {
+        &self.computation
+    }
+
+    /// Estimates, without spending any budget, the ε that `spec`'s
+    /// accuracy goal requires on `dataset` (§5.1). Errors if the spec
+    /// carries an explicit ε or the dataset has no aged view.
+    pub fn estimate_epsilon_for(
+        &self,
+        dataset: &str,
+        spec: &QuerySpec,
+    ) -> Result<Epsilon, GuptError> {
+        let entry = self.manager.get(dataset)?;
+        let BudgetSpec::Accuracy(goal) = spec.budget() else {
+            return Err(GuptError::InvalidSpec(
+                "estimate_epsilon_for requires an accuracy-goal budget".into(),
+            ));
+        };
+        let ds = entry.dataset();
+        let beta = self.resolve_block_size_simple(spec, ds.len());
+        let ranges = planning_ranges(spec)?;
+        self.estimate_for_goal(ds, spec, &ranges, beta, goal)
+    }
+
+    fn estimate_for_goal(
+        &self,
+        ds: &Dataset,
+        spec: &QuerySpec,
+        ranges: &[OutputRange],
+        block_size: usize,
+        goal: AccuracyGoal,
+    ) -> Result<Epsilon, GuptError> {
+        if !ds.has_aged_data() {
+            return Err(GuptError::NoAgedData("<dataset>".into()));
+        }
+        estimate_epsilon(
+            &self.computation,
+            &spec.program,
+            ds.aged_rows(),
+            ranges,
+            block_size,
+            ds.len(),
+            goal,
+        )
+    }
+
+    fn resolve_block_size_simple(&self, spec: &QuerySpec, n: usize) -> usize {
+        match spec.block_size_spec() {
+            BlockSizeSpec::Fixed(b) => b.clamp(1, n.max(1)),
+            _ => default_block_size(n),
+        }
+    }
+
+    /// Executes a query and returns the differentially private answer.
+    pub fn run(&mut self, dataset: &str, spec: QuerySpec) -> Result<PrivateAnswer, GuptError> {
+        let entry = self.manager.get(dataset)?;
+        let ds = entry.dataset();
+        let n = ds.len();
+        if n == 0 {
+            return Err(GuptError::InvalidDataset("private table is empty".into()));
+        }
+        let p = spec.output_dimension();
+        if p == 0 {
+            return Err(GuptError::InvalidSpec(
+                "program declares zero output dimensions".into(),
+            ));
+        }
+        let mode = spec
+            .range_estimation
+            .clone()
+            .ok_or_else(|| GuptError::InvalidSpec("no range-estimation mode chosen".into()))?;
+
+        // Planning-time (pre-resolution) ranges: tight as given, loose as
+        // given, helper via the translator applied to the loose input
+        // ranges. These drive block-size optimisation and ε estimation.
+        let plan_ranges = planning_ranges(&spec)?;
+        if plan_ranges.len() != p {
+            return Err(GuptError::DimensionMismatch {
+                expected: p,
+                got: plan_ranges.len(),
+            });
+        }
+        let max_width = plan_ranges.iter().map(|r| r.width()).fold(0.0, f64::max);
+
+        // --- 3. Block size. -------------------------------------------
+        // (Resolved before ε so the accuracy-goal estimator can use it.)
+        let provisional_eps = match spec.budget() {
+            BudgetSpec::Epsilon(e) => e,
+            // For optimisation purposes assume ε = 1 when the true ε is
+            // itself derived from the goal; the optimum is insensitive to
+            // this within a small constant factor.
+            BudgetSpec::Accuracy(_) => Epsilon::new(1.0).expect("valid"),
+        };
+        let block_size = match spec.block_size_spec() {
+            BlockSizeSpec::Default => default_block_size(n),
+            BlockSizeSpec::Fixed(b) => {
+                if b == 0 {
+                    return Err(GuptError::InvalidSpec("block size must be ≥ 1".into()));
+                }
+                b.clamp(1, n)
+            }
+            BlockSizeSpec::Optimized => {
+                if !ds.has_aged_data() {
+                    return Err(GuptError::NoAgedData(dataset.to_string()));
+                }
+                let eps_per_dim = provisional_eps
+                    .split(p)
+                    .map_err(GuptError::Dp)?;
+                crate::block_size::optimal_block_size(
+                    &self.computation,
+                    &spec.program,
+                    ds.aged_rows(),
+                    n,
+                    max_width,
+                    eps_per_dim,
+                )?
+                .block_size
+                .clamp(1, n)
+            }
+        };
+
+        // --- 1. Budget resolution. -------------------------------------
+        let eps_total = match spec.budget() {
+            BudgetSpec::Epsilon(e) => e,
+            BudgetSpec::Accuracy(goal) => {
+                self.estimate_for_goal(ds, &spec, &plan_ranges, block_size, goal)?
+            }
+        };
+
+        // --- 2. Ledger charge (fail closed, before touching data). -----
+        entry.ledger().charge(eps_total).map_err(GuptError::Dp)?;
+
+        // --- 4. Partition + chambered execution. -----------------------
+        // User-level privacy (§8.1): group-atomic partitioning when the
+        // owner declared a group column.
+        let plan = match ds.groups() {
+            Some(groups) => {
+                partition_grouped(&groups, block_size, spec.gamma(), &mut self.rng)
+            }
+            None => partition(n, block_size, spec.gamma(), &mut self.rng),
+        };
+        let blocks = plan.materialize_all(ds.rows());
+        let reports = self.computation.execute_blocks(&spec.program, blocks);
+        let execution = ExecutionSummary::from_reports(&reports);
+        let outputs: Vec<Vec<f64>> = reports.into_iter().map(|r| r.output).collect();
+
+        // --- 5. Range resolution with the Theorem 1 split. -------------
+        let (ranges, eps_per_dim) = match &mode {
+            RangeEstimation::Tight(tight) => {
+                let ranges = resolve_tight(tight, p)?;
+                (ranges, eps_total.split(p).map_err(GuptError::Dp)?)
+            }
+            RangeEstimation::Loose(loose) => {
+                // ε/(2p) per output dimension for percentile estimation,
+                // ε/(2p) per dimension for aggregation.
+                let eps_est = eps_total.halve().split(p).map_err(GuptError::Dp)?;
+                let ranges = resolve_loose(&outputs, loose, p, eps_est, &mut self.rng)?;
+                (ranges, eps_total.halve().split(p).map_err(GuptError::Dp)?)
+            }
+            RangeEstimation::Helper {
+                input_ranges,
+                translate,
+            } => {
+                let k = ds.dimension();
+                let eps_est = eps_total.halve().split(k).map_err(GuptError::Dp)?;
+                let ranges = resolve_helper(
+                    ds.rows(),
+                    input_ranges,
+                    translate,
+                    k,
+                    p,
+                    eps_est,
+                    &mut self.rng,
+                )?;
+                (ranges, eps_total.halve().split(p).map_err(GuptError::Dp)?)
+            }
+        };
+
+        // --- 6. Clamp, aggregate, noise. --------------------------------
+        let values = aggregate(
+            spec.aggregation_strategy(),
+            &outputs,
+            &ranges,
+            plan.gamma(),
+            eps_per_dim,
+            &mut self.rng,
+        )?;
+
+        Ok(PrivateAnswer {
+            values,
+            epsilon_spent: eps_total.value(),
+            block_size,
+            num_blocks: plan.num_blocks(),
+            gamma: plan.gamma(),
+            ranges,
+            execution,
+        })
+    }
+}
+
+/// Ranges available at planning time, before any data-dependent
+/// resolution: tight and loose ranges verbatim; helper ranges by
+/// translating the analyst's loose input ranges.
+pub(crate) fn planning_ranges(spec: &QuerySpec) -> Result<Vec<OutputRange>, GuptError> {
+    let mode = spec
+        .range_estimation
+        .as_ref()
+        .ok_or_else(|| GuptError::InvalidSpec("no range-estimation mode chosen".into()))?;
+    Ok(match mode {
+        RangeEstimation::Tight(r) | RangeEstimation::Loose(r) => r.clone(),
+        RangeEstimation::Helper {
+            input_ranges,
+            translate,
+        } => translate(input_ranges),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn range(lo: f64, hi: f64) -> OutputRange {
+        OutputRange::new(lo, hi).unwrap()
+    }
+
+    fn age_rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![20.0 + (i % 40) as f64]).collect()
+    }
+
+    fn mean_spec() -> QuerySpec {
+        QuerySpec::program(|block: &[Vec<f64>]| {
+            vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
+        })
+    }
+
+    fn runtime(n: usize, budget: f64) -> GuptRuntime {
+        GuptRuntimeBuilder::new()
+            .register_dataset("ages", age_rows(n), eps(budget))
+            .unwrap()
+            .seed(42)
+            .workers(4)
+            .build()
+    }
+
+    #[test]
+    fn tight_mode_end_to_end() {
+        let mut rt = runtime(4000, 10.0);
+        let spec = mean_spec()
+            .epsilon(eps(2.0))
+            .range_estimation(RangeEstimation::Tight(vec![range(0.0, 100.0)]));
+        let ans = rt.run("ages", spec).unwrap();
+        // True mean of 20 + (i % 40) = 39.5.
+        assert!((ans.values[0] - 39.5).abs() < 5.0, "{:?}", ans.values);
+        assert_eq!(ans.epsilon_spent, 2.0);
+        assert_eq!(ans.gamma, 1);
+        assert_eq!(ans.execution.completed, ans.num_blocks);
+        assert!((rt.remaining_budget("ages").unwrap() - 8.0).abs() < 1e-9);
+        assert_eq!(rt.queries_run("ages").unwrap(), 1);
+    }
+
+    #[test]
+    fn loose_mode_end_to_end() {
+        let mut rt = runtime(4000, 10.0);
+        let spec = mean_spec()
+            .epsilon(eps(4.0))
+            .range_estimation(RangeEstimation::Loose(vec![range(0.0, 1000.0)]));
+        let ans = rt.run("ages", spec).unwrap();
+        assert!((ans.values[0] - 39.5).abs() < 10.0, "{:?}", ans.values);
+        // The resolved range must be tighter than the loose one.
+        assert!(ans.ranges[0].width() < 1000.0);
+    }
+
+    #[test]
+    fn helper_mode_end_to_end() {
+        let mut rt = runtime(4000, 10.0);
+        let translate: crate::output_range::RangeTranslator =
+            Arc::new(|inputs: &[OutputRange]| inputs.to_vec());
+        let spec = mean_spec()
+            .epsilon(eps(4.0))
+            .range_estimation(RangeEstimation::Helper {
+                input_ranges: vec![range(0.0, 1000.0)],
+                translate,
+            });
+        let ans = rt.run("ages", spec).unwrap();
+        assert!((ans.values[0] - 39.5).abs() < 10.0, "{:?}", ans.values);
+        assert!(ans.ranges[0].width() < 1000.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_fails_closed() {
+        let mut rt = runtime(1000, 1.0);
+        let spec = || {
+            mean_spec()
+                .epsilon(eps(0.6))
+                .range_estimation(RangeEstimation::Tight(vec![range(0.0, 100.0)]))
+        };
+        rt.run("ages", spec()).unwrap();
+        let err = rt.run("ages", spec()).unwrap_err();
+        assert!(matches!(err, GuptError::Dp(gupt_dp::DpError::BudgetExhausted { .. })));
+        // The failed query spent nothing.
+        assert!((rt.remaining_budget("ages").unwrap() - 0.4).abs() < 1e-9);
+        assert_eq!(rt.queries_run("ages").unwrap(), 1);
+    }
+
+    #[test]
+    fn missing_range_mode_rejected() {
+        let mut rt = runtime(1000, 10.0);
+        let err = rt.run("ages", mean_spec()).unwrap_err();
+        assert!(matches!(err, GuptError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn missing_dataset_rejected() {
+        let mut rt = runtime(1000, 10.0);
+        let spec = mean_spec().range_estimation(RangeEstimation::Tight(vec![range(0.0, 1.0)]));
+        assert!(matches!(
+            rt.run("nope", spec).unwrap_err(),
+            GuptError::DatasetNotFound(_)
+        ));
+    }
+
+    #[test]
+    fn fixed_block_size_respected() {
+        let mut rt = runtime(1000, 10.0);
+        let spec = mean_spec()
+            .epsilon(eps(1.0))
+            .fixed_block_size(100)
+            .range_estimation(RangeEstimation::Tight(vec![range(0.0, 100.0)]));
+        let ans = rt.run("ages", spec).unwrap();
+        assert_eq!(ans.block_size, 100);
+        assert_eq!(ans.num_blocks, 10);
+    }
+
+    #[test]
+    fn resampling_multiplies_blocks() {
+        let mut rt = runtime(1000, 10.0);
+        let spec = mean_spec()
+            .epsilon(eps(1.0))
+            .fixed_block_size(100)
+            .resampling(3)
+            .range_estimation(RangeEstimation::Tight(vec![range(0.0, 100.0)]));
+        let ans = rt.run("ages", spec).unwrap();
+        assert_eq!(ans.gamma, 3);
+        assert_eq!(ans.num_blocks, 30);
+    }
+
+    #[test]
+    fn accuracy_goal_resolves_epsilon() {
+        let ds = Dataset::new(age_rows(10_000))
+            .unwrap()
+            .with_aged_fraction(0.1)
+            .unwrap();
+        let mut rt = GuptRuntimeBuilder::new()
+            .register("ages", ds, eps(100.0))
+            .unwrap()
+            .seed(7)
+            .build();
+        let goal = AccuracyGoal::new(0.9, 0.9).unwrap();
+        let spec = mean_spec()
+            .accuracy_goal(goal)
+            .fixed_block_size(50)
+            .range_estimation(RangeEstimation::Tight(vec![range(0.0, 150.0)]));
+        let estimated = rt.estimate_epsilon_for("ages", &spec).unwrap();
+        let ans = rt.run("ages", spec).unwrap();
+        assert!((ans.epsilon_spent - estimated.value()).abs() < 1e-12);
+        assert!(ans.epsilon_spent > 0.0);
+        // The answer respects the goal (generously, as Chebyshev is loose).
+        assert!((ans.values[0] - 39.5).abs() / 39.5 < 0.25, "{:?}", ans.values);
+    }
+
+    #[test]
+    fn accuracy_goal_without_aged_data_fails() {
+        let mut rt = runtime(1000, 10.0);
+        let goal = AccuracyGoal::new(0.9, 0.9).unwrap();
+        let spec = mean_spec()
+            .accuracy_goal(goal)
+            .range_estimation(RangeEstimation::Tight(vec![range(0.0, 150.0)]));
+        assert!(matches!(
+            rt.run("ages", spec).unwrap_err(),
+            GuptError::NoAgedData(_)
+        ));
+    }
+
+    #[test]
+    fn optimized_block_size_uses_aged_view() {
+        let ds = Dataset::new(age_rows(5_000))
+            .unwrap()
+            .with_aged_fraction(0.2)
+            .unwrap();
+        let mut rt = GuptRuntimeBuilder::new()
+            .register("ages", ds, eps(50.0))
+            .unwrap()
+            .seed(9)
+            .build();
+        let spec = mean_spec()
+            .epsilon(eps(2.0))
+            .optimized_block_size()
+            .range_estimation(RangeEstimation::Tight(vec![range(0.0, 100.0)]));
+        let ans = rt.run("ages", spec).unwrap();
+        // Mean is linear: the optimizer should pick small blocks.
+        assert!(ans.block_size <= 8, "β = {}", ans.block_size);
+    }
+
+    #[test]
+    fn multi_output_budget_split() {
+        // 2-D output: mean and (scaled) second moment.
+        let mut rt = runtime(4000, 10.0);
+        let spec = QuerySpec::program_with_dim(2, |block: &[Vec<f64>]| {
+            let n = block.len().max(1) as f64;
+            let m = block.iter().map(|r| r[0]).sum::<f64>() / n;
+            let m2 = block.iter().map(|r| r[0] * r[0]).sum::<f64>() / n;
+            vec![m, m2 / 100.0]
+        })
+        .epsilon(eps(4.0))
+        .range_estimation(RangeEstimation::Tight(vec![
+            range(0.0, 100.0),
+            range(0.0, 100.0),
+        ]));
+        let ans = rt.run("ages", spec).unwrap();
+        assert_eq!(ans.values.len(), 2);
+        assert!((ans.values[0] - 39.5).abs() < 8.0);
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let run = || {
+            let mut rt = runtime(2000, 10.0);
+            let spec = mean_spec()
+                .epsilon(eps(1.0))
+                .range_estimation(RangeEstimation::Tight(vec![range(0.0, 100.0)]));
+            rt.run("ages", spec).unwrap().values
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn user_level_privacy_keeps_groups_atomic() {
+        // 100 users × 3 records; a split user would be visible to the
+        // probe program, which reports the fraction of blocks where any
+        // user id appears 1 or 2 times (instead of 0 or 3).
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i % 100) as f64, i as f64])
+            .collect();
+        let dataset = Dataset::new(rows)
+            .unwrap()
+            .with_group_column(0)
+            .unwrap();
+        let mut rt = GuptRuntimeBuilder::new()
+            .register("users", dataset, eps(1e6))
+            .unwrap()
+            .seed(17)
+            .build();
+        let spec = QuerySpec::program(|block: &[Vec<f64>]| {
+            let mut counts = std::collections::HashMap::new();
+            for row in block {
+                *counts.entry(row[0].to_bits()).or_insert(0usize) += 1;
+            }
+            let split = counts.values().any(|&c| c != 3);
+            vec![if split { 1.0 } else { 0.0 }]
+        })
+        .epsilon(eps(1000.0))
+        .fixed_block_size(30)
+        .resampling(2)
+        .range_estimation(RangeEstimation::Tight(vec![range(0.0, 1.0)]));
+        let ans = rt.run("users", spec).unwrap();
+        // No block saw a split user (noise at ε=1000 is negligible).
+        assert!(ans.values[0].abs() < 0.05, "{:?}", ans.values);
+        assert_eq!(ans.gamma, 2);
+    }
+
+    #[test]
+    fn hostile_program_cannot_crash_runtime() {
+        let mut rt = runtime(1000, 10.0);
+        let spec = QuerySpec::program(|_: &[Vec<f64>]| panic!("hostile"))
+            .epsilon(eps(1.0))
+            .range_estimation(RangeEstimation::Tight(vec![range(0.0, 100.0)]));
+        let ans = rt.run("ages", spec).unwrap();
+        assert_eq!(ans.execution.panicked, ans.num_blocks);
+        // All fallbacks clamp into range; the answer is still in-range-ish.
+        assert!(ans.values[0].is_finite());
+    }
+}

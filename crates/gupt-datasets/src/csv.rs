@@ -1,0 +1,211 @@
+//! Dependency-free CSV I/O for numeric matrices.
+//!
+//! The examples export generated datasets and experiment results; a full
+//! CSV crate is unnecessary for strictly numeric, comma-separated tables.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A cell failed to parse as `f64`.
+    Parse {
+        /// 1-based line number of the offending cell.
+        line: usize,
+        /// The cell contents that failed to parse.
+        cell: String,
+    },
+    /// Rows have inconsistent column counts.
+    RaggedRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Columns found on this row.
+        found: usize,
+        /// Columns expected from the first row.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Parse { line, cell } => {
+                write!(f, "csv parse error at line {line}: {cell:?} is not a number")
+            }
+            CsvError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => write!(
+                f,
+                "csv ragged row at line {line}: {found} columns, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Serialises a matrix (with optional header) to CSV text.
+pub fn to_csv_string(header: Option<&[&str]>, rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    if let Some(h) = header {
+        out.push_str(&h.join(","));
+        out.push('\n');
+    }
+    for row in rows {
+        let mut first = true;
+        for v in row {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a matrix to a CSV file.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    header: Option<&[&str]>,
+    rows: &[Vec<f64>],
+) -> Result<(), CsvError> {
+    fs::write(path, to_csv_string(header, rows))?;
+    Ok(())
+}
+
+/// Parses CSV text into a matrix. If `has_header` the first line is
+/// skipped. Blank lines are ignored; all rows must have equal width.
+pub fn parse_csv(text: &str, has_header: bool) -> Result<Vec<Vec<f64>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut expected = None;
+    for (idx, line) in text.lines().enumerate() {
+        if idx == 0 && has_header {
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, CsvError> = line
+            .split(',')
+            .map(|cell| {
+                cell.trim().parse::<f64>().map_err(|_| CsvError::Parse {
+                    line: idx + 1,
+                    cell: cell.to_string(),
+                })
+            })
+            .collect();
+        let row = row?;
+        match expected {
+            None => expected = Some(row.len()),
+            Some(e) if e != row.len() => {
+                return Err(CsvError::RaggedRow {
+                    line: idx + 1,
+                    found: row.len(),
+                    expected: e,
+                })
+            }
+            _ => {}
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Reads a CSV file into a matrix.
+pub fn read_csv(path: impl AsRef<Path>, has_header: bool) -> Result<Vec<Vec<f64>>, CsvError> {
+    let text = fs::read_to_string(path)?;
+    parse_csv(&text, has_header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_without_header() {
+        let rows = vec![vec![1.0, 2.5], vec![-3.0, 4.0]];
+        let text = to_csv_string(None, &rows);
+        assert_eq!(parse_csv(&text, false).unwrap(), rows);
+    }
+
+    #[test]
+    fn roundtrip_with_header() {
+        let rows = vec![vec![1.0], vec![2.0]];
+        let text = to_csv_string(Some(&["x"]), &rows);
+        assert!(text.starts_with("x\n"));
+        assert_eq!(parse_csv(&text, true).unwrap(), rows);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = parse_csv("1.0,abc\n", false).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        let err = parse_csv("1,2\n3\n", false).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CsvError::RaggedRow {
+                    line: 2,
+                    found: 1,
+                    expected: 2
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let rows = parse_csv("1,2\n\n3,4\n", false).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("gupt_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.csv");
+        let rows = vec![vec![1.5, -2.25], vec![0.0, 1e-3]];
+        write_csv(&path, Some(&["a", "b"]), &rows).unwrap();
+        assert_eq!(read_csv(&path, true).unwrap(), rows);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_csv("/nonexistent/definitely/missing.csv", false).unwrap_err();
+        assert!(matches!(err, CsvError::Io(_)));
+    }
+
+    #[test]
+    fn empty_text_parses_to_empty() {
+        assert!(parse_csv("", false).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Dataset surrogates for the GUPT evaluation (§7 of the paper).
+//!
+//! The paper evaluates on three public datasets that are no longer
+//! redistributable (or whose hosting is gone). Each module here generates
+//! a *seeded synthetic surrogate* that pins the statistics the experiments
+//! actually depend on — see `DESIGN.md` §2 for the substitution argument.
+//!
+//! - [`life_sciences`]: the komarix `ds1.10` table (26,733 compounds ×
+//!   10 principal components + reactivity label) used by the §7.1
+//!   k-means and logistic-regression case studies.
+//! - [`census`]: the UCI Adult age column (32,561 ages, true mean
+//!   38.5816) used by the §7.2.1 budget-estimation experiments.
+//! - [`internet_ads`]: the UCI Internet Advertisements aspect ratios used
+//!   by the §7.2.2 block-size experiment.
+//! - [`normal`]: Box–Muller Gaussian sampling shared by the generators.
+//! - [`csv`]: a dependency-free CSV reader/writer so examples can export
+//!   and reload matrices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod csv;
+pub mod internet_ads;
+pub mod life_sciences;
+pub mod normal;
+
+pub use census::CensusDataset;
+pub use internet_ads::InternetAdsDataset;
+pub use life_sciences::LifeSciencesDataset;

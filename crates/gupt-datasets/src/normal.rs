@@ -1,0 +1,84 @@
+//! Gaussian sampling via the Box–Muller transform.
+//!
+//! `rand` ships no distributions beyond uniform in our dependency set, so
+//! the generators share this small sampler.
+
+use rand::{Rng, RngExt};
+
+/// Draws one standard normal variate using Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1] so the log is finite.
+    let mut u1: f64 = rng.random();
+    while u1 <= 0.0 {
+        u1 = rng.random();
+    }
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(mean: f64, std_dev: f64, rng: &mut R) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a log-normal variate: `exp(N(mu, sigma))`.
+pub fn log_normal<R: Rng + ?Sized>(mu: f64, sigma: f64, rng: &mut R) -> f64 {
+    normal(mu, sigma, rng).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = StdRng::seed_from_u64(100);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn normal_shift_and_scale() {
+        let mut r = StdRng::seed_from_u64(101);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(10.0, 3.0, &mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+        assert!((var - 9.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = StdRng::seed_from_u64(102);
+        for _ in 0..10_000 {
+            assert!(log_normal(0.0, 1.0, &mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn tail_mass_is_gaussian() {
+        // ~4.55% of standard normal mass lies beyond ±2.
+        let mut r = StdRng::seed_from_u64(103);
+        let n = 200_000;
+        let beyond = (0..n)
+            .filter(|_| standard_normal(&mut r).abs() > 2.0)
+            .count();
+        let frac = beyond as f64 / n as f64;
+        assert!((frac - 0.0455).abs() < 0.005, "tail fraction = {frac}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

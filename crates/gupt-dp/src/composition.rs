@@ -1,0 +1,238 @@
+//! Privacy-budget accounting under sequential composition.
+//!
+//! The composition lemma (§3.1): if mechanisms `A₁..A_k` are ε₁..ε_k-DP,
+//! their combination is (Σεᵢ)-DP. GUPT's dataset manager keeps one
+//! [`PrivacyLedger`] per registered dataset and refuses any charge that
+//! would push total spend past the dataset's lifetime budget — this is
+//! also the defense against the *privacy budget attack* of §6.2: the
+//! runtime, not the untrusted analyst program, performs all accounting.
+
+use crate::epsilon::Epsilon;
+use crate::error::DpError;
+use std::sync::Mutex;
+
+/// A single-threaded sequential-composition accountant.
+///
+/// Tracks cumulative ε spend against a fixed total. Use [`PrivacyLedger`]
+/// when the accountant must be shared across threads.
+#[derive(Debug)]
+pub struct Accountant {
+    total: f64,
+    spent: f64,
+    charges: Vec<f64>,
+}
+
+impl Accountant {
+    /// Creates an accountant with the given lifetime budget.
+    pub fn new(total: Epsilon) -> Self {
+        Accountant {
+            total: total.value(),
+            spent: 0.0,
+            charges: Vec::new(),
+        }
+    }
+
+    /// Attempts to spend `eps`; fails without mutating state if the charge
+    /// would exceed the lifetime budget.
+    pub fn charge(&mut self, eps: Epsilon) -> Result<(), DpError> {
+        let e = eps.value();
+        // Tolerate one ulp-scale rounding slop so that budgets split with
+        // `Epsilon::split` can be fully recombined.
+        if self.spent + e > self.total * (1.0 + 1e-12) {
+            return Err(DpError::BudgetExhausted {
+                requested: e,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += e;
+        self.charges.push(e);
+        Ok(())
+    }
+
+    /// ε spent so far.
+    #[inline]
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// ε remaining (never negative).
+    #[inline]
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Lifetime budget.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of successful charges.
+    #[inline]
+    pub fn query_count(&self) -> usize {
+        self.charges.len()
+    }
+
+    /// History of successful charges, in order.
+    pub fn charges(&self) -> &[f64] {
+        &self.charges
+    }
+
+    /// Whether a charge of `eps` would succeed.
+    pub fn can_afford(&self, eps: Epsilon) -> bool {
+        self.spent + eps.value() <= self.total * (1.0 + 1e-12)
+    }
+}
+
+/// A thread-safe privacy ledger wrapping [`Accountant`].
+///
+/// The computation manager fans block executions out across threads; the
+/// ledger serialises charges so the composition bound holds even under
+/// concurrent queries against the same dataset.
+#[derive(Debug)]
+pub struct PrivacyLedger {
+    inner: Mutex<Accountant>,
+}
+
+impl PrivacyLedger {
+    /// Creates a ledger with the given lifetime budget.
+    pub fn new(total: Epsilon) -> Self {
+        PrivacyLedger {
+            inner: Mutex::new(Accountant::new(total)),
+        }
+    }
+
+    /// Atomically attempts to spend `eps`.
+    pub fn charge(&self, eps: Epsilon) -> Result<(), DpError> {
+        self.inner.lock().expect("ledger poisoned").charge(eps)
+    }
+
+    /// ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.inner.lock().expect("ledger poisoned").spent()
+    }
+
+    /// ε remaining.
+    pub fn remaining(&self) -> f64 {
+        self.inner.lock().expect("ledger poisoned").remaining()
+    }
+
+    /// Lifetime budget.
+    pub fn total(&self) -> f64 {
+        self.inner.lock().expect("ledger poisoned").total()
+    }
+
+    /// Number of successful charges.
+    pub fn query_count(&self) -> usize {
+        self.inner.lock().expect("ledger poisoned").query_count()
+    }
+
+    /// Whether a charge of `eps` would currently succeed.
+    pub fn can_afford(&self, eps: Epsilon) -> bool {
+        self.inner.lock().expect("ledger poisoned").can_afford(eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let mut acc = Accountant::new(eps(1.0));
+        acc.charge(eps(0.25)).unwrap();
+        acc.charge(eps(0.5)).unwrap();
+        assert!((acc.spent() - 0.75).abs() < 1e-12);
+        assert!((acc.remaining() - 0.25).abs() < 1e-12);
+        assert_eq!(acc.query_count(), 2);
+        assert_eq!(acc.charges(), &[0.25, 0.5]);
+    }
+
+    #[test]
+    fn over_budget_charge_rejected_without_mutation() {
+        let mut acc = Accountant::new(eps(1.0));
+        acc.charge(eps(0.9)).unwrap();
+        let err = acc.charge(eps(0.2)).unwrap_err();
+        match err {
+            DpError::BudgetExhausted {
+                requested,
+                remaining,
+            } => {
+                assert_eq!(requested, 0.2);
+                assert!((remaining - 0.1).abs() < 1e-12);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // Failed charge must not count.
+        assert_eq!(acc.query_count(), 1);
+        assert!((acc.spent() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_budget_spend_allowed() {
+        let mut acc = Accountant::new(eps(1.0));
+        acc.charge(eps(1.0)).unwrap();
+        assert_eq!(acc.remaining(), 0.0);
+        assert!(acc.charge(eps(1e-9)).is_err());
+    }
+
+    #[test]
+    fn split_budget_recombines_exactly() {
+        // Splitting ε across 7 dims and charging each share must succeed.
+        let total = eps(0.7);
+        let share = total.split(7).unwrap();
+        let mut acc = Accountant::new(total);
+        for _ in 0..7 {
+            acc.charge(share).unwrap();
+        }
+        assert!(acc.remaining() < 1e-9);
+    }
+
+    #[test]
+    fn can_afford_is_consistent_with_charge() {
+        let mut acc = Accountant::new(eps(0.5));
+        assert!(acc.can_afford(eps(0.5)));
+        assert!(!acc.can_afford(eps(0.6)));
+        acc.charge(eps(0.3)).unwrap();
+        assert!(acc.can_afford(eps(0.2)));
+        assert!(!acc.can_afford(eps(0.21)));
+    }
+
+    #[test]
+    fn ledger_is_thread_safe_and_never_overspends() {
+        let ledger = Arc::new(PrivacyLedger::new(eps(10.0)));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let l = Arc::clone(&ledger);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0usize;
+                for _ in 0..1000 {
+                    if l.charge(eps(0.01)).is_ok() {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let total_ok: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Exactly 1000 charges of 0.01 fit into ε=10.
+        assert_eq!(total_ok, 1000);
+        assert!(ledger.spent() <= 10.0 * (1.0 + 1e-9));
+        assert_eq!(ledger.query_count(), 1000);
+    }
+
+    #[test]
+    fn ledger_reports_match_accountant() {
+        let ledger = PrivacyLedger::new(eps(2.0));
+        ledger.charge(eps(0.5)).unwrap();
+        assert!((ledger.spent() - 0.5).abs() < 1e-12);
+        assert!((ledger.remaining() - 1.5).abs() < 1e-12);
+        assert_eq!(ledger.total(), 2.0);
+        assert!(ledger.can_afford(eps(1.5)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Validated newtypes for privacy parameters.
+//!
+//! GUPT threads privacy budgets through many layers (dataset ledger →
+//! query → range estimation → per-dimension SAF noise). Using a raw `f64`
+//! for ε invites two classes of bug: negative/NaN budgets silently
+//! disabling privacy, and accidental double-spends when a budget is split.
+//! [`Epsilon`] makes the former unrepresentable and centralises the
+//! splitting arithmetic used by Theorem 1 of the paper.
+
+use crate::error::DpError;
+use std::fmt;
+
+/// A strictly positive, finite differential-privacy parameter ε.
+///
+/// Smaller values give stronger privacy. The paper calls this the
+/// *privacy budget* (§2).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Creates a new ε, rejecting non-positive or non-finite values.
+    pub fn new(value: f64) -> Result<Self, DpError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(Epsilon(value))
+        } else {
+            Err(DpError::InvalidEpsilon(value))
+        }
+    }
+
+    /// Returns the raw value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Splits this budget evenly into `parts` equal shares
+    /// (sequential composition: the shares sum back to `self`).
+    ///
+    /// Used by Theorem 1 to divide ε across `p` output dimensions or
+    /// `k` input dimensions.
+    pub fn split(self, parts: usize) -> Result<Epsilon, DpError> {
+        if parts == 0 {
+            return Err(DpError::InvalidEpsilon(f64::INFINITY));
+        }
+        Epsilon::new(self.0 / parts as f64)
+    }
+
+    /// Splits this budget in two halves (e.g. range-estimation half and
+    /// aggregation half in `GUPT-loose` / `GUPT-helper`).
+    pub fn halve(self) -> Epsilon {
+        // Dividing a positive finite f64 by 2 stays positive and finite.
+        Epsilon(self.0 / 2.0)
+    }
+
+    /// Returns a share of this budget proportional to `weight / total`.
+    ///
+    /// This is the §5.2 allocation rule εᵢ = ζᵢ/Σζⱼ · ε. Both weights must
+    /// be positive.
+    pub fn proportional(self, weight: f64, total: f64) -> Result<Epsilon, DpError> {
+        if !(weight.is_finite() && weight > 0.0 && total.is_finite() && total > 0.0) {
+            return Err(DpError::InvalidEpsilon(weight / total));
+        }
+        Epsilon::new(self.0 * weight / total)
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Epsilon {
+    type Error = DpError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Epsilon::new(value)
+    }
+}
+
+/// The global L1 sensitivity of a query: the largest change in output
+/// caused by modifying one record.
+///
+/// Zero is allowed (a constant query needs no noise); negative, NaN and
+/// infinite values are rejected.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Sensitivity(f64);
+
+impl Sensitivity {
+    /// Creates a new sensitivity, rejecting negative or non-finite values.
+    pub fn new(value: f64) -> Result<Self, DpError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Sensitivity(value))
+        } else {
+            Err(DpError::InvalidSensitivity(value))
+        }
+    }
+
+    /// Returns the raw value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The Laplace scale `Δ/ε` needed to make a query with this
+    /// sensitivity ε-differentially private.
+    #[inline]
+    pub fn laplace_scale(self, eps: Epsilon) -> f64 {
+        self.0 / eps.value()
+    }
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ={}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Sensitivity {
+    type Error = DpError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Sensitivity::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_accepts_positive_finite() {
+        assert_eq!(Epsilon::new(0.5).unwrap().value(), 0.5);
+        assert_eq!(Epsilon::new(1e-9).unwrap().value(), 1e-9);
+        assert_eq!(Epsilon::new(1e9).unwrap().value(), 1e9);
+    }
+
+    #[test]
+    fn epsilon_rejects_invalid() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(Epsilon::new(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn split_shares_sum_to_total() {
+        let eps = Epsilon::new(3.0).unwrap();
+        let share = eps.split(4).unwrap();
+        assert!((share.value() * 4.0 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_zero_parts_is_error() {
+        assert!(Epsilon::new(1.0).unwrap().split(0).is_err());
+    }
+
+    #[test]
+    fn halve_twice_is_quarter() {
+        let eps = Epsilon::new(2.0).unwrap();
+        assert!((eps.halve().halve().value() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn proportional_allocation_matches_weights() {
+        // §5.2 example: average vs variance with sensitivities 1 : max.
+        let eps = Epsilon::new(1.0).unwrap();
+        let max = 100.0;
+        let e1 = eps.proportional(1.0, 1.0 + max).unwrap();
+        let e2 = eps.proportional(max, 1.0 + max).unwrap();
+        assert!((e1.value() + e2.value() - 1.0).abs() < 1e-12);
+        assert!((e2.value() / e1.value() - max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_rejects_bad_weights() {
+        let eps = Epsilon::new(1.0).unwrap();
+        assert!(eps.proportional(0.0, 1.0).is_err());
+        assert!(eps.proportional(1.0, 0.0).is_err());
+        assert!(eps.proportional(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn sensitivity_zero_allowed() {
+        assert_eq!(Sensitivity::new(0.0).unwrap().value(), 0.0);
+    }
+
+    #[test]
+    fn sensitivity_rejects_invalid() {
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            assert!(Sensitivity::new(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn laplace_scale_is_ratio() {
+        let s = Sensitivity::new(4.0).unwrap();
+        let e = Epsilon::new(2.0).unwrap();
+        assert_eq!(s.laplace_scale(e), 2.0);
+    }
+
+    #[test]
+    fn try_from_roundtrip() {
+        let e: Epsilon = 0.7f64.try_into().unwrap();
+        assert_eq!(e.value(), 0.7);
+        let s: Sensitivity = 0.0f64.try_into().unwrap();
+        assert_eq!(s.value(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Epsilon::new(1.5).unwrap().to_string(), "ε=1.5");
+        assert_eq!(Sensitivity::new(2.0).unwrap().to_string(), "Δ=2");
+    }
+}

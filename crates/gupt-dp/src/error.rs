@@ -1,0 +1,100 @@
+//! Error type shared by the DP primitives.
+
+use std::fmt;
+
+/// Errors produced by differential-privacy primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// A privacy parameter (ε) was not strictly positive and finite.
+    InvalidEpsilon(f64),
+    /// A sensitivity was negative, NaN or infinite.
+    InvalidSensitivity(f64),
+    /// An output range had `lo > hi` or non-finite endpoints.
+    InvalidRange {
+        /// Lower endpoint supplied by the caller.
+        lo: f64,
+        /// Upper endpoint supplied by the caller.
+        hi: f64,
+    },
+    /// A percentile rank outside `[0, 100]` was requested.
+    InvalidPercentile(f64),
+    /// A mechanism was invoked on an empty input.
+    EmptyInput,
+    /// A privacy charge would exceed the remaining budget.
+    BudgetExhausted {
+        /// Amount of ε the caller attempted to spend.
+        requested: f64,
+        /// Amount of ε still available in the ledger.
+        remaining: f64,
+    },
+    /// The candidate set given to the exponential mechanism was empty.
+    NoCandidates,
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidEpsilon(e) => {
+                write!(f, "privacy parameter must be positive and finite, got {e}")
+            }
+            DpError::InvalidSensitivity(s) => {
+                write!(f, "sensitivity must be non-negative and finite, got {s}")
+            }
+            DpError::InvalidRange { lo, hi } => {
+                write!(f, "invalid output range [{lo}, {hi}]")
+            }
+            DpError::InvalidPercentile(p) => {
+                write!(f, "percentile must lie in [0, 100], got {p}")
+            }
+            DpError::EmptyInput => write!(f, "input dataset is empty"),
+            DpError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+            ),
+            DpError::NoCandidates => {
+                write!(f, "exponential mechanism requires at least one candidate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(DpError, &str)> = vec![
+            (DpError::InvalidEpsilon(-1.0), "-1"),
+            (DpError::InvalidSensitivity(f64::NAN), "sensitivity"),
+            (DpError::InvalidRange { lo: 2.0, hi: 1.0 }, "[2, 1]"),
+            (DpError::InvalidPercentile(120.0), "120"),
+            (DpError::EmptyInput, "empty"),
+            (
+                DpError::BudgetExhausted {
+                    requested: 1.0,
+                    remaining: 0.5,
+                },
+                "exhausted",
+            ),
+            (DpError::NoCandidates, "candidate"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<DpError>();
+    }
+}

@@ -1,0 +1,207 @@
+//! The exponential mechanism (McSherry–Talwar, FOCS 2007).
+//!
+//! Given candidates `c₁..c_m` with utility scores `u(cᵢ)` of sensitivity
+//! `Δu`, the mechanism selects candidate `cᵢ` with probability proportional
+//! to `exp(ε·u(cᵢ) / (2·Δu))` and is ε-differentially private.
+//!
+//! Sampling is done with the Gumbel-max trick: `argmaxᵢ (scoreᵢ + Gᵢ)` with
+//! i.i.d. standard Gumbel noise `Gᵢ` is distributed exactly as softmax
+//! sampling over the scores, but never exponentiates a large score, so it
+//! is immune to the overflow/underflow problems of the naive
+//! normalise-and-sample implementation.
+
+use crate::epsilon::{Epsilon, Sensitivity};
+use crate::error::DpError;
+use rand::{Rng, RngExt};
+
+/// Draws one standard Gumbel(0, 1) variate: `-ln(-ln(U))`.
+fn gumbel<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // U ∈ (0, 1): reject the endpoints so both logs are finite.
+    let mut u: f64 = rng.random();
+    while u <= 0.0 {
+        u = rng.random();
+    }
+    -(-u.ln()).ln()
+}
+
+/// Returns the index of `argmaxᵢ (scoresᵢ + Gumbelᵢ)`.
+///
+/// This samples index `i` with probability `exp(scoresᵢ) / Σⱼ exp(scoresⱼ)`.
+/// Callers must pre-scale the scores by `ε / (2·Δu)` to obtain the
+/// exponential mechanism.
+pub fn gumbel_max_index<R: Rng + ?Sized>(scores: &[f64], rng: &mut R) -> Result<usize, DpError> {
+    if scores.is_empty() {
+        return Err(DpError::NoCandidates);
+    }
+    let mut best = 0usize;
+    let mut best_val = f64::NEG_INFINITY;
+    for (i, &s) in scores.iter().enumerate() {
+        if s == f64::NEG_INFINITY {
+            continue; // probability-zero candidate
+        }
+        let v = s + gumbel(rng);
+        if v > best_val {
+            best_val = v;
+            best = i;
+        }
+    }
+    if best_val == f64::NEG_INFINITY {
+        return Err(DpError::NoCandidates);
+    }
+    Ok(best)
+}
+
+/// Runs the ε-DP exponential mechanism over `candidates`, scoring each with
+/// `utility` (which must have sensitivity at most `utility_sensitivity`
+/// with respect to changing one input record).
+///
+/// Returns a reference to the selected candidate.
+pub fn exponential_mechanism<'a, T, F, R>(
+    candidates: &'a [T],
+    utility: F,
+    utility_sensitivity: Sensitivity,
+    eps: Epsilon,
+    rng: &mut R,
+) -> Result<&'a T, DpError>
+where
+    F: Fn(&T) -> f64,
+    R: Rng + ?Sized,
+{
+    if candidates.is_empty() {
+        return Err(DpError::NoCandidates);
+    }
+    let delta_u = utility_sensitivity.value();
+    let factor = if delta_u == 0.0 {
+        // Zero-sensitivity utility: the choice leaks nothing; pick the
+        // max-utility candidate deterministically by using an effectively
+        // infinite concentration. Represent as a large finite factor.
+        f64::MAX.sqrt()
+    } else {
+        eps.value() / (2.0 * delta_u)
+    };
+    let scores: Vec<f64> = candidates.iter().map(|c| factor * utility(c)).collect();
+    let idx = gumbel_max_index(&scores, rng)?;
+    Ok(&candidates[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xE19)
+    }
+
+    #[test]
+    fn empty_candidates_error() {
+        let mut r = rng();
+        let eps = Epsilon::new(1.0).unwrap();
+        let s = Sensitivity::new(1.0).unwrap();
+        let empty: [f64; 0] = [];
+        assert_eq!(
+            exponential_mechanism(&empty, |x| *x, s, eps, &mut r).unwrap_err(),
+            DpError::NoCandidates
+        );
+        assert_eq!(gumbel_max_index(&[], &mut r).unwrap_err(), DpError::NoCandidates);
+    }
+
+    #[test]
+    fn all_neg_infinity_scores_error() {
+        let mut r = rng();
+        assert!(gumbel_max_index(&[f64::NEG_INFINITY, f64::NEG_INFINITY], &mut r).is_err());
+    }
+
+    #[test]
+    fn gumbel_max_matches_softmax_frequencies() {
+        // P(i) = e^{s_i} / Σ e^{s_j} for scores [0, ln 2, ln 4] → 1/7, 2/7, 4/7.
+        let scores = [0.0f64, 2.0f64.ln(), 4.0f64.ln()];
+        let mut r = rng();
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[gumbel_max_index(&scores, &mut r).unwrap()] += 1;
+        }
+        let expected = [1.0 / 7.0, 2.0 / 7.0, 4.0 / 7.0];
+        for i in 0..3 {
+            let freq = counts[i] as f64 / n as f64;
+            assert!(
+                (freq - expected[i]).abs() < 0.01,
+                "candidate {i}: freq {freq} vs expected {}",
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn high_epsilon_concentrates_on_best() {
+        let candidates = [1.0, 5.0, 3.0];
+        let eps = Epsilon::new(200.0).unwrap();
+        let s = Sensitivity::new(1.0).unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            let picked = exponential_mechanism(&candidates, |x| *x, s, eps, &mut r).unwrap();
+            assert_eq!(*picked, 5.0);
+        }
+    }
+
+    #[test]
+    fn low_epsilon_is_near_uniform() {
+        let candidates = [1.0, 5.0, 3.0];
+        let eps = Epsilon::new(1e-6).unwrap();
+        let s = Sensitivity::new(1.0).unwrap();
+        let mut r = rng();
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let picked = *exponential_mechanism(&candidates, |x| *x, s, eps, &mut r).unwrap();
+            let idx = candidates.iter().position(|&c| c == picked).unwrap();
+            counts[idx] += 1;
+        }
+        for &c in &counts {
+            let freq = c as f64 / n as f64;
+            assert!((freq - 1.0 / 3.0).abs() < 0.02, "freq = {freq}");
+        }
+    }
+
+    #[test]
+    fn zero_sensitivity_selects_max() {
+        let candidates = [2.0, 9.0, 4.0];
+        let eps = Epsilon::new(0.01).unwrap();
+        let s = Sensitivity::new(0.0).unwrap();
+        let mut r = rng();
+        let picked = exponential_mechanism(&candidates, |x| *x, s, eps, &mut r).unwrap();
+        assert_eq!(*picked, 9.0);
+    }
+
+    #[test]
+    fn huge_scores_do_not_overflow() {
+        // Naive softmax would overflow exp(1e6); Gumbel-max must not.
+        let scores = [1e6, 1e6 + 1.0];
+        let mut r = rng();
+        let idx = gumbel_max_index(&scores, &mut r).unwrap();
+        assert!(idx < 2);
+    }
+
+    #[test]
+    fn neg_infinity_candidates_never_selected() {
+        let scores = [f64::NEG_INFINITY, 0.0, f64::NEG_INFINITY];
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert_eq!(gumbel_max_index(&scores, &mut r).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let scores = [0.3, 0.9, 0.1, 0.5];
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            assert_eq!(
+                gumbel_max_index(&scores, &mut a).unwrap(),
+                gumbel_max_index(&scores, &mut b).unwrap()
+            );
+        }
+    }
+}

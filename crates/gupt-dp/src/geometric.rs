@@ -1,0 +1,209 @@
+//! The (two-sided) geometric mechanism for integer-valued queries.
+//!
+//! For counting queries the discrete analogue of the Laplace mechanism
+//! (Ghosh–Roughgarden–Sundararajan, STOC 2009) adds two-sided geometric
+//! noise `Pr[Z = z] ∝ α^{|z|}` with `α = e^{-ε/Δ}`, achieving ε-DP with
+//! integer outputs — no post-hoc rounding needed. PINQ-style noisy
+//! counts and the CLI's histogram release use it.
+
+use crate::epsilon::Epsilon;
+use crate::error::DpError;
+use rand::{Rng, RngExt};
+
+/// A two-sided geometric distribution with parameter `alpha ∈ (0, 1)`.
+///
+/// `Pr[Z = z] = (1-α)/(1+α) · α^{|z|}` for integer `z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoSidedGeometric {
+    alpha: f64,
+}
+
+impl TwoSidedGeometric {
+    /// Creates the distribution from `alpha ∈ (0, 1)`.
+    pub fn new(alpha: f64) -> Result<Self, DpError> {
+        if alpha.is_finite() && 0.0 < alpha && alpha < 1.0 {
+            Ok(TwoSidedGeometric { alpha })
+        } else {
+            Err(DpError::InvalidEpsilon(alpha))
+        }
+    }
+
+    /// The distribution achieving ε-DP for a query of integer
+    /// sensitivity `delta ≥ 1`: `α = e^{-ε/Δ}`.
+    pub fn for_privacy(eps: Epsilon, delta: u64) -> Result<Self, DpError> {
+        if delta == 0 {
+            return Err(DpError::InvalidSensitivity(0.0));
+        }
+        TwoSidedGeometric::new((-eps.value() / delta as f64).exp())
+    }
+
+    /// The noise parameter α.
+    pub fn alpha(self) -> f64 {
+        self.alpha
+    }
+
+    /// Variance `2α/(1-α)²`.
+    pub fn variance(self) -> f64 {
+        2.0 * self.alpha / (1.0 - self.alpha).powi(2)
+    }
+
+    /// Draws one variate: difference of two one-sided geometrics.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> i64 {
+        let pos = sample_one_sided(self.alpha, rng);
+        let neg = sample_one_sided(self.alpha, rng);
+        pos - neg
+    }
+}
+
+/// Samples a one-sided geometric `Pr[X = k] = (1-α)α^k`, `k ≥ 0`, by
+/// inversion: `k = ⌊ln(U)/ln(α)⌋`.
+fn sample_one_sided<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> i64 {
+    let mut u: f64 = rng.random();
+    while u <= 0.0 {
+        u = rng.random();
+    }
+    (u.ln() / alpha.ln()).floor() as i64
+}
+
+/// Releases `count + Z` with two-sided geometric noise — the ε-DP
+/// geometric mechanism for a count of integer sensitivity `delta`.
+/// The result is clamped at zero (a count cannot be negative; clamping
+/// is post-processing and preserves DP).
+pub fn geometric_mechanism<R: Rng + ?Sized>(
+    count: u64,
+    delta: u64,
+    eps: Epsilon,
+    rng: &mut R,
+) -> Result<u64, DpError> {
+    let dist = TwoSidedGeometric::for_privacy(eps, delta)?;
+    let noisy = count as i64 + dist.sample(rng);
+    Ok(noisy.max(0) as u64)
+}
+
+/// Releases an ε-DP histogram: each bucket gets independent geometric
+/// noise at full ε (parallel composition — one record lands in exactly
+/// one bucket, so the whole histogram costs ε, not ε·buckets).
+pub fn dp_histogram<R: Rng + ?Sized>(
+    counts: &[u64],
+    eps: Epsilon,
+    rng: &mut R,
+) -> Result<Vec<u64>, DpError> {
+    counts
+        .iter()
+        .map(|&c| geometric_mechanism(c, 1, eps, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x6E0)
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn alpha_validation() {
+        assert!(TwoSidedGeometric::new(0.0).is_err());
+        assert!(TwoSidedGeometric::new(1.0).is_err());
+        assert!(TwoSidedGeometric::new(f64::NAN).is_err());
+        assert!(TwoSidedGeometric::new(0.5).is_ok());
+        assert!(TwoSidedGeometric::for_privacy(eps(1.0), 0).is_err());
+    }
+
+    #[test]
+    fn for_privacy_alpha_formula() {
+        let d = TwoSidedGeometric::for_privacy(eps(1.0), 1).unwrap();
+        assert!((d.alpha() - (-1.0f64).exp()).abs() < 1e-15);
+        let d2 = TwoSidedGeometric::for_privacy(eps(1.0), 2).unwrap();
+        assert!((d2.alpha() - (-0.5f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sample_is_symmetric_zero_mean() {
+        let d = TwoSidedGeometric::new(0.6).unwrap();
+        let mut r = rng();
+        let n = 100_000;
+        let sum: i64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn sample_variance_matches_formula() {
+        let d = TwoSidedGeometric::new(0.5).unwrap();
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<i64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<i64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&z| (z as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        // Var = 2·0.5/0.25 = 4.
+        assert!((var - d.variance()).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn mechanism_count_accuracy() {
+        let mut r = rng();
+        let n = 2_000;
+        let sum: u64 = (0..n)
+            .map(|_| geometric_mechanism(100, 1, eps(1.0), &mut r).unwrap())
+            .sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn mechanism_never_negative() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            // Count 0 with heavy noise must clamp at 0.
+            let v = geometric_mechanism(0, 1, eps(0.05), &mut r).unwrap();
+            assert!(v < u64::MAX / 2);
+        }
+    }
+
+    #[test]
+    fn histogram_preserves_length_and_mass_roughly() {
+        let mut r = rng();
+        let counts = [100u64, 50, 0, 200];
+        let noisy = dp_histogram(&counts, eps(2.0), &mut r).unwrap();
+        assert_eq!(noisy.len(), 4);
+        let total: u64 = noisy.iter().sum();
+        assert!((total as i64 - 350).unsigned_abs() < 40, "total = {total}");
+    }
+
+    #[test]
+    fn smaller_epsilon_more_noise() {
+        let spread = |e: f64| {
+            let mut r = rng();
+            let n = 20_000;
+            (0..n)
+                .map(|_| {
+                    (geometric_mechanism(1000, 1, eps(e), &mut r).unwrap() as f64 - 1000.0)
+                        .abs()
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        assert!(spread(0.1) > 3.0 * spread(1.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = TwoSidedGeometric::new(0.7).unwrap();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

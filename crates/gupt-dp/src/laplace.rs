@@ -1,0 +1,253 @@
+//! The Laplace distribution and the Laplace mechanism.
+//!
+//! The Laplace mechanism (Dwork, McSherry, Nissim, Smith — TCC 2006)
+//! releases `f(T) + Lap(Δf/ε)` and is ε-differentially private. GUPT's
+//! sample-and-aggregate aggregation step (Algorithm 1, line 8) is exactly
+//! this mechanism applied to the block-output average, whose sensitivity
+//! is `(max − min)/ℓ`.
+//!
+//! Sampling uses the inverse-CDF transform on an open uniform interval so
+//! the sampler can never return ±∞.
+
+use crate::epsilon::{Epsilon, Sensitivity};
+use crate::error::DpError;
+use rand::{Rng, RngExt};
+
+/// A Laplace distribution with location `mu` and scale `b > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    mu: f64,
+    b: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution; the scale must be positive and finite.
+    pub fn new(mu: f64, b: f64) -> Result<Self, DpError> {
+        if mu.is_finite() && b.is_finite() && b > 0.0 {
+            Ok(Laplace { mu, b })
+        } else {
+            Err(DpError::InvalidSensitivity(b))
+        }
+    }
+
+    /// Location parameter (mean and median).
+    #[inline]
+    pub fn location(self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter `b`; the standard deviation is `b·√2`.
+    #[inline]
+    pub fn scale(self) -> f64 {
+        self.b
+    }
+
+    /// Standard deviation `b·√2`.
+    #[inline]
+    pub fn std_dev(self) -> f64 {
+        self.b * std::f64::consts::SQRT_2
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(self, x: f64) -> f64 {
+        (-(x - self.mu).abs() / self.b).exp() / (2.0 * self.b)
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.b;
+        if z < 0.0 {
+            0.5 * z.exp()
+        } else {
+            1.0 - 0.5 * (-z).exp()
+        }
+    }
+
+    /// Inverse CDF (quantile function) for `p ∈ (0, 1)`.
+    pub fn inverse_cdf(self, p: f64) -> f64 {
+        debug_assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+        if p < 0.5 {
+            self.mu + self.b * (2.0 * p).ln()
+        } else {
+            self.mu - self.b * (2.0 * (1.0 - p)).ln()
+        }
+    }
+
+    /// Draws one sample via the inverse-CDF transform.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        // u ∈ (-0.5, 0.5): resample the (measure-zero) endpoint so that
+        // ln(1 − 2|u|) is always finite.
+        let mut u: f64 = rng.random::<f64>() - 0.5;
+        while u == -0.5 {
+            u = rng.random::<f64>() - 0.5;
+        }
+        // ln(1 − 2|u|) via ln_1p for accuracy near u = 0 (small noise).
+        self.mu - self.b * u.signum() * (-2.0 * u.abs()).ln_1p()
+    }
+}
+
+/// Releases `value + Lap(Δ/ε)` — the ε-DP Laplace mechanism.
+pub fn laplace_mechanism<R: Rng + ?Sized>(
+    value: f64,
+    sensitivity: Sensitivity,
+    eps: Epsilon,
+    rng: &mut R,
+) -> f64 {
+    let scale = sensitivity.laplace_scale(eps);
+    if scale == 0.0 {
+        return value; // constant query: no noise required
+    }
+    let dist = Laplace::new(0.0, scale).expect("scale validated by Sensitivity/Epsilon");
+    value + dist.sample(rng)
+}
+
+/// Applies the Laplace mechanism independently to each coordinate of a
+/// vector-valued query. The caller is responsible for budget splitting
+/// across dimensions (Theorem 1 charges ε per dimension).
+pub fn laplace_mechanism_vec<R: Rng + ?Sized>(
+    values: &[f64],
+    sensitivity: Sensitivity,
+    eps: Epsilon,
+    rng: &mut R,
+) -> Vec<f64> {
+    values
+        .iter()
+        .map(|&v| laplace_mechanism(v, sensitivity, eps, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD1FF)
+    }
+
+    #[test]
+    fn invalid_scale_rejected() {
+        assert!(Laplace::new(0.0, 0.0).is_err());
+        assert!(Laplace::new(0.0, -1.0).is_err());
+        assert!(Laplace::new(f64::NAN, 1.0).is_err());
+        assert!(Laplace::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let d = Laplace::new(1.0, 2.0).unwrap();
+        // Trapezoidal integration over ±40 scales.
+        let (a, b, n) = (-80.0, 82.0, 200_000);
+        let h = (b - a) / n as f64;
+        let mut total = 0.0;
+        for i in 0..=n {
+            let x = a + i as f64 * h;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            total += w * d.pdf(x);
+        }
+        total *= h;
+        assert!((total - 1.0).abs() < 1e-6, "integral = {total}");
+    }
+
+    #[test]
+    fn cdf_properties() {
+        let d = Laplace::new(0.0, 1.0).unwrap();
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!(d.cdf(-10.0) < 1e-4);
+        assert!(d.cdf(10.0) > 1.0 - 1e-4);
+        // Monotone.
+        assert!(d.cdf(-1.0) < d.cdf(0.0));
+        assert!(d.cdf(0.0) < d.cdf(1.0));
+    }
+
+    #[test]
+    fn inverse_cdf_inverts_cdf() {
+        let d = Laplace::new(3.0, 0.5).unwrap();
+        for p in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = d.inverse_cdf(p);
+            assert!((d.cdf(x) - p).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sample_mean_and_spread_match() {
+        let d = Laplace::new(5.0, 2.0).unwrap();
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean = {mean}");
+        // Var = 2b² = 8.
+        assert!((var - 8.0).abs() < 0.3, "var = {var}");
+    }
+
+    #[test]
+    fn sample_median_is_location() {
+        let d = Laplace::new(-2.0, 1.0).unwrap();
+        let mut r = rng();
+        let n = 100_000;
+        let below = (0..n).filter(|_| d.sample(&mut r) < -2.0).count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "frac below median = {frac}");
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let d = Laplace::new(0.0, 1e-3).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r).is_finite());
+        }
+    }
+
+    #[test]
+    fn mechanism_zero_sensitivity_is_exact() {
+        let mut r = rng();
+        let eps = Epsilon::new(0.1).unwrap();
+        let s = Sensitivity::new(0.0).unwrap();
+        assert_eq!(laplace_mechanism(42.0, s, eps, &mut r), 42.0);
+    }
+
+    #[test]
+    fn mechanism_noise_scales_inversely_with_epsilon() {
+        let s = Sensitivity::new(1.0).unwrap();
+        let n = 50_000;
+        let spread = |eps: f64| {
+            let mut r = rng();
+            let e = Epsilon::new(eps).unwrap();
+            (0..n)
+                .map(|_| (laplace_mechanism(0.0, s, e, &mut r)).abs())
+                .sum::<f64>()
+                / n as f64
+        };
+        // E|Lap(b)| = b, so halving ε should double the mean absolute noise.
+        let lo = spread(2.0);
+        let hi = spread(0.5);
+        assert!(
+            (hi / lo - 4.0).abs() < 0.25,
+            "expected 4x spread ratio, got {}",
+            hi / lo
+        );
+    }
+
+    #[test]
+    fn vector_mechanism_length_preserved() {
+        let mut r = rng();
+        let eps = Epsilon::new(1.0).unwrap();
+        let s = Sensitivity::new(1.0).unwrap();
+        let out = laplace_mechanism_vec(&[1.0, 2.0, 3.0], s, eps, &mut r);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = Laplace::new(0.0, 1.0).unwrap();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Differential-privacy primitives underlying the GUPT runtime.
+//!
+//! This crate implements the building blocks that the sample-and-aggregate
+//! framework (`gupt-core`) composes into an end-to-end private analytics
+//! system:
+//!
+//! - [`Epsilon`] / [`Sensitivity`]: validated numeric newtypes for privacy
+//!   parameters, so invalid budgets are unrepresentable past the boundary.
+//! - [`Laplace`] and [`laplace_mechanism`]: the Laplace distribution and the
+//!   classic ε-DP additive-noise mechanism of Dwork et al. (TCC 2006).
+//! - [`exponential`]: the exponential mechanism of McSherry–Talwar
+//!   (FOCS 2007), sampled with the numerically stable Gumbel-max trick.
+//! - [`percentile`]: the differentially private quantile estimator of
+//!   Smith (STOC 2011), used by GUPT for output-range estimation
+//!   (`GUPT-loose` / `GUPT-helper` in §4.1 of the paper).
+//! - [`composition`]: a sequential-composition accountant and a thread-safe
+//!   per-dataset privacy ledger.
+//!
+//! All randomized primitives take an explicit `&mut impl Rng` so that every
+//! experiment in the bench harness is reproducible from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use gupt_dp::{Epsilon, Sensitivity, laplace_mechanism};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let eps = Epsilon::new(1.0).unwrap();
+//! let sens = Sensitivity::new(2.0).unwrap();
+//! let noisy = laplace_mechanism(10.0, sens, eps, &mut rng);
+//! assert!((noisy - 10.0).abs() < 100.0); // noise has scale 2.0
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod composition;
+pub mod epsilon;
+pub mod error;
+pub mod exponential;
+pub mod geometric;
+pub mod laplace;
+pub mod noisy_max;
+pub mod percentile;
+pub mod randomized_response;
+pub mod range;
+pub mod snapping;
+pub mod sparse_vector;
+
+pub use composition::{Accountant, PrivacyLedger};
+pub use epsilon::{Epsilon, Sensitivity};
+pub use error::DpError;
+pub use exponential::{exponential_mechanism, gumbel_max_index};
+pub use geometric::{dp_histogram, geometric_mechanism, TwoSidedGeometric};
+pub use laplace::{laplace_mechanism, laplace_mechanism_vec, Laplace};
+pub use noisy_max::report_noisy_max;
+pub use percentile::{dp_percentile, dp_quartile_range, Percentile};
+pub use randomized_response::RandomizedResponse;
+pub use range::OutputRange;
+pub use snapping::snapping_mechanism;
+pub use sparse_vector::AboveThreshold;

@@ -1,0 +1,271 @@
+//! Differentially private percentile estimation (Smith, STOC 2011).
+//!
+//! GUPT uses this estimator in two places (§4.1 of the paper):
+//!
+//! - **GUPT-loose**: the 25th/75th percentiles of the per-block *outputs*
+//!   approximate the output range fed to Algorithm 1.
+//! - **GUPT-helper**: the 25th/75th percentiles of the *inputs* produce a
+//!   tight input range, which an analyst-supplied range-translation
+//!   function maps to an output range.
+//!
+//! The estimator is an instance of the exponential mechanism over the gaps
+//! between consecutive sorted values: gap `(xᵢ, xᵢ₊₁)` is selected with
+//! probability proportional to its length times `exp(−ε·|i − p·n|/2)`, and
+//! the released value is uniform within the selected gap. The rank utility
+//! has sensitivity 1, so the release is ε-DP.
+
+use crate::epsilon::Epsilon;
+use crate::error::DpError;
+use crate::exponential::gumbel_max_index;
+use crate::range::OutputRange;
+use rand::{Rng, RngExt};
+
+/// A percentile rank in `[0, 100]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Percentile(f64);
+
+impl Percentile {
+    /// Creates a percentile rank, rejecting values outside `[0, 100]`.
+    pub fn new(p: f64) -> Result<Self, DpError> {
+        if p.is_finite() && (0.0..=100.0).contains(&p) {
+            Ok(Percentile(p))
+        } else {
+            Err(DpError::InvalidPercentile(p))
+        }
+    }
+
+    /// The lower quartile (25th percentile).
+    pub const LOWER_QUARTILE: Percentile = Percentile(25.0);
+
+    /// The upper quartile (75th percentile).
+    pub const UPPER_QUARTILE: Percentile = Percentile(75.0);
+
+    /// The median.
+    pub const MEDIAN: Percentile = Percentile(50.0);
+
+    /// Rank as a fraction in `[0, 1]`.
+    #[inline]
+    pub fn fraction(self) -> f64 {
+        self.0 / 100.0
+    }
+
+    /// Raw rank in `[0, 100]`.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+/// Computes an ε-DP estimate of the `p`-th percentile of `data`, which is
+/// first clamped into `domain` (the mechanism's utility analysis requires
+/// a bounded domain).
+///
+/// Returns an error on empty input. The result always lies in `domain`.
+pub fn dp_percentile<R: Rng + ?Sized>(
+    data: &[f64],
+    p: Percentile,
+    domain: OutputRange,
+    eps: Epsilon,
+    rng: &mut R,
+) -> Result<f64, DpError> {
+    if data.is_empty() {
+        return Err(DpError::EmptyInput);
+    }
+    let n = data.len();
+
+    // Clamp and sort into the bounded domain, with sentinels at both ends:
+    // x₀ = lo ≤ x₁ ≤ … ≤ x_n ≤ x_{n+1} = hi.
+    let mut xs: Vec<f64> = Vec::with_capacity(n + 2);
+    xs.push(domain.lo());
+    xs.extend(data.iter().map(|&v| domain.clamp(v)));
+    xs.push(domain.hi());
+    xs[1..=n].sort_unstable_by(|a, b| a.partial_cmp(b).expect("clamped values are not NaN"));
+
+    // Target rank within the sorted sample.
+    let target = p.fraction() * n as f64;
+
+    // Score each of the n+1 gaps (xᵢ, xᵢ₊₁): log length + ε/2 · −|i − target|.
+    // Zero-length gaps get −∞ (they carry no probability mass).
+    let half_eps = eps.value() / 2.0;
+    let scores: Vec<f64> = (0..=n)
+        .map(|i| {
+            let len = xs[i + 1] - xs[i];
+            if len > 0.0 {
+                len.ln() - half_eps * (i as f64 - target).abs()
+            } else {
+                f64::NEG_INFINITY
+            }
+        })
+        .collect();
+
+    // All gaps may be zero-length (every value equals lo == hi): the
+    // percentile is then that constant.
+    let idx = match gumbel_max_index(&scores, rng) {
+        Ok(i) => i,
+        Err(DpError::NoCandidates) => return Ok(domain.lo()),
+        Err(e) => return Err(e),
+    };
+
+    // Uniform draw within the selected gap.
+    let (lo, hi) = (xs[idx], xs[idx + 1]);
+    Ok(lo + rng.random::<f64>() * (hi - lo))
+}
+
+/// Computes the DP inter-quartile range `[q25, q75]` of `data`, spending
+/// `eps` in total (`eps/2` per quartile — sequential composition).
+///
+/// If noise inverts the two estimates they are swapped, so the result is
+/// always a valid range. This is the §4.1 range-estimation subroutine.
+pub fn dp_quartile_range<R: Rng + ?Sized>(
+    data: &[f64],
+    domain: OutputRange,
+    eps: Epsilon,
+    rng: &mut R,
+) -> Result<OutputRange, DpError> {
+    let per_quartile = eps.halve();
+    let q25 = dp_percentile(data, Percentile::LOWER_QUARTILE, domain, per_quartile, rng)?;
+    let q75 = dp_percentile(data, Percentile::UPPER_QUARTILE, domain, per_quartile, rng)?;
+    let (lo, hi) = if q25 <= q75 { (q25, q75) } else { (q75, q25) };
+    OutputRange::new(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x9E4C)
+    }
+
+    fn domain(lo: f64, hi: f64) -> OutputRange {
+        OutputRange::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let mut r = rng();
+        let eps = Epsilon::new(1.0).unwrap();
+        assert_eq!(
+            dp_percentile(&[], Percentile::MEDIAN, domain(0.0, 1.0), eps, &mut r).unwrap_err(),
+            DpError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn percentile_rank_validation() {
+        assert!(Percentile::new(-1.0).is_err());
+        assert!(Percentile::new(101.0).is_err());
+        assert!(Percentile::new(f64::NAN).is_err());
+        assert_eq!(Percentile::new(50.0).unwrap().fraction(), 0.5);
+    }
+
+    #[test]
+    fn output_always_in_domain() {
+        let mut r = rng();
+        let eps = Epsilon::new(0.01).unwrap(); // very noisy
+        let d = domain(-5.0, 5.0);
+        let data = [100.0, -100.0, 0.0]; // values outside the domain get clamped
+        for _ in 0..500 {
+            let v = dp_percentile(&data, Percentile::MEDIAN, d, eps, &mut r).unwrap();
+            assert!(d.contains(v), "{v} outside {d}");
+        }
+    }
+
+    #[test]
+    fn median_of_large_sample_is_accurate() {
+        let mut r = rng();
+        let eps = Epsilon::new(1.0).unwrap();
+        let d = domain(0.0, 100.0);
+        // 10_001 points uniform on [0, 100]: true median 50.
+        let data: Vec<f64> = (0..=10_000).map(|i| i as f64 / 100.0).collect();
+        let mut errs = Vec::new();
+        for _ in 0..20 {
+            let v = dp_percentile(&data, Percentile::MEDIAN, d, eps, &mut r).unwrap();
+            errs.push((v - 50.0).abs());
+        }
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean_err < 1.0, "mean |error| = {mean_err}");
+    }
+
+    #[test]
+    fn quartiles_bracket_the_bulk() {
+        let mut r = rng();
+        let eps = Epsilon::new(2.0).unwrap();
+        let d = domain(0.0, 1000.0);
+        let data: Vec<f64> = (0..4000).map(|i| (i % 1000) as f64).collect();
+        let iqr = dp_quartile_range(&data, d, eps, &mut r).unwrap();
+        // True quartiles ~250 and ~749.
+        assert!((iqr.lo() - 250.0).abs() < 30.0, "q25 = {}", iqr.lo());
+        assert!((iqr.hi() - 749.0).abs() < 30.0, "q75 = {}", iqr.hi());
+    }
+
+    #[test]
+    fn constant_data_returns_constant() {
+        let mut r = rng();
+        let eps = Epsilon::new(1.0).unwrap();
+        let d = domain(7.0, 7.0);
+        let data = [7.0; 50];
+        let v = dp_percentile(&data, Percentile::MEDIAN, d, eps, &mut r).unwrap();
+        assert_eq!(v, 7.0);
+    }
+
+    #[test]
+    fn extreme_percentiles_stay_in_domain() {
+        let mut r = rng();
+        let eps = Epsilon::new(1.0).unwrap();
+        let d = domain(0.0, 10.0);
+        let data: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        for p in [0.0, 100.0] {
+            let v = dp_percentile(&data, Percentile::new(p).unwrap(), d, eps, &mut r).unwrap();
+            assert!(d.contains(v));
+        }
+    }
+
+    #[test]
+    fn single_element_input_works() {
+        let mut r = rng();
+        let eps = Epsilon::new(5.0).unwrap();
+        let d = domain(0.0, 10.0);
+        let v = dp_percentile(&[4.0], Percentile::MEDIAN, d, eps, &mut r).unwrap();
+        assert!(d.contains(v));
+    }
+
+    #[test]
+    fn higher_epsilon_gives_lower_error() {
+        let d = domain(0.0, 100.0);
+        let data: Vec<f64> = (0..=2000).map(|i| i as f64 / 20.0).collect();
+        let mean_err = |eps: f64| {
+            let mut r = rng();
+            let e = Epsilon::new(eps).unwrap();
+            let trials = 60;
+            (0..trials)
+                .map(|_| {
+                    (dp_percentile(&data, Percentile::MEDIAN, d, e, &mut r).unwrap() - 50.0).abs()
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let noisy = mean_err(0.005);
+        let tight = mean_err(5.0);
+        assert!(
+            tight < noisy,
+            "ε=5 error {tight} should beat ε=0.005 error {noisy}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = domain(0.0, 1.0);
+        let data: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let eps = Epsilon::new(1.0).unwrap();
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            assert_eq!(
+                dp_percentile(&data, Percentile::MEDIAN, d, eps, &mut a).unwrap(),
+                dp_percentile(&data, Percentile::MEDIAN, d, eps, &mut b).unwrap()
+            );
+        }
+    }
+}

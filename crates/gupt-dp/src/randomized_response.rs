@@ -1,0 +1,130 @@
+//! Randomized response (Warner 1965) — the oldest ε-DP mechanism.
+//!
+//! Each respondent reports their true bit with probability
+//! `e^ε/(1+e^ε)` and the flipped bit otherwise; the aggregate is then
+//! debiased. Used by the examples as the *local*-model contrast to
+//! GUPT's central model, and by tests as a second, independently
+//! analysable mechanism.
+
+use crate::epsilon::Epsilon;
+use crate::error::DpError;
+use rand::{Rng, RngExt};
+
+/// The ε-DP randomized-response mechanism over a single boolean.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomizedResponse {
+    keep_probability: f64,
+}
+
+impl RandomizedResponse {
+    /// Creates the mechanism for privacy level `eps`.
+    pub fn new(eps: Epsilon) -> Self {
+        let e = eps.value().exp();
+        RandomizedResponse {
+            keep_probability: e / (1.0 + e),
+        }
+    }
+
+    /// Probability the true answer is kept.
+    pub fn keep_probability(&self) -> f64 {
+        self.keep_probability
+    }
+
+    /// Perturbs one response.
+    pub fn respond<R: Rng + ?Sized>(&self, truth: bool, rng: &mut R) -> bool {
+        if rng.random::<f64>() < self.keep_probability {
+            truth
+        } else {
+            !truth
+        }
+    }
+
+    /// Perturbs a whole population of responses.
+    pub fn respond_all<R: Rng + ?Sized>(&self, truths: &[bool], rng: &mut R) -> Vec<bool> {
+        truths.iter().map(|&t| self.respond(t, rng)).collect()
+    }
+
+    /// Debiases the observed positive fraction back to an unbiased
+    /// estimate of the true fraction:
+    /// `p̂ = (observed − (1−q)) / (2q − 1)` with `q` the keep probability.
+    ///
+    /// Errors if called on an empty sample. The estimate is clamped to
+    /// `[0, 1]` (post-processing).
+    pub fn estimate_fraction(&self, responses: &[bool]) -> Result<f64, DpError> {
+        if responses.is_empty() {
+            return Err(DpError::EmptyInput);
+        }
+        let observed =
+            responses.iter().filter(|&&b| b).count() as f64 / responses.len() as f64;
+        let q = self.keep_probability;
+        let estimate = (observed - (1.0 - q)) / (2.0 * q - 1.0);
+        Ok(estimate.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x44)
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn keep_probability_formula() {
+        let rr = RandomizedResponse::new(eps(f64::ln(3.0)));
+        // e^ε = 3 → q = 3/4.
+        assert!((rr.keep_probability() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_epsilon_keeps_truth() {
+        let rr = RandomizedResponse::new(eps(20.0));
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(rr.respond(true, &mut r));
+            assert!(!rr.respond(false, &mut r));
+        }
+    }
+
+    #[test]
+    fn estimate_recovers_true_fraction() {
+        let rr = RandomizedResponse::new(eps(1.0));
+        let mut r = rng();
+        let n = 100_000;
+        let truths: Vec<bool> = (0..n).map(|i| i % 10 < 3).collect(); // 30% true
+        let responses = rr.respond_all(&truths, &mut r);
+        let estimate = rr.estimate_fraction(&responses).unwrap();
+        assert!((estimate - 0.3).abs() < 0.02, "estimate = {estimate}");
+    }
+
+    #[test]
+    fn empty_sample_is_error() {
+        let rr = RandomizedResponse::new(eps(1.0));
+        assert_eq!(rr.estimate_fraction(&[]).unwrap_err(), DpError::EmptyInput);
+    }
+
+    #[test]
+    fn estimate_is_clamped() {
+        let rr = RandomizedResponse::new(eps(1.0));
+        // All-false responses can debias below zero; the clamp holds it.
+        let est = rr.estimate_fraction(&[false; 10]).unwrap();
+        assert!((0.0..=1.0).contains(&est));
+    }
+
+    #[test]
+    fn flip_rate_matches_epsilon() {
+        let rr = RandomizedResponse::new(eps(1.0));
+        let mut r = rng();
+        let n = 100_000;
+        let kept = (0..n).filter(|_| rr.respond(true, &mut r)).count();
+        let q = kept as f64 / n as f64;
+        let expected = 1.0f64.exp() / (1.0 + 1.0f64.exp());
+        assert!((q - expected).abs() < 0.01, "kept fraction = {q}");
+    }
+}

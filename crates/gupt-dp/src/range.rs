@@ -1,0 +1,168 @@
+//! Closed numeric ranges used for clamping program outputs.
+//!
+//! Algorithm 1 (lines 5–6) clamps each block output into an analyst-supplied
+//! `[min, max]` window before averaging; the window width also determines
+//! the Laplace noise scale. [`OutputRange`] is the validated carrier for
+//! that window.
+
+use crate::error::DpError;
+use std::fmt;
+
+/// A validated closed interval `[lo, hi]` with finite endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutputRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl OutputRange {
+    /// Creates a range, rejecting `lo > hi` and non-finite endpoints.
+    ///
+    /// Degenerate ranges (`lo == hi`) are allowed: they describe a query
+    /// whose output is a known constant and therefore needs no noise.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, DpError> {
+        if lo.is_finite() && hi.is_finite() && lo <= hi {
+            Ok(OutputRange { lo, hi })
+        } else {
+            Err(DpError::InvalidRange { lo, hi })
+        }
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// Interval width `hi - lo`; this is the per-block output sensitivity
+    /// `s` in the paper's noise formula `Lap(s / (ℓ·ε))`.
+    #[inline]
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint of the interval. The timing-attack defense (§6.2) emits
+    /// this constant when a chamber overruns its cycle budget, because any
+    /// in-range constant preserves the DP guarantee.
+    #[inline]
+    pub fn midpoint(self) -> f64 {
+        self.lo + (self.hi - self.lo) / 2.0
+    }
+
+    /// Clamps `x` into the range. NaN clamps to the midpoint so that a
+    /// misbehaving analyst program cannot poison the aggregate.
+    #[inline]
+    pub fn clamp(self, x: f64) -> f64 {
+        if x.is_nan() {
+            self.midpoint()
+        } else {
+            x.clamp(self.lo, self.hi)
+        }
+    }
+
+    /// Whether `x` lies within the closed interval.
+    #[inline]
+    pub fn contains(self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// The loosened range used by the paper's `GUPT-loose` k-means
+    /// experiment (§7.1.1): `[2·lo, 2·hi]` with the convention that each
+    /// endpoint moves *away* from zero, so the result always contains the
+    /// original range.
+    pub fn loosen_twofold(self) -> OutputRange {
+        let lo = if self.lo <= 0.0 { self.lo * 2.0 } else { self.lo / 2.0 };
+        let hi = if self.hi >= 0.0 { self.hi * 2.0 } else { self.hi / 2.0 };
+        OutputRange { lo, hi }
+    }
+
+    /// Expands the range symmetrically by a multiplicative `factor` ≥ 1
+    /// around its midpoint.
+    pub fn expand(self, factor: f64) -> Result<OutputRange, DpError> {
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(DpError::InvalidRange {
+                lo: self.lo,
+                hi: self.hi,
+            });
+        }
+        let mid = self.midpoint();
+        let half = self.width() / 2.0 * factor;
+        OutputRange::new(mid - half, mid + half)
+    }
+}
+
+impl fmt::Display for OutputRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_range_roundtrips() {
+        let r = OutputRange::new(-1.0, 3.0).unwrap();
+        assert_eq!(r.lo(), -1.0);
+        assert_eq!(r.hi(), 3.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.midpoint(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_range_allowed() {
+        let r = OutputRange::new(2.0, 2.0).unwrap();
+        assert_eq!(r.width(), 0.0);
+        assert_eq!(r.clamp(100.0), 2.0);
+    }
+
+    #[test]
+    fn inverted_and_nonfinite_rejected() {
+        assert!(OutputRange::new(1.0, 0.0).is_err());
+        assert!(OutputRange::new(f64::NAN, 1.0).is_err());
+        assert!(OutputRange::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        let r = OutputRange::new(0.0, 10.0).unwrap();
+        assert_eq!(r.clamp(-5.0), 0.0);
+        assert_eq!(r.clamp(15.0), 10.0);
+        assert_eq!(r.clamp(7.0), 7.0);
+        assert_eq!(r.clamp(f64::NAN), 5.0);
+    }
+
+    #[test]
+    fn contains_endpoints() {
+        let r = OutputRange::new(0.0, 1.0).unwrap();
+        assert!(r.contains(0.0));
+        assert!(r.contains(1.0));
+        assert!(!r.contains(1.0 + 1e-12));
+    }
+
+    #[test]
+    fn loosen_twofold_contains_original() {
+        for (lo, hi) in [(-3.0, 5.0), (2.0, 8.0), (-9.0, -1.0), (0.0, 4.0)] {
+            let r = OutputRange::new(lo, hi).unwrap();
+            let loose = r.loosen_twofold();
+            assert!(loose.lo() <= r.lo(), "{r} -> {loose}");
+            assert!(loose.hi() >= r.hi(), "{r} -> {loose}");
+        }
+    }
+
+    #[test]
+    fn expand_grows_width() {
+        let r = OutputRange::new(0.0, 2.0).unwrap();
+        let e = r.expand(3.0).unwrap();
+        assert!((e.width() - 6.0).abs() < 1e-12);
+        assert!((e.midpoint() - 1.0).abs() < 1e-12);
+        assert!(r.expand(0.5).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! The sparse vector technique: `AboveThreshold` (Dwork–Roth, Alg. 3.1).
+//!
+//! An analyst may want to scan a long stream of queries and learn only
+//! *which one first crosses a threshold* — e.g. "which week did sales
+//! first exceed N?". Charging ε per query would burn the budget linearly
+//! in the stream length; `AboveThreshold` answers the whole scan for a
+//! single ε, because queries answered "below" leak almost nothing: the
+//! threshold itself is noised once (`Lap(2Δ/ε)`), each comparison adds
+//! fresh `Lap(4Δ/ε)`, and the mechanism halts at the first "above".
+//!
+//! This is the natural companion to GUPT's budget manager for
+//! exploratory, data-dependent query streams.
+
+use crate::epsilon::{Epsilon, Sensitivity};
+use crate::error::DpError;
+use crate::laplace::Laplace;
+use rand::Rng;
+
+/// One `AboveThreshold` scan. Consumes ε for the whole stream; after the
+/// first positive answer the scan is spent and further queries error.
+#[derive(Debug)]
+pub struct AboveThreshold {
+    noisy_threshold: f64,
+    query_noise: Laplace,
+    answered_above: bool,
+    queries_seen: usize,
+}
+
+impl AboveThreshold {
+    /// Starts a scan at `threshold` for queries of sensitivity `delta`,
+    /// spending `eps` in total.
+    pub fn new<R: Rng + ?Sized>(
+        threshold: f64,
+        delta: Sensitivity,
+        eps: Epsilon,
+        rng: &mut R,
+    ) -> Result<Self, DpError> {
+        if !threshold.is_finite() {
+            return Err(DpError::InvalidRange {
+                lo: threshold,
+                hi: threshold,
+            });
+        }
+        let d = delta.value();
+        if d == 0.0 {
+            // Zero-sensitivity queries: exact comparisons are free.
+            return Ok(AboveThreshold {
+                noisy_threshold: threshold,
+                query_noise: Laplace::new(0.0, f64::MIN_POSITIVE).expect("positive scale"),
+                answered_above: false,
+                queries_seen: 0,
+            });
+        }
+        let threshold_noise = Laplace::new(0.0, 2.0 * d / eps.value())?;
+        let query_noise = Laplace::new(0.0, 4.0 * d / eps.value())?;
+        Ok(AboveThreshold {
+            noisy_threshold: threshold + threshold_noise.sample(rng),
+            query_noise,
+            answered_above: false,
+            queries_seen: 0,
+        })
+    }
+
+    /// Tests one query value against the noisy threshold.
+    ///
+    /// Returns `true` at most once; after that the scan's budget is
+    /// spent and further calls return [`DpError::BudgetExhausted`].
+    pub fn query<R: Rng + ?Sized>(&mut self, value: f64, rng: &mut R) -> Result<bool, DpError> {
+        if self.answered_above {
+            return Err(DpError::BudgetExhausted {
+                requested: 0.0,
+                remaining: 0.0,
+            });
+        }
+        self.queries_seen += 1;
+        let above = value + self.query_noise.sample(rng) >= self.noisy_threshold;
+        if above {
+            self.answered_above = true;
+        }
+        Ok(above)
+    }
+
+    /// Scans `values` in order, returning the index of the first noisy
+    /// "above" (or `None` if the stream ends first).
+    pub fn first_above<R: Rng + ?Sized>(
+        &mut self,
+        values: &[f64],
+        rng: &mut R,
+    ) -> Result<Option<usize>, DpError> {
+        for (i, &v) in values.iter().enumerate() {
+            if self.query(v, rng)? {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Number of queries tested so far.
+    pub fn queries_seen(&self) -> usize {
+        self.queries_seen
+    }
+
+    /// Whether the scan already produced its "above" answer.
+    pub fn is_spent(&self) -> bool {
+        self.answered_above
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5BE)
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn sens(v: f64) -> Sensitivity {
+        Sensitivity::new(v).unwrap()
+    }
+
+    #[test]
+    fn finds_clear_crossing() {
+        let mut r = rng();
+        let values: Vec<f64> = (0..50).map(|i| i as f64 * 10.0).collect();
+        let mut hits = Vec::new();
+        for _ in 0..100 {
+            let mut at = AboveThreshold::new(250.0, sens(1.0), eps(2.0), &mut r).unwrap();
+            hits.push(at.first_above(&values, &mut r).unwrap().unwrap());
+        }
+        let mean_idx = hits.iter().sum::<usize>() as f64 / hits.len() as f64;
+        // True crossing at index 25; noise shifts it only slightly.
+        assert!((mean_idx - 25.0).abs() < 3.0, "mean index = {mean_idx}");
+    }
+
+    #[test]
+    fn halts_after_first_above() {
+        let mut r = rng();
+        let mut at = AboveThreshold::new(0.0, sens(1.0), eps(100.0), &mut r).unwrap();
+        assert!(at.query(1000.0, &mut r).unwrap());
+        assert!(at.is_spent());
+        assert!(matches!(
+            at.query(1000.0, &mut r).unwrap_err(),
+            DpError::BudgetExhausted { .. }
+        ));
+    }
+
+    #[test]
+    fn below_stream_returns_none_at_any_length() {
+        // The whole point: a long stream of clear "below"s costs the
+        // same single ε and never halts early.
+        let mut r = rng();
+        let mut at = AboveThreshold::new(1000.0, sens(1.0), eps(5.0), &mut r).unwrap();
+        let values = vec![0.0; 10_000];
+        assert_eq!(at.first_above(&values, &mut r).unwrap(), None);
+        assert_eq!(at.queries_seen(), 10_000);
+        assert!(!at.is_spent());
+    }
+
+    #[test]
+    fn noise_scales_make_marginal_queries_uncertain() {
+        // A query exactly at the threshold should split ~50/50.
+        let mut r = rng();
+        let n = 4_000;
+        let above = (0..n)
+            .filter(|_| {
+                let mut at = AboveThreshold::new(10.0, sens(1.0), eps(1.0), &mut r).unwrap();
+                at.query(10.0, &mut r).unwrap()
+            })
+            .count();
+        let frac = above as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "fraction above = {frac}");
+    }
+
+    #[test]
+    fn zero_sensitivity_is_exact() {
+        let mut r = rng();
+        let mut at = AboveThreshold::new(5.0, sens(0.0), eps(0.1), &mut r).unwrap();
+        assert!(!at.query(4.9999, &mut r).unwrap());
+        assert!(at.query(5.0001, &mut r).unwrap());
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let mut r = rng();
+        assert!(AboveThreshold::new(f64::NAN, sens(1.0), eps(1.0), &mut r).is_err());
+        assert!(AboveThreshold::new(f64::INFINITY, sens(1.0), eps(1.0), &mut r).is_err());
+    }
+
+    #[test]
+    fn respects_epsilon_statistically() {
+        // Neighboring single-query streams: value 0 vs 1 (sensitivity 1),
+        // threshold 0.5. Event: the scan fires on its first query.
+        let n = 20_000;
+        let prob = |v: f64, seed: u64| -> f64 {
+            let mut hits = 0;
+            for i in 0..n {
+                let mut r = StdRng::seed_from_u64(seed + i);
+                let mut at = AboveThreshold::new(0.5, sens(1.0), eps(1.0), &mut r).unwrap();
+                if at.query(v, &mut r).unwrap() {
+                    hits += 1;
+                }
+            }
+            hits as f64 / n as f64
+        };
+        let p0 = prob(0.0, 1);
+        let p1 = prob(1.0, 1_000_000);
+        let bound = 1.0f64.exp() * 1.3; // e^ε with Monte-Carlo slack
+        assert!(p1 / p0 <= bound, "ratio {:.3} vs bound {bound:.3}", p1 / p0);
+    }
+}

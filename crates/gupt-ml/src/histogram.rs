@@ -1,0 +1,144 @@
+//! Fixed-bin histograms.
+//!
+//! A histogram over owner-declared bins is a natural GUPT program: the
+//! per-block output is the vector of bin *fractions* (each in `[0, 1]`,
+//! so the analyst can declare tight output ranges), and the SAF average
+//! of block fractions estimates the population distribution.
+
+/// A histogram over `bins` equal-width buckets spanning `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` over `bins` equal-width buckets in
+    /// `[lo, hi)`. Out-of-range values clamp into the end buckets; an
+    /// empty `bins` or inverted range yields a single catch-all bucket.
+    pub fn build(values: &[f64], lo: f64, hi: f64, bins: usize) -> Histogram {
+        let bins = bins.max(1);
+        let (lo, hi) = if lo < hi { (lo, hi) } else { (lo, lo + 1.0) };
+        let width = (hi - lo) / bins as f64;
+        let mut counts = vec![0u64; bins];
+        for &v in values {
+            let idx = (((v - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            total: values.len() as u64,
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket fractions (all zero for an empty input).
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Number of buckets.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `(lo, hi)` edges of bucket `i`.
+    pub fn bucket_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (
+            self.lo + i as f64 * width,
+            self.lo + (i + 1) as f64 * width,
+        )
+    }
+
+    /// Index of the fullest bucket (ties: lowest index).
+    pub fn mode_bucket(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let h = Histogram::build(&[0.5, 1.5, 1.7, 2.5, 3.9], 0.0, 4.0, 4);
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bins(), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_end_buckets() {
+        let h = Histogram::build(&[-10.0, 10.0], 0.0, 4.0, 4);
+        assert_eq!(h.counts(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 0.0, 100.0, 10);
+        let sum: f64 = h.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(h.fractions().iter().all(|&f| (f - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_input_fractions_are_zero() {
+        let h = Histogram::build(&[], 0.0, 1.0, 5);
+        assert_eq!(h.fractions(), vec![0.0; 5]);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn degenerate_parameters_clamped() {
+        let h = Histogram::build(&[1.0, 2.0], 5.0, 5.0, 0);
+        assert_eq!(h.bins(), 1);
+        assert_eq!(h.counts(), &[2]);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        let h = Histogram::build(&[], 0.0, 10.0, 5);
+        assert_eq!(h.bucket_edges(0), (0.0, 2.0));
+        assert_eq!(h.bucket_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn mode_bucket() {
+        let h = Histogram::build(&[1.0, 1.1, 1.2, 3.5], 0.0, 4.0, 4);
+        assert_eq!(h.mode_bucket(), 1);
+    }
+
+    #[test]
+    fn boundary_values_go_to_upper_bucket() {
+        // 2.0 is the left edge of bucket 2 in [0,4) with 4 bins.
+        let h = Histogram::build(&[2.0], 0.0, 4.0, 4);
+        assert_eq!(h.counts(), &[0, 0, 1, 0]);
+    }
+}

@@ -1,0 +1,390 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! This is the analyst program of the paper's §7.1 clustering experiment
+//! (there: scipy's k-means). Two details matter for sample-and-aggregate:
+//!
+//! - **Canonical output ordering (§8):** different blocks may discover the
+//!   same clusters in different orders; averaging would then mix centers.
+//!   Following the paper, [`KMeansModel::canonicalize`] sorts centers by
+//!   their first coordinate before the model is flattened.
+//! - **Fixed output dimension:** the model always contains exactly `k`
+//!   centers (empty clusters are re-seeded), so block outputs line up.
+
+use crate::linalg::squared_distance;
+use rand::{Rng, RngExt};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters `k` (must be ≥ 1).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// Early-stop threshold on total center movement between iterations.
+    pub tolerance: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 3,
+            max_iterations: 50,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// A fitted k-means model: `k` centers of dimension `d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansModel {
+    centers: Vec<Vec<f64>>,
+    iterations_run: usize,
+}
+
+impl KMeansModel {
+    /// The cluster centers (canonically ordered by first coordinate).
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
+    /// Number of Lloyd iterations actually executed.
+    pub fn iterations_run(&self) -> usize {
+        self.iterations_run
+    }
+
+    /// Index of the center closest to `point`.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        nearest_center(point, &self.centers).0
+    }
+
+    /// Sorts centers by first coordinate (ties broken by subsequent
+    /// coordinates) so that independently trained models are averageable.
+    pub fn canonicalize(&mut self) {
+        self.centers.sort_by(|a, b| {
+            a.iter()
+                .zip(b.iter())
+                .find_map(|(x, y)| x.partial_cmp(y).filter(|o| o.is_ne()))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    /// Flattens the model into a single vector `[c₀…, c₁…, …]` — the shape
+    /// the sample-and-aggregate averaging step consumes.
+    pub fn flatten(&self) -> Vec<f64> {
+        self.centers.iter().flatten().copied().collect()
+    }
+
+    /// Rebuilds a model from a flattened center vector of `k · d` values.
+    ///
+    /// Returns `None` when the length is not a multiple of `k` or `k == 0`.
+    pub fn from_flat(flat: &[f64], k: usize) -> Option<KMeansModel> {
+        if k == 0 || !flat.len().is_multiple_of(k) {
+            return None;
+        }
+        let d = flat.len() / k;
+        let centers = flat.chunks(d).map(|c| c.to_vec()).collect();
+        Some(KMeansModel {
+            centers,
+            iterations_run: 0,
+        })
+    }
+}
+
+fn nearest_center(point: &[f64], centers: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centers.iter().enumerate() {
+        let d = squared_distance(point, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: first center uniform, subsequent centers sampled
+/// with probability proportional to squared distance from chosen centers.
+fn seed_plus_plus<R: Rng + ?Sized>(
+    data: &[Vec<f64>],
+    k: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(data[rng.random_range(0..data.len())].clone());
+    let mut d2: Vec<f64> = data
+        .iter()
+        .map(|p| squared_distance(p, &centers[0]))
+        .collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centers: duplicate one so
+            // the output dimension stays k·d.
+            data[rng.random_range(0..data.len())].clone()
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = data.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            data[chosen].clone()
+        };
+        for (i, p) in data.iter().enumerate() {
+            d2[i] = d2[i].min(squared_distance(p, &next));
+        }
+        centers.push(next);
+    }
+    centers
+}
+
+/// Runs Lloyd's algorithm with k-means++ seeding and returns the fitted,
+/// canonically ordered model.
+///
+/// With fewer points than `k`, surplus centers duplicate existing points
+/// so the output dimension is always `k · d`. Empty input yields `k`
+/// all-zero centers of dimension 0 — callers should guard, but the
+/// function never panics (a hostile block must not crash the runtime).
+pub fn kmeans<R: Rng + ?Sized>(data: &[Vec<f64>], config: KMeansConfig, rng: &mut R) -> KMeansModel {
+    let k = config.k.max(1);
+    if data.is_empty() {
+        return KMeansModel {
+            centers: vec![Vec::new(); k],
+            iterations_run: 0,
+        };
+    }
+    let d = data[0].len();
+    let mut centers = seed_plus_plus(data, k, rng);
+    let mut iterations_run = 0;
+
+    for _ in 0..config.max_iterations {
+        iterations_run += 1;
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for point in data {
+            let (c, _) = nearest_center(point, &centers);
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(point) {
+                *s += x;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at a random point to keep k live
+                // centers.
+                let p = data[rng.random_range(0..data.len())].clone();
+                movement += squared_distance(&centers[c], &p);
+                centers[c] = p;
+                continue;
+            }
+            let new_center: Vec<f64> =
+                sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += squared_distance(&centers[c], &new_center);
+            centers[c] = new_center;
+        }
+        if movement.sqrt() < config.tolerance {
+            break;
+        }
+    }
+
+    let mut model = KMeansModel {
+        centers,
+        iterations_run,
+    };
+    model.canonicalize();
+    model
+}
+
+/// Normalized intra-cluster variance `1/n · Σᵢ min_c ‖xᵢ − c‖²` — the
+/// quality metric of Figures 4 and 5.
+pub fn intra_cluster_variance(data: &[Vec<f64>], centers: &[Vec<f64>]) -> f64 {
+    if data.is_empty() || centers.is_empty() {
+        return 0.0;
+    }
+    data.iter()
+        .map(|p| nearest_center(p, centers).1)
+        .sum::<f64>()
+        / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC1)
+    }
+
+    /// Three well-separated 2-D blobs.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut r = rng();
+        let mut data = Vec::new();
+        for &(cx, cy) in &[(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)] {
+            for _ in 0..100 {
+                data.push(vec![
+                    cx + r.random::<f64>() - 0.5,
+                    cy + r.random::<f64>() - 0.5,
+                ]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let data = blobs();
+        let model = kmeans(
+            &data,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        let mut found = [false; 3];
+        for c in model.centers() {
+            for (i, &(cx, cy)) in [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)].iter().enumerate() {
+                if (c[0] - cx).abs() < 1.0 && (c[1] - cy).abs() < 1.0 {
+                    found[i] = true;
+                }
+            }
+        }
+        assert_eq!(found, [true; 3], "centers = {:?}", model.centers());
+    }
+
+    #[test]
+    fn centers_are_canonically_ordered() {
+        let data = blobs();
+        let model = kmeans(
+            &data,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        for pair in model.centers().windows(2) {
+            assert!(pair[0][0] <= pair[1][0]);
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let data = blobs();
+        let model = kmeans(
+            &data,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        let flat = model.flatten();
+        assert_eq!(flat.len(), 6);
+        let rebuilt = KMeansModel::from_flat(&flat, 3).unwrap();
+        assert_eq!(rebuilt.centers(), model.centers());
+    }
+
+    #[test]
+    fn from_flat_rejects_bad_shapes() {
+        assert!(KMeansModel::from_flat(&[1.0, 2.0, 3.0], 2).is_none());
+        assert!(KMeansModel::from_flat(&[1.0], 0).is_none());
+    }
+
+    #[test]
+    fn icv_is_zero_at_data_points() {
+        let data = vec![vec![1.0, 1.0], vec![5.0, 5.0]];
+        let centers = data.clone();
+        assert_eq!(intra_cluster_variance(&data, &centers), 0.0);
+    }
+
+    #[test]
+    fn icv_decreases_with_more_clusters() {
+        let data = blobs();
+        let m1 = kmeans(
+            &data,
+            KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        let m3 = kmeans(
+            &data,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        assert!(
+            intra_cluster_variance(&data, m3.centers())
+                < intra_cluster_variance(&data, m1.centers())
+        );
+    }
+
+    #[test]
+    fn fewer_points_than_k_keeps_dimension() {
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let model = kmeans(
+            &data,
+            KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        assert_eq!(model.centers().len(), 5);
+        assert_eq!(model.flatten().len(), 10);
+    }
+
+    #[test]
+    fn empty_input_does_not_panic() {
+        let model = kmeans(&[], KMeansConfig::default(), &mut rng());
+        assert_eq!(model.centers().len(), 3);
+    }
+
+    #[test]
+    fn identical_points_converge_immediately() {
+        let data = vec![vec![2.0, 2.0]; 20];
+        let model = kmeans(
+            &data,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        for c in model.centers() {
+            assert_eq!(c, &vec![2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn assign_picks_nearest() {
+        let model = KMeansModel::from_flat(&[0.0, 0.0, 10.0, 10.0], 2).unwrap();
+        assert_eq!(model.assign(&[1.0, 1.0]), 0);
+        assert_eq!(model.assign(&[9.0, 9.0]), 1);
+    }
+
+    #[test]
+    fn respects_max_iterations() {
+        let data = blobs();
+        let model = kmeans(
+            &data,
+            KMeansConfig {
+                k: 3,
+                max_iterations: 2,
+                tolerance: 0.0,
+            },
+            &mut rng(),
+        );
+        assert!(model.iterations_run() <= 2);
+    }
+}

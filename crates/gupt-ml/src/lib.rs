@@ -1,0 +1,37 @@
+//! Black-box analyst programs used in GUPT's evaluation.
+//!
+//! GUPT's central claim (§1.1) is that it privatizes *unmodified* analysis
+//! programs. The programs in this crate are therefore written with no
+//! knowledge of differential privacy: they are ordinary statistics and
+//! machine-learning routines over row-major `&[Vec<f64>]` data, exactly
+//! the kind of third-party binary the paper wraps (scipy k-means, the MSR
+//! OWL-QN logistic-regression package).
+//!
+//! - [`stats`]: mean, variance, median, percentiles — the §7.2 queries.
+//! - [`mod@kmeans`]: Lloyd's algorithm with k-means++ seeding and the
+//!   canonical first-coordinate center ordering required for
+//!   sample-and-aggregate averaging (§8).
+//! - [`logistic`]: L1/L2-regularised logistic regression via proximal
+//!   gradient (an OWL-QN-class optimizer), standing in for the MSR
+//!   package used in §7.1.
+//! - [`linreg`]: ordinary least squares, an approximately normal
+//!   statistic in the sense of Smith (STOC 2011).
+//! - [`linalg`]: the small dense-matrix kernel shared by the above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod kmeans;
+pub mod linalg;
+pub mod linreg;
+pub mod logistic;
+pub mod pca;
+pub mod stats;
+
+pub use histogram::Histogram;
+pub use kmeans::{intra_cluster_variance, kmeans, KMeansConfig, KMeansModel};
+pub use linreg::{linear_regression, LinearModel};
+pub use logistic::{train_logistic, LogisticConfig, LogisticModel};
+pub use pca::{first_principal_component, PrincipalComponent};
+pub use stats::{covariance, mean, median, percentile, std_dev, variance};

@@ -1,0 +1,129 @@
+//! Minimal dense linear algebra shared by the regression programs.
+//!
+//! A full BLAS is deliberately out of scope: the analyst programs in the
+//! paper operate on 10-dimensional feature vectors, so a straightforward
+//! partial-pivoting solver is both sufficient and easy to audit.
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Dot product of two equal-length vectors.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Solves the dense linear system `A·x = b` in place using Gaussian
+/// elimination with partial pivoting. `a` is row-major `n × n`.
+///
+/// Returns `None` when the matrix is numerically singular (pivot below
+/// `1e-12` after scaling).
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    if a.len() != n || a.iter().any(|row| row.len() != n) {
+        return None;
+    }
+    for col in 0..n {
+        // Partial pivot: largest |a[row][col]| for row ≥ col.
+        let pivot_row = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let pivot = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_distance_basic() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(squared_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        let empty: [f64; 0] = [];
+        assert_eq!(dot(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear_system(a, vec![3.0, -2.0]).unwrap();
+        assert_eq!(x, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_linear_system(a, vec![5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_3x3_known_solution() {
+        // A·[1, -2, 3]ᵀ with A below.
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let xs = [1.0, -2.0, 3.0];
+        let b: Vec<f64> = a.iter().map(|row| dot(row, &xs)).collect();
+        let x = solve_linear_system(a, b).unwrap();
+        for (got, want) in x.iter().zip(xs) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear_system(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = vec![vec![1.0, 0.0]];
+        assert!(solve_linear_system(a, vec![1.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Ordinary least squares linear regression.
+//!
+//! OLS coefficients are a maximum-likelihood estimator and hence an
+//! *approximately normal statistic* in the sense of Smith (STOC 2011) —
+//! exactly the class for which GUPT's utility theorem (Appendix A)
+//! applies. The regression examples and tests use it to exercise the
+//! convergence guarantee.
+//!
+//! Data layout matches [`crate::logistic`]: each row is `[x₁…x_d, y]`.
+
+use crate::linalg::{dot, solve_linear_system};
+
+/// A fitted linear model `ŷ = w·x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    /// Feature coefficients followed by the intercept.
+    pub weights: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Builds a model from a flat weight vector.
+    pub fn from_flat(weights: &[f64]) -> LinearModel {
+        LinearModel {
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// Flattens the model for aggregation.
+    pub fn flatten(&self) -> Vec<f64> {
+        self.weights.clone()
+    }
+
+    /// Predicts the response for `features`.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let d = self.weights.len() - 1;
+        dot(&self.weights[..d], &features[..d]) + self.weights[d]
+    }
+
+    /// Mean squared prediction error over rows of shape `[x…, y]`.
+    pub fn mse(&self, rows: &[Vec<f64>]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter()
+            .map(|row| {
+                let (x, y) = row.split_at(row.len() - 1);
+                (self.predict(x) - y[0]).powi(2)
+            })
+            .sum::<f64>()
+            / rows.len() as f64
+    }
+}
+
+/// Fits OLS with a small ridge term for numerical stability
+/// (`(XᵀX + λI)w = Xᵀy` with λ = 1e-9·n).
+///
+/// Returns an all-zero model on empty input or a singular system — a
+/// hostile or degenerate block must not crash the runtime.
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+pub fn linear_regression(rows: &[Vec<f64>]) -> LinearModel {
+    let Some(first) = rows.first() else {
+        return LinearModel { weights: vec![0.0] };
+    };
+    let d = first.len().saturating_sub(1);
+    let n = rows.len();
+    // Design matrix has an implicit trailing 1-column for the intercept.
+    let dim = d + 1;
+    let mut xtx = vec![vec![0.0; dim]; dim];
+    let mut xty = vec![0.0; dim];
+    for row in rows {
+        let (x, y) = row.split_at(d);
+        for i in 0..dim {
+            let xi = if i < d { x[i] } else { 1.0 };
+            xty[i] += xi * y[0];
+            for j in i..dim {
+                let xj = if j < d { x[j] } else { 1.0 };
+                xtx[i][j] += xi * xj;
+            }
+        }
+    }
+    // Mirror the upper triangle and add the ridge term.
+    let ridge = 1e-9 * n as f64;
+    for i in 0..dim {
+        xtx[i][i] += ridge;
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+    }
+    match solve_linear_system(xtx, xty) {
+        Some(weights) => LinearModel { weights },
+        None => LinearModel {
+            weights: vec![0.0; dim],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    #[test]
+    fn exact_fit_on_noiseless_line() {
+        // y = 2x + 3
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64 + 3.0]).collect();
+        let m = linear_regression(&rows);
+        assert!((m.weights[0] - 2.0).abs() < 1e-6);
+        assert!((m.weights[1] - 3.0).abs() < 1e-4);
+        assert!(m.mse(&rows) < 1e-8);
+    }
+
+    #[test]
+    fn multivariate_recovery() {
+        // y = 1.5·x₀ − 2·x₁ + 0.5, noisy.
+        let mut r = StdRng::seed_from_u64(10);
+        let rows: Vec<Vec<f64>> = (0..2000)
+            .map(|_| {
+                let x0 = r.random::<f64>() * 4.0 - 2.0;
+                let x1 = r.random::<f64>() * 4.0 - 2.0;
+                let noise = (r.random::<f64>() - 0.5) * 0.1;
+                vec![x0, x1, 1.5 * x0 - 2.0 * x1 + 0.5 + noise]
+            })
+            .collect();
+        let m = linear_regression(&rows);
+        assert!((m.weights[0] - 1.5).abs() < 0.01);
+        assert!((m.weights[1] + 2.0).abs() < 0.01);
+        assert!((m.weights[2] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_input_yields_zero_model() {
+        let m = linear_regression(&[]);
+        assert_eq!(m.weights, vec![0.0]);
+    }
+
+    #[test]
+    fn constant_response() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 7.0]).collect();
+        let m = linear_regression(&rows);
+        assert!(m.weights[0].abs() < 1e-6);
+        assert!((m.weights[1] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_feature_does_not_panic() {
+        // x is constant → XᵀX nearly singular; ridge keeps it solvable.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![1.0, i as f64]).collect();
+        let m = linear_regression(&rows);
+        assert_eq!(m.weights.len(), 2);
+        assert!(m.weights.iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 3.0 * i as f64]).collect();
+        let m = linear_regression(&rows);
+        assert_eq!(LinearModel::from_flat(&m.flatten()), m);
+    }
+
+    #[test]
+    fn mse_empty_is_zero() {
+        let m = LinearModel::from_flat(&[1.0, 0.0]);
+        assert_eq!(m.mse(&[]), 0.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! L1/L2-regularised logistic regression.
+//!
+//! Stands in for the Microsoft Research OWL-QN package (*Orthant-Wise
+//! Limited-memory Quasi-Newton Optimizer for L1-regularized Objectives*)
+//! that the paper runs as a black box in §7.1. The optimizer here is
+//! proximal gradient descent: full-batch gradient steps on the smooth
+//! part (log-loss + L2), followed by the soft-thresholding proximal
+//! operator for the L1 term — the same orthant-wise objective OWL-QN
+//! minimises, at a scale where first-order methods are entirely adequate
+//! (the evaluation dataset is 10-dimensional).
+//!
+//! Data layout: each row is `[x₁, …, x_d, y]` with label `y ∈ {0, 1}` in
+//! the final column, matching how GUPT pipes dataset slices to analyst
+//! programs.
+
+use crate::linalg::dot;
+
+/// Hyper-parameters for [`train_logistic`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticConfig {
+    /// L2 regularisation strength λ₂ (applied to all weights except the
+    /// intercept).
+    pub l2: f64,
+    /// L1 regularisation strength λ₁ (orthant-wise term; intercept
+    /// excluded).
+    pub l1: f64,
+    /// Number of full-batch gradient epochs.
+    pub epochs: usize,
+    /// Initial learning rate; decays as `lr / (1 + t/epochs)`.
+    pub learning_rate: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            l2: 1e-4,
+            l1: 0.0,
+            epochs: 400,
+            learning_rate: 1.0,
+        }
+    }
+}
+
+/// A trained logistic-regression model.
+///
+/// `weights` has length `d + 1`: `d` feature coefficients followed by the
+/// intercept. The flat layout is what sample-and-aggregate averages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticModel {
+    /// Feature weights followed by the intercept.
+    pub weights: Vec<f64>,
+}
+
+impl LogisticModel {
+    /// Builds a model from a flat weight vector (as produced by
+    /// [`LogisticModel::flatten`] or by SAF aggregation).
+    pub fn from_flat(weights: &[f64]) -> LogisticModel {
+        LogisticModel {
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// Flattens the model for aggregation.
+    pub fn flatten(&self) -> Vec<f64> {
+        self.weights.clone()
+    }
+
+    /// Number of features (excludes the intercept).
+    pub fn dimension(&self) -> usize {
+        self.weights.len().saturating_sub(1)
+    }
+
+    /// Predicted probability that `features` has label 1.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        let d = self.dimension();
+        let z = dot(&self.weights[..d], &features[..d]) + self.weights[d];
+        sigmoid(z)
+    }
+
+    /// Predicted class label (threshold 0.5).
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        if self.predict_proba(features) >= 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of rows (`[x…, y]` layout) whose label the model predicts
+    /// correctly — the accuracy metric of Figure 3.
+    pub fn accuracy(&self, rows: &[Vec<f64>]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let correct = rows
+            .iter()
+            .filter(|row| {
+                let (features, label) = row.split_at(row.len() - 1);
+                self.predict(features) == label[0]
+            })
+            .count();
+        correct as f64 / rows.len() as f64
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Soft-thresholding proximal operator for the L1 term.
+#[inline]
+fn soft_threshold(w: f64, t: f64) -> f64 {
+    if w > t {
+        w - t
+    } else if w < -t {
+        w + t
+    } else {
+        0.0
+    }
+}
+
+/// Trains a logistic-regression model on rows of shape `[x₁…x_d, y]`.
+///
+/// Deterministic (initialises at zero, full-batch updates): identical
+/// blocks produce identical models, which keeps SAF block outputs
+/// comparable. Empty input or rows with no features yield an all-zero
+/// 1-weight model rather than panicking.
+pub fn train_logistic(rows: &[Vec<f64>], config: LogisticConfig) -> LogisticModel {
+    let Some(first) = rows.first() else {
+        return LogisticModel {
+            weights: vec![0.0],
+        };
+    };
+    let d = first.len().saturating_sub(1);
+    let n = rows.len() as f64;
+    let mut w = vec![0.0; d + 1]; // last entry = intercept
+
+    for epoch in 0..config.epochs {
+        let lr = config.learning_rate / (1.0 + epoch as f64 / config.epochs.max(1) as f64);
+        let mut grad = vec![0.0; d + 1];
+        for row in rows {
+            let (x, y) = row.split_at(d);
+            let err = sigmoid(dot(&w[..d], x) + w[d]) - y[0];
+            for j in 0..d {
+                grad[j] += err * x[j];
+            }
+            grad[d] += err;
+        }
+        for j in 0..d {
+            grad[j] = grad[j] / n + config.l2 * w[j];
+        }
+        grad[d] /= n;
+        for j in 0..=d {
+            w[j] -= lr * grad[j];
+        }
+        if config.l1 > 0.0 {
+            let t = lr * config.l1;
+            for wj in w.iter_mut().take(d) {
+                *wj = soft_threshold(*wj, t);
+            }
+        }
+    }
+    LogisticModel { weights: w }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    /// Linearly separable 2-D problem: label = 1 iff x₀ + x₁ > 1.
+    fn separable(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut r = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x0: f64 = r.random::<f64>() * 2.0 - 1.0;
+                let x1: f64 = r.random::<f64>() * 2.0 - 1.0;
+                let y = if x0 + x1 > 1.0 { 1.0 } else { 0.0 };
+                vec![x0, x1, y]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(40.0) > 0.999);
+        assert!(sigmoid(-40.0) < 0.001);
+        // No overflow at extremes.
+        assert!(sigmoid(1e4).is_finite());
+        assert!(sigmoid(-1e4).is_finite());
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn learns_separable_problem() {
+        let data = separable(2000, 1);
+        let model = train_logistic(&data, LogisticConfig::default());
+        assert!(
+            model.accuracy(&data) > 0.95,
+            "accuracy = {}",
+            model.accuracy(&data)
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = separable(500, 2);
+        let a = train_logistic(&data, LogisticConfig::default());
+        let b = train_logistic(&data, LogisticConfig::default());
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn empty_input_yields_trivial_model() {
+        let model = train_logistic(&[], LogisticConfig::default());
+        assert_eq!(model.weights, vec![0.0]);
+        assert_eq!(model.accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn l1_produces_sparser_weights() {
+        // Add 8 pure-noise features; L1 should zero more of them out.
+        let mut r = StdRng::seed_from_u64(3);
+        let data: Vec<Vec<f64>> = separable(1500, 4)
+            .into_iter()
+            .map(|row| {
+                let mut v = vec![row[0], row[1]];
+                v.extend((0..8).map(|_| r.random::<f64>() * 2.0 - 1.0));
+                v.push(row[2]);
+                v
+            })
+            .collect();
+        let dense = train_logistic(
+            &data,
+            LogisticConfig {
+                l1: 0.0,
+                ..Default::default()
+            },
+        );
+        let sparse = train_logistic(
+            &data,
+            LogisticConfig {
+                l1: 0.05,
+                ..Default::default()
+            },
+        );
+        let nnz = |m: &LogisticModel| m.weights[..10].iter().filter(|w| w.abs() > 1e-6).count();
+        assert!(
+            nnz(&sparse) < nnz(&dense),
+            "sparse nnz {} !< dense nnz {}",
+            nnz(&sparse),
+            nnz(&dense)
+        );
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let data = separable(1000, 5);
+        let free = train_logistic(
+            &data,
+            LogisticConfig {
+                l2: 0.0,
+                ..Default::default()
+            },
+        );
+        let ridge = train_logistic(
+            &data,
+            LogisticConfig {
+                l2: 1.0,
+                ..Default::default()
+            },
+        );
+        let norm = |m: &LogisticModel| m.weights[..2].iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&ridge) < norm(&free));
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let data = separable(300, 6);
+        let model = train_logistic(&data, LogisticConfig::default());
+        let rebuilt = LogisticModel::from_flat(&model.flatten());
+        assert_eq!(rebuilt, model);
+        assert_eq!(rebuilt.dimension(), 2);
+    }
+
+    #[test]
+    fn predict_matches_probability_threshold() {
+        let model = LogisticModel::from_flat(&[2.0, 0.0, 0.0]); // w = [2, 0], b = 0
+        assert_eq!(model.predict(&[1.0, 0.0]), 1.0); // σ(2) > 0.5
+        assert_eq!(model.predict(&[-1.0, 0.0]), 0.0); // σ(-2) < 0.5
+        assert!((model.predict_proba(&[0.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaged_block_models_still_classify() {
+        // Emulates SAF: average two block models and check the aggregate
+        // still separates the data.
+        let d1 = separable(800, 7);
+        let d2 = separable(800, 8);
+        let m1 = train_logistic(&d1, LogisticConfig::default());
+        let m2 = train_logistic(&d2, LogisticConfig::default());
+        let avg: Vec<f64> = m1
+            .weights
+            .iter()
+            .zip(&m2.weights)
+            .map(|(a, b)| (a + b) / 2.0)
+            .collect();
+        let model = LogisticModel::from_flat(&avg);
+        let test = separable(1000, 9);
+        assert!(model.accuracy(&test) > 0.9);
+    }
+}

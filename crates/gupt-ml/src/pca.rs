@@ -1,0 +1,197 @@
+//! First principal component via power iteration.
+//!
+//! The leading eigenvector of the sample covariance is an approximately
+//! normal statistic (it is a smooth function of sample moments), making
+//! it a good sample-and-aggregate citizen. Canonicalisation matters even
+//! more than for k-means: an eigenvector's sign is arbitrary, so block
+//! outputs are normalised to a positive leading coordinate before
+//! averaging — the §8 ordering concern in one dimension.
+
+use crate::linalg::dot;
+
+/// Result of a principal-component extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrincipalComponent {
+    /// Unit-norm direction, sign-canonicalised (first non-zero
+    /// coordinate positive).
+    pub direction: Vec<f64>,
+    /// The associated eigenvalue (variance along the direction).
+    pub variance: f64,
+}
+
+/// Extracts the first principal component of row-major `data` by power
+/// iteration on the covariance matrix (`iterations` steps, which is
+/// plenty for a dominant eigengap).
+///
+/// Degenerate inputs (fewer than 2 rows, zero variance) return the unit
+/// vector along the first axis with variance 0 — a fixed, in-range
+/// output that cannot crash the runtime.
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+pub fn first_principal_component(data: &[Vec<f64>], iterations: usize) -> PrincipalComponent {
+    let d = data.first().map_or(0, Vec::len);
+    if data.len() < 2 || d == 0 {
+        let mut direction = vec![0.0; d.max(1)];
+        direction[0] = 1.0;
+        return PrincipalComponent {
+            direction,
+            variance: 0.0,
+        };
+    }
+    let n = data.len() as f64;
+    let mean: Vec<f64> = (0..d)
+        .map(|j| data.iter().map(|r| r[j]).sum::<f64>() / n)
+        .collect();
+    // Covariance matrix (upper triangle mirrored).
+    let mut cov = vec![vec![0.0; d]; d];
+    for row in data {
+        for i in 0..d {
+            let xi = row[i] - mean[i];
+            for j in i..d {
+                cov[i][j] += xi * (row[j] - mean[j]);
+            }
+        }
+    }
+    for i in 0..d {
+        for j in i..d {
+            cov[i][j] /= n;
+            cov[j][i] = cov[i][j];
+        }
+    }
+
+    // Power iteration from a deterministic, non-degenerate start.
+    let mut v: Vec<f64> = (0..d).map(|j| 1.0 / (j as f64 + 1.0)).collect();
+    normalize(&mut v);
+    for _ in 0..iterations.max(1) {
+        let mut next: Vec<f64> = (0..d).map(|i| dot(&cov[i], &v)).collect();
+        if normalize(&mut next) == 0.0 {
+            break; // zero covariance: keep the previous direction
+        }
+        v = next;
+    }
+    canonicalize_sign(&mut v);
+    let variance = dot(&v, &(0..d).map(|i| dot(&cov[i], &v)).collect::<Vec<_>>());
+    PrincipalComponent {
+        direction: v,
+        variance: variance.max(0.0),
+    }
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+/// Flips the vector so its first coordinate of non-trivial magnitude is
+/// positive, making independently computed components averageable.
+fn canonicalize_sign(v: &mut [f64]) {
+    if let Some(&lead) = v.iter().find(|x| x.abs() > 1e-12) {
+        if lead < 0.0 {
+            for x in v.iter_mut() {
+                *x = -*x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    /// Data stretched along a known direction.
+    fn stretched(direction: &[f64], n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut r = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let t: f64 = (r.random::<f64>() - 0.5) * 10.0;
+                let noise: Vec<f64> = direction
+                    .iter()
+                    .map(|_| (r.random::<f64>() - 0.5) * 0.2)
+                    .collect();
+                direction
+                    .iter()
+                    .zip(noise)
+                    .map(|(d, e)| t * d + e)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_dominant_direction() {
+        let truth = [0.6, 0.8];
+        let data = stretched(&truth, 2000, 1);
+        let pc = first_principal_component(&data, 50);
+        let alignment = dot(&pc.direction, &truth).abs();
+        assert!(alignment > 0.999, "alignment = {alignment}");
+        // Variance along the direction ≈ Var(t) = 100/12 ≈ 8.33.
+        assert!((pc.variance - 100.0 / 12.0).abs() < 1.0, "{}", pc.variance);
+    }
+
+    #[test]
+    fn direction_is_unit_norm() {
+        let data = stretched(&[1.0, 0.0, 0.0], 500, 2);
+        let pc = first_principal_component(&data, 30);
+        let norm = dot(&pc.direction, &pc.direction).sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sign_is_canonical_across_blocks() {
+        // Two disjoint halves must produce near-identical (not negated)
+        // directions — the SAF averaging prerequisite.
+        let data = stretched(&[-0.707, 0.707], 2000, 3);
+        let a = first_principal_component(&data[..1000], 40);
+        let b = first_principal_component(&data[1000..], 40);
+        assert!(
+            dot(&a.direction, &b.direction) > 0.99,
+            "{:?} vs {:?}",
+            a.direction,
+            b.direction
+        );
+        assert!(a.direction[0] > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        let empty = first_principal_component(&[], 10);
+        assert_eq!(empty.direction, vec![1.0]);
+        assert_eq!(empty.variance, 0.0);
+
+        let single = first_principal_component(&[vec![3.0, 4.0]], 10);
+        assert_eq!(single.direction, vec![1.0, 0.0]);
+
+        let constant = first_principal_component(&vec![vec![2.0, 2.0]; 10], 10);
+        assert!(constant.variance.abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_matches_axis_aligned_case() {
+        // x-axis variance 4, y-axis variance 1 → PC1 = x-axis, λ = 4.
+        let mut r = StdRng::seed_from_u64(4);
+        let data: Vec<Vec<f64>> = (0..20_000)
+            .map(|_| {
+                vec![
+                    crate_normal(&mut r) * 2.0,
+                    crate_normal(&mut r),
+                ]
+            })
+            .collect();
+        let pc = first_principal_component(&data, 60);
+        assert!(pc.direction[0].abs() > 0.99, "{:?}", pc.direction);
+        assert!((pc.variance - 4.0).abs() < 0.2, "{}", pc.variance);
+    }
+
+    fn crate_normal(r: &mut StdRng) -> f64 {
+        // Box-Muller (duplicated locally to avoid a test-only dependency
+        // on gupt-datasets).
+        let u1: f64 = r.random::<f64>().max(1e-12);
+        let u2: f64 = r.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}

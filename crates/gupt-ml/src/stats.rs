@@ -1,0 +1,157 @@
+//! Non-private descriptive statistics.
+//!
+//! These are the §7.2 analyst queries (mean and median of a single
+//! attribute) plus the helpers the other programs share. They are plain
+//! statistics — privacy comes entirely from the GUPT runtime wrapping
+//! them.
+
+/// Arithmetic mean. Returns 0.0 on empty input (the clamping layer in the
+/// runtime makes the choice of sentinel irrelevant to privacy).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance `1/n · Σ (x − mean)²`.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Exact median (average of the two central order statistics for even
+/// lengths). Returns 0.0 on empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Exact `p`-th percentile with linear interpolation between order
+/// statistics (the NIST/Excel "inclusive" convention). `p` is clamped to
+/// `[0, 100]`. Returns 0.0 on empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0) / 100.0;
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Sample covariance between two equal-length series
+/// (`1/n · Σ (x−x̄)(y−ȳ)`). Returns 0.0 when lengths differ or are zero.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.is_empty() || xs.len() != ys.len() {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.len() as f64
+}
+
+/// Extracts column `j` of a row-major dataset.
+pub fn column(rows: &[Vec<f64>], j: usize) -> Vec<f64> {
+    rows.iter().map(|r| r[j]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn variance_basic() {
+        // Var([2,4,4,4,5,5,7,9]) = 4 (classic example).
+        assert!((variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_variance() {
+        let xs = [1.0, 3.0, 5.0, 7.0];
+        assert!((std_dev(&xs) - variance(&xs).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[9.0]), 9.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(percentile(&xs, 50.0), 25.0);
+        // 25th percentile: rank 0.75 → 10 + 0.75·10 = 17.5.
+        assert!((percentile(&xs, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_clamps_rank() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -5.0), 1.0);
+        assert_eq!(percentile(&xs, 200.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [50.0, 10.0, 40.0, 20.0, 30.0];
+        assert_eq!(percentile(&xs, 50.0), 30.0);
+    }
+
+    #[test]
+    fn covariance_basic() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        // Cov = E[(x-2)(y-4)] = (1·2 + 0 + 1·2)/3 = 4/3.
+        assert!((covariance(&xs, &ys) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(covariance(&xs, &ys[..2]), 0.0);
+        assert_eq!(covariance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn covariance_of_independent_is_zero() {
+        let xs = [1.0, -1.0, 1.0, -1.0];
+        let ys = [1.0, 1.0, -1.0, -1.0];
+        assert!(covariance(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(column(&rows, 0), vec![1.0, 3.0]);
+        assert_eq!(column(&rows, 1), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,435 @@
+//! Chamber execution: one untrusted program, one block, full isolation.
+//!
+//! A [`Chamber`] is the in-process analogue of the paper's AppArmor-
+//! confined worker. It enforces the [`crate::policy::ChamberPolicy`]
+//! contract: bounded execution, kill + in-range constant on overrun,
+//! panic containment, fixed output arity, fresh scratch per invocation,
+//! and optional constant-time padding. A [`ChamberPool`] dispatches many
+//! blocks across worker threads, giving GUPT its automatic parallelism.
+
+use crate::policy::ChamberPolicy;
+use crate::program::BlockProgram;
+use crate::scratch::Scratch;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// How a chamber invocation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChamberOutcome {
+    /// The program returned within its budget.
+    Completed,
+    /// The program exceeded its execution budget and was killed; the
+    /// output is the policy's fallback constant.
+    TimedOut,
+    /// The program panicked; the output is the policy's fallback constant.
+    Panicked,
+}
+
+/// The result of one chamber invocation.
+#[derive(Debug, Clone)]
+pub struct ChamberReport {
+    /// Program output, normalised to the declared output dimension.
+    pub output: Vec<f64>,
+    /// How the invocation ended.
+    pub outcome: ChamberOutcome,
+    /// Wall-clock time the chamber occupied, including padding. Under a
+    /// padding policy this is data-independent by construction.
+    pub elapsed: Duration,
+}
+
+/// An isolated execution chamber.
+#[derive(Debug, Clone, Default)]
+pub struct Chamber {
+    policy: ChamberPolicy,
+}
+
+impl Chamber {
+    /// Creates a chamber with the given policy.
+    pub fn new(policy: ChamberPolicy) -> Self {
+        Chamber { policy }
+    }
+
+    /// The chamber's policy.
+    pub fn policy(&self) -> &ChamberPolicy {
+        &self.policy
+    }
+
+    /// Executes `program` on `block` under the chamber policy.
+    ///
+    /// The block is moved into the chamber (mirroring the paper's data
+    /// piping into the sandboxed process): the program can never observe
+    /// or mutate runtime-owned memory.
+    pub fn execute(&self, program: Arc<dyn BlockProgram>, block: Vec<Vec<f64>>) -> ChamberReport {
+        let start = Instant::now();
+        let dim = program.output_dimension();
+        let fallback = vec![self.policy.fallback_value; dim];
+
+        let (output, outcome) = match self.policy.execution_budget {
+            None => self.run_inline(program.as_ref(), &block, &fallback),
+            Some(budget) => self.run_bounded(program, block, budget, &fallback),
+        };
+
+        let mut output = output;
+        normalize_arity(&mut output, dim, self.policy.fallback_value);
+
+        // Constant-time padding: consume the rest of the budget so the
+        // chamber's total occupancy is independent of the data.
+        if self.policy.pad_to_budget {
+            if let Some(budget) = self.policy.execution_budget {
+                let elapsed = start.elapsed();
+                if elapsed < budget {
+                    std::thread::sleep(budget - elapsed);
+                }
+            }
+        }
+
+        ChamberReport {
+            output,
+            outcome,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    fn run_inline(
+        &self,
+        program: &dyn BlockProgram,
+        block: &[Vec<f64>],
+        fallback: &[f64],
+    ) -> (Vec<f64>, ChamberOutcome) {
+        let mut scratch = match self.policy.scratch_quota {
+            Some(q) => Scratch::with_quota(q),
+            None => Scratch::new(),
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| program.run(block, &mut scratch)));
+        scratch.wipe();
+        match result {
+            Ok(out) => (out, ChamberOutcome::Completed),
+            Err(_) => (fallback.to_vec(), ChamberOutcome::Panicked),
+        }
+    }
+
+    fn run_bounded(
+        &self,
+        program: Arc<dyn BlockProgram>,
+        block: Vec<Vec<f64>>,
+        budget: Duration,
+        fallback: &[f64],
+    ) -> (Vec<f64>, ChamberOutcome) {
+        let quota = self.policy.scratch_quota;
+        let (tx, rx) = mpsc::channel::<Vec<f64>>();
+        // A dedicated worker thread, abandoned on overrun — the closest
+        // safe-Rust analogue to killing the confined process. A hostile
+        // program that ignores the kill keeps its thread, but its output
+        // is discarded and it holds no capabilities to leak through.
+        let handle = std::thread::Builder::new()
+            .name(format!("gupt-chamber-{}", program.name()))
+            .spawn(move || {
+                let mut scratch = match quota {
+                    Some(q) => Scratch::with_quota(q),
+                    None => Scratch::new(),
+                };
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| program.run(&block, &mut scratch)));
+                scratch.wipe();
+                if let Ok(out) = result {
+                    let _ = tx.send(out);
+                }
+                // On panic the sender is dropped: the receiver observes a
+                // disconnect and reports `Panicked`.
+            });
+        let handle = match handle {
+            Ok(h) => h,
+            Err(_) => return (fallback.to_vec(), ChamberOutcome::Panicked),
+        };
+
+        match rx.recv_timeout(budget) {
+            Ok(out) => {
+                // The worker is done (it sent before exiting); reap it.
+                let _ = handle.join();
+                (out, ChamberOutcome::Completed)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Kill: abandon the worker, emit the in-range constant.
+                (fallback.to_vec(), ChamberOutcome::TimedOut)
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let _ = handle.join();
+                (fallback.to_vec(), ChamberOutcome::Panicked)
+            }
+        }
+    }
+}
+
+/// Pads (with `fill`) or truncates `out` to exactly `dim` values, so a
+/// hostile program cannot signal through output arity (§8.1).
+fn normalize_arity(out: &mut Vec<f64>, dim: usize, fill: f64) {
+    out.resize(dim, fill);
+    // Non-finite outputs are replaced too: downstream clamping handles
+    // range, but NaN would poison the aggregate before clamping sees it.
+    for v in out.iter_mut() {
+        if !v.is_finite() {
+            *v = fill;
+        }
+    }
+}
+
+/// A pool of chambers executing many blocks in parallel.
+#[derive(Debug, Clone)]
+pub struct ChamberPool {
+    policy: ChamberPolicy,
+    workers: usize,
+}
+
+impl ChamberPool {
+    /// Creates a pool running under `policy` with `workers` threads
+    /// (clamped to at least 1).
+    pub fn new(policy: ChamberPolicy, workers: usize) -> Self {
+        ChamberPool {
+            policy,
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn with_default_parallelism(policy: ChamberPolicy) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        ChamberPool::new(policy, workers)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes `program` on every block, in parallel, preserving block
+    /// order in the returned reports.
+    pub fn run_all(
+        &self,
+        program: &Arc<dyn BlockProgram>,
+        blocks: Vec<Vec<Vec<f64>>>,
+        ) -> Vec<ChamberReport> {
+        let n = blocks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let blocks: Vec<std::sync::Mutex<Option<Vec<Vec<f64>>>>> = blocks
+            .into_iter()
+            .map(|b| std::sync::Mutex::new(Some(b)))
+            .collect();
+        let slots: Vec<std::sync::Mutex<Option<ChamberReport>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|_| {
+                    let chamber = Chamber::new(self.policy.clone());
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let block = blocks[i]
+                            .lock()
+                            .expect("block slot poisoned")
+                            .take()
+                            .expect("block taken twice");
+                        let report = chamber.execute(Arc::clone(program), block);
+                        *slots[i].lock().expect("report slot poisoned") = Some(report);
+                    }
+                });
+            }
+        })
+        .expect("chamber pool worker panicked");
+
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("report slot poisoned")
+                    .expect("worker left a block unprocessed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ClosureProgram;
+
+    fn sum_program() -> Arc<dyn BlockProgram> {
+        Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+            vec![block.iter().map(|r| r[0]).sum::<f64>()]
+        }))
+    }
+
+    #[test]
+    fn completes_well_behaved_program() {
+        let chamber = Chamber::new(ChamberPolicy::unbounded());
+        let report = chamber.execute(sum_program(), vec![vec![1.0], vec![2.0], vec![3.0]]);
+        assert_eq!(report.outcome, ChamberOutcome::Completed);
+        assert_eq!(report.output, vec![6.0]);
+    }
+
+    #[test]
+    fn contains_panics() {
+        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(2, |_: &[Vec<f64>]| {
+            panic!("hostile program")
+        }));
+        let chamber = Chamber::new(ChamberPolicy::unbounded().with_fallback(7.0));
+        let report = chamber.execute(p, vec![vec![1.0]]);
+        assert_eq!(report.outcome, ChamberOutcome::Panicked);
+        assert_eq!(report.output, vec![7.0, 7.0]);
+    }
+
+    #[test]
+    fn kills_overrunning_program() {
+        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| {
+            std::thread::sleep(Duration::from_secs(5));
+            vec![999.0]
+        }));
+        let chamber = Chamber::new(
+            ChamberPolicy::bounded(Duration::from_millis(20), 0.5).without_padding(),
+        );
+        let start = Instant::now();
+        let report = chamber.execute(p, vec![vec![1.0]]);
+        assert_eq!(report.outcome, ChamberOutcome::TimedOut);
+        assert_eq!(report.output, vec![0.5]);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn bounded_completion_within_budget() {
+        let chamber = Chamber::new(
+            ChamberPolicy::bounded(Duration::from_secs(5), 0.0).without_padding(),
+        );
+        let report = chamber.execute(sum_program(), vec![vec![4.0]]);
+        assert_eq!(report.outcome, ChamberOutcome::Completed);
+        assert_eq!(report.output, vec![4.0]);
+        assert!(report.elapsed < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn padding_makes_runtime_constant() {
+        let budget = Duration::from_millis(60);
+        let fast: Arc<dyn BlockProgram> =
+            Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| vec![1.0]));
+        let slow: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| {
+            std::thread::sleep(Duration::from_millis(30));
+            vec![1.0]
+        }));
+        let chamber = Chamber::new(ChamberPolicy::bounded(budget, 0.0));
+        let t_fast = chamber.execute(fast, vec![vec![0.0]]).elapsed;
+        let t_slow = chamber.execute(slow, vec![vec![0.0]]).elapsed;
+        // Both at least the budget, and within scheduling slop of each other.
+        assert!(t_fast >= budget && t_slow >= budget);
+        let diff = t_fast.abs_diff(t_slow);
+        assert!(diff < Duration::from_millis(25), "diff = {diff:?}");
+    }
+
+    #[test]
+    fn output_arity_is_enforced() {
+        let too_many: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(2, |_: &[Vec<f64>]| {
+            vec![1.0, 2.0, 3.0, 4.0]
+        }));
+        let too_few: Arc<dyn BlockProgram> =
+            Arc::new(ClosureProgram::new(3, |_: &[Vec<f64>]| vec![1.0]));
+        let chamber = Chamber::new(ChamberPolicy::unbounded().with_fallback(-1.0));
+        assert_eq!(
+            chamber.execute(too_many, vec![vec![0.0]]).output,
+            vec![1.0, 2.0]
+        );
+        assert_eq!(
+            chamber.execute(too_few, vec![vec![0.0]]).output,
+            vec![1.0, -1.0, -1.0]
+        );
+    }
+
+    #[test]
+    fn non_finite_outputs_replaced() {
+        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(3, |_: &[Vec<f64>]| {
+            vec![f64::NAN, f64::INFINITY, 1.0]
+        }));
+        let chamber = Chamber::new(ChamberPolicy::unbounded().with_fallback(0.0));
+        assert_eq!(chamber.execute(p, vec![vec![0.0]]).output, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn scratch_quota_overrun_contained_as_panic() {
+        // A scratch-hog program is terminated and the fallback emitted —
+        // the §6 resource bound.
+        struct Hog;
+        impl BlockProgram for Hog {
+            fn run(&self, _block: &[Vec<f64>], scratch: &mut crate::Scratch) -> Vec<f64> {
+                for i in 0.. {
+                    scratch.put(format!("k{i}"), vec![0.0; 1024]);
+                }
+                vec![1.0]
+            }
+            fn output_dimension(&self) -> usize {
+                1
+            }
+        }
+        let chamber = Chamber::new(
+            ChamberPolicy::unbounded()
+                .with_scratch_quota(16 * 1024)
+                .with_fallback(0.5),
+        );
+        let report = chamber.execute(Arc::new(Hog), vec![vec![1.0]]);
+        assert_eq!(report.outcome, ChamberOutcome::Panicked);
+        assert_eq!(report.output, vec![0.5]);
+    }
+
+    #[test]
+    fn pool_preserves_block_order() {
+        let pool = ChamberPool::new(ChamberPolicy::unbounded(), 4);
+        let blocks: Vec<Vec<Vec<f64>>> =
+            (0..32).map(|i| vec![vec![i as f64]]).collect();
+        let reports = pool.run_all(&sum_program(), blocks);
+        assert_eq!(reports.len(), 32);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.output, vec![i as f64], "block {i}");
+        }
+    }
+
+    #[test]
+    fn pool_empty_input() {
+        let pool = ChamberPool::new(ChamberPolicy::unbounded(), 2);
+        assert!(pool.run_all(&sum_program(), Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn pool_single_worker_still_works() {
+        let pool = ChamberPool::new(ChamberPolicy::unbounded(), 1);
+        let blocks: Vec<Vec<Vec<f64>>> = (0..5).map(|i| vec![vec![i as f64]]).collect();
+        let reports = pool.run_all(&sum_program(), blocks);
+        assert_eq!(reports.len(), 5);
+    }
+
+    #[test]
+    fn pool_contains_mixed_failures() {
+        // Program panics on blocks whose first value is negative.
+        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |b: &[Vec<f64>]| {
+            assert!(b[0][0] >= 0.0, "hostile trigger");
+            vec![b[0][0]]
+        }));
+        let pool = ChamberPool::new(ChamberPolicy::unbounded().with_fallback(-99.0), 3);
+        let blocks = vec![vec![vec![1.0]], vec![vec![-1.0]], vec![vec![2.0]]];
+        let reports = pool.run_all(&p, blocks);
+        assert_eq!(reports[0].outcome, ChamberOutcome::Completed);
+        assert_eq!(reports[1].outcome, ChamberOutcome::Panicked);
+        assert_eq!(reports[1].output, vec![-99.0]);
+        assert_eq!(reports[2].outcome, ChamberOutcome::Completed);
+    }
+
+    #[test]
+    fn default_parallelism_pool() {
+        let pool = ChamberPool::with_default_parallelism(ChamberPolicy::unbounded());
+        assert!(pool.workers() >= 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! The analyst-program abstraction.
+//!
+//! A [`BlockProgram`] is the *entire* interface an untrusted computation
+//! gets: a read-only data block and a chamber-private scratch space. In
+//! the paper the same boundary is enforced by AppArmor (the binary can
+//! only read the piped block and write its own scratch directory); here
+//! the boundary is the trait signature itself. In particular a program
+//! has no way to:
+//!
+//! - reach the privacy ledger (budget attacks are charged by the runtime,
+//!   never by the program),
+//! - message another chamber (no channels are handed in),
+//! - persist state across invocations (the scratch is created fresh and
+//!   wiped by the chamber).
+
+use crate::scratch::Scratch;
+
+/// An untrusted analyst computation over one data block.
+///
+/// Implementations must be `Send + Sync` because the chamber pool runs
+/// blocks on worker threads. The output must have a fixed dimension
+/// ([`BlockProgram::output_dimension`]) — the paper's §8.1 limitation:
+/// variable-dimension outputs (e.g. SVM support vectors) would leak
+/// through the dimension itself, so the runtime pads/clamps to a declared
+/// arity.
+pub trait BlockProgram: Send + Sync {
+    /// Runs the computation on `block`, using `scratch` for any
+    /// intermediate state.
+    fn run(&self, block: &[Vec<f64>], scratch: &mut Scratch) -> Vec<f64>;
+
+    /// The declared output arity `p`. The chamber truncates or pads
+    /// (with zeros) any output that disagrees, so a hostile program
+    /// cannot signal through output length.
+    fn output_dimension(&self) -> usize;
+
+    /// Human-readable program name for reports and logs.
+    fn name(&self) -> &str {
+        "anonymous-program"
+    }
+}
+
+/// Adapts a plain closure into a [`BlockProgram`].
+///
+/// This is the "run your existing code unmodified" entry point: any
+/// `Fn(&[Vec<f64>]) -> Vec<f64>` — a wrapped binary, a scipy-style
+/// routine, a statistics one-liner — becomes a chamber-executable
+/// program.
+pub struct ClosureProgram<F> {
+    f: F,
+    output_dimension: usize,
+    name: String,
+}
+
+impl<F> ClosureProgram<F>
+where
+    F: Fn(&[Vec<f64>]) -> Vec<f64> + Send + Sync,
+{
+    /// Wraps `f`, declaring its output arity.
+    pub fn new(output_dimension: usize, f: F) -> Self {
+        ClosureProgram {
+            f,
+            output_dimension,
+            name: "closure-program".to_string(),
+        }
+    }
+
+    /// Sets a human-readable name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl<F> BlockProgram for ClosureProgram<F>
+where
+    F: Fn(&[Vec<f64>]) -> Vec<f64> + Send + Sync,
+{
+    fn run(&self, block: &[Vec<f64>], _scratch: &mut Scratch) -> Vec<f64> {
+        (self.f)(block)
+    }
+
+    fn output_dimension(&self) -> usize {
+        self.output_dimension
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_program_runs() {
+        let p = ClosureProgram::new(1, |block: &[Vec<f64>]| {
+            vec![block.iter().map(|r| r[0]).sum::<f64>()]
+        });
+        let mut scratch = Scratch::new();
+        let out = p.run(&[vec![1.0], vec![2.0]], &mut scratch);
+        assert_eq!(out, vec![3.0]);
+        assert_eq!(p.output_dimension(), 1);
+    }
+
+    #[test]
+    fn named_program() {
+        let p = ClosureProgram::new(1, |_: &[Vec<f64>]| vec![0.0]).named("mean-age");
+        assert_eq!(p.name(), "mean-age");
+    }
+
+    #[test]
+    fn default_name() {
+        let p = ClosureProgram::new(2, |_: &[Vec<f64>]| vec![0.0, 0.0]);
+        assert_eq!(p.name(), "closure-program");
+    }
+
+    #[test]
+    fn trait_object_safe() {
+        let p: Box<dyn BlockProgram> =
+            Box::new(ClosureProgram::new(1, |_: &[Vec<f64>]| vec![1.0]));
+        let mut scratch = Scratch::new();
+        assert_eq!(p.run(&[], &mut scratch), vec![1.0]);
+    }
+}

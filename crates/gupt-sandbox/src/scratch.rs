@@ -1,0 +1,164 @@
+//! Chamber-private scratch space.
+//!
+//! The paper's AppArmor policy points each computation at "a temporary
+//! scratch space that is emptied upon program termination" (§6.1). The
+//! in-process analogue is a key-value store created fresh for every
+//! chamber invocation and explicitly wiped when the chamber finishes, so
+//! no state survives from one block to the next — the prerequisite for
+//! the state-attack defense.
+
+use std::collections::HashMap;
+
+/// A per-invocation scratch store for analyst programs.
+///
+/// Values are numeric vectors (the only data type crossing the chamber
+/// boundary anywhere in GUPT). An optional byte quota enforces §6's
+/// resource bound: a program that writes past it is terminated (the
+/// over-quota `put` panics; the chamber contains the panic and emits the
+/// in-range fallback constant), mirroring the kernel killing a
+/// disk-hogging confined process.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    store: HashMap<String, Vec<f64>>,
+    bytes_written: usize,
+    quota: Option<usize>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch space with no quota.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Creates a scratch space that terminates the program if more than
+    /// `quota` bytes are written over the invocation.
+    pub fn with_quota(quota: usize) -> Self {
+        Scratch {
+            quota: Some(quota),
+            ..Scratch::default()
+        }
+    }
+
+    /// The byte quota, if any.
+    pub fn quota(&self) -> Option<usize> {
+        self.quota
+    }
+
+    /// Stores a value under `key`, returning any previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics (terminating the chamber invocation) when the cumulative
+    /// bytes written exceed the configured quota.
+    pub fn put(&mut self, key: impl Into<String>, value: Vec<f64>) -> Option<Vec<f64>> {
+        self.bytes_written += value.len() * std::mem::size_of::<f64>();
+        if let Some(quota) = self.quota {
+            assert!(
+                self.bytes_written <= quota,
+                "scratch quota exceeded: {} > {quota} bytes",
+                self.bytes_written
+            );
+        }
+        self.store.insert(key.into(), value)
+    }
+
+    /// Reads the value stored under `key`.
+    pub fn get(&self, key: &str) -> Option<&[f64]> {
+        self.store.get(key).map(Vec::as_slice)
+    }
+
+    /// Removes the value stored under `key`.
+    pub fn remove(&mut self, key: &str) -> Option<Vec<f64>> {
+        self.store.remove(key)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the scratch space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Total bytes written over the invocation (for resource accounting).
+    pub fn bytes_written(&self) -> usize {
+        self.bytes_written
+    }
+
+    /// Wipes all contents. The chamber calls this on termination,
+    /// mirroring the emptied AppArmor scratch directory.
+    pub fn wipe(&mut self) {
+        self.store.clear();
+        self.bytes_written = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove() {
+        let mut s = Scratch::new();
+        assert!(s.put("a", vec![1.0, 2.0]).is_none());
+        assert_eq!(s.get("a"), Some(&[1.0, 2.0][..]));
+        assert_eq!(s.remove("a"), Some(vec![1.0, 2.0]));
+        assert!(s.get("a").is_none());
+    }
+
+    #[test]
+    fn put_returns_previous() {
+        let mut s = Scratch::new();
+        s.put("k", vec![1.0]);
+        assert_eq!(s.put("k", vec![2.0]), Some(vec![1.0]));
+    }
+
+    #[test]
+    fn accounting_tracks_bytes() {
+        let mut s = Scratch::new();
+        s.put("k", vec![0.0; 10]);
+        assert_eq!(s.bytes_written(), 80);
+        s.put("j", vec![0.0; 2]);
+        assert_eq!(s.bytes_written(), 96);
+    }
+
+    #[test]
+    fn quota_allows_writes_within_budget() {
+        let mut s = Scratch::with_quota(100);
+        s.put("a", vec![0.0; 10]); // 80 bytes
+        s.put("b", vec![0.0; 2]); // 96 bytes total
+        assert_eq!(s.quota(), Some(100));
+        assert_eq!(s.bytes_written(), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch quota exceeded")]
+    fn quota_overrun_terminates() {
+        let mut s = Scratch::with_quota(64);
+        s.put("a", vec![0.0; 9]); // 72 bytes > 64
+    }
+
+    #[test]
+    fn quota_counts_cumulative_writes() {
+        // Overwriting a key still counts the new bytes: the quota bounds
+        // total write *activity*, not live size (a churn attack would
+        // otherwise stay under the radar).
+        let mut s = Scratch::with_quota(160);
+        s.put("k", vec![0.0; 10]);
+        s.put("k", vec![0.0; 10]);
+        assert_eq!(s.bytes_written(), 160);
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let mut s = Scratch::new();
+        s.put("k", vec![1.0]);
+        s.wipe();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.bytes_written(), 0);
+        assert!(s.get("k").is_none());
+    }
+}

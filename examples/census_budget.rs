@@ -1,0 +1,74 @@
+//! Accuracy goals instead of privacy budgets (§5.1, §7.2.1).
+//!
+//! The analyst asks for "90 % accuracy for 90 % of queries" on the
+//! census average-age query; GUPT derives the minimal ε from the
+//! dataset's aged (no-longer-sensitive) fraction, stretching the
+//! dataset's lifetime budget across more queries.
+//!
+//! Run: `cargo run --example census_budget --release`
+
+use gupt::core::{AccuracyGoal, Dataset, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt::datasets::census::{CensusDataset, TRUE_MEAN_AGE};
+use gupt::dp::{Epsilon, OutputRange};
+
+fn main() {
+    let census = CensusDataset::generate(21);
+    // The owner marks 10% of the (30-year-old) records as aged out.
+    let dataset = Dataset::new(census.rows())
+        .expect("valid rows")
+        .with_aged_fraction(0.10)
+        .expect("valid fraction");
+
+    let mut runtime = GuptRuntimeBuilder::new()
+        .register("census", dataset, Epsilon::new(10.0).unwrap())
+        .expect("registers")
+        .seed(23)
+        .build();
+
+    let average_age = || {
+        QuerySpec::program(|block: &[Vec<f64>]| {
+            vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
+        })
+        .accuracy_goal(
+            AccuracyGoal::new(0.9, 0.9)
+                .expect("valid goal")
+                .with_laplace_tail(),
+        )
+        .fixed_block_size(141)
+        .range_estimation(RangeEstimation::Tight(vec![
+            OutputRange::new(0.0, 150.0).unwrap(),
+        ]))
+    };
+
+    // What ε does the goal cost? (No budget is spent by estimating.)
+    let eps = runtime
+        .estimate_epsilon_for("census", &average_age())
+        .expect("aged data available");
+    println!("goal: 90% accuracy for 90% of queries → ε = {:.3} per query", eps.value());
+    println!("true mean age = {TRUE_MEAN_AGE}\n");
+
+    // Run until the lifetime budget refuses.
+    let mut count = 0;
+    loop {
+        match runtime.run("census", average_age()) {
+            Ok(answer) => {
+                count += 1;
+                if count <= 5 {
+                    let acc = 100.0 * (1.0 - (answer.values[0] - TRUE_MEAN_AGE).abs() / TRUE_MEAN_AGE);
+                    println!(
+                        "query {count}: answer = {:.3} (accuracy {acc:.1}%), remaining budget {:.2}",
+                        answer.values[0],
+                        runtime.remaining_budget("census").unwrap()
+                    );
+                }
+            }
+            Err(e) => {
+                println!("…\nquery {} refused: {e}", count + 1);
+                break;
+            }
+        }
+    }
+    println!(
+        "total queries served = {count} (a constant ε=1 policy would have served 10)"
+    );
+}

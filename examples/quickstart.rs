@@ -1,0 +1,56 @@
+//! Quickstart: privatise an existing analysis function in ~20 lines.
+//!
+//! The data owner registers a table with a lifetime privacy budget; the
+//! analyst submits an *unmodified* function over raw rows plus either a
+//! privacy budget or an accuracy goal; GUPT returns a differentially
+//! private answer.
+//!
+//! Run: `cargo run --example quickstart`
+
+use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt::dp::{Epsilon, OutputRange};
+
+fn main() {
+    // --- Data owner side -------------------------------------------------
+    // A toy salary table: one row per employee.
+    let salaries: Vec<Vec<f64>> = (0..10_000)
+        .map(|i| vec![30_000.0 + (i % 70) as f64 * 1_000.0])
+        .collect();
+
+    let mut runtime = GuptRuntimeBuilder::new()
+        .register_dataset("salaries", salaries, Epsilon::new(5.0).unwrap())
+        .expect("dataset is valid")
+        .seed(42) // reproducible noise for the demo
+        .build();
+
+    // --- Analyst side ----------------------------------------------------
+    // An ordinary mean — no privacy code anywhere in it.
+    let average_salary = |block: &[Vec<f64>]| {
+        vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
+    };
+
+    let spec = QuerySpec::program(average_salary)
+        .epsilon(Epsilon::new(1.0).unwrap())
+        // Non-sensitive public knowledge: salaries lie in [0, 500k].
+        .range_estimation(RangeEstimation::Loose(vec![
+            OutputRange::new(0.0, 500_000.0).unwrap(),
+        ]));
+
+    let answer = runtime.run("salaries", spec).expect("query succeeds");
+
+    println!("private average salary ≈ {:.0}", answer.values[0]);
+    println!("epsilon spent          = {}", answer.epsilon_spent);
+    println!(
+        "blocks                 = {} × {} rows (γ = {})",
+        answer.num_blocks, answer.block_size, answer.gamma
+    );
+    println!(
+        "budget remaining       = {:.2}",
+        runtime.remaining_budget("salaries").unwrap()
+    );
+
+    let true_mean = 30_000.0 + 34.5 * 1_000.0;
+    let rel_err = (answer.values[0] - true_mean).abs() / true_mean;
+    println!("relative error         = {:.2}%", rel_err * 100.0);
+    assert!(rel_err < 0.25, "demo answer should be in the ballpark");
+}

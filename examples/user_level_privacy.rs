@@ -1,0 +1,62 @@
+//! User-level privacy via group-atomic partitioning (§8.1).
+//!
+//! When one person contributes many records (visits, purchases,
+//! readings), record-level DP under-protects them. Declaring a group
+//! column makes GUPT partition whole users into blocks, so the ε
+//! guarantee covers a user's *entire* contribution — and a dry-run
+//! `explain` shows the plan before any budget is spent.
+//!
+//! Run: `cargo run --example user_level_privacy --release`
+
+use gupt::core::{Dataset, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt::dp::{Epsilon, OutputRange};
+
+fn main() {
+    // 2,000 users × up to 8 visit records: [user_id, spend].
+    let mut rows = Vec::new();
+    for user in 0..2_000u64 {
+        let visits = 1 + (user % 8) as usize;
+        let typical_spend = 10.0 + (user % 50) as f64;
+        for v in 0..visits {
+            rows.push(vec![user as f64, typical_spend + v as f64]);
+        }
+    }
+    println!("{} records from 2000 users", rows.len());
+
+    let dataset = Dataset::new(rows)
+        .expect("valid rows")
+        .with_group_column(0) // ← user-level privacy switch
+        .expect("column exists");
+
+    let mut runtime = GuptRuntimeBuilder::new()
+        .register("visits", dataset, Epsilon::new(5.0).unwrap())
+        .expect("registers")
+        .seed(31)
+        .build();
+
+    let spec = QuerySpec::program(|block: &[Vec<f64>]| {
+        vec![block.iter().map(|r| r[1]).sum::<f64>() / block.len().max(1) as f64]
+    })
+    .epsilon(Epsilon::new(1.0).unwrap())
+    .fixed_block_size(60)
+    .range_estimation(RangeEstimation::Tight(vec![
+        OutputRange::new(0.0, 100.0).unwrap(),
+    ]));
+
+    // Dry-run first: see the plan, spend nothing.
+    let plan = runtime.explain("visits", &spec).expect("plans");
+    println!("\n{plan}");
+    assert!(plan.user_level);
+    assert_eq!(runtime.remaining_budget("visits").unwrap(), 5.0);
+
+    // Execute.
+    let answer = runtime.run("visits", spec).expect("query runs");
+    println!(
+        "private mean spend ≈ {:.2} (ε = {}, {} user-atomic blocks)",
+        answer.values[0], answer.epsilon_spent, answer.num_blocks
+    );
+    println!(
+        "budget remaining   = {:.2}",
+        runtime.remaining_budget("visits").unwrap()
+    );
+}

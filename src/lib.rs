@@ -1,0 +1,50 @@
+//! GUPT — privacy-preserving data analysis made easy.
+//!
+//! This facade crate re-exports the whole GUPT workspace behind one
+//! dependency, mirroring the architecture of the SIGMOD 2012 paper:
+//!
+//! - [`dp`]: differential-privacy primitives (Laplace/exponential
+//!   mechanisms, DP percentile estimation, composition accounting).
+//! - [`core`]: the GUPT runtime — sample-and-aggregate framework,
+//!   resampling, output-range estimation, block-size optimization,
+//!   privacy-budget management, dataset and computation managers.
+//! - [`sandbox`]: isolated execution chambers with side-channel defenses.
+//! - [`ml`]: black-box analyst programs (k-means, logistic regression,
+//!   linear regression, descriptive statistics).
+//! - [`datasets`]: dataset surrogates used in the paper's evaluation.
+//! - [`baselines`]: PINQ- and Airavat-style comparator runtimes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+//! use gupt::dp::{Epsilon, OutputRange};
+//!
+//! // The data owner registers a dataset with a lifetime privacy budget.
+//! let data: Vec<Vec<f64>> = (0..1000).map(|i| vec![(i % 100) as f64]).collect();
+//! let mut runtime = GuptRuntimeBuilder::new()
+//!     .register_dataset("ages", data, Epsilon::new(4.0).unwrap())
+//!     .unwrap()
+//!     .seed(7)
+//!     .build();
+//!
+//! // The analyst submits an arbitrary program; GUPT makes it private.
+//! let spec = QuerySpec::program(|block: &[Vec<f64>]| {
+//!     let sum: f64 = block.iter().map(|row| row[0]).sum();
+//!     vec![sum / block.len() as f64]
+//! })
+//! .epsilon(Epsilon::new(1.0).unwrap())
+//! .range_estimation(RangeEstimation::Tight(vec![
+//!     OutputRange::new(0.0, 99.0).unwrap(),
+//! ]));
+//!
+//! let answer = runtime.run("ages", spec).unwrap();
+//! assert!((answer.values[0] - 49.5).abs() < 15.0);
+//! ```
+
+pub use gupt_baselines as baselines;
+pub use gupt_core as core;
+pub use gupt_datasets as datasets;
+pub use gupt_dp as dp;
+pub use gupt_ml as ml;
+pub use gupt_sandbox as sandbox;

@@ -1,0 +1,236 @@
+//! Empirical differential-privacy verification (StatDP-style).
+//!
+//! For a mechanism `M`, neighboring inputs `D ~ D′` and any event `E`,
+//! ε-DP demands `P[M(D) ∈ E] ≤ e^ε · P[M(D′) ∈ E]`. These tests estimate
+//! both probabilities by repeated seeded runs and assert the ratio with
+//! a statistical slack factor. They cannot *prove* privacy, but they
+//! reliably catch the classic implementation bugs — mis-scaled noise,
+//! forgotten sensitivity factors, budget mis-splits — that unit tests of
+//! the happy path miss.
+//!
+//! Event choices are the worst cases for each mechanism (one-sided tail
+//! events between the two means), where the ratio approaches `e^ε`.
+
+use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt::dp::{
+    geometric_mechanism, laplace_mechanism, Epsilon, OutputRange, RandomizedResponse,
+    Sensitivity,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Trials per arm: enough for ±few-% probability estimates in release,
+/// scaled down (with looser slack) for debug runs.
+fn trials() -> usize {
+    if cfg!(debug_assertions) {
+        6_000
+    } else {
+        40_000
+    }
+}
+
+/// Multiplicative slack on the e^ε bound covering Monte-Carlo error.
+fn slack() -> f64 {
+    if cfg!(debug_assertions) {
+        1.5
+    } else {
+        1.25
+    }
+}
+
+/// Estimates `P[event]` over `n` seeded runs.
+fn probability(n: usize, seed0: u64, mut event: impl FnMut(&mut StdRng) -> bool) -> f64 {
+    let mut hits = 0usize;
+    for i in 0..n {
+        let mut rng = StdRng::seed_from_u64(seed0 + i as u64);
+        if event(&mut rng) {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+/// Asserts the DP ratio bound for both directions of a pair of
+/// event probabilities.
+fn assert_dp_bound(p_d: f64, p_dprime: f64, eps: f64, context: &str) {
+    let bound = eps.exp() * slack();
+    // Guard against zero-probability estimates (event chosen poorly).
+    assert!(
+        p_d > 0.01 && p_dprime > 0.01,
+        "{context}: event too rare for a meaningful test ({p_d}, {p_dprime})"
+    );
+    assert!(
+        p_d / p_dprime <= bound && p_dprime / p_d <= bound,
+        "{context}: ratio {:.3} exceeds e^ε·slack = {bound:.3} (p={p_d:.4}, p'={p_dprime:.4})",
+        (p_d / p_dprime).max(p_dprime / p_d)
+    );
+}
+
+#[test]
+fn laplace_mechanism_respects_epsilon() {
+    let eps = Epsilon::new(3.0f64.ln()).unwrap(); // e^ε = 3
+    let sens = Sensitivity::new(1.0).unwrap();
+    let n = trials();
+    // Neighbors: query answers 0 and 1 (sensitivity 1). Worst-case-ish
+    // event: output above the midpoint.
+    let p0 = probability(n, 1, |rng| laplace_mechanism(0.0, sens, eps, rng) > 0.5);
+    let p1 = probability(n, 500_000, |rng| laplace_mechanism(1.0, sens, eps, rng) > 0.5);
+    assert_dp_bound(p0, p1, eps.value(), "laplace mechanism");
+}
+
+#[test]
+fn laplace_mechanism_catches_wrong_scale() {
+    // Self-check of the harness: noise at HALF the required scale must
+    // violate the bound — i.e. this test design has real teeth.
+    let eps = Epsilon::new(3.0f64.ln()).unwrap();
+    let broken_eps = Epsilon::new(2.0 * 3.0f64.ln()).unwrap(); // half the noise
+    let sens = Sensitivity::new(1.0).unwrap();
+    let n = trials();
+    let p0 = probability(n, 2, |rng| laplace_mechanism(0.0, sens, broken_eps, rng) > 0.5);
+    let p1 = probability(n, 600_000, |rng| {
+        laplace_mechanism(1.0, sens, broken_eps, rng) > 0.5
+    });
+    let bound = eps.value().exp() * slack();
+    assert!(
+        p1 / p0 > bound,
+        "under-noised mechanism should be detected: ratio {:.3} vs bound {bound:.3}",
+        p1 / p0
+    );
+}
+
+#[test]
+fn geometric_mechanism_respects_epsilon() {
+    let eps = Epsilon::new(1.0).unwrap();
+    let n = trials();
+    // Neighbors: counts 10 and 11; event: release ≥ 11.
+    let p0 = probability(n, 3, |rng| {
+        geometric_mechanism(10, 1, eps, rng).unwrap() >= 11
+    });
+    let p1 = probability(n, 700_000, |rng| {
+        geometric_mechanism(11, 1, eps, rng).unwrap() >= 11
+    });
+    assert_dp_bound(p0, p1, eps.value(), "geometric mechanism");
+}
+
+#[test]
+fn randomized_response_respects_epsilon() {
+    let eps = Epsilon::new(3.0f64.ln()).unwrap();
+    let rr = RandomizedResponse::new(eps);
+    let n = trials();
+    // Neighbors: true bit 0 vs 1; event: response = 1. This ratio is
+    // exactly e^ε by construction, the tightest possible case.
+    let p0 = probability(n, 4, |rng| rr.respond(false, rng));
+    let p1 = probability(n, 800_000, |rng| rr.respond(true, rng));
+    assert_dp_bound(p0, p1, eps.value(), "randomized response");
+}
+
+#[test]
+fn dp_percentile_respects_epsilon() {
+    use gupt::dp::{dp_percentile, Percentile};
+    let eps = Epsilon::new(1.0).unwrap();
+    let domain = OutputRange::new(0.0, 100.0).unwrap();
+    // Neighbors differ in one record crossing the median region.
+    let mut d: Vec<f64> = (0..99).map(|i| i as f64).collect();
+    let d_prime = {
+        let mut v = d.clone();
+        v[49] = 90.0; // median-relevant record moved far right
+        v
+    };
+    d.truncate(99);
+    let n = trials() / 4; // percentile sampling is costlier
+    let event = |data: &[f64], rng: &mut StdRng| {
+        dp_percentile(data, Percentile::MEDIAN, domain, eps, rng).unwrap() > 50.0
+    };
+    let p0 = probability(n, 5, |rng| event(&d, rng));
+    let p1 = probability(n, 900_000, |rng| event(&d_prime, rng));
+    assert_dp_bound(p0, p1, eps.value(), "dp percentile");
+}
+
+#[test]
+fn end_to_end_runtime_respects_epsilon() {
+    // The full pipeline: partition → chambers → clamp → average → noise,
+    // on neighboring 60-row tables differing in one record by the full
+    // output range. ε = ln 2.
+    let eps_val = 2.0f64.ln();
+    let base: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 10) as f64]).collect();
+    let mut changed = base.clone();
+    changed[7][0] = 10.0; // one record moved to the range ceiling
+
+    let n = trials() / 8; // each run executes the whole runtime
+    let run_once = |rows: &[Vec<f64>], seed: u64| -> f64 {
+        let mut runtime = GuptRuntimeBuilder::new()
+            .register_dataset("t", rows.to_vec(), Epsilon::new(1e9).unwrap())
+            .unwrap()
+            .seed(seed)
+            .workers(1)
+            .build();
+        let spec = QuerySpec::program(|b: &[Vec<f64>]| {
+            vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+        })
+        .epsilon(Epsilon::new(eps_val).unwrap())
+        .fixed_block_size(10)
+        .range_estimation(RangeEstimation::Tight(vec![
+            OutputRange::new(0.0, 10.0).unwrap(),
+        ]));
+        runtime.run("t", spec).unwrap().values[0]
+    };
+
+    // Event: released mean above the midpoint between the two true means.
+    let threshold = 4.55;
+    let mut hits0 = 0usize;
+    let mut hits1 = 0usize;
+    for i in 0..n {
+        if run_once(&base, 10_000 + i as u64) > threshold {
+            hits0 += 1;
+        }
+        if run_once(&changed, 2_000_000 + i as u64) > threshold {
+            hits1 += 1;
+        }
+    }
+    let (p0, p1) = (hits0 as f64 / n as f64, hits1 as f64 / n as f64);
+    assert_dp_bound(p0, p1, eps_val, "end-to-end runtime");
+}
+
+#[test]
+fn resampling_does_not_weaken_the_guarantee() {
+    // Claim 1 in adversarial form: with γ = 4 at fixed block size, the
+    // ratio bound must still hold (the γ·s/ℓ sensitivity accounting
+    // covers the record's four block memberships).
+    let eps_val = 2.0f64.ln();
+    let base: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 10) as f64]).collect();
+    let mut changed = base.clone();
+    changed[3][0] = 10.0;
+
+    let n = trials() / 10;
+    let run_once = |rows: &[Vec<f64>], seed: u64| -> f64 {
+        let mut runtime = GuptRuntimeBuilder::new()
+            .register_dataset("t", rows.to_vec(), Epsilon::new(1e9).unwrap())
+            .unwrap()
+            .seed(seed)
+            .workers(1)
+            .build();
+        let spec = QuerySpec::program(|b: &[Vec<f64>]| {
+            vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+        })
+        .epsilon(Epsilon::new(eps_val).unwrap())
+        .fixed_block_size(10)
+        .resampling(4)
+        .range_estimation(RangeEstimation::Tight(vec![
+            OutputRange::new(0.0, 10.0).unwrap(),
+        ]));
+        runtime.run("t", spec).unwrap().values[0]
+    };
+
+    let threshold = 4.55;
+    let mut hits0 = 0usize;
+    let mut hits1 = 0usize;
+    for i in 0..n {
+        if run_once(&base, 30_000 + i as u64) > threshold {
+            hits0 += 1;
+        }
+        if run_once(&changed, 3_000_000 + i as u64) > threshold {
+            hits1 += 1;
+        }
+    }
+    let (p0, p1) = (hits0 as f64 / n as f64, hits1 as f64 / n as f64);
+    assert_dp_bound(p0, p1, eps_val, "resampled runtime");
+}

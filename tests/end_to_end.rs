@@ -1,0 +1,219 @@
+//! Cross-crate integration tests: the full GUPT pipeline over the
+//! evaluation datasets, exercising every range-estimation mode, budget
+//! policy and block strategy through the public facade crate.
+
+use gupt::core::{
+    AccuracyGoal, Dataset, GuptRuntimeBuilder, GuptError, QuerySpec, RangeEstimation,
+    RangeTranslator,
+};
+use gupt::datasets::census::{CensusDataset, TRUE_MEAN_AGE};
+use gupt::datasets::internet_ads::InternetAdsDataset;
+use gupt::dp::{Epsilon, OutputRange};
+use std::sync::Arc;
+
+fn mean_query() -> QuerySpec {
+    QuerySpec::program(|block: &[Vec<f64>]| {
+        vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
+    })
+}
+
+fn age_range() -> OutputRange {
+    OutputRange::new(0.0, 150.0).unwrap()
+}
+
+#[test]
+fn census_mean_all_three_range_modes() {
+    let census = CensusDataset::generate_sized(8_000, 1);
+    for mode_idx in 0..3 {
+        let mut runtime = GuptRuntimeBuilder::new()
+            .register_dataset("census", census.rows(), Epsilon::new(100.0).unwrap())
+            .unwrap()
+            .seed(100 + mode_idx)
+            .build();
+        let translate: RangeTranslator = Arc::new(|inputs: &[OutputRange]| inputs.to_vec());
+        let mode = match mode_idx {
+            0 => RangeEstimation::Tight(vec![age_range()]),
+            1 => RangeEstimation::Loose(vec![age_range()]),
+            _ => RangeEstimation::Helper {
+                input_ranges: vec![age_range()],
+                translate,
+            },
+        };
+        let spec = mean_query()
+            .epsilon(Epsilon::new(2.0).unwrap())
+            .range_estimation(mode);
+        let answer = runtime.run("census", spec).unwrap();
+        assert!(
+            (answer.values[0] - TRUE_MEAN_AGE).abs() < 8.0,
+            "mode {mode_idx}: {} vs {TRUE_MEAN_AGE}",
+            answer.values[0]
+        );
+        assert_eq!(answer.execution.completed, answer.num_blocks);
+    }
+}
+
+#[test]
+fn loose_and_helper_modes_resolve_tighter_ranges() {
+    let census = CensusDataset::generate_sized(8_000, 2);
+    let mut runtime = GuptRuntimeBuilder::new()
+        .register_dataset("census", census.rows(), Epsilon::new(100.0).unwrap())
+        .unwrap()
+        .seed(7)
+        .build();
+    let spec = mean_query()
+        .epsilon(Epsilon::new(4.0).unwrap())
+        .range_estimation(RangeEstimation::Loose(vec![age_range()]));
+    let answer = runtime.run("census", spec).unwrap();
+    // The DP quartiles of block means of adult ages are far tighter than [0, 150].
+    assert!(answer.ranges[0].width() < 60.0, "{:?}", answer.ranges[0]);
+    assert!(answer.ranges[0].contains(TRUE_MEAN_AGE));
+}
+
+#[test]
+fn budget_ledger_lifecycle() {
+    let census = CensusDataset::generate_sized(2_000, 3);
+    let mut runtime = GuptRuntimeBuilder::new()
+        .register_dataset("census", census.rows(), Epsilon::new(1.0).unwrap())
+        .unwrap()
+        .seed(9)
+        .build();
+    let spec = || {
+        mean_query()
+            .epsilon(Epsilon::new(0.4).unwrap())
+            .range_estimation(RangeEstimation::Tight(vec![age_range()]))
+    };
+    assert!(runtime.run("census", spec()).is_ok());
+    assert!(runtime.run("census", spec()).is_ok());
+    // Third query exceeds ε = 1.0 and must fail closed.
+    let err = runtime.run("census", spec()).unwrap_err();
+    assert!(matches!(err, GuptError::Dp(_)), "{err}");
+    assert_eq!(runtime.queries_run("census").unwrap(), 2);
+    assert!((runtime.remaining_budget("census").unwrap() - 0.2).abs() < 1e-9);
+}
+
+#[test]
+fn accuracy_goal_policy_meets_goal_empirically() {
+    let census = CensusDataset::generate_sized(20_000, 4);
+    let goal = AccuracyGoal::new(0.9, 0.9).unwrap().with_laplace_tail();
+    let runs = 60;
+    let mut hits = 0;
+    for run in 0..runs {
+        let dataset = Dataset::new(census.rows())
+            .unwrap()
+            .with_aged_fraction(0.1)
+            .unwrap();
+        let mut runtime = GuptRuntimeBuilder::new()
+            .register("census", dataset, Epsilon::new(1e6).unwrap())
+            .unwrap()
+            .seed(1000 + run)
+            .build();
+        let spec = mean_query()
+            .accuracy_goal(goal)
+            .fixed_block_size(100)
+            .range_estimation(RangeEstimation::Tight(vec![age_range()]));
+        let answer = runtime.run("census", spec).unwrap();
+        if (answer.values[0] - TRUE_MEAN_AGE).abs() / TRUE_MEAN_AGE <= 0.1 {
+            hits += 1;
+        }
+    }
+    // Goal: 90% of queries within 10%. Allow a small sampling margin.
+    assert!(
+        hits as f64 / runs as f64 >= 0.85,
+        "only {hits}/{runs} queries met the goal"
+    );
+}
+
+#[test]
+fn resampling_reduces_output_variance() {
+    // Claim 1 + §4.2: for a fixed block size, γ > 1 lowers the variance
+    // of the final answer (partition variance shrinks, noise unchanged).
+    let ads = InternetAdsDataset::generate_sized(2_000, 5);
+    let range = OutputRange::new(0.0, 15.0).unwrap();
+    let variance_with_gamma = |gamma: usize| {
+        let outputs: Vec<f64> = (0..40)
+            .map(|run| {
+                let mut runtime = GuptRuntimeBuilder::new()
+                    .register_dataset("ads", ads.rows(), Epsilon::new(1e9).unwrap())
+                    .unwrap()
+                    .seed(2000 + run * 10 + gamma as u64)
+                    .build();
+                // Median: a nonlinear statistic whose block-partition
+                // variance is material.
+                let spec = QuerySpec::program(|block: &[Vec<f64>]| {
+                    let mut v: Vec<f64> = block.iter().map(|r| r[0]).collect();
+                    v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                    vec![v[v.len() / 2]]
+                })
+                .epsilon(Epsilon::new(6.0).unwrap())
+                .fixed_block_size(25)
+                .resampling(gamma)
+                .range_estimation(RangeEstimation::Tight(vec![range]));
+                runtime.run("ads", spec).unwrap().values[0]
+            })
+            .collect();
+        let mean = outputs.iter().sum::<f64>() / outputs.len() as f64;
+        outputs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / outputs.len() as f64
+    };
+    let v1 = variance_with_gamma(1);
+    let v8 = variance_with_gamma(8);
+    assert!(
+        v8 < v1,
+        "resampling should reduce variance: γ=1 → {v1}, γ=8 → {v8}"
+    );
+}
+
+#[test]
+fn multiple_datasets_are_isolated() {
+    let a: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64 % 10.0]).collect();
+    let b: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64 % 50.0]).collect();
+    let mut runtime = GuptRuntimeBuilder::new()
+        .register_dataset("a", a, Epsilon::new(1.0).unwrap())
+        .unwrap()
+        .register_dataset("b", b, Epsilon::new(2.0).unwrap())
+        .unwrap()
+        .seed(3)
+        .build();
+    let spec = || {
+        mean_query()
+            .epsilon(Epsilon::new(0.8).unwrap())
+            .range_estimation(RangeEstimation::Tight(vec![
+                OutputRange::new(0.0, 50.0).unwrap(),
+            ]))
+    };
+    runtime.run("a", spec()).unwrap();
+    // "a" exhausted for a second 0.8 charge; "b" unaffected.
+    assert!(runtime.run("a", spec()).is_err());
+    assert!(runtime.run("b", spec()).is_ok());
+    assert_eq!(runtime.dataset_names(), vec!["a", "b"]);
+}
+
+#[test]
+fn vector_valued_query_spends_once() {
+    let rows: Vec<Vec<f64>> = (0..2_000).map(|i| vec![(i % 100) as f64]).collect();
+    let mut runtime = GuptRuntimeBuilder::new()
+        .register_dataset("t", rows, Epsilon::new(10.0).unwrap())
+        .unwrap()
+        .seed(5)
+        .build();
+    let spec = QuerySpec::program_with_dim(3, |block: &[Vec<f64>]| {
+        let n = block.len().max(1) as f64;
+        let mean = block.iter().map(|r| r[0]).sum::<f64>() / n;
+        let min = block.iter().map(|r| r[0]).fold(f64::INFINITY, f64::min);
+        let max = block.iter().map(|r| r[0]).fold(f64::NEG_INFINITY, f64::max);
+        vec![mean, min, max]
+    })
+    .epsilon(Epsilon::new(3.0).unwrap())
+    .range_estimation(RangeEstimation::Tight(vec![
+        OutputRange::new(0.0, 100.0).unwrap(),
+        OutputRange::new(0.0, 100.0).unwrap(),
+        OutputRange::new(0.0, 100.0).unwrap(),
+    ]));
+    let answer = runtime.run("t", spec).unwrap();
+    assert_eq!(answer.values.len(), 3);
+    // One charge of 3.0 total for the whole vector (Theorem 1 splits
+    // internally, it does not multiply the spend).
+    assert!((runtime.remaining_budget("t").unwrap() - 7.0).abs() < 1e-9);
+    // Sanity: mean ≈ 49.5, min near 0, max near 99 (per-block extremes
+    // average close to the global ones for i.i.d.-ish data).
+    assert!((answer.values[0] - 49.5).abs() < 10.0);
+}

@@ -1,0 +1,228 @@
+//! Small-scale reproduction checks: fast, assertable versions of the
+//! paper's headline claims, run on shrunken datasets so `cargo test`
+//! stays quick. The full-scale reproductions live in
+//! `crates/gupt-bench/src/bin/`.
+
+use gupt::baselines::pinq::{PinqKMeans, PinqQueryable};
+use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt::datasets::internet_ads::InternetAdsDataset;
+use gupt::datasets::life_sciences::{LifeSciencesConfig, LifeSciencesDataset};
+use gupt::dp::{Epsilon, OutputRange};
+use gupt::ml::kmeans::{intra_cluster_variance, KMeansModel};
+use gupt::ml::logistic::{train_logistic, LogisticConfig, LogisticModel};
+use gupt::ml::stats;
+use gupt::sandbox::ClosureProgram;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+
+/// Figure 3's monotone claim: more budget, more accuracy; and the
+/// private model stays below the non-private baseline.
+#[test]
+fn fig3_claim_accuracy_rises_with_epsilon() {
+    let config = LifeSciencesConfig {
+        rows: 6_000,
+        ..LifeSciencesConfig::paper(31)
+    };
+    let data = LifeSciencesDataset::generate(&config).labeled_rows();
+    let baseline = train_logistic(&data, LogisticConfig::default()).accuracy(&data);
+
+    let accuracy_at = |eps: f64| -> f64 {
+        let trials = 3;
+        (0..trials)
+            .map(|t| {
+                let mut runtime = GuptRuntimeBuilder::new()
+                    .register_dataset("d", data.clone(), Epsilon::new(1e6).unwrap())
+                    .unwrap()
+                    .seed(310 + (eps * 10.0) as u64 + t)
+                    .build();
+                let spec = QuerySpec::program_with_dim(11, |b: &[Vec<f64>]| {
+                    train_logistic(b, LogisticConfig::default()).weights
+                })
+                .epsilon(Epsilon::new(eps).unwrap())
+                .range_estimation(RangeEstimation::Tight(vec![
+                    OutputRange::new(-2.0, 2.0).unwrap();
+                    11
+                ]));
+                let answer = runtime.run("d", spec).unwrap();
+                LogisticModel::from_flat(&answer.values).accuracy(&data)
+            })
+            .sum::<f64>()
+            / 3.0
+    };
+
+    let low = accuracy_at(0.5);
+    let high = accuracy_at(20.0);
+    assert!(baseline > 0.85, "baseline = {baseline}");
+    assert!(high > low, "high-ε {high} should beat low-ε {low}");
+    assert!(high <= baseline + 0.02, "private {high} vs baseline {baseline}");
+}
+
+/// Figure 5's claim: PINQ's quality degrades as the declared iteration
+/// count grows; GUPT's does not.
+#[test]
+fn fig5_claim_pinq_degrades_with_iterations_gupt_does_not() {
+    let config = LifeSciencesConfig {
+        rows: 4_000,
+        ..LifeSciencesConfig::paper(51)
+    };
+    let dataset = LifeSciencesDataset::generate(&config);
+    let data = dataset.feature_rows().to_vec();
+    let dim_ranges: Vec<OutputRange> = dataset
+        .feature_bounds()
+        .into_iter()
+        .map(|(lo, hi)| OutputRange::new(lo, hi).unwrap())
+        .collect();
+
+    let pinq_icv = |iterations: usize| -> f64 {
+        let trials = 3;
+        (0..trials)
+            .map(|t| {
+                let q = PinqQueryable::new(data.clone(), Epsilon::new(1e6).unwrap(), 510 + t);
+                PinqKMeans {
+                    k: 4,
+                    iterations,
+                    dim_ranges: dim_ranges.clone(),
+                    total_epsilon: Epsilon::new(2.0).unwrap(),
+                }
+                .run(&q)
+                .unwrap()
+                .intra_cluster_variance
+            })
+            .sum::<f64>()
+            / trials as f64
+    };
+    assert!(
+        pinq_icv(150) > pinq_icv(5) * 1.1,
+        "PINQ at 150 iterations should be clearly worse than at 5"
+    );
+
+    let gupt_icv = |iterations: usize| -> f64 {
+        let trials = 3;
+        (0..trials)
+            .map(|t| {
+                let mut runtime = GuptRuntimeBuilder::new()
+                    .register_dataset("d", data.clone(), Epsilon::new(1e6).unwrap())
+                    .unwrap()
+                    .seed(520 + iterations as u64 + t)
+                    .build();
+                let spec = QuerySpec::from_program(Arc::new(ClosureProgram::new(
+                    40,
+                    move |b: &[Vec<f64>]| {
+                        let mut rng = StdRng::seed_from_u64(7);
+                        gupt::ml::kmeans::kmeans(
+                            b,
+                            gupt::ml::kmeans::KMeansConfig {
+                                k: 4,
+                                max_iterations: iterations,
+                                tolerance: 0.0,
+                            },
+                            &mut rng,
+                        )
+                        .flatten()
+                    },
+                )))
+                .epsilon(Epsilon::new(2.0).unwrap())
+                .fixed_block_size(32)
+                .range_estimation(RangeEstimation::Tight(
+                    (0..4).flat_map(|_| dim_ranges.iter().copied()).collect(),
+                ));
+                let answer = runtime.run("d", spec).unwrap();
+                let model = KMeansModel::from_flat(&answer.values, 4).unwrap();
+                intra_cluster_variance(&data, model.centers())
+            })
+            .sum::<f64>()
+            / trials as f64
+    };
+    let g5 = gupt_icv(5);
+    let g150 = gupt_icv(150);
+    let drift = (g150 - g5).abs() / g5;
+    assert!(
+        drift < 0.35,
+        "GUPT should be ~flat in iterations: {g5} vs {g150}"
+    );
+}
+
+/// Figure 9's claim: the optimal block size is 1 for the mean but larger
+/// for the median.
+#[test]
+fn fig9_claim_mean_likes_tiny_blocks_median_does_not() {
+    let ads = InternetAdsDataset::generate_sized(2_000, 91);
+    let data = ads.rows();
+    let range = OutputRange::new(0.0, 15.0).unwrap();
+    let true_mean = stats::mean(ads.ratios());
+    let true_median = stats::median(ads.ratios());
+
+    let rmse = |median_query: bool, beta: usize| -> f64 {
+        let truth = if median_query { true_median } else { true_mean };
+        let trials = 15;
+        let sq: f64 = (0..trials)
+            .map(|t| {
+                let mut runtime = GuptRuntimeBuilder::new()
+                    .register_dataset("ads", data.clone(), Epsilon::new(1e9).unwrap())
+                    .unwrap()
+                    .seed(910 + beta as u64 * 100 + t)
+                    .build();
+                let spec = if median_query {
+                    QuerySpec::program(|b: &[Vec<f64>]| {
+                        let mut v: Vec<f64> = b.iter().map(|r| r[0]).collect();
+                        v.sort_unstable_by(|a, c| a.partial_cmp(c).unwrap());
+                        let n = v.len();
+                        vec![if n % 2 == 1 {
+                            v[n / 2]
+                        } else {
+                            (v[n / 2 - 1] + v[n / 2]) / 2.0
+                        }]
+                    })
+                } else {
+                    QuerySpec::program(|b: &[Vec<f64>]| {
+                        vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+                    })
+                }
+                .epsilon(Epsilon::new(2.0).unwrap())
+                .fixed_block_size(beta)
+                .range_estimation(RangeEstimation::Tight(vec![range]));
+                (runtime.run("ads", spec).unwrap().values[0] - truth).powi(2)
+            })
+            .sum();
+        (sq / 15.0).sqrt() / truth
+    };
+
+    // Mean: error at β=1 far below error at β=50.
+    assert!(rmse(false, 1) < rmse(false, 50));
+    // Median: β=1 is heavily biased (it degenerates to the mean); a
+    // moderate block size beats it.
+    assert!(rmse(true, 15) < rmse(true, 1));
+}
+
+/// §7.2.1's claim: the goal-driven ε is smaller than the conservative
+/// constant ε=1 at the Figure 7 operating point, extending the budget
+/// lifetime.
+#[test]
+fn fig8_claim_goal_driven_epsilon_extends_lifetime() {
+    use gupt::core::{AccuracyGoal, Dataset};
+    use gupt::datasets::census::CensusDataset;
+    let census = CensusDataset::generate_sized(20_000, 81);
+    let dataset = Dataset::new(census.rows())
+        .unwrap()
+        .with_aged_fraction(0.1)
+        .unwrap();
+    let runtime = GuptRuntimeBuilder::new()
+        .register("census", dataset, Epsilon::new(10.0).unwrap())
+        .unwrap()
+        .seed(81)
+        .build();
+    let spec = QuerySpec::program(|b: &[Vec<f64>]| {
+        vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+    })
+    .accuracy_goal(AccuracyGoal::new(0.9, 0.9).unwrap().with_laplace_tail())
+    .fixed_block_size(100)
+    .range_estimation(RangeEstimation::Tight(vec![
+        OutputRange::new(0.0, 150.0).unwrap(),
+    ]));
+    let eps = runtime.estimate_epsilon_for("census", &spec).unwrap();
+    assert!(
+        eps.value() < 1.0,
+        "goal-driven ε = {} should undercut the constant 1.0",
+        eps.value()
+    );
+}
