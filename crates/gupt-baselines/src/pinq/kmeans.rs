@@ -48,8 +48,8 @@ impl PinqKMeans {
 
         // ε/T per iteration; within an iteration one parallel charge pays
         // for all clusters, split across d sums + 1 count.
-        let eps_iter = Epsilon::new(self.total_epsilon.value() / iterations as f64)
-            .map_err(PinqError::Dp)?;
+        let eps_iter =
+            Epsilon::new(self.total_epsilon.value() / iterations as f64).map_err(PinqError::Dp)?;
         let eps_op = Epsilon::new(eps_iter.value() / (d + 1) as f64).map_err(PinqError::Dp)?;
 
         let mut centers: Vec<Vec<f64>> = (0..k)
@@ -92,11 +92,7 @@ fn nearest(row: &[f64], centers: &[Vec<f64>]) -> usize {
     let mut best = 0;
     let mut best_d = f64::INFINITY;
     for (i, c) in centers.iter().enumerate() {
-        let d: f64 = row
-            .iter()
-            .zip(c)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let d: f64 = row.iter().zip(c).map(|(x, y)| (x - y) * (x - y)).sum();
         if d < best_d {
             best_d = d;
             best = i;

@@ -72,12 +72,7 @@ impl PinqQueryable {
     where
         F: Fn(&[f64]) -> bool,
     {
-        let rows: Vec<Vec<f64>> = self
-            .rows
-            .iter()
-            .filter(|r| predicate(r))
-            .cloned()
-            .collect();
+        let rows: Vec<Vec<f64>> = self.rows.iter().filter(|r| predicate(r)).cloned().collect();
         PinqQueryable {
             rows: Arc::new(rows),
             ledger: Arc::clone(&self.ledger),
@@ -124,7 +119,12 @@ impl PinqQueryable {
         self.ledger.charge(eps)?;
         let sens = Sensitivity::new(1.0).expect("valid");
         let mut rng = self.rng.lock().expect("pinq rng poisoned");
-        Ok(laplace_mechanism(self.rows.len() as f64, sens, eps, &mut *rng))
+        Ok(laplace_mechanism(
+            self.rows.len() as f64,
+            sens,
+            eps,
+            &mut *rng,
+        ))
     }
 
     /// Noisy sum of column `dim`, with per-record clamping into `range`
@@ -141,7 +141,8 @@ impl PinqQueryable {
             .iter()
             .map(|r| range.clamp(r.get(dim).copied().unwrap_or(0.0)))
             .sum();
-        let sens = Sensitivity::new(range.lo().abs().max(range.hi().abs())).map_err(PinqError::Dp)?;
+        let sens =
+            Sensitivity::new(range.lo().abs().max(range.hi().abs())).map_err(PinqError::Dp)?;
         let mut rng = self.rng.lock().expect("pinq rng poisoned");
         Ok(laplace_mechanism(sum, sens, eps, &mut *rng))
     }
@@ -243,7 +244,10 @@ mod tests {
         q.noisy_count(eps(0.6)).unwrap();
         assert!((q.remaining_budget() - 0.4).abs() < 1e-12);
         let err = q.noisy_count(eps(0.6)).unwrap_err();
-        assert!(matches!(err, PinqError::Dp(DpError::BudgetExhausted { .. })));
+        assert!(matches!(
+            err,
+            PinqError::Dp(DpError::BudgetExhausted { .. })
+        ));
         assert_eq!(q.operations_charged(), 1);
     }
 

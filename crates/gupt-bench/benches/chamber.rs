@@ -2,9 +2,7 @@
 //! chamber vs bounded (worker-thread) chamber, and pool throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gupt_sandbox::{
-    BlockProgram, Chamber, ChamberPolicy, ChamberPool, ClosureProgram, Scratch,
-};
+use gupt_sandbox::{BlockProgram, Chamber, ChamberPolicy, ChamberPool, ClosureProgram, Scratch};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -36,9 +34,8 @@ fn bench_dispatch(c: &mut Criterion) {
         b.iter(|| black_box(unbounded.execute(Arc::clone(&program), data.clone())))
     });
 
-    let bounded = Chamber::new(
-        ChamberPolicy::bounded(Duration::from_secs(5), 0.0).without_padding(),
-    );
+    let bounded =
+        Chamber::new(ChamberPolicy::bounded(Duration::from_secs(5), 0.0).without_padding());
     c.bench_function("chamber/bounded_worker_thread", |b| {
         b.iter(|| black_box(bounded.execute(Arc::clone(&program), data.clone())))
     });

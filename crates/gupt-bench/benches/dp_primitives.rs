@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gupt_dp::{
-    dp_percentile, exponential_mechanism, geometric_mechanism, laplace_mechanism,
-    report_noisy_max, Epsilon, Laplace, OutputRange, Percentile, Sensitivity,
+    dp_percentile, exponential_mechanism, geometric_mechanism, laplace_mechanism, report_noisy_max,
+    Epsilon, Laplace, OutputRange, Percentile, Sensitivity,
 };
 use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;
@@ -53,8 +53,7 @@ fn bench_exponential(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(3);
             b.iter(|| {
                 black_box(
-                    exponential_mechanism(cands, |x| *x, sens, eps, &mut rng)
-                        .expect("non-empty"),
+                    exponential_mechanism(cands, |x| *x, sens, eps, &mut rng).expect("non-empty"),
                 )
             })
         });

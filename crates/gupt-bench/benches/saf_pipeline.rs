@@ -3,9 +3,7 @@
 //! an end-to-end runtime query.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gupt_core::{
-    partition, sample_and_aggregate, GuptRuntimeBuilder, QuerySpec, RangeEstimation,
-};
+use gupt_core::{partition, sample_and_aggregate, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
 use gupt_dp::{Epsilon, OutputRange};
 use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;
@@ -34,9 +32,7 @@ fn bench_aggregate(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(l), &outputs, |b, outputs| {
             let mut rng = StdRng::seed_from_u64(2);
             b.iter(|| {
-                black_box(
-                    sample_and_aggregate(outputs, &ranges, 1, eps, &mut rng).expect("valid"),
-                )
+                black_box(sample_and_aggregate(outputs, &ranges, 1, eps, &mut rng).expect("valid"))
             })
         });
     }
@@ -57,7 +53,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             })
             .epsilon(Epsilon::new(1.0).expect("valid"))
             .range_estimation(RangeEstimation::Tight(vec![
-                OutputRange::new(0.0, 80.0).expect("valid"),
+                OutputRange::new(0.0, 80.0).expect("valid")
             ]));
             black_box(runtime.run("t", spec).expect("runs"))
         })

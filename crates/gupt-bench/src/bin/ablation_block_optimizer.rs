@@ -67,7 +67,10 @@ fn main() {
         ((sq / trials as f64).sqrt() / truth, beta)
     };
 
-    println!("rows = {} (15% aged), ε = {eps}, trials = {trials}\n", ads.len());
+    println!(
+        "rows = {} (15% aged), ε = {eps}, trials = {trials}\n",
+        ads.len()
+    );
 
     let mut out_rows = Vec::new();
     for (name, program, is_median) in [
@@ -89,7 +92,14 @@ fn main() {
     println!(
         "{}",
         render_string_table(
-            &["query", "default_beta", "default_rmse", "opt_beta", "opt_rmse", "gain"],
+            &[
+                "query",
+                "default_beta",
+                "default_rmse",
+                "opt_beta",
+                "opt_rmse",
+                "gain"
+            ],
             &out_rows
         )
     );

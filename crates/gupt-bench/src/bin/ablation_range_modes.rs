@@ -48,12 +48,9 @@ fn main() {
         census.len()
     );
 
-    let tight = |_hi: f64| {
-        RangeEstimation::Tight(vec![OutputRange::new(17.0, 90.0).expect("static")])
-    };
-    let loose = |hi: f64| {
-        RangeEstimation::Loose(vec![OutputRange::new(0.0, hi).expect("valid")])
-    };
+    let tight =
+        |_hi: f64| RangeEstimation::Tight(vec![OutputRange::new(17.0, 90.0).expect("static")]);
+    let loose = |hi: f64| RangeEstimation::Loose(vec![OutputRange::new(0.0, hi).expect("valid")]);
     let helper = |hi: f64| {
         let translate: RangeTranslator = Arc::new(|inputs: &[OutputRange]| inputs.to_vec());
         RangeEstimation::Helper {

@@ -84,7 +84,9 @@ fn main() {
                 let mut runtime = GuptRuntimeBuilder::new()
                     .register_dataset("ds1.10", data.clone(), Epsilon::new(1e6).expect("valid"))
                     .expect("registers")
-                    .seed(0xF164_0000 + (eps_i * 100.0) as u64 * 10 + trial as u64 * 2 + slot as u64)
+                    .seed(
+                        0xF164_0000 + (eps_i * 100.0) as u64 * 10 + trial as u64 * 2 + slot as u64,
+                    )
                     .build();
                 // GUPT-as-evaluated includes the paper's optimal block
                 // allocation improvement (§2.1, §4.3): many small blocks

@@ -104,10 +104,7 @@ fn main() {
             gupt[slot] /= trials as f64;
         }
 
-        table.push(
-            iterations as f64,
-            vec![pinq[0], pinq[1], gupt[0], gupt[1]],
-        );
+        table.push(iterations as f64, vec![pinq[0], pinq[1], gupt[0], gupt[1]]);
     }
 
     println!("{}", table.render());

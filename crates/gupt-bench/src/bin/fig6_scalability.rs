@@ -10,7 +10,7 @@
 //! Run: `cargo run -p gupt-bench --bin fig6_scalability --release`
 
 use gupt_bench::programs::kmeans_program;
-use gupt_bench::report::{banner, SeriesTable};
+use gupt_bench::report::{banner, RunReport, SeriesTable};
 use gupt_core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation, RangeTranslator};
 use gupt_datasets::life_sciences::{LifeSciencesConfig, LifeSciencesDataset};
 use gupt_dp::{Epsilon, OutputRange};
@@ -57,6 +57,10 @@ fn main() {
         "iterations",
         &["non_private_s", "gupt_helper_s", "gupt_loose_s"],
     );
+    let mut run_report = RunReport::new("fig6_scalability")
+        .setting("rows", n as f64)
+        .setting("trials", trials as f64)
+        .setting("k", K as f64);
     for iterations in [20usize, 80, 100, 200] {
         let program = kmeans_program(K, dims, iterations, 7);
 
@@ -107,7 +111,28 @@ fn main() {
         );
 
         table.push(iterations as f64, vec![non_private, helper, loose_t]);
+        run_report = run_report
+            .metric(format!("non_private_s_iters{iterations}"), non_private)
+            .metric(format!("gupt_helper_s_iters{iterations}"), helper)
+            .metric(format!("gupt_loose_s_iters{iterations}"), loose_t);
     }
+
+    // One traced loose-mode query (cheapest configuration) so the
+    // run-report carries full lifecycle telemetry for CI to validate.
+    let traced_program = kmeans_program(K, dims, 20, 7);
+    let mut runtime = GuptRuntimeBuilder::new()
+        .register_dataset("ds1.10", data.clone(), Epsilon::new(1e6).expect("valid"))
+        .expect("registers")
+        .seed(0xF166_2000)
+        .build();
+    let traced_spec = QuerySpec::from_program(traced_program)
+        .epsilon(Epsilon::new(2.0).expect("valid"))
+        .range_estimation(RangeEstimation::Loose(loose.clone()))
+        .collect_telemetry();
+    let traced = runtime.run("ds1.10", traced_spec).expect("query runs");
+    run_report
+        .telemetry(traced.telemetry.expect("telemetry requested"))
+        .emit();
 
     println!("{}", table.render());
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());

@@ -30,7 +30,9 @@ fn main() {
     let runs = gupt_bench::trials(300);
     let census = CensusDataset::generate(0xF167);
     let range = OutputRange::new(0.0, 150.0).expect("static");
-    let goal = AccuracyGoal::new(0.9, 0.9).expect("valid goal").with_laplace_tail();
+    let goal = AccuracyGoal::new(0.9, 0.9)
+        .expect("valid goal")
+        .with_laplace_tail();
 
     let dataset = || {
         Dataset::new(census.rows())

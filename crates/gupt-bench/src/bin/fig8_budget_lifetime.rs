@@ -27,7 +27,9 @@ fn main() {
 
     let census = CensusDataset::generate(0xF168);
     let range = OutputRange::new(0.0, 150.0).expect("static");
-    let goal = AccuracyGoal::new(0.9, 0.9).expect("valid goal").with_laplace_tail();
+    let goal = AccuracyGoal::new(0.9, 0.9)
+        .expect("valid goal")
+        .with_laplace_tail();
 
     let make_runtime = |seed: u64| {
         GuptRuntimeBuilder::new()

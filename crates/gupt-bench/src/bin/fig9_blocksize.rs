@@ -68,10 +68,34 @@ fn main() {
         table.push(
             beta as f64,
             vec![
-                rmse(&median_p, true_median, 2.0, beta, 0xF169_0000 + beta as u64 * 100),
-                rmse(&median_p, true_median, 6.0, beta, 0xF169_1000 + beta as u64 * 100),
-                rmse(&mean_p, true_mean, 2.0, beta, 0xF169_2000 + beta as u64 * 100),
-                rmse(&mean_p, true_mean, 6.0, beta, 0xF169_3000 + beta as u64 * 100),
+                rmse(
+                    &median_p,
+                    true_median,
+                    2.0,
+                    beta,
+                    0xF169_0000 + beta as u64 * 100,
+                ),
+                rmse(
+                    &median_p,
+                    true_median,
+                    6.0,
+                    beta,
+                    0xF169_1000 + beta as u64 * 100,
+                ),
+                rmse(
+                    &mean_p,
+                    true_mean,
+                    2.0,
+                    beta,
+                    0xF169_2000 + beta as u64 * 100,
+                ),
+                rmse(
+                    &mean_p,
+                    true_mean,
+                    6.0,
+                    beta,
+                    0xF169_3000 + beta as u64 * 100,
+                ),
             ],
         );
     }

@@ -9,10 +9,14 @@
 //! Run: `cargo run -p gupt-bench --bin sandbox_overhead --release`
 
 use gupt_bench::programs::kmeans_program;
-use gupt_bench::report::banner;
+use gupt_bench::report::{banner, RunReport};
+use gupt_core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
 use gupt_datasets::life_sciences::{LifeSciencesConfig, LifeSciencesDataset};
+use gupt_dp::{Epsilon, OutputRange};
 use gupt_sandbox::{Chamber, ChamberPolicy, Scratch};
 use std::time::Instant;
+
+const K: usize = 4;
 
 fn main() {
     banner("Sandbox overhead (paper §6.1: 1.26% over 6000 k-means runs)");
@@ -22,10 +26,9 @@ fn main() {
         rows: 454, // one default-size block, as each chamber sees
         ..LifeSciencesConfig::paper(0x0B0)
     };
-    let block = LifeSciencesDataset::generate(&config)
-        .feature_rows()
-        .to_vec();
-    let program = kmeans_program(4, config.features, 10, 7);
+    let dataset = LifeSciencesDataset::generate(&config);
+    let block = dataset.feature_rows().to_vec();
+    let program = kmeans_program(K, config.features, 10, 7);
 
     // Direct calls. Both paths pay for delivering a private copy of the
     // block (the paper's non-sandboxed GUPT also pipes data to the
@@ -55,4 +58,35 @@ fn main() {
         "overhead            = {:.2}% (paper: 1.26% for the AppArmor sandbox)",
         overhead * 100.0
     );
+
+    // One traced end-to-end query over the same data, so the run-report
+    // carries a full query-lifecycle telemetry object for CI to check.
+    let ranges: Vec<OutputRange> = (0..K)
+        .flat_map(|_| {
+            dataset
+                .feature_bounds()
+                .into_iter()
+                .map(|(lo, hi)| OutputRange::new(lo, hi).expect("bounds"))
+        })
+        .collect();
+    let mut runtime = GuptRuntimeBuilder::new()
+        .register_dataset("block", block, Epsilon::new(100.0).expect("valid"))
+        .expect("registers")
+        .seed(0x0B0)
+        .build();
+    let spec = QuerySpec::from_program(program)
+        .epsilon(Epsilon::new(2.0).expect("valid"))
+        .range_estimation(RangeEstimation::Tight(ranges))
+        .collect_telemetry();
+    let answer = runtime.run("block", spec).expect("query runs");
+    let telemetry = answer.telemetry.expect("telemetry requested");
+
+    RunReport::new("sandbox_overhead")
+        .setting("runs", runs as f64)
+        .setting("block_rows", config.rows as f64)
+        .metric("direct_s", direct.as_secs_f64())
+        .metric("chambered_s", chambered.as_secs_f64())
+        .metric("overhead_pct", overhead * 100.0)
+        .telemetry(telemetry)
+        .emit();
 }

@@ -32,9 +32,7 @@ use std::time::Duration;
 const VICTIM: f64 = 37.0;
 
 fn rows(n: usize, with_victim: bool) -> Vec<Vec<f64>> {
-    let mut rows: Vec<Vec<f64>> = (0..n)
-        .map(|i| vec![20.0 + (i % 15) as f64])
-        .collect();
+    let mut rows: Vec<Vec<f64>> = (0..n).map(|i| vec![20.0 + (i % 15) as f64]).collect();
     if with_victim {
         rows[0][0] = VICTIM;
     }
@@ -82,7 +80,7 @@ fn automated_budget() -> [String; 3] {
     .accuracy_goal(AccuracyGoal::new(0.9, 0.9).expect("valid"))
     .fixed_block_size(20)
     .range_estimation(RangeEstimation::Tight(vec![
-        OutputRange::new(0.0, 150.0).expect("static"),
+        OutputRange::new(0.0, 150.0).expect("static")
     ]));
     let gupt = if runtime.run("t", spec).is_ok() {
         "Yes"
@@ -110,7 +108,7 @@ fn budget_attack_protection() -> [String; 3] {
         let spec = QuerySpec::program(|b: &[Vec<f64>]| vec![b.len() as f64])
             .epsilon(eps(0.5))
             .range_estimation(RangeEstimation::Tight(vec![
-                OutputRange::new(0.0, 100.0).expect("static"),
+                OutputRange::new(0.0, 100.0).expect("static")
             ]));
         runtime.run("t", spec).expect("runs");
         runtime.remaining_budget("t").expect("dataset exists")
@@ -247,12 +245,8 @@ fn timing_attack_protection() -> [String; 3] {
 
     // GUPT: padded chamber — measure with and without the victim.
     let chamber = Chamber::new(ChamberPolicy::bounded(budget, 0.0));
-    let t_with = chamber
-        .execute(program(), rows(20, true))
-        .elapsed;
-    let t_without = chamber
-        .execute(program(), rows(20, false))
-        .elapsed;
+    let t_with = chamber.execute(program(), rows(20, true)).elapsed;
+    let t_without = chamber.execute(program(), rows(20, false)).elapsed;
     let gupt = if t_with.abs_diff(t_without) < Duration::from_millis(20) {
         "Yes"
     } else {
@@ -304,8 +298,7 @@ fn timing_attack_protection() -> [String; 3] {
         let _ = rt.run(&job, eps(1.0));
         start.elapsed()
     };
-    let airavat = if airavat_time(true).abs_diff(airavat_time(false)) < Duration::from_millis(20)
-    {
+    let airavat = if airavat_time(true).abs_diff(airavat_time(false)) < Duration::from_millis(20) {
         "Yes"
     } else {
         "No"
@@ -336,10 +329,30 @@ fn main() {
             r2[1].into(),
             r2[2].into(),
         ],
-        vec!["Automated privacy budget allocation".into(), r3[0].clone(), r3[1].clone(), r3[2].clone()],
-        vec!["Protection against budget attack".into(), r4[0].clone(), r4[1].clone(), r4[2].clone()],
-        vec!["Protection against state attack".into(), r5[0].clone(), r5[1].clone(), r5[2].clone()],
-        vec!["Protection against timing attack".into(), r6[0].clone(), r6[1].clone(), r6[2].clone()],
+        vec![
+            "Automated privacy budget allocation".into(),
+            r3[0].clone(),
+            r3[1].clone(),
+            r3[2].clone(),
+        ],
+        vec![
+            "Protection against budget attack".into(),
+            r4[0].clone(),
+            r4[1].clone(),
+            r4[2].clone(),
+        ],
+        vec![
+            "Protection against state attack".into(),
+            r5[0].clone(),
+            r5[1].clone(),
+            r5[2].clone(),
+        ],
+        vec![
+            "Protection against timing attack".into(),
+            r6[0].clone(),
+            r6[1].clone(),
+            r6[2].clone(),
+        ],
     ];
     println!(
         "{}",

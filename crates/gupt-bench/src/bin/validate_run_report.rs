@@ -1,0 +1,203 @@
+//! CI gate: validates bench run-reports against the telemetry schema.
+//!
+//! Usage: `validate_run_report FILE.json [FILE.json ...]`
+//!
+//! Each file must be a `RunReport` document (schema version 1): the
+//! envelope fields, numeric `settings`/`metrics`, and — when present —
+//! a `telemetry` object carrying all six stage timings, the block
+//! counters and the ledger event, exactly as `gupt-cli --telemetry
+//! json` emits them. Exits non-zero on the first malformed report so
+//! the bench-smoke CI job fails loudly instead of archiving garbage.
+
+use gupt_bench::json::{parse, Value};
+use std::process::ExitCode;
+
+const STAGE_KEYS: [&str; 6] = [
+    "budget_resolution_ms",
+    "ledger_charge_ms",
+    "block_planning_ms",
+    "chamber_execution_ms",
+    "range_resolution_ms",
+    "aggregation_ms",
+];
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: validate_run_report FILE.json [FILE.json ...]");
+        return ExitCode::FAILURE;
+    }
+    for file in &files {
+        match validate_file(file) {
+            Ok(bench) => println!("ok: {file} (bench {bench:?})"),
+            Err(e) => {
+                eprintln!("FAIL: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn validate_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("parse: {e}"))?;
+    validate_run_report(&doc)
+}
+
+fn validate_run_report(doc: &Value) -> Result<String, String> {
+    let version = require_number(doc, "run_report_version")?;
+    if version != f64::from(gupt_bench::report::RUN_REPORT_VERSION) {
+        return Err(format!("unsupported run_report_version {version}"));
+    }
+    let bench = doc
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"bench\"")?
+        .to_string();
+    for section in ["settings", "metrics"] {
+        let obj = doc
+            .get(section)
+            .and_then(Value::as_object)
+            .ok_or_else(|| format!("missing object field {section:?}"))?;
+        for (k, v) in obj {
+            if !matches!(v, Value::Number(_) | Value::Null) {
+                return Err(format!("{section}.{k} must be a number or null"));
+            }
+        }
+    }
+    match doc.get("telemetry") {
+        Some(Value::Null) => {}
+        Some(t) => validate_telemetry(t)?,
+        None => return Err("missing field \"telemetry\" (use null when absent)".into()),
+    }
+    Ok(bench)
+}
+
+fn validate_telemetry(t: &Value) -> Result<(), String> {
+    let version = require_number(t, "schema_version")?;
+    if version != f64::from(gupt_core::TELEMETRY_SCHEMA_VERSION) {
+        return Err(format!("unsupported telemetry schema_version {version}"));
+    }
+    require_number_or_null(t, "total_ms")?;
+
+    let stages = t
+        .get("stages")
+        .and_then(Value::as_object)
+        .ok_or("telemetry.stages must be an object")?;
+    for key in STAGE_KEYS {
+        let v = stages
+            .get(key)
+            .ok_or_else(|| format!("telemetry.stages missing {key:?}"))?;
+        if !matches!(v, Value::Number(_) | Value::Null) {
+            return Err(format!("telemetry.stages.{key} must be a number or null"));
+        }
+    }
+
+    let blocks = t
+        .get("blocks")
+        .ok_or("telemetry.blocks must be an object")?;
+    for key in ["run", "completed", "timed_out", "panicked", "workers"] {
+        let n = require_number(blocks, key).map_err(|e| format!("telemetry.blocks: {e}"))?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!(
+                "telemetry.blocks.{key} must be a non-negative integer"
+            ));
+        }
+    }
+    require_number_or_null(blocks, "worker_utilization")
+        .map_err(|e| format!("telemetry.blocks: {e}"))?;
+
+    let hits = t
+        .get("clamp_hits")
+        .and_then(Value::as_array)
+        .ok_or("telemetry.clamp_hits must be an array")?;
+    if !hits
+        .iter()
+        .all(|h| matches!(h, Value::Number(n) if *n >= 0.0))
+    {
+        return Err("telemetry.clamp_hits must hold non-negative numbers".into());
+    }
+
+    let ledger = t
+        .get("ledger")
+        .ok_or("telemetry.ledger must be an object")?;
+    for key in ["epsilon_requested", "epsilon_charged", "remaining_budget"] {
+        require_number_or_null(ledger, key).map_err(|e| format!("telemetry.ledger: {e}"))?;
+    }
+    Ok(())
+}
+
+fn require_number(doc: &Value, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Value::as_number)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn require_number_or_null(doc: &Value, key: &str) -> Result<(), String> {
+    match doc.get(key) {
+        Some(Value::Number(_) | Value::Null) => Ok(()),
+        _ => Err(format!("field {key:?} must be a number or null")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupt_bench::report::RunReport;
+    use gupt_core::TelemetryReport;
+
+    #[test]
+    fn accepts_emitter_output_without_telemetry() {
+        let doc = parse(&RunReport::new("b").setting("rows", 1.0).to_json()).unwrap();
+        assert_eq!(validate_run_report(&doc).unwrap(), "b");
+    }
+
+    #[test]
+    fn accepts_emitter_output_with_telemetry() {
+        let doc = parse(
+            &RunReport::new("b")
+                .telemetry(TelemetryReport::default())
+                .to_json(),
+        )
+        .unwrap();
+        validate_run_report(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_stage_key() {
+        let json = RunReport::new("b")
+            .telemetry(TelemetryReport::default())
+            .to_json()
+            .replace("\"aggregation_ms\"", "\"aggregation_msX\"");
+        let doc = parse(&json).unwrap();
+        let err = validate_run_report(&doc).unwrap_err();
+        assert!(err.contains("aggregation_ms"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let doc = parse(
+            r#"{"run_report_version":99,"bench":"b","settings":{},"metrics":{},"telemetry":null}"#,
+        )
+        .unwrap();
+        assert!(validate_run_report(&doc).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_metric() {
+        let doc = parse(r#"{"run_report_version":1,"bench":"b","settings":{},"metrics":{"m":"fast"},"telemetry":null}"#).unwrap();
+        let err = validate_run_report(&doc).unwrap_err();
+        assert!(err.contains("metrics.m"), "{err}");
+    }
+
+    #[test]
+    fn rejects_fractional_block_count() {
+        let json = RunReport::new("b")
+            .telemetry(TelemetryReport::default())
+            .to_json()
+            .replace("\"run\":0", "\"run\":1.5");
+        let doc = parse(&json).unwrap();
+        assert!(validate_run_report(&doc).is_err());
+    }
+}

@@ -48,7 +48,12 @@ pub fn median_program() -> Arc<dyn BlockProgram> {
 /// with canonical center ordering (§8). `iterations` is a *fixed* Lloyd
 /// iteration count (no early stopping), matching how Figures 5 and 6
 /// sweep the analyst's conservatively declared iteration budget.
-pub fn kmeans_program(k: usize, dims: usize, iterations: usize, seed: u64) -> Arc<dyn BlockProgram> {
+pub fn kmeans_program(
+    k: usize,
+    dims: usize,
+    iterations: usize,
+    seed: u64,
+) -> Arc<dyn BlockProgram> {
     Arc::new(
         ClosureProgram::new(k * dims, move |block: &[Vec<f64>]| {
             // The program carries its own seed: a black box has no access

@@ -1,10 +1,18 @@
-//! Plain-text rendering of experiment series and tables.
+//! Plain-text rendering of experiment series and tables, plus the
+//! machine-readable run-report emitter CI archives.
 //!
 //! The paper's figures are line charts; the binaries print the underlying
 //! series as aligned text tables (x column + one column per series), which
-//! is what `EXPERIMENTS.md` quotes.
+//! is what `EXPERIMENTS.md` quotes. Alongside the human-readable table,
+//! each binary can emit a [`RunReport`] — a stable-schema JSON document
+//! with the run's settings, headline metrics and (when the run executed a
+//! GUPT query) the query's [`TelemetryReport`] in the exact schema the
+//! runtime's `--telemetry json` flag uses. `validate_run_report` checks
+//! these documents in CI.
 
+use gupt_core::TelemetryReport;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// A labelled (x, y…) table: one x column, many named series.
 #[derive(Debug, Clone)]
@@ -116,6 +124,143 @@ pub fn banner(title: &str) {
     println!("\n=== {title} ===\n");
 }
 
+/// Version of the run-report JSON schema. Bump on any field change.
+pub const RUN_REPORT_VERSION: u32 = 1;
+
+/// Environment variable naming the directory run-reports are written to.
+/// Unset ⇒ reports are not written (local runs stay file-free).
+pub const REPORT_DIR_ENV: &str = "GUPT_REPORT_DIR";
+
+/// A machine-readable record of one bench-binary run.
+///
+/// Schema (version [`RUN_REPORT_VERSION`]): an object with
+/// `run_report_version`, `bench` (string), `settings` (object of
+/// numbers: trials, rows, …), `metrics` (object of numbers, insertion
+/// order preserved) and `telemetry` — either `null` or a full
+/// query-telemetry object in the schema documented on
+/// [`TelemetryReport::to_json`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    bench: String,
+    settings: Vec<(String, f64)>,
+    metrics: Vec<(String, f64)>,
+    telemetry: Option<TelemetryReport>,
+}
+
+impl RunReport {
+    /// Starts a report for the named bench binary.
+    pub fn new(bench: impl Into<String>) -> Self {
+        RunReport {
+            bench: bench.into(),
+            settings: Vec::new(),
+            metrics: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Records a sizing knob (trials, rows, workers, …).
+    pub fn setting(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.settings.push((key.into(), value));
+        self
+    }
+
+    /// Records a headline metric.
+    pub fn metric(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.metrics.push((key.into(), value));
+        self
+    }
+
+    /// Attaches the telemetry of a query the bench executed.
+    pub fn telemetry(mut self, report: TelemetryReport) -> Self {
+        self.telemetry = Some(report);
+        self
+    }
+
+    /// Renders the stable-schema JSON document (single line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"run_report_version\":{},\"bench\":\"{}\"",
+            RUN_REPORT_VERSION,
+            escape_json(&self.bench)
+        );
+        for (label, pairs) in [("settings", &self.settings), ("metrics", &self.metrics)] {
+            let _ = write!(out, ",\"{label}\":{{");
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", escape_json(k), json_num(*v));
+            }
+            out.push('}');
+        }
+        match &self.telemetry {
+            Some(t) => {
+                let _ = write!(out, ",\"telemetry\":{}", t.to_json());
+            }
+            None => out.push_str(",\"telemetry\":null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Writes `<bench>.json` into the `GUPT_REPORT_DIR` directory
+    /// (creating it), returning the path — or `Ok(None)` when the
+    /// variable is unset and nothing was written.
+    pub fn write(&self) -> std::io::Result<Option<PathBuf>> {
+        let Some(dir) = std::env::var_os(REPORT_DIR_ENV) else {
+            return Ok(None);
+        };
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(Some(path))
+    }
+
+    /// [`RunReport::write`] with failures reported on stderr instead of
+    /// propagated — a bench run should not fail because archiving did.
+    pub fn emit(&self) {
+        match self.write() {
+            Ok(Some(path)) => eprintln!("run-report: {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("run-report: write failed: {e}"),
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains(['e', 'E']) {
+            format!("{v:.12}")
+        } else {
+            s
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +301,64 @@ mod tests {
         assert_eq!(format_num(2.0), "2");
         assert_eq!(format_num(0.12345), "0.1235");
         assert_eq!(format_num(123.456), "123.5");
+    }
+
+    #[test]
+    fn run_report_json_roundtrips_through_parser() {
+        let report = RunReport::new("unit_test")
+            .setting("trials", 3.0)
+            .setting("rows", 100.0)
+            .metric("overhead_pct", 1.26);
+        let doc = crate::json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("run_report_version").unwrap().as_number(),
+            Some(RUN_REPORT_VERSION as f64)
+        );
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("unit_test"));
+        assert_eq!(
+            doc.get("settings")
+                .unwrap()
+                .get("trials")
+                .unwrap()
+                .as_number(),
+            Some(3.0)
+        );
+        assert_eq!(
+            doc.get("metrics")
+                .unwrap()
+                .get("overhead_pct")
+                .unwrap()
+                .as_number(),
+            Some(1.26)
+        );
+        assert_eq!(doc.get("telemetry").unwrap(), &crate::json::Value::Null);
+    }
+
+    #[test]
+    fn run_report_embeds_telemetry_schema() {
+        let tel = TelemetryReport::default();
+        let report = RunReport::new("with_tel").telemetry(tel);
+        let doc = crate::json::parse(&report.to_json()).expect("valid JSON");
+        let t = doc.get("telemetry").unwrap();
+        assert_eq!(
+            t.get("schema_version").unwrap().as_number(),
+            Some(gupt_core::TELEMETRY_SCHEMA_VERSION as f64)
+        );
+        assert!(t.get("stages").unwrap().as_object().is_some());
+    }
+
+    #[test]
+    fn bench_names_are_escaped() {
+        let report = RunReport::new("we\"ird\nname");
+        assert!(crate::json::parse(&report.to_json()).is_ok());
+    }
+
+    #[test]
+    fn write_honors_env_dir() {
+        // Runs in-process: avoid mutating the env var (other tests may
+        // run concurrently); the unset path must simply do nothing.
+        if std::env::var_os(REPORT_DIR_ENV).is_none() {
+            assert!(RunReport::new("noop").write().unwrap().is_none());
+        }
     }
 }

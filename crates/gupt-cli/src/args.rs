@@ -57,11 +57,7 @@ impl Args {
                 let value = it
                     .next()
                     .ok_or_else(|| ArgError::MissingValue(flag.to_string()))?;
-                if args
-                    .flags
-                    .insert(flag.to_string(), value.clone())
-                    .is_some()
-                {
+                if args.flags.insert(flag.to_string(), value.clone()).is_some() {
                     return Err(ArgError::Duplicate(flag.to_string()));
                 }
             } else {
@@ -165,17 +161,17 @@ mod tests {
     #[test]
     fn required_missing() {
         let a = Args::parse(&argv("query")).unwrap();
-        assert_eq!(a.require("data").unwrap_err(), ArgError::Required("data".into()));
+        assert_eq!(
+            a.require("data").unwrap_err(),
+            ArgError::Required("data".into())
+        );
     }
 
     #[test]
     fn parsed_flags() {
         let a = Args::parse(&argv("--rows 100 --epsilon 0.5")).unwrap();
         assert_eq!(a.require_parsed::<usize>("rows", "integer").unwrap(), 100);
-        assert_eq!(
-            a.get_parsed::<f64>("epsilon", "number").unwrap(),
-            Some(0.5)
-        );
+        assert_eq!(a.get_parsed::<f64>("epsilon", "number").unwrap(), Some(0.5));
         assert_eq!(a.get_parsed::<u64>("seed", "integer").unwrap(), None);
     }
 

@@ -47,6 +47,8 @@ USAGE:
                  [--ledger FILE] [--block-size B] [--gamma G] [--seed S]
                  [--header yes] [--range-mode tight|loose] [--aggregator mean|median]
                  [--group-column N]     (user-level privacy, §8.1)
+                 [--telemetry json|text]  (stage timings + counters on stderr;
+                                           operator-facing, NOT ε-protected)
 
 PROGRAMS:
   mean:COL  median:COL  variance:COL  count  histogram:COL:BINS
@@ -91,10 +93,9 @@ fn generate(which: &str, args: &Args) -> Result<String, CliError> {
             )
         }
         other => {
-            return Err(format!(
-                "unknown dataset {other:?}; available: census, ads, life-sciences"
+            return Err(
+                format!("unknown dataset {other:?}; available: census, ads, life-sciences").into(),
             )
-            .into())
         }
     };
     csv::write_csv(out, Some(&header), &rows)?;
@@ -177,11 +178,14 @@ fn query(args: &Args) -> Result<String, CliError> {
     let aggregator = match args.get("aggregator") {
         None | Some("mean") => Aggregator::LaplaceMean,
         Some("median") => Aggregator::DpMedian,
-        Some(other) => {
-            return Err(format!("unknown aggregator {other:?} (mean|median)").into())
-        }
+        Some(other) => return Err(format!("unknown aggregator {other:?} (mean|median)").into()),
     };
     let range_mode = args.get("range-mode").unwrap_or("tight");
+    let telemetry_mode = match args.get("telemetry") {
+        None => None,
+        Some(mode @ ("json" | "text")) => Some(mode.to_string()),
+        Some(other) => return Err(format!("unknown telemetry mode {other:?} (json|text)").into()),
+    };
 
     // Build the dataset (with an aged view / user grouping when requested).
     let mut dataset = Dataset::new(rows)?;
@@ -208,6 +212,9 @@ fn query(args: &Args) -> Result<String, CliError> {
     if let Some(b) = block_size {
         spec = spec.fixed_block_size(b);
     }
+    if telemetry_mode.is_some() {
+        spec = spec.collect_telemetry();
+    }
 
     // Ephemeral runtime: the *persistent* accounting is the file ledger;
     // the in-process ledger only carries this one query's budget.
@@ -233,9 +240,7 @@ fn query(args: &Args) -> Result<String, CliError> {
             let probe = build_runtime(Epsilon::new(1e9)?, dataset.clone())?;
             probe.estimate_epsilon_for("data", &spec.clone().accuracy_goal(goal))?
         }
-        (Some(_), Some(_)) => {
-            return Err("--epsilon and --accuracy are mutually exclusive".into())
-        }
+        (Some(_), Some(_)) => return Err("--epsilon and --accuracy are mutually exclusive".into()),
         (None, None) => return Err("one of --epsilon or --accuracy is required".into()),
     };
 
@@ -250,7 +255,27 @@ fn query(args: &Args) -> Result<String, CliError> {
     };
 
     let mut runtime = build_runtime(eps, dataset)?;
-    let answer = runtime.run("data", spec.epsilon(eps))?;
+    let mut answer = runtime.run("data", spec.epsilon(eps))?;
+
+    // Telemetry is an operator side channel outside the ε guarantee: it
+    // goes to stderr so the DP answer on stdout stays clean.
+    if let Some(mode) = telemetry_mode {
+        let report = answer
+            .telemetry
+            .as_mut()
+            .expect("telemetry was requested on the spec");
+        // The in-process runtime carries only this one query's ε (the
+        // file ledger is the persistent accounting), so its remaining
+        // balance is always 0 here. Report the file ledger's instead.
+        if let Some((_, remaining, _)) = &ledger_state {
+            report.ledger.remaining_budget = *remaining;
+        }
+        if mode == "json" {
+            eprintln!("{}", report.to_json());
+        } else {
+            eprint!("{report}");
+        }
+    }
 
     let mut out = String::new();
     let _ = writeln!(out, "program     : {spec_str} ({description})");
@@ -259,6 +284,22 @@ fn query(args: &Args) -> Result<String, CliError> {
         out,
         "blocks      : {} × ~{} rows (γ = {})",
         answer.num_blocks, answer.block_size, answer.gamma
+    );
+    // Chamber outcomes: a query whose chambers were killed or panicked
+    // must not read like a clean run — the fallback constants it
+    // aggregated bias the answer toward the range midpoint.
+    let ex = &answer.execution;
+    let _ = writeln!(
+        out,
+        "chambers    : {} ok, {} timed out, {} panicked{}",
+        ex.completed,
+        ex.timed_out,
+        ex.panicked,
+        if ex.timed_out + ex.panicked > 0 {
+            "  ⚠ fallback outputs aggregated"
+        } else {
+            ""
+        }
     );
     if is_histogram {
         let _ = writeln!(out, "answer      : bucket fractions over [{lo}, {hi})");
@@ -334,7 +375,10 @@ mod tests {
              --seed 9 --header yes"
         ))
         .unwrap();
-        assert!(result.contains("program     : mean:0 (mean of column 0)"), "{result}");
+        assert!(
+            result.contains("program     : mean:0 (mean of column 0)"),
+            "{result}"
+        );
         // Parse the answer out and sanity-check it.
         let answer_line = result
             .lines()
@@ -405,7 +449,10 @@ mod tests {
     #[test]
     fn accuracy_goal_end_to_end() {
         let csv_path = tmp("goal_ok.csv");
-        run(&format!("generate census --rows 8000 --seed 2 --out {csv_path}")).unwrap();
+        run(&format!(
+            "generate census --rows 8000 --seed 2 --out {csv_path}"
+        ))
+        .unwrap();
         let out = run(&format!(
             "query --data {csv_path} --program mean:0 --accuracy 0.9 \
              --confidence 0.9 --aged-fraction 0.1 --block-size 50 \
@@ -422,7 +469,10 @@ mod tests {
     #[test]
     fn median_aggregator_and_loose_mode() {
         let csv_path = tmp("agg.csv");
-        run(&format!("generate ads --rows 2000 --seed 4 --out {csv_path}")).unwrap();
+        run(&format!(
+            "generate ads --rows 2000 --seed 4 --out {csv_path}"
+        ))
+        .unwrap();
         let out = run(&format!(
             "query --data {csv_path} --program mean:0 --epsilon 6 --range 0,15              --range-mode loose --aggregator median --seed 2 --header yes"
         ))
@@ -467,6 +517,36 @@ mod tests {
             "query --data {csv_path} --program mean:1 --epsilon 5 --range 0,20              --group-column 9 --header yes"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn query_reports_chamber_outcomes() {
+        let csv_path = tmp("chambers.csv");
+        run(&format!("generate ads --rows 500 --out {csv_path}")).unwrap();
+        let out = run(&format!(
+            "query --data {csv_path} --program mean:0 --epsilon 1 --range 0,15 \
+             --seed 5 --header yes"
+        ))
+        .unwrap();
+        let chambers = out
+            .lines()
+            .find(|l| l.starts_with("chambers"))
+            .expect("chambers line");
+        assert!(chambers.contains("0 timed out, 0 panicked"), "{chambers}");
+        assert!(!chambers.contains('⚠'), "{chambers}");
+    }
+
+    #[test]
+    fn bad_telemetry_mode_rejected() {
+        let csv_path = tmp("badtel.csv");
+        run(&format!("generate ads --rows 100 --out {csv_path}")).unwrap();
+        let err = run(&format!(
+            "query --data {csv_path} --program mean:0 --epsilon 1 --range 0,15 \
+             --telemetry xml --header yes"
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("telemetry mode"), "{err}");
     }
 
     #[test]

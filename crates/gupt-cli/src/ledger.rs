@@ -125,9 +125,7 @@ impl FileLedger {
                 "total" => total = Some(parse(value)?),
                 "spent" => spent = Some(parse(value)?),
                 "queries" => queries = Some(parse(value)? as u64),
-                other => {
-                    return Err(LedgerError::Corrupt(format!("unknown key {other:?}")))
-                }
+                other => return Err(LedgerError::Corrupt(format!("unknown key {other:?}"))),
             }
         }
         let total = total.ok_or_else(|| LedgerError::Corrupt("missing total".into()))?;

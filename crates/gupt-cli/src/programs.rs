@@ -106,8 +106,7 @@ pub fn resolve(spec: &str) -> Result<ResolvedProgram, ProgramError> {
             }
             Ok(ResolvedProgram {
                 program: Arc::new(
-                    ClosureProgram::new(1, |b: &[Vec<f64>]| vec![b.len() as f64])
-                        .named("count"),
+                    ClosureProgram::new(1, |b: &[Vec<f64>]| vec![b.len() as f64]).named("count"),
                 ),
                 output_dim: 1,
                 description: "record count per block".to_string(),
@@ -152,12 +151,7 @@ pub fn resolve(spec: &str) -> Result<ResolvedProgram, ProgramError> {
 
 /// Builds a histogram program over a concrete value range. Block output
 /// = per-bucket *fractions* (each in [0, 1]).
-pub fn histogram_with_range(
-    col: usize,
-    bins: usize,
-    lo: f64,
-    hi: f64,
-) -> Arc<dyn BlockProgram> {
+pub fn histogram_with_range(col: usize, bins: usize, lo: f64, hi: f64) -> Arc<dyn BlockProgram> {
     Arc::new(
         ClosureProgram::new(bins, move |b: &[Vec<f64>]| {
             Histogram::build(&column(b, col), lo, hi, bins).fractions()
@@ -166,11 +160,7 @@ pub fn histogram_with_range(
     )
 }
 
-fn one_column(
-    spec: &str,
-    params: &[&str],
-    usage: &'static str,
-) -> Result<usize, ProgramError> {
+fn one_column(spec: &str, params: &[&str], usage: &'static str) -> Result<usize, ProgramError> {
     if params.len() != 1 {
         return Err(ProgramError::BadSpec {
             spec: spec.to_string(),

@@ -42,9 +42,7 @@ pub fn aggregate<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Vec<f64>, GuptError> {
     match strategy {
-        Aggregator::LaplaceMean => {
-            sample_and_aggregate(outputs, ranges, gamma, eps_per_dim, rng)
-        }
+        Aggregator::LaplaceMean => sample_and_aggregate(outputs, ranges, gamma, eps_per_dim, rng),
         Aggregator::DpMedian => {
             if outputs.is_empty() {
                 return Err(GuptError::InvalidSpec(
@@ -59,12 +57,11 @@ pub fn aggregate<R: Rng + ?Sized>(
                 });
             }
             // Rank sensitivity γ ⇒ run the ε'-DP estimator at ε' = ε/γ.
-            let eps_eff = Epsilon::new(eps_per_dim.value() / gamma.max(1) as f64)
-                .map_err(GuptError::Dp)?;
+            let eps_eff =
+                Epsilon::new(eps_per_dim.value() / gamma.max(1) as f64).map_err(GuptError::Dp)?;
             (0..p)
                 .map(|d| {
-                    let column: Vec<f64> =
-                        outputs.iter().map(|o| ranges[d].clamp(o[d])).collect();
+                    let column: Vec<f64> = outputs.iter().map(|o| ranges[d].clamp(o[d])).collect();
                     dp_percentile(&column, Percentile::MEDIAN, ranges[d], eps_eff, rng)
                         .map_err(GuptError::Dp)
                 })
@@ -127,16 +124,28 @@ mod tests {
         // 30% of blocks return the clamp ceiling (hostile / crashed);
         // honest block outputs scatter continuously around 50 (the
         // interval-based percentile mechanism needs non-atomic data).
-        let mut outputs: Vec<Vec<f64>> =
-            (0..70).map(|i| vec![47.0 + 0.1 * i as f64]).collect();
+        let mut outputs: Vec<Vec<f64>> = (0..70).map(|i| vec![47.0 + 0.1 * i as f64]).collect();
         outputs.extend((0..30).map(|_| vec![150.0]));
         let r_range = [range(0.0, 150.0)];
         let mut r = rng();
-        let median = aggregate(Aggregator::DpMedian, &outputs, &r_range, 1, eps(2.0), &mut r)
-            .unwrap()[0];
-        let mean =
-            aggregate(Aggregator::LaplaceMean, &outputs, &r_range, 1, eps(2.0), &mut r)
-                .unwrap()[0];
+        let median = aggregate(
+            Aggregator::DpMedian,
+            &outputs,
+            &r_range,
+            1,
+            eps(2.0),
+            &mut r,
+        )
+        .unwrap()[0];
+        let mean = aggregate(
+            Aggregator::LaplaceMean,
+            &outputs,
+            &r_range,
+            1,
+            eps(2.0),
+            &mut r,
+        )
+        .unwrap()[0];
         assert!((median - 50.0).abs() < 5.0, "median = {median}");
         // The mean is dragged ≈30 units toward the poison.
         assert!((mean - 80.0).abs() < 10.0, "mean = {mean}");
@@ -169,8 +178,15 @@ mod tests {
         let outputs: Vec<Vec<f64>> = (0..100).map(|_| vec![5.0]).collect();
         let r_range = [range(0.0, 10.0)];
         let mut r = rng();
-        let out = aggregate(Aggregator::DpMedian, &outputs, &r_range, 4, eps(1.0), &mut r)
-            .unwrap();
+        let out = aggregate(
+            Aggregator::DpMedian,
+            &outputs,
+            &r_range,
+            4,
+            eps(1.0),
+            &mut r,
+        )
+        .unwrap();
         assert!(r_range[0].contains(out[0]));
     }
 

@@ -77,10 +77,7 @@ pub fn aged_block_stats(
         return Err(GuptError::NoAgedData("<aged view>".into()));
     }
     let block_size = block_size.clamp(1, aged_rows.len());
-    let blocks: Vec<Vec<Vec<f64>>> = aged_rows
-        .chunks(block_size)
-        .map(|c| c.to_vec())
-        .collect();
+    let blocks: Vec<Vec<Vec<f64>>> = aged_rows.chunks(block_size).map(|c| c.to_vec()).collect();
     let block_outputs = manager
         .execute_blocks(program, blocks)
         .into_iter()
@@ -127,10 +124,11 @@ mod tests {
     fn estimation_error_grows_for_mismatched_blocks() {
         // Mean of the square: nonlinear, so block means differ from the
         // full-data output.
-        let program: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |b: &[Vec<f64>]| {
-            let m = b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64;
-            vec![m * m]
-        }));
+        let program: Arc<dyn BlockProgram> =
+            Arc::new(ClosureProgram::new(1, |b: &[Vec<f64>]| {
+                let m = b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64;
+                vec![m * m]
+            }));
         let stats = aged_block_stats(&manager(), &program, &rows(100), 3).unwrap();
         assert!(stats.estimation_error() > 0.0);
     }

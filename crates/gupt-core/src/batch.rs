@@ -211,12 +211,9 @@ mod tests {
             .register_dataset("ages", rows(), eps(10.0))
             .unwrap()
             .build();
-        let goal_spec = mean_spec().accuracy_goal(
-            crate::budget_estimator::AccuracyGoal::new(0.9, 0.9).unwrap(),
-        );
-        let err = rt
-            .run_batch("ages", vec![goal_spec], eps(1.0))
-            .unwrap_err();
+        let goal_spec = mean_spec()
+            .accuracy_goal(crate::budget_estimator::AccuracyGoal::new(0.9, 0.9).unwrap());
+        let err = rt.run_batch("ages", vec![goal_spec], eps(1.0)).unwrap_err();
         assert!(matches!(err, GuptError::InvalidSpec(_)));
     }
 
@@ -244,9 +241,7 @@ mod tests {
             .unwrap()
             .seed(4)
             .build();
-        let batch = rt
-            .run_batch("ages", vec![mean_spec()], eps(2.0))
-            .unwrap();
+        let batch = rt.run_batch("ages", vec![mean_spec()], eps(2.0)).unwrap();
         assert!((batch.allocations[0] - 2.0).abs() < 1e-12);
         assert_eq!(batch.answers[0].epsilon_spent, 2.0);
     }

@@ -127,7 +127,6 @@ pub fn partition<R: Rng + ?Sized>(
     }
 }
 
-
 /// Builds a *group-aware* partition plan for user-level privacy (§8.1):
 /// all records of a group (user) stay together, so changing one user
 /// perturbs at most `gamma` blocks and the `γ·s/ℓ` sensitivity bound

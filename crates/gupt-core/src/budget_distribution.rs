@@ -160,8 +160,7 @@ mod tests {
 
     #[test]
     fn shares_never_exceed_total() {
-        let profiles: Vec<QueryNoiseProfile> =
-            (1..=10).map(|i| profile(i as f64)).collect();
+        let profiles: Vec<QueryNoiseProfile> = (1..=10).map(|i| profile(i as f64)).collect();
         let shares = distribute_budget(eps(0.5), &profiles).unwrap();
         let total: f64 = shares.iter().map(|e| e.value()).sum();
         assert!(total <= 0.5 * (1.0 + 1e-9));

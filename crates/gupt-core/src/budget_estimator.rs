@@ -289,7 +289,10 @@ mod tests {
             AccuracyGoal::new(0.999, 0.999).unwrap(),
         )
         .unwrap_err();
-        assert!(matches!(err, GuptError::InfeasibleAccuracyGoal { .. }), "{err}");
+        assert!(
+            matches!(err, GuptError::InfeasibleAccuracyGoal { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -356,8 +359,7 @@ mod tests {
         let trials = 200;
         let hits = (0..trials)
             .filter(|_| {
-                let out =
-                    sample_and_aggregate(&outputs, &range(), 1, eps, &mut rng).unwrap()[0];
+                let out = sample_and_aggregate(&outputs, &range(), 1, eps, &mut rng).unwrap()[0];
                 (out - truth).abs() / truth.abs() <= 1.0 - goal.accuracy
             })
             .count();

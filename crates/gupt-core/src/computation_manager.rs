@@ -9,7 +9,9 @@
 //! runtime computes the DP aggregate. The untrusted program never
 //! communicates with anything but its own chamber.
 
-use gupt_sandbox::{BlockProgram, ChamberOutcome, ChamberPolicy, ChamberPool, ChamberReport};
+use gupt_sandbox::{
+    BlockProgram, ChamberOutcome, ChamberPolicy, ChamberPool, ChamberReport, PoolTrace,
+};
 use std::sync::Arc;
 
 /// Summary of how a batch of chamber executions went.
@@ -80,6 +82,16 @@ impl ComputationManager {
         self.pool.run_all(program, blocks)
     }
 
+    /// Like [`ComputationManager::execute_blocks`], additionally
+    /// returning the pool's [`PoolTrace`] for operator telemetry.
+    pub fn execute_blocks_traced(
+        &self,
+        program: &Arc<dyn BlockProgram>,
+        blocks: Vec<Vec<Vec<f64>>>,
+    ) -> (Vec<ChamberReport>, PoolTrace) {
+        self.pool.run_all_traced(program, blocks)
+    }
+
     /// Runs `program` once over an entire row set (used on aged,
     /// non-private data by the estimators, and by non-private baselines).
     pub fn execute_full(
@@ -88,9 +100,7 @@ impl ComputationManager {
         rows: &[Vec<f64>],
     ) -> ChamberReport {
         let mut reports = self.pool.run_all(program, vec![rows.to_vec()]);
-        reports
-            .pop()
-            .expect("pool returns one report per block")
+        reports.pop().expect("pool returns one report per block")
     }
 }
 

@@ -36,10 +36,7 @@ impl Dataset {
                 rows[bad].len()
             )));
         }
-        if rows
-            .iter()
-            .any(|r| r.iter().any(|v| !v.is_finite()))
-        {
+        if rows.iter().any(|r| r.iter().any(|v| !v.is_finite())) {
             return Err(GuptError::InvalidDataset(
                 "rows contain non-finite values".into(),
             ));
@@ -283,7 +280,7 @@ mod tests {
             .unwrap();
         assert_eq!(ds.aged_rows().len(), 3);
         assert_eq!(ds.len(), 5); // private table untouched
-        // Width mismatch rejected.
+                                 // Width mismatch rejected.
         let bad = Dataset::new(rows(5))
             .unwrap()
             .with_aged_rows(vec![vec![1.0]]);

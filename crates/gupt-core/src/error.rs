@@ -58,7 +58,10 @@ impl fmt::Display for GuptError {
                  estimation-error std {estimation_std}; use larger blocks or relax the goal"
             ),
             GuptError::NoAgedData(name) => {
-                write!(f, "dataset {name:?} has no aged (privacy-insensitive) portion")
+                write!(
+                    f,
+                    "dataset {name:?} has no aged (privacy-insensitive) portion"
+                )
             }
             GuptError::InvalidSpec(why) => write!(f, "invalid query spec: {why}"),
         }

@@ -11,8 +11,10 @@ use crate::error::GuptError;
 use crate::output_range::RangeEstimation;
 use crate::query::{BlockSizeSpec, BudgetSpec, QuerySpec};
 use crate::runtime::GuptRuntime;
+use crate::telemetry::{QueryTelemetry, Stage, TelemetryReport};
 use gupt_dp::Epsilon;
 use std::fmt;
+use std::time::Instant;
 
 /// The per-stage budget split a query would use.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +81,34 @@ impl GuptRuntime {
     /// `Optimized` block-size strategy is planned at the paper default,
     /// since optimisation itself runs the program.
     pub fn explain(&self, dataset: &str, spec: &QuerySpec) -> Result<QueryPlan, GuptError> {
+        self.explain_impl(dataset, spec, &mut QueryTelemetry::disabled())
+    }
+
+    /// Like [`GuptRuntime::explain`], additionally returning a
+    /// [`TelemetryReport`] covering the planning-time stages (budget
+    /// resolution and block planning — the only stages a dry run
+    /// visits). Like all telemetry it is operator-facing and outside
+    /// the ε guarantee.
+    pub fn explain_traced(
+        &self,
+        dataset: &str,
+        spec: &QuerySpec,
+    ) -> Result<(QueryPlan, TelemetryReport), GuptError> {
+        let mut tel = QueryTelemetry::enabled();
+        let start = Instant::now();
+        let plan = self.explain_impl(dataset, spec, &mut tel)?;
+        let report = tel
+            .finish(start.elapsed())
+            .expect("enabled collector always yields a report");
+        Ok((plan, report))
+    }
+
+    fn explain_impl(
+        &self,
+        dataset: &str,
+        spec: &QuerySpec,
+        tel: &mut QueryTelemetry,
+    ) -> Result<QueryPlan, GuptError> {
         let n = self.dataset_len(dataset)?;
         let p = spec.output_dimension();
         if p == 0 {
@@ -98,6 +128,7 @@ impl GuptRuntime {
             });
         }
 
+        let stage_start = Instant::now();
         let block_size = match spec.block_size_spec() {
             BlockSizeSpec::Fixed(0) => {
                 return Err(GuptError::InvalidSpec("block size must be ≥ 1".into()))
@@ -107,11 +138,14 @@ impl GuptRuntime {
         };
         let gamma = spec.gamma();
         let num_blocks = gamma * n.div_ceil(block_size.max(1)).max(1);
+        tel.record_stage(Stage::BlockPlanning, stage_start.elapsed());
 
+        let stage_start = Instant::now();
         let eps_total = match spec.budget() {
             BudgetSpec::Epsilon(e) => e,
             BudgetSpec::Accuracy(_) => self.estimate_epsilon_for(dataset, spec)?,
         };
+        tel.record_stage(Stage::BudgetResolution, stage_start.elapsed());
 
         let fraction = mode.aggregation_budget_fraction();
         let aggregation_per_dim = eps_total.value() * fraction / p as f64;
@@ -260,6 +294,26 @@ mod tests {
         let text = rt.explain("t", &spec).unwrap().to_string();
         assert!(text.contains("query plan"), "{text}");
         assert!(text.contains("noise std"), "{text}");
+    }
+
+    #[test]
+    fn traced_plan_reports_planning_stages() {
+        use crate::telemetry::Stage;
+        let rt = GuptRuntimeBuilder::new()
+            .register_dataset("t", rows(1_000), eps(1.0))
+            .unwrap()
+            .build();
+        let spec = mean_spec()
+            .epsilon(eps(0.5))
+            .range_estimation(RangeEstimation::Tight(vec![range(0.0, 50.0)]));
+        let (plan, report) = rt.explain_traced("t", &spec).unwrap();
+        assert_eq!(plan.epsilon, 0.5);
+        // A dry run visits exactly the two planning stages.
+        assert!(report.stage(Stage::BlockPlanning).is_some());
+        assert!(report.stage(Stage::BudgetResolution).is_some());
+        assert!(report.stage(Stage::ChamberExecution).is_none());
+        // And charges nothing.
+        assert_eq!(rt.remaining_budget("t").unwrap(), 1.0);
     }
 
     #[test]

@@ -58,11 +58,12 @@ pub mod output_range;
 pub mod query;
 pub mod runtime;
 pub mod saf;
+pub mod telemetry;
 
 pub use aggregator::Aggregator;
 pub use aging::{aged_block_stats, AgedBlockStats};
-pub use block_size::{optimal_block_size, BlockSizeChoice};
 pub use batch::BatchAnswer;
+pub use block_size::{optimal_block_size, BlockSizeChoice};
 pub use blocks::{default_block_size, partition, partition_grouped, BlockPlan};
 pub use budget_distribution::{distribute_budget, QueryNoiseProfile};
 pub use budget_estimator::{estimate_epsilon, AccuracyGoal, TailBound};
@@ -75,3 +76,7 @@ pub use output_range::{RangeEstimation, RangeTranslator};
 pub use query::{BlockSizeSpec, BudgetSpec, QuerySpec};
 pub use runtime::{GuptRuntime, GuptRuntimeBuilder, PrivateAnswer};
 pub use saf::{clamped_block_means, sample_and_aggregate};
+pub use telemetry::{
+    BlockCounters, LedgerEvent, QueryTelemetry, Stage, StageTiming, TelemetryReport,
+    TELEMETRY_SCHEMA_VERSION,
+};

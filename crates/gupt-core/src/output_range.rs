@@ -176,11 +176,9 @@ mod tests {
     fn loose_tightens_toward_quartiles() {
         // Block outputs clustered in [40, 60] with loose range [0, 1000]:
         // the resolved range must be far tighter than the loose one.
-        let outputs: Vec<Vec<f64>> = (0..200)
-            .map(|i| vec![40.0 + (i % 21) as f64])
-            .collect();
-        let resolved = resolve_loose(&outputs, &[range(0.0, 1000.0)], 1, eps(2.0), &mut rng())
-            .unwrap();
+        let outputs: Vec<Vec<f64>> = (0..200).map(|i| vec![40.0 + (i % 21) as f64]).collect();
+        let resolved =
+            resolve_loose(&outputs, &[range(0.0, 1000.0)], 1, eps(2.0), &mut rng()).unwrap();
         assert!(resolved[0].lo() >= 30.0, "lo = {}", resolved[0].lo());
         assert!(resolved[0].hi() <= 80.0, "hi = {}", resolved[0].hi());
     }

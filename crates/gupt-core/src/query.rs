@@ -43,6 +43,7 @@ pub struct QuerySpec {
     pub(crate) block_size: BlockSizeSpec,
     pub(crate) gamma: usize,
     pub(crate) aggregator: Aggregator,
+    pub(crate) telemetry: bool,
 }
 
 impl fmt::Debug for QuerySpec {
@@ -79,13 +80,12 @@ impl QuerySpec {
     pub fn from_program(program: Arc<dyn BlockProgram>) -> QuerySpec {
         QuerySpec {
             program,
-            budget: BudgetSpec::Epsilon(
-                Epsilon::new(1.0).expect("1.0 is a valid epsilon"),
-            ),
+            budget: BudgetSpec::Epsilon(Epsilon::new(1.0).expect("1.0 is a valid epsilon")),
             range_estimation: None,
             block_size: BlockSizeSpec::Default,
             gamma: 1,
             aggregator: Aggregator::default(),
+            telemetry: false,
         }
     }
 
@@ -157,6 +157,21 @@ impl QuerySpec {
     pub fn aggregation_strategy(&self) -> Aggregator {
         self.aggregator
     }
+
+    /// Requests a [`crate::telemetry::TelemetryReport`] on the answer.
+    ///
+    /// Telemetry is an operator-facing side channel *outside* the DP
+    /// guarantee (stage timings depend on the private rows unless a
+    /// padding chamber policy is in force) — see [`crate::telemetry`].
+    pub fn collect_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
+    /// Whether telemetry collection was requested.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +194,8 @@ mod tests {
         let spec = QuerySpec::program_with_dim(3, |_: &[Vec<f64>]| vec![0.0; 3])
             .epsilon(Epsilon::new(2.0).unwrap())
             .range_estimation(RangeEstimation::Tight(vec![
-                OutputRange::new(0.0, 1.0).unwrap();
+                OutputRange::new(0.0, 1.0)
+                    .unwrap();
                 3
             ]))
             .fixed_block_size(25)

@@ -118,8 +118,7 @@ mod tests {
         let trials = 500;
         let total: f64 = (0..trials)
             .map(|_| {
-                sample_and_aggregate(&outputs, &[range(0.0, 10.0)], 1, eps(1.0), &mut r)
-                    .unwrap()[0]
+                sample_and_aggregate(&outputs, &[range(0.0, 10.0)], 1, eps(1.0), &mut r).unwrap()[0]
             })
             .sum();
         let avg = total / trials as f64;

@@ -1,0 +1,503 @@
+//! Query-lifecycle telemetry (operator observability).
+//!
+//! A [`QueryTelemetry`] collector rides along one call to
+//! [`crate::runtime::GuptRuntime::run`] and records, per pipeline stage
+//! of Algorithm 1 / §3.1, wall-clock timings plus execution counters:
+//! how many chambers completed / were killed, how busy the chamber-pool
+//! workers were, how often block outputs hit the clamping range, and
+//! what the ledger charged. The finished [`TelemetryReport`] travels on
+//! [`crate::runtime::PrivateAnswer::telemetry`] and renders to a
+//! stable-schema JSON document (see [`TelemetryReport::to_json`]).
+//!
+//! # Privacy caveat
+//!
+//! Telemetry is an **operator-facing side channel outside the
+//! differential-privacy guarantee**. Stage durations, outcome counts
+//! and clamp counters are *not* ε-protected: chamber wall-clock depends
+//! on the private rows unless a padding [`gupt_sandbox::ChamberPolicy`]
+//! is in force, and clamp counts reveal how many block outputs fell
+//! outside the declared range. Ship telemetry to trusted operators
+//! (logs, CI artifacts) — never to the analyst alongside the noisy
+//! answer. The DP output itself never depends on any telemetry value.
+
+use gupt_sandbox::PoolTrace;
+use std::fmt;
+use std::time::Duration;
+
+use crate::computation_manager::ExecutionSummary;
+
+/// Version of the JSON schema emitted by [`TelemetryReport::to_json`].
+/// Bump when a field is added, removed or renamed.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+
+/// The six pipeline stages of one GUPT query (Algorithm 1, §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Resolving ε: explicit, or derived from an accuracy goal (§5.1).
+    BudgetResolution,
+    /// Debiting the dataset's lifetime ledger (fail-closed).
+    LedgerCharge,
+    /// Choosing β, partitioning rows into ℓ·γ blocks, materialising.
+    BlockPlanning,
+    /// Running the untrusted program over every block in chambers (§6).
+    ChamberExecution,
+    /// Resolving output ranges (tight / loose / helper, §4.1).
+    RangeResolution,
+    /// Clamp, average, Laplace noise (Algorithm 1).
+    Aggregation,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::BudgetResolution,
+        Stage::LedgerCharge,
+        Stage::BlockPlanning,
+        Stage::ChamberExecution,
+        Stage::RangeResolution,
+        Stage::Aggregation,
+    ];
+
+    /// Stable snake_case key used in the JSON schema.
+    pub fn key(self) -> &'static str {
+        match self {
+            Stage::BudgetResolution => "budget_resolution",
+            Stage::LedgerCharge => "ledger_charge",
+            Stage::BlockPlanning => "block_planning",
+            Stage::ChamberExecution => "chamber_execution",
+            Stage::RangeResolution => "range_resolution",
+            Stage::Aggregation => "aggregation",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::BudgetResolution => 0,
+            Stage::LedgerCharge => 1,
+            Stage::BlockPlanning => 2,
+            Stage::ChamberExecution => 3,
+            Stage::RangeResolution => 4,
+            Stage::Aggregation => 5,
+        }
+    }
+}
+
+/// One recorded stage timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Which stage.
+    pub stage: Stage,
+    /// Wall-clock duration spent in it.
+    pub duration: Duration,
+}
+
+/// Counters from the chambered execution of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockCounters {
+    /// Blocks dispatched to chambers (ℓ·γ).
+    pub run: usize,
+    /// Blocks whose program completed normally.
+    pub completed: usize,
+    /// Blocks killed for exceeding the execution budget.
+    pub timed_out: usize,
+    /// Blocks whose program panicked.
+    pub panicked: usize,
+    /// Worker threads the pool actually used.
+    pub workers: usize,
+    /// Fraction of `workers × wall` the workers spent inside chambers
+    /// (1.0 = perfectly packed). 0 when nothing ran.
+    pub worker_utilization: f64,
+}
+
+/// The ledger's view of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LedgerEvent {
+    /// ε the query asked for (explicit, or resolved from the goal).
+    pub epsilon_requested: f64,
+    /// ε actually debited (equals `epsilon_requested` today; kept
+    /// separate so charge-rounding policies stay observable).
+    pub epsilon_charged: f64,
+    /// Lifetime budget left on the dataset *after* the charge.
+    pub remaining_budget: f64,
+}
+
+/// The finished, immutable telemetry of one query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryReport {
+    /// One entry per pipeline stage, in pipeline order.
+    pub stages: Vec<StageTiming>,
+    /// Chamber execution counters.
+    pub blocks: BlockCounters,
+    /// Per-output-dimension count of block outputs that fell outside
+    /// the resolved range (and were therefore clamped by Algorithm 1).
+    pub clamp_hits: Vec<usize>,
+    /// What the privacy ledger recorded.
+    pub ledger: LedgerEvent,
+    /// End-to-end wall clock of the query.
+    pub total: Duration,
+}
+
+impl TelemetryReport {
+    /// Duration of one stage, if it was recorded.
+    pub fn stage(&self, stage: Stage) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|t| t.stage == stage)
+            .map(|t| t.duration)
+    }
+
+    /// Renders the stable-schema JSON document (single line).
+    ///
+    /// Schema (version [`TELEMETRY_SCHEMA_VERSION`]): an object with
+    /// `schema_version`, `total_ms`, `stages` (object keyed by
+    /// [`Stage::key`] + `_ms`, always all six keys), `blocks`
+    /// (`run`/`completed`/`timed_out`/`panicked`/`workers`/
+    /// `worker_utilization`), `clamp_hits` (array, one count per output
+    /// dimension) and `ledger` (`epsilon_requested`/`epsilon_charged`/
+    /// `remaining_budget`). Non-finite floats render as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"schema_version\":{},\"total_ms\":{}",
+            TELEMETRY_SCHEMA_VERSION,
+            json_f64(ms(self.total))
+        ));
+        out.push_str(",\"stages\":{");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let d = self.stage(*stage).unwrap_or(Duration::ZERO);
+            out.push_str(&format!("\"{}_ms\":{}", stage.key(), json_f64(ms(d))));
+        }
+        out.push_str(&format!(
+            "}},\"blocks\":{{\"run\":{},\"completed\":{},\"timed_out\":{},\
+             \"panicked\":{},\"workers\":{},\"worker_utilization\":{}}}",
+            self.blocks.run,
+            self.blocks.completed,
+            self.blocks.timed_out,
+            self.blocks.panicked,
+            self.blocks.workers,
+            json_f64(self.blocks.worker_utilization)
+        ));
+        out.push_str(",\"clamp_hits\":[");
+        for (i, c) in self.clamp_hits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push_str(&format!(
+            "],\"ledger\":{{\"epsilon_requested\":{},\"epsilon_charged\":{},\
+             \"remaining_budget\":{}}}}}",
+            json_f64(self.ledger.epsilon_requested),
+            json_f64(self.ledger.epsilon_charged),
+            json_f64(self.ledger.remaining_budget)
+        ));
+        out
+    }
+}
+
+impl fmt::Display for TelemetryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "telemetry ({:.3} ms total):", ms(self.total))?;
+        for t in &self.stages {
+            writeln!(f, "  {:<18} {:>10.3} ms", t.stage.key(), ms(t.duration))?;
+        }
+        writeln!(
+            f,
+            "  blocks: {} run ({} ok, {} timed out, {} panicked), \
+             {} workers at {:.0}% utilization",
+            self.blocks.run,
+            self.blocks.completed,
+            self.blocks.timed_out,
+            self.blocks.panicked,
+            self.blocks.workers,
+            self.blocks.worker_utilization * 100.0
+        )?;
+        writeln!(f, "  clamp hits/dim: {:?}", self.clamp_hits)?;
+        writeln!(
+            f,
+            "  ledger: requested ε={}, charged ε={}, remaining {}",
+            self.ledger.epsilon_requested,
+            self.ledger.epsilon_charged,
+            self.ledger.remaining_budget
+        )
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// JSON-safe float rendering: finite values verbatim, otherwise `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on f64 is shortest-roundtrip and never produces
+        // exponents for the magnitudes telemetry deals in.
+        let s = format!("{v}");
+        if s.contains(['e', 'E']) {
+            format!("{v:.12}")
+        } else {
+            s
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Per-query telemetry collector threaded through the runtime.
+///
+/// A disabled collector ([`QueryTelemetry::disabled`]) records nothing
+/// and [`QueryTelemetry::finish`] returns `None`, so the telemetry-off
+/// path allocates no events.
+#[derive(Debug)]
+pub struct QueryTelemetry {
+    enabled: bool,
+    stage_totals: [Duration; 6],
+    stage_seen: [bool; 6],
+    blocks: BlockCounters,
+    clamp_hits: Vec<usize>,
+    ledger: LedgerEvent,
+}
+
+impl QueryTelemetry {
+    /// A collector that records.
+    pub fn enabled() -> Self {
+        QueryTelemetry {
+            enabled: true,
+            stage_totals: [Duration::ZERO; 6],
+            stage_seen: [false; 6],
+            blocks: BlockCounters::default(),
+            clamp_hits: Vec::new(),
+            ledger: LedgerEvent::default(),
+        }
+    }
+
+    /// A collector that drops everything.
+    pub fn disabled() -> Self {
+        QueryTelemetry {
+            enabled: false,
+            stage_totals: [Duration::ZERO; 6],
+            stage_seen: [false; 6],
+            blocks: BlockCounters::default(),
+            clamp_hits: Vec::new(),
+            ledger: LedgerEvent::default(),
+        }
+    }
+
+    /// Builds a collector from a flag.
+    pub fn new(collect: bool) -> Self {
+        if collect {
+            QueryTelemetry::enabled()
+        } else {
+            QueryTelemetry::disabled()
+        }
+    }
+
+    /// Whether this collector records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of stage events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.stage_seen.iter().filter(|s| **s).count()
+    }
+
+    /// Adds `duration` to a stage (a stage timed in several segments —
+    /// e.g. block planning split around budget resolution — still
+    /// reports as one event).
+    pub fn record_stage(&mut self, stage: Stage, duration: Duration) {
+        if !self.enabled {
+            return;
+        }
+        self.stage_totals[stage.index()] += duration;
+        self.stage_seen[stage.index()] = true;
+    }
+
+    /// Records chamber-execution counters from the run's
+    /// [`ExecutionSummary`] and the pool's [`PoolTrace`].
+    pub fn record_blocks(&mut self, summary: &ExecutionSummary, trace: &PoolTrace) {
+        if !self.enabled {
+            return;
+        }
+        self.blocks = BlockCounters {
+            run: summary.total(),
+            completed: summary.completed,
+            timed_out: summary.timed_out,
+            panicked: summary.panicked,
+            workers: trace.workers_used,
+            worker_utilization: trace.utilization(),
+        };
+    }
+
+    /// Records per-dimension clamp-hit counts.
+    pub fn record_clamp_hits(&mut self, hits: Vec<usize>) {
+        if !self.enabled {
+            return;
+        }
+        self.clamp_hits = hits;
+    }
+
+    /// Records the ledger's view of the query.
+    pub fn record_ledger(&mut self, event: LedgerEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.ledger = event;
+    }
+
+    /// Seals the collector. Returns `None` when disabled.
+    pub fn finish(self, total: Duration) -> Option<TelemetryReport> {
+        if !self.enabled {
+            return None;
+        }
+        let stages = Stage::ALL
+            .iter()
+            .filter(|s| self.stage_seen[s.index()])
+            .map(|s| StageTiming {
+                stage: *s,
+                duration: self.stage_totals[s.index()],
+            })
+            .collect();
+        Some(TelemetryReport {
+            stages,
+            blocks: self.blocks,
+            clamp_hits: self.clamp_hits,
+            ledger: self.ledger,
+            total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> TelemetryReport {
+        let mut tel = QueryTelemetry::enabled();
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            tel.record_stage(*s, Duration::from_millis(i as u64 + 1));
+        }
+        tel.record_blocks(
+            &ExecutionSummary {
+                completed: 8,
+                timed_out: 1,
+                panicked: 1,
+            },
+            &PoolTrace {
+                wall: Duration::from_millis(100),
+                workers_used: 4,
+                busy: vec![Duration::from_millis(80); 4],
+            },
+        );
+        tel.record_clamp_hits(vec![3, 0]);
+        tel.record_ledger(LedgerEvent {
+            epsilon_requested: 2.0,
+            epsilon_charged: 2.0,
+            remaining_budget: 8.0,
+        });
+        tel.finish(Duration::from_millis(25)).unwrap()
+    }
+
+    #[test]
+    fn records_one_event_per_stage() {
+        let report = sample_report();
+        assert_eq!(report.stages.len(), Stage::ALL.len());
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(report.stage(*s), Some(Duration::from_millis(i as u64 + 1)));
+        }
+    }
+
+    #[test]
+    fn multi_segment_stage_is_one_event() {
+        let mut tel = QueryTelemetry::enabled();
+        tel.record_stage(Stage::BlockPlanning, Duration::from_millis(2));
+        tel.record_stage(Stage::BlockPlanning, Duration::from_millis(3));
+        assert_eq!(tel.event_count(), 1);
+        let report = tel.finish(Duration::from_millis(5)).unwrap();
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(
+            report.stage(Stage::BlockPlanning),
+            Some(Duration::from_millis(5))
+        );
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let mut tel = QueryTelemetry::disabled();
+        tel.record_stage(Stage::Aggregation, Duration::from_millis(1));
+        tel.record_clamp_hits(vec![1]);
+        tel.record_ledger(LedgerEvent {
+            epsilon_requested: 1.0,
+            epsilon_charged: 1.0,
+            remaining_budget: 0.0,
+        });
+        assert_eq!(tel.event_count(), 0);
+        assert!(tel.finish(Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn utilization_from_trace() {
+        let report = sample_report();
+        // 4 × 80ms busy over 4 × 100ms wall.
+        assert!((report.blocks.worker_utilization - 0.8).abs() < 1e-12);
+        assert_eq!(report.blocks.run, 10);
+    }
+
+    #[test]
+    fn json_has_all_schema_fields() {
+        let json = sample_report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"schema_version\":1",
+            "\"total_ms\":",
+            "\"stages\":{",
+            "\"blocks\":{",
+            "\"clamp_hits\":[3,0]",
+            "\"ledger\":{",
+            "\"epsilon_requested\":2",
+            "\"remaining_budget\":8",
+            "\"run\":10",
+            "\"timed_out\":1",
+            "\"worker_utilization\":0.7999999999999999",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        for s in Stage::ALL {
+            assert!(json.contains(&format!("\"{}_ms\":", s.key())), "{json}");
+        }
+    }
+
+    #[test]
+    fn json_stage_keys_present_even_when_unrecorded() {
+        let tel = QueryTelemetry::enabled();
+        let json = tel.finish(Duration::ZERO).unwrap().to_json();
+        // All six stage keys appear (as 0) so the schema is stable.
+        for s in Stage::ALL {
+            assert!(json.contains(&format!("\"{}_ms\":0", s.key())), "{json}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn tiny_floats_avoid_exponent_notation() {
+        let s = json_f64(1e-9);
+        assert!(!s.contains(['e', 'E']), "{s}");
+    }
+
+    #[test]
+    fn display_renders() {
+        let text = sample_report().to_string();
+        assert!(text.contains("telemetry ("), "{text}");
+        assert!(text.contains("chamber_execution"), "{text}");
+        assert!(text.contains("clamp hits/dim"), "{text}");
+    }
+}

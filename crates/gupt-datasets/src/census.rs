@@ -41,11 +41,8 @@ impl CensusDataset {
         let mut rng = StdRng::seed_from_u64(seed);
         // Mixture roughly matching the Adult age histogram: a young-adult
         // bulk, a middle-aged mode and a retirement tail.
-        let components: [(f64, f64, f64); 3] = [
-            (0.47, 29.0, 7.0),
-            (0.40, 44.0, 8.5),
-            (0.13, 61.0, 9.0),
-        ];
+        let components: [(f64, f64, f64); 3] =
+            [(0.47, 29.0, 7.0), (0.40, 44.0, 8.5), (0.13, 61.0, 9.0)];
         let mut ages: Vec<f64> = (0..rows)
             .map(|_| {
                 let mut pick: f64 = rng.random();
@@ -127,10 +124,7 @@ mod tests {
     #[test]
     fn ages_within_bounds() {
         let ds = CensusDataset::generate_sized(5_000, 3);
-        assert!(ds
-            .ages()
-            .iter()
-            .all(|&a| (MIN_AGE..=MAX_AGE).contains(&a)));
+        assert!(ds.ages().iter().all(|&a| (MIN_AGE..=MAX_AGE).contains(&a)));
     }
 
     #[test]

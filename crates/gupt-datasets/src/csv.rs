@@ -36,7 +36,10 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "csv io error: {e}"),
             CsvError::Parse { line, cell } => {
-                write!(f, "csv parse error at line {line}: {cell:?} is not a number")
+                write!(
+                    f,
+                    "csv parse error at line {line}: {cell:?} is not a number"
+                )
             }
             CsvError::RaggedRow {
                 line,

@@ -24,12 +24,12 @@ pub struct InternetAdsDataset {
 /// Standard banner geometries `(width, height, mixture weight)` from the
 /// era of the UCI dataset (1998-vintage IAB sizes).
 const GEOMETRIES: [(f64, f64, f64); 8] = [
-    (468.0, 60.0, 0.28), // full banner
-    (234.0, 60.0, 0.10), // half banner
+    (468.0, 60.0, 0.28),  // full banner
+    (234.0, 60.0, 0.10),  // half banner
     (125.0, 125.0, 0.14), // square button
-    (120.0, 90.0, 0.10), // button 1
-    (120.0, 60.0, 0.08), // button 2
-    (88.0, 31.0, 0.16),  // micro bar
+    (120.0, 90.0, 0.10),  // button 1
+    (120.0, 60.0, 0.08),  // button 2
+    (88.0, 31.0, 0.16),   // micro bar
     (120.0, 240.0, 0.06), // vertical banner
     (120.0, 600.0, 0.08), // skyscraper
 ];

@@ -103,7 +103,10 @@ mod tests {
             exponential_mechanism(&empty, |x| *x, s, eps, &mut r).unwrap_err(),
             DpError::NoCandidates
         );
-        assert_eq!(gumbel_max_index(&[], &mut r).unwrap_err(), DpError::NoCandidates);
+        assert_eq!(
+            gumbel_max_index(&[], &mut r).unwrap_err(),
+            DpError::NoCandidates
+        );
     }
 
     #[test]

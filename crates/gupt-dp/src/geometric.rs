@@ -188,8 +188,7 @@ mod tests {
             let n = 20_000;
             (0..n)
                 .map(|_| {
-                    (geometric_mechanism(1000, 1, eps(e), &mut r).unwrap() as f64 - 1000.0)
-                        .abs()
+                    (geometric_mechanism(1000, 1, eps(e), &mut r).unwrap() as f64 - 1000.0).abs()
                 })
                 .sum::<f64>()
                 / n as f64

@@ -77,15 +77,12 @@ mod tests {
     #[test]
     fn non_finite_scores_rejected() {
         assert!(report_noisy_max(&[1.0, f64::NAN], sens(1.0), eps(1.0), &mut rng()).is_err());
-        assert!(
-            report_noisy_max(&[1.0, f64::INFINITY], sens(1.0), eps(1.0), &mut rng()).is_err()
-        );
+        assert!(report_noisy_max(&[1.0, f64::INFINITY], sens(1.0), eps(1.0), &mut rng()).is_err());
     }
 
     #[test]
     fn zero_sensitivity_is_exact_argmax() {
-        let idx =
-            report_noisy_max(&[3.0, 9.0, 1.0], sens(0.0), eps(0.1), &mut rng()).unwrap();
+        let idx = report_noisy_max(&[3.0, 9.0, 1.0], sens(0.0), eps(0.1), &mut rng()).unwrap();
         assert_eq!(idx, 1);
     }
 

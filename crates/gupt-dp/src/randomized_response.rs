@@ -54,8 +54,7 @@ impl RandomizedResponse {
         if responses.is_empty() {
             return Err(DpError::EmptyInput);
         }
-        let observed =
-            responses.iter().filter(|&&b| b).count() as f64 / responses.len() as f64;
+        let observed = responses.iter().filter(|&&b| b).count() as f64 / responses.len() as f64;
         let q = self.keep_probability;
         let estimate = (observed - (1.0 - q)) / (2.0 * q - 1.0);
         Ok(estimate.clamp(0.0, 1.0))

@@ -77,8 +77,16 @@ impl OutputRange {
     /// endpoint moves *away* from zero, so the result always contains the
     /// original range.
     pub fn loosen_twofold(self) -> OutputRange {
-        let lo = if self.lo <= 0.0 { self.lo * 2.0 } else { self.lo / 2.0 };
-        let hi = if self.hi >= 0.0 { self.hi * 2.0 } else { self.hi / 2.0 };
+        let lo = if self.lo <= 0.0 {
+            self.lo * 2.0
+        } else {
+            self.lo / 2.0
+        };
+        let hi = if self.hi >= 0.0 {
+            self.hi * 2.0
+        } else {
+            self.hi / 2.0
+        };
         OutputRange { lo, hi }
     }
 

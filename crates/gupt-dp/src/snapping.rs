@@ -43,7 +43,10 @@ pub fn snapping_mechanism<R: Rng + ?Sized>(
     if lambda == 0.0 {
         return Ok(clamp(value));
     }
-    let noisy = clamp(value) + Laplace::new(0.0, lambda).expect("validated scale").sample(rng);
+    let noisy = clamp(value)
+        + Laplace::new(0.0, lambda)
+            .expect("validated scale")
+            .sample(rng);
     Ok(clamp(snap_to_grid(noisy, grid_spacing(lambda))))
 }
 
@@ -150,7 +153,10 @@ mod tests {
                 laplace_mechanism(10.123456789, sens(1.0), eps(1.0), &mut r).to_bits()
             })
             .collect();
-        assert!(raw.len() > 2_990, "raw outputs should be almost all distinct");
+        assert!(
+            raw.len() > 2_990,
+            "raw outputs should be almost all distinct"
+        );
     }
 
     #[test]

@@ -64,10 +64,7 @@ impl Histogram {
     /// The `(lo, hi)` edges of bucket `i`.
     pub fn bucket_edges(&self, i: usize) -> (f64, f64) {
         let width = (self.hi - self.lo) / self.counts.len() as f64;
-        (
-            self.lo + i as f64 * width,
-            self.lo + (i + 1) as f64 * width,
-        )
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
     }
 
     /// Index of the fullest bucket (ties: lowest index).

@@ -105,11 +105,7 @@ fn nearest_center(point: &[f64], centers: &[Vec<f64>]) -> (usize, f64) {
 
 /// k-means++ seeding: first center uniform, subsequent centers sampled
 /// with probability proportional to squared distance from chosen centers.
-fn seed_plus_plus<R: Rng + ?Sized>(
-    data: &[Vec<f64>],
-    k: usize,
-    rng: &mut R,
-) -> Vec<Vec<f64>> {
+fn seed_plus_plus<R: Rng + ?Sized>(data: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
     centers.push(data[rng.random_range(0..data.len())].clone());
     let mut d2: Vec<f64> = data
@@ -149,7 +145,11 @@ fn seed_plus_plus<R: Rng + ?Sized>(
 /// so the output dimension is always `k · d`. Empty input yields `k`
 /// all-zero centers of dimension 0 — callers should guard, but the
 /// function never panics (a hostile block must not crash the runtime).
-pub fn kmeans<R: Rng + ?Sized>(data: &[Vec<f64>], config: KMeansConfig, rng: &mut R) -> KMeansModel {
+pub fn kmeans<R: Rng + ?Sized>(
+    data: &[Vec<f64>],
+    config: KMeansConfig,
+    rng: &mut R,
+) -> KMeansModel {
     let k = config.k.max(1);
     if data.is_empty() {
         return KMeansModel {
@@ -182,8 +182,7 @@ pub fn kmeans<R: Rng + ?Sized>(data: &[Vec<f64>], config: KMeansConfig, rng: &mu
                 centers[c] = p;
                 continue;
             }
-            let new_center: Vec<f64> =
-                sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            let new_center: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
             movement += squared_distance(&centers[c], &new_center);
             centers[c] = new_center;
         }

@@ -102,7 +102,9 @@ mod tests {
     #[test]
     fn exact_fit_on_noiseless_line() {
         // y = 2x + 3
-        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64 + 3.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, 2.0 * i as f64 + 3.0])
+            .collect();
         let m = linear_regression(&rows);
         assert!((m.weights[0] - 2.0).abs() < 1e-6);
         assert!((m.weights[1] - 3.0).abs() < 1e-4);

@@ -133,9 +133,7 @@ fn soft_threshold(w: f64, t: f64) -> f64 {
 /// 1-weight model rather than panicking.
 pub fn train_logistic(rows: &[Vec<f64>], config: LogisticConfig) -> LogisticModel {
     let Some(first) = rows.first() else {
-        return LogisticModel {
-            weights: vec![0.0],
-        };
+        return LogisticModel { weights: vec![0.0] };
     };
     let d = first.len().saturating_sub(1);
     let n = rows.len() as f64;

@@ -175,12 +175,7 @@ mod tests {
         // x-axis variance 4, y-axis variance 1 → PC1 = x-axis, λ = 4.
         let mut r = StdRng::seed_from_u64(4);
         let data: Vec<Vec<f64>> = (0..20_000)
-            .map(|_| {
-                vec![
-                    crate_normal(&mut r) * 2.0,
-                    crate_normal(&mut r),
-                ]
-            })
+            .map(|_| vec![crate_normal(&mut r) * 2.0, crate_normal(&mut r)])
             .collect();
         let pc = first_principal_component(&data, 60);
         assert!(pc.direction[0].abs() > 0.99, "{:?}", pc.direction);

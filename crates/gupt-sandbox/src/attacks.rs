@@ -173,9 +173,8 @@ mod tests {
             target: 13.0,
             slow: Duration::from_secs(10),
         });
-        let chamber = Chamber::new(
-            ChamberPolicy::bounded(Duration::from_millis(30), 0.25).without_padding(),
-        );
+        let chamber =
+            Chamber::new(ChamberPolicy::bounded(Duration::from_millis(30), 0.25).without_padding());
         let report = chamber.execute(program, block_with(&[13.0]));
         assert_eq!(report.outcome, ChamberOutcome::TimedOut);
         assert_eq!(report.output, vec![0.25]);

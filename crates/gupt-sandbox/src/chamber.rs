@@ -130,8 +130,7 @@ impl Chamber {
                     Some(q) => Scratch::with_quota(q),
                     None => Scratch::new(),
                 };
-                let result =
-                    catch_unwind(AssertUnwindSafe(|| program.run(&block, &mut scratch)));
+                let result = catch_unwind(AssertUnwindSafe(|| program.run(&block, &mut scratch)));
                 scratch.wipe();
                 if let Ok(out) = result {
                     let _ = tx.send(out);
@@ -175,6 +174,32 @@ fn normalize_arity(out: &mut Vec<f64>, dim: usize, fill: f64) {
     }
 }
 
+/// Execution trace of one [`ChamberPool::run_all_traced`] call, for
+/// operator telemetry. Worker busy times depend on the private data
+/// (unless a padding policy is in force) and are **not** ε-protected.
+#[derive(Debug, Clone, Default)]
+pub struct PoolTrace {
+    /// Wall clock of the whole dispatch.
+    pub wall: Duration,
+    /// Worker threads actually spawned (`min(workers, blocks)`).
+    pub workers_used: usize,
+    /// Per-worker time spent inside chambers (unordered).
+    pub busy: Vec<Duration>,
+}
+
+impl PoolTrace {
+    /// Fraction of `workers_used × wall` spent inside chambers
+    /// (1.0 = perfectly packed). 0 when nothing ran.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall.as_secs_f64() * self.workers_used as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.busy.iter().map(Duration::as_secs_f64).sum();
+        (busy / capacity).min(1.0)
+    }
+}
+
 /// A pool of chambers executing many blocks in parallel.
 #[derive(Debug, Clone)]
 pub struct ChamberPool {
@@ -211,11 +236,23 @@ impl ChamberPool {
         &self,
         program: &Arc<dyn BlockProgram>,
         blocks: Vec<Vec<Vec<f64>>>,
-        ) -> Vec<ChamberReport> {
+    ) -> Vec<ChamberReport> {
+        self.run_all_traced(program, blocks).0
+    }
+
+    /// Like [`ChamberPool::run_all`], additionally returning a
+    /// [`PoolTrace`] with the dispatch wall clock and per-worker busy
+    /// times, for operator telemetry.
+    pub fn run_all_traced(
+        &self,
+        program: &Arc<dyn BlockProgram>,
+        blocks: Vec<Vec<Vec<f64>>>,
+    ) -> (Vec<ChamberReport>, PoolTrace) {
         let n = blocks.len();
         if n == 0 {
-            return Vec::new();
+            return (Vec::new(), PoolTrace::default());
         }
+        let start = Instant::now();
         let blocks: Vec<std::sync::Mutex<Option<Vec<Vec<f64>>>>> = blocks
             .into_iter()
             .map(|b| std::sync::Mutex::new(Some(b)))
@@ -223,11 +260,17 @@ impl ChamberPool {
         let slots: Vec<std::sync::Mutex<Option<ChamberReport>>> =
             (0..n).map(|_| std::sync::Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        let workers_used = self.workers.min(n);
+        let busy: Vec<std::sync::Mutex<Duration>> = (0..workers_used)
+            .map(|_| std::sync::Mutex::new(Duration::ZERO))
+            .collect();
 
         crossbeam::thread::scope(|scope| {
-            for _ in 0..self.workers.min(n) {
-                scope.spawn(|_| {
+            let (blocks, slots, next) = (&blocks, &slots, &next);
+            for busy_slot in busy.iter().take(workers_used) {
+                scope.spawn(move |_| {
                     let chamber = Chamber::new(self.policy.clone());
+                    let mut my_busy = Duration::ZERO;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
@@ -239,21 +282,32 @@ impl ChamberPool {
                             .take()
                             .expect("block taken twice");
                         let report = chamber.execute(Arc::clone(program), block);
+                        my_busy += report.elapsed;
                         *slots[i].lock().expect("report slot poisoned") = Some(report);
                     }
+                    *busy_slot.lock().expect("busy slot poisoned") = my_busy;
                 });
             }
         })
         .expect("chamber pool worker panicked");
 
-        slots
+        let trace = PoolTrace {
+            wall: start.elapsed(),
+            workers_used,
+            busy: busy
+                .into_iter()
+                .map(|m| m.into_inner().expect("busy slot poisoned"))
+                .collect(),
+        };
+        let reports = slots
             .into_iter()
             .map(|s| {
                 s.into_inner()
                     .expect("report slot poisoned")
                     .expect("worker left a block unprocessed")
             })
-            .collect()
+            .collect();
+        (reports, trace)
     }
 }
 
@@ -293,9 +347,8 @@ mod tests {
             std::thread::sleep(Duration::from_secs(5));
             vec![999.0]
         }));
-        let chamber = Chamber::new(
-            ChamberPolicy::bounded(Duration::from_millis(20), 0.5).without_padding(),
-        );
+        let chamber =
+            Chamber::new(ChamberPolicy::bounded(Duration::from_millis(20), 0.5).without_padding());
         let start = Instant::now();
         let report = chamber.execute(p, vec![vec![1.0]]);
         assert_eq!(report.outcome, ChamberOutcome::TimedOut);
@@ -305,9 +358,8 @@ mod tests {
 
     #[test]
     fn bounded_completion_within_budget() {
-        let chamber = Chamber::new(
-            ChamberPolicy::bounded(Duration::from_secs(5), 0.0).without_padding(),
-        );
+        let chamber =
+            Chamber::new(ChamberPolicy::bounded(Duration::from_secs(5), 0.0).without_padding());
         let report = chamber.execute(sum_program(), vec![vec![4.0]]);
         assert_eq!(report.outcome, ChamberOutcome::Completed);
         assert_eq!(report.output, vec![4.0]);
@@ -334,9 +386,10 @@ mod tests {
 
     #[test]
     fn output_arity_is_enforced() {
-        let too_many: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(2, |_: &[Vec<f64>]| {
-            vec![1.0, 2.0, 3.0, 4.0]
-        }));
+        let too_many: Arc<dyn BlockProgram> =
+            Arc::new(ClosureProgram::new(2, |_: &[Vec<f64>]| {
+                vec![1.0, 2.0, 3.0, 4.0]
+            }));
         let too_few: Arc<dyn BlockProgram> =
             Arc::new(ClosureProgram::new(3, |_: &[Vec<f64>]| vec![1.0]));
         let chamber = Chamber::new(ChamberPolicy::unbounded().with_fallback(-1.0));
@@ -356,7 +409,10 @@ mod tests {
             vec![f64::NAN, f64::INFINITY, 1.0]
         }));
         let chamber = Chamber::new(ChamberPolicy::unbounded().with_fallback(0.0));
-        assert_eq!(chamber.execute(p, vec![vec![0.0]]).output, vec![0.0, 0.0, 1.0]);
+        assert_eq!(
+            chamber.execute(p, vec![vec![0.0]]).output,
+            vec![0.0, 0.0, 1.0]
+        );
     }
 
     #[test]
@@ -388,8 +444,7 @@ mod tests {
     #[test]
     fn pool_preserves_block_order() {
         let pool = ChamberPool::new(ChamberPolicy::unbounded(), 4);
-        let blocks: Vec<Vec<Vec<f64>>> =
-            (0..32).map(|i| vec![vec![i as f64]]).collect();
+        let blocks: Vec<Vec<Vec<f64>>> = (0..32).map(|i| vec![vec![i as f64]]).collect();
         let reports = pool.run_all(&sum_program(), blocks);
         assert_eq!(reports.len(), 32);
         for (i, r) in reports.iter().enumerate() {
@@ -425,6 +480,40 @@ mod tests {
         assert_eq!(reports[1].outcome, ChamberOutcome::Panicked);
         assert_eq!(reports[1].output, vec![-99.0]);
         assert_eq!(reports[2].outcome, ChamberOutcome::Completed);
+    }
+
+    #[test]
+    fn traced_run_reports_busy_workers() {
+        let pool = ChamberPool::new(ChamberPolicy::unbounded(), 3);
+        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| {
+            std::thread::sleep(Duration::from_millis(5));
+            vec![1.0]
+        }));
+        let blocks: Vec<Vec<Vec<f64>>> = (0..6).map(|i| vec![vec![i as f64]]).collect();
+        let (reports, trace) = pool.run_all_traced(&p, blocks);
+        assert_eq!(reports.len(), 6);
+        assert_eq!(trace.workers_used, 3);
+        assert_eq!(trace.busy.len(), 3);
+        assert!(trace.wall >= Duration::from_millis(5));
+        let u = trace.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization = {u}");
+    }
+
+    #[test]
+    fn traced_run_caps_workers_at_block_count() {
+        let pool = ChamberPool::new(ChamberPolicy::unbounded(), 8);
+        let (reports, trace) = pool.run_all_traced(&sum_program(), vec![vec![vec![1.0]]]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(trace.workers_used, 1);
+    }
+
+    #[test]
+    fn empty_trace_is_zero_utilization() {
+        let pool = ChamberPool::new(ChamberPolicy::unbounded(), 2);
+        let (reports, trace) = pool.run_all_traced(&sum_program(), Vec::new());
+        assert!(reports.is_empty());
+        assert_eq!(trace.workers_used, 0);
+        assert_eq!(trace.utilization(), 0.0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod policy;
 pub mod program;
 pub mod scratch;
 
-pub use chamber::{Chamber, ChamberOutcome, ChamberPool, ChamberReport};
+pub use chamber::{Chamber, ChamberOutcome, ChamberPool, ChamberReport, PoolTrace};
 pub use policy::ChamberPolicy;
 pub use program::{BlockProgram, ClosureProgram};
 pub use scratch::Scratch;

@@ -117,8 +117,7 @@ mod tests {
 
     #[test]
     fn trait_object_safe() {
-        let p: Box<dyn BlockProgram> =
-            Box::new(ClosureProgram::new(1, |_: &[Vec<f64>]| vec![1.0]));
+        let p: Box<dyn BlockProgram> = Box::new(ClosureProgram::new(1, |_: &[Vec<f64>]| vec![1.0]));
         let mut scratch = Scratch::new();
         assert_eq!(p.run(&[], &mut scratch), vec![1.0]);
     }

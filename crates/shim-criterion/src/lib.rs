@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `criterion_group!` / `criterion_main!`, `BenchmarkId`, benchmark
+//! groups and `Bencher::iter` — backed by a simple median-of-samples
+//! wall-clock harness instead of criterion's statistical machinery.
+//! Good enough to keep the bench targets compiling and to produce
+//! order-of-magnitude numbers offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value (`group/param`).
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: p.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), p),
+        }
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Times `routine`, recording several samples after a short warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and iteration-count calibration: target ~2ms/sample.
+        let calib = Instant::now();
+        black_box(routine());
+        let one = calib.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(2);
+        self.iters_per_sample = (target.as_nanos() / one.as_nanos()).clamp(1, 100_000) as u64;
+
+        const SAMPLES: usize = 10;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ns[ns.len() / 2]
+    }
+}
+
+/// The top-level bench context handed to every group function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.name);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs one unparameterised benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    let ns = b.median_ns();
+    if ns.is_nan() {
+        println!("{label:<40} (no samples)");
+    } else if ns >= 1e6 {
+        println!("{label:<40} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{label:<40} {:>12.3} µs/iter", ns / 1e3);
+    } else {
+        println!("{label:<40} {ns:>12.1} ns/iter");
+    }
+}
+
+/// Declares a bench group: `criterion_group!(name, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(group_a, group_b);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut total = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_with_input(BenchmarkId::from_parameter(21), &21u64, |b, &n| {
+                b.iter(|| {
+                    total = total.max(n * 2);
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn median_of_empty_is_nan() {
+        assert!(Bencher::new().median_ns().is_nan());
+    }
+}

@@ -48,10 +48,9 @@ fn main() {
         target: VICTIM,
         slow: Duration::from_secs(60),
     });
-    let killed = Chamber::new(
-        ChamberPolicy::bounded(Duration::from_millis(50), 0.5).without_padding(),
-    )
-    .execute(runaway, block(true));
+    let killed =
+        Chamber::new(ChamberPolicy::bounded(Duration::from_millis(50), 0.5).without_padding())
+            .execute(runaway, block(true));
     assert_eq!(killed.outcome, ChamberOutcome::TimedOut);
     println!(
         "   outcome = {:?}, output = {:?} (in-range constant, no signal)",
@@ -82,7 +81,7 @@ fn main() {
         let spec = QuerySpec::program(|b: &[Vec<f64>]| vec![b.len() as f64])
             .epsilon(Epsilon::new(0.7).unwrap())
             .range_estimation(RangeEstimation::Tight(vec![
-                OutputRange::new(0.0, 100.0).unwrap(),
+                OutputRange::new(0.0, 100.0).unwrap()
             ]));
         runtime.run("t", spec).expect("runs");
         runtime.remaining_budget("t").unwrap()

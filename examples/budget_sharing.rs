@@ -18,7 +18,7 @@ fn mean_spec() -> QuerySpec {
     })
     .fixed_block_size(10)
     .range_estimation(RangeEstimation::Tight(vec![
-        OutputRange::new(0.0, MAX_AGE).unwrap(),
+        OutputRange::new(0.0, MAX_AGE).unwrap()
     ]))
 }
 
@@ -32,9 +32,11 @@ fn variance_spec() -> QuerySpec {
         vec![b.iter().map(|r| (r[0] - m).powi(2)).sum::<f64>() / (n - 1.0)]
     })
     .fixed_block_size(10)
-    .range_estimation(RangeEstimation::Tight(vec![
-        OutputRange::new(0.0, MAX_AGE * MAX_AGE).unwrap(),
-    ]))
+    .range_estimation(RangeEstimation::Tight(vec![OutputRange::new(
+        0.0,
+        MAX_AGE * MAX_AGE,
+    )
+    .unwrap()]))
 }
 
 fn main() {
@@ -55,8 +57,11 @@ fn main() {
     let v = runtime
         .run("ages", variance_spec().epsilon(Epsilon::new(2.0).unwrap()))
         .unwrap();
-    println!("even ε split   : mean err = {:+.2}, variance err = {:+.2}",
-        m.values[0] - true_mean, v.values[0] - true_var);
+    println!(
+        "even ε split   : mean err = {:+.2}, variance err = {:+.2}",
+        m.values[0] - true_mean,
+        v.values[0] - true_var
+    );
 
     // §5.2 proportional split of the same total (ε = 4).
     let batch = runtime

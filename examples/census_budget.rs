@@ -36,7 +36,7 @@ fn main() {
         )
         .fixed_block_size(141)
         .range_estimation(RangeEstimation::Tight(vec![
-            OutputRange::new(0.0, 150.0).unwrap(),
+            OutputRange::new(0.0, 150.0).unwrap()
         ]))
     };
 
@@ -44,7 +44,10 @@ fn main() {
     let eps = runtime
         .estimate_epsilon_for("census", &average_age())
         .expect("aged data available");
-    println!("goal: 90% accuracy for 90% of queries → ε = {:.3} per query", eps.value());
+    println!(
+        "goal: 90% accuracy for 90% of queries → ε = {:.3} per query",
+        eps.value()
+    );
     println!("true mean age = {TRUE_MEAN_AGE}\n");
 
     // Run until the lifetime budget refuses.
@@ -54,7 +57,8 @@ fn main() {
             Ok(answer) => {
                 count += 1;
                 if count <= 5 {
-                    let acc = 100.0 * (1.0 - (answer.values[0] - TRUE_MEAN_AGE).abs() / TRUE_MEAN_AGE);
+                    let acc =
+                        100.0 * (1.0 - (answer.values[0] - TRUE_MEAN_AGE).abs() / TRUE_MEAN_AGE);
                     println!(
                         "query {count}: answer = {:.3} (accuracy {acc:.1}%), remaining budget {:.2}",
                         answer.values[0],
@@ -68,7 +72,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "total queries served = {count} (a constant ε=1 policy would have served 10)"
-    );
+    println!("total queries served = {count} (a constant ε=1 policy would have served 10)");
 }

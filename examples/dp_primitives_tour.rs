@@ -59,7 +59,10 @@ fn main() {
     )
     .unwrap();
     let (lo, hi) = hist.bucket_edges(winner);
-    println!("  ages [{lo:.0}, {hi:.0}) win (true mode bucket: {})", hist.mode_bucket());
+    println!(
+        "  ages [{lo:.0}, {hi:.0}) win (true mode bucket: {})",
+        hist.mode_bucket()
+    );
 
     println!("\n== Randomized response: local-model fraction estimate ==");
     // Each respondent locally reports whether they are over 40.

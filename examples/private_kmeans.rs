@@ -41,19 +41,22 @@ fn main() {
     println!("non-private ICV: {reference_icv:.3}");
 
     // The analyst's unmodified clustering program.
-    let program = Arc::new(ClosureProgram::new(K * dims, move |block: &[Vec<f64>]| {
-        let mut rng = StdRng::seed_from_u64(7);
-        kmeans(
-            block,
-            KMeansConfig {
-                k: K,
-                max_iterations: 30,
-                tolerance: 1e-6,
-            },
-            &mut rng,
-        )
-        .flatten()
-    }));
+    let program = Arc::new(ClosureProgram::new(
+        K * dims,
+        move |block: &[Vec<f64>]| {
+            let mut rng = StdRng::seed_from_u64(7);
+            kmeans(
+                block,
+                KMeansConfig {
+                    k: K,
+                    max_iterations: 30,
+                    tolerance: 1e-6,
+                },
+                &mut rng,
+            )
+            .flatten()
+        },
+    ));
 
     // GUPT-tight: the owner's exact attribute bounds, replicated per center.
     let tight: Vec<OutputRange> = (0..K)

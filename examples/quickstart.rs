@@ -32,9 +32,10 @@ fn main() {
     let spec = QuerySpec::program(average_salary)
         .epsilon(Epsilon::new(1.0).unwrap())
         // Non-sensitive public knowledge: salaries lie in [0, 500k].
-        .range_estimation(RangeEstimation::Loose(vec![
-            OutputRange::new(0.0, 500_000.0).unwrap(),
-        ]));
+        .range_estimation(RangeEstimation::Loose(vec![OutputRange::new(
+            0.0, 500_000.0,
+        )
+        .unwrap()]));
 
     let answer = runtime.run("salaries", spec).expect("query succeeds");
 

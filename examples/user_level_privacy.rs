@@ -40,7 +40,7 @@ fn main() {
     .epsilon(Epsilon::new(1.0).unwrap())
     .fixed_block_size(60)
     .range_estimation(RangeEstimation::Tight(vec![
-        OutputRange::new(0.0, 100.0).unwrap(),
+        OutputRange::new(0.0, 100.0).unwrap()
     ]));
 
     // Dry-run first: see the plan, spend nothing.

@@ -13,8 +13,7 @@
 
 use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
 use gupt::dp::{
-    geometric_mechanism, laplace_mechanism, Epsilon, OutputRange, RandomizedResponse,
-    Sensitivity,
+    geometric_mechanism, laplace_mechanism, Epsilon, OutputRange, RandomizedResponse, Sensitivity,
 };
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -73,7 +72,9 @@ fn laplace_mechanism_respects_epsilon() {
     // Neighbors: query answers 0 and 1 (sensitivity 1). Worst-case-ish
     // event: output above the midpoint.
     let p0 = probability(n, 1, |rng| laplace_mechanism(0.0, sens, eps, rng) > 0.5);
-    let p1 = probability(n, 500_000, |rng| laplace_mechanism(1.0, sens, eps, rng) > 0.5);
+    let p1 = probability(n, 500_000, |rng| {
+        laplace_mechanism(1.0, sens, eps, rng) > 0.5
+    });
     assert_dp_bound(p0, p1, eps.value(), "laplace mechanism");
 }
 
@@ -85,7 +86,9 @@ fn laplace_mechanism_catches_wrong_scale() {
     let broken_eps = Epsilon::new(2.0 * 3.0f64.ln()).unwrap(); // half the noise
     let sens = Sensitivity::new(1.0).unwrap();
     let n = trials();
-    let p0 = probability(n, 2, |rng| laplace_mechanism(0.0, sens, broken_eps, rng) > 0.5);
+    let p0 = probability(n, 2, |rng| {
+        laplace_mechanism(0.0, sens, broken_eps, rng) > 0.5
+    });
     let p1 = probability(n, 600_000, |rng| {
         laplace_mechanism(1.0, sens, broken_eps, rng) > 0.5
     });
@@ -169,7 +172,7 @@ fn end_to_end_runtime_respects_epsilon() {
         .epsilon(Epsilon::new(eps_val).unwrap())
         .fixed_block_size(10)
         .range_estimation(RangeEstimation::Tight(vec![
-            OutputRange::new(0.0, 10.0).unwrap(),
+            OutputRange::new(0.0, 10.0).unwrap()
         ]));
         runtime.run("t", spec).unwrap().values[0]
     };
@@ -215,7 +218,7 @@ fn resampling_does_not_weaken_the_guarantee() {
         .fixed_block_size(10)
         .resampling(4)
         .range_estimation(RangeEstimation::Tight(vec![
-            OutputRange::new(0.0, 10.0).unwrap(),
+            OutputRange::new(0.0, 10.0).unwrap()
         ]));
         runtime.run("t", spec).unwrap().values[0]
     };

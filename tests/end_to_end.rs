@@ -3,7 +3,7 @@
 //! policy and block strategy through the public facade crate.
 
 use gupt::core::{
-    AccuracyGoal, Dataset, GuptRuntimeBuilder, GuptError, QuerySpec, RangeEstimation,
+    AccuracyGoal, Dataset, GuptError, GuptRuntimeBuilder, QuerySpec, RangeEstimation,
     RangeTranslator,
 };
 use gupt::datasets::census::{CensusDataset, TRUE_MEAN_AGE};
@@ -177,7 +177,7 @@ fn multiple_datasets_are_isolated() {
         mean_query()
             .epsilon(Epsilon::new(0.8).unwrap())
             .range_estimation(RangeEstimation::Tight(vec![
-                OutputRange::new(0.0, 50.0).unwrap(),
+                OutputRange::new(0.0, 50.0).unwrap()
             ]))
     };
     runtime.run("a", spec()).unwrap();

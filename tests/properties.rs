@@ -3,12 +3,12 @@
 //! the end-to-end range guarantee of the aggregate.
 
 use gupt::core::{partition, partition_grouped, sample_and_aggregate};
-use gupt::dp::{geometric_mechanism, RandomizedResponse, TwoSidedGeometric};
-use gupt::ml::histogram::Histogram;
 use gupt::dp::{
     dp_percentile, laplace_mechanism, Accountant, Epsilon, Laplace, OutputRange, Percentile,
     Sensitivity,
 };
+use gupt::dp::{geometric_mechanism, RandomizedResponse, TwoSidedGeometric};
+use gupt::ml::histogram::Histogram;
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashSet;

@@ -40,7 +40,8 @@ fn fig3_claim_accuracy_rises_with_epsilon() {
                 })
                 .epsilon(Epsilon::new(eps).unwrap())
                 .range_estimation(RangeEstimation::Tight(vec![
-                    OutputRange::new(-2.0, 2.0).unwrap();
+                    OutputRange::new(-2.0, 2.0)
+                        .unwrap();
                     11
                 ]));
                 let answer = runtime.run("d", spec).unwrap();
@@ -54,7 +55,10 @@ fn fig3_claim_accuracy_rises_with_epsilon() {
     let high = accuracy_at(20.0);
     assert!(baseline > 0.85, "baseline = {baseline}");
     assert!(high > low, "high-ε {high} should beat low-ε {low}");
-    assert!(high <= baseline + 0.02, "private {high} vs baseline {baseline}");
+    assert!(
+        high <= baseline + 0.02,
+        "private {high} vs baseline {baseline}"
+    );
 }
 
 /// Figure 5's claim: PINQ's quality degrades as the declared iteration
@@ -217,7 +221,7 @@ fn fig8_claim_goal_driven_epsilon_extends_lifetime() {
     .accuracy_goal(AccuracyGoal::new(0.9, 0.9).unwrap().with_laplace_tail())
     .fixed_block_size(100)
     .range_estimation(RangeEstimation::Tight(vec![
-        OutputRange::new(0.0, 150.0).unwrap(),
+        OutputRange::new(0.0, 150.0).unwrap()
     ]));
     let eps = runtime.estimate_epsilon_for("census", &spec).unwrap();
     assert!(

@@ -53,9 +53,7 @@ fn partial_timeouts_still_produce_usable_answers() {
         .unwrap()
         .seed(2)
         .workers(2)
-        .chamber_policy(
-            ChamberPolicy::bounded(Duration::from_millis(40), 50.0).without_padding(),
-        )
+        .chamber_policy(ChamberPolicy::bounded(Duration::from_millis(40), 50.0).without_padding())
         .build();
     let spec = QuerySpec::program(|b: &[Vec<f64>]| {
         if b.iter().any(|r| r[0] < 0.0) {
