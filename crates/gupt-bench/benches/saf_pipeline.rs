@@ -43,7 +43,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     let rows: Vec<Vec<f64>> = (0..10_000).map(|i| vec![(i % 80) as f64]).collect();
     c.bench_function("runtime/mean_query_10k_rows", |b| {
         b.iter(|| {
-            let mut runtime = GuptRuntimeBuilder::new()
+            let runtime = GuptRuntimeBuilder::new()
                 .register_dataset("t", rows.clone(), Epsilon::new(1e9).expect("valid"))
                 .expect("registers")
                 .seed(3)

@@ -49,7 +49,7 @@ fn main() {
         let mut sq = 0.0;
         let mut beta = 0usize;
         for trial in 0..trials {
-            let mut runtime = GuptRuntimeBuilder::new()
+            let runtime = GuptRuntimeBuilder::new()
                 .register("ads", dataset(), Epsilon::new(1e9).expect("valid"))
                 .expect("registers")
                 .seed(seed_base + trial as u64)

@@ -28,7 +28,7 @@ fn main() {
     let rmse = |mode_of: &dyn Fn(f64) -> RangeEstimation, loose_hi: f64, seed: u64| -> f64 {
         let mut sq = 0.0;
         for trial in 0..trials {
-            let mut runtime = GuptRuntimeBuilder::new()
+            let runtime = GuptRuntimeBuilder::new()
                 .register_dataset("census", data.clone(), Epsilon::new(1e9).expect("valid"))
                 .expect("registers")
                 .seed(seed + trial as u64)

@@ -37,7 +37,7 @@ fn main() {
         let mut sq = 0.0;
         let mut blocks = 0usize;
         for trial in 0..trials {
-            let mut runtime = GuptRuntimeBuilder::new()
+            let runtime = GuptRuntimeBuilder::new()
                 .register_dataset("ads", data.clone(), Epsilon::new(1e9).expect("valid"))
                 .expect("registers")
                 .seed(0xAB1_000 + gamma as u64 * 1000 + trial as u64)

@@ -1,0 +1,135 @@
+//! Aggregate throughput of the shared runtime: serialized vs. racing
+//! analysts through the admission-controlled [`QueryService`].
+//!
+//! The workload models the paper's service deployment (§3.1, §6.2):
+//! block programs with a fixed per-block service time (an analysis
+//! program doing real work — modelled as a sleep so the measurement is
+//! scheduling, not host-CPU luck). Serialized execution pays the full
+//! service time per query back-to-back; the service overlaps in-flight
+//! queries, so aggregate throughput scales with `max_in_flight` even on
+//! a single-core host.
+//!
+//! The run fails (exit 1) if the concurrent/serial speedup at 8 workers
+//! drops below `GUPT_MIN_SPEEDUP` (default 2×) — this is the PR's
+//! acceptance gate, enforced in CI at reduced scale.
+//!
+//! Run: `cargo run -p gupt-bench --bin concurrent_throughput --release`
+
+use gupt_bench::report::{banner, RunReport};
+use gupt_core::{GuptRuntimeBuilder, QueryService, QuerySpec, RangeEstimation, ServiceConfig};
+use gupt_dp::{Epsilon, OutputRange};
+use gupt_sandbox::ClosureProgram;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Fixed service time each block "computation" takes.
+const SERVICE_MS: u64 = 2;
+/// Blocks per query (and chamber workers per runtime): one query's
+/// blocks run in parallel, so a query costs ~SERVICE_MS end to end.
+const BLOCKS: usize = 4;
+/// Analyst threads and the service in-flight cap.
+const ANALYSTS: usize = 8;
+
+fn service(seed: u64, max_in_flight: usize) -> QueryService {
+    let rows: Vec<Vec<f64>> = (0..2_000).map(|i| vec![(i % 50) as f64]).collect();
+    let runtime = GuptRuntimeBuilder::new()
+        .register_dataset("t", rows, Epsilon::new(1e6).expect("valid"))
+        .expect("registers")
+        .seed(seed)
+        .workers(BLOCKS)
+        .build();
+    QueryService::new(
+        runtime,
+        ServiceConfig::new(max_in_flight, 4 * ANALYSTS * ANALYSTS),
+    )
+}
+
+fn spec() -> QuerySpec {
+    let program = ClosureProgram::new(1, |b: &[Vec<f64>]| {
+        thread::sleep(Duration::from_millis(SERVICE_MS));
+        vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+    });
+    QuerySpec::from_program(Arc::new(program))
+        .epsilon(Epsilon::new(1.0).expect("valid"))
+        .fixed_block_size(2_000 / BLOCKS)
+        .range_estimation(RangeEstimation::Tight(vec![
+            OutputRange::new(0.0, 50.0).expect("valid")
+        ]))
+}
+
+/// Runs `queries` identical queries from `threads` analyst handles and
+/// returns the wall-clock seconds for the whole mix.
+fn run_mix(svc: &QueryService, queries: usize, threads: usize) -> f64 {
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    thread::scope(|s| {
+        for _ in 0..threads {
+            let svc = svc.clone();
+            let next = &next;
+            s.spawn(move || {
+                while next.fetch_add(1, Ordering::Relaxed) < queries {
+                    svc.run("t", spec()).expect("budget is ample");
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    banner("Concurrent throughput: serialized vs admission-controlled service");
+
+    let queries = gupt_bench::trials(24).max(ANALYSTS);
+    let min_speedup: f64 = std::env::var("GUPT_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    println!(
+        "{queries} queries × {BLOCKS} blocks × {SERVICE_MS} ms service time, \
+         {ANALYSTS} analysts\n"
+    );
+
+    // Serialized: one in-flight slot makes the service a mutex.
+    let serial_svc = service(42, 1);
+    let serial_s = run_mix(&serial_svc, queries, 1);
+
+    // Concurrent: 8 analysts race the same mix through 8 slots.
+    let concurrent_svc = service(42, ANALYSTS);
+    let concurrent_s = run_mix(&concurrent_svc, queries, ANALYSTS);
+
+    let serial_qps = queries as f64 / serial_s;
+    let concurrent_qps = queries as f64 / concurrent_s;
+    let speedup = concurrent_qps / serial_qps;
+
+    println!("serialized  : {serial_s:.3} s  ({serial_qps:.1} queries/s)");
+    println!("concurrent  : {concurrent_s:.3} s  ({concurrent_qps:.1} queries/s)");
+    println!("speedup     : {speedup:.2}× (gate: ≥ {min_speedup}×)");
+
+    // One traced query so the run-report carries full lifecycle
+    // telemetry for CI to validate.
+    let traced = concurrent_svc
+        .run("t", spec().collect_telemetry())
+        .expect("budget is ample");
+
+    RunReport::new("concurrent_throughput")
+        .setting("queries", queries as f64)
+        .setting("analysts", ANALYSTS as f64)
+        .setting("blocks_per_query", BLOCKS as f64)
+        .setting("service_ms", SERVICE_MS as f64)
+        .setting("min_speedup", min_speedup)
+        .metric("serial_s", serial_s)
+        .metric("concurrent_s", concurrent_s)
+        .metric("serial_qps", serial_qps)
+        .metric("concurrent_qps", concurrent_qps)
+        .metric("speedup", speedup)
+        .telemetry(traced.telemetry.expect("telemetry requested"))
+        .emit();
+
+    assert!(
+        speedup >= min_speedup,
+        "aggregate throughput regression: {speedup:.2}× < required {min_speedup}×"
+    );
+}

@@ -53,7 +53,7 @@ fn main() {
     for eps_i in [2.0, 4.0, 6.0, 8.0, 10.0] {
         let mut acc_sum = 0.0;
         for trial in 0..trials {
-            let mut runtime = GuptRuntimeBuilder::new()
+            let runtime = GuptRuntimeBuilder::new()
                 .register_dataset("ds1.10", data.clone(), Epsilon::new(1e6).expect("valid"))
                 .expect("dataset registers")
                 .seed(0x0F16_3000 + (eps_i * 10.0) as u64 * 100 + trial as u64)

@@ -81,7 +81,7 @@ fn main() {
         let mut icvs = [0.0f64; 2]; // [loose, tight]
         for trial in 0..trials {
             for (slot, ranges) in [(0usize, &loose), (1usize, &tight)] {
-                let mut runtime = GuptRuntimeBuilder::new()
+                let runtime = GuptRuntimeBuilder::new()
                     .register_dataset("ds1.10", data.clone(), Epsilon::new(1e6).expect("valid"))
                     .expect("registers")
                     .seed(

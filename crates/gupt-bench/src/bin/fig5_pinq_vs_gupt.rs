@@ -87,7 +87,7 @@ fn main() {
         let mut gupt = [0.0f64; 2];
         for (slot, eps) in [(0usize, 1.0), (1usize, 2.0)] {
             for trial in 0..trials {
-                let mut runtime = GuptRuntimeBuilder::new()
+                let runtime = GuptRuntimeBuilder::new()
                     .register_dataset("ds1.10", data.clone(), Epsilon::new(1e6).expect("valid"))
                     .expect("registers")
                     .seed(0xF165_1000 + iterations as u64 * 100 + trial as u64 * 2 + slot as u64)

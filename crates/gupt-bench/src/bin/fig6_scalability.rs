@@ -85,7 +85,7 @@ fn main() {
 
         let run_mode = |mode: RangeEstimation, seed: u64| -> f64 {
             time_of(&mut || {
-                let mut runtime = GuptRuntimeBuilder::new()
+                let runtime = GuptRuntimeBuilder::new()
                     .register_dataset("ds1.10", data.clone(), Epsilon::new(1e6).expect("valid"))
                     .expect("registers")
                     .seed(seed)
@@ -120,7 +120,7 @@ fn main() {
     // One traced loose-mode query (cheapest configuration) so the
     // run-report carries full lifecycle telemetry for CI to validate.
     let traced_program = kmeans_program(K, dims, 20, 7);
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("ds1.10", data.clone(), Epsilon::new(1e6).expect("valid"))
         .expect("registers")
         .seed(0xF166_2000)

@@ -77,7 +77,7 @@ fn main() {
     for (p_idx, (_, eps)) in policies.iter().enumerate() {
         let mut acc = Vec::with_capacity(runs);
         for run in 0..runs {
-            let mut runtime = GuptRuntimeBuilder::new()
+            let runtime = GuptRuntimeBuilder::new()
                 .register("census", dataset(), Epsilon::new(1e9).expect("valid"))
                 .expect("registers")
                 .seed(0xF167_0000 + p_idx as u64 * 10_000 + run as u64)

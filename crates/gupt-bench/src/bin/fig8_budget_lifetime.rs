@@ -53,7 +53,7 @@ fn main() {
         ("variable ε (goal-driven)", None),
         ("constant ε=0.3", Some(0.3)),
     ] {
-        let mut runtime = make_runtime(0xF168_0000 + results.len() as u64);
+        let runtime = make_runtime(0xF168_0000 + results.len() as u64);
         let mut count = 0usize;
         loop {
             let spec = match policy {

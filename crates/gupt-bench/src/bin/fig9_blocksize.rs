@@ -43,7 +43,7 @@ fn main() {
      -> f64 {
         let mut sq = 0.0;
         for trial in 0..trials {
-            let mut runtime = GuptRuntimeBuilder::new()
+            let runtime = GuptRuntimeBuilder::new()
                 .register_dataset("ads", data.clone(), Epsilon::new(1e9).expect("valid"))
                 .expect("registers")
                 .seed(seed_base + trial as u64)

@@ -69,7 +69,7 @@ fn main() {
                 .map(|(lo, hi)| OutputRange::new(lo, hi).expect("bounds"))
         })
         .collect();
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("block", block, Epsilon::new(100.0).expect("valid"))
         .expect("registers")
         .seed(0x0B0)

@@ -69,7 +69,7 @@ fn automated_budget() -> [String; 3] {
         .expect("valid")
         .with_aged_fraction(0.1)
         .expect("valid");
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register("t", dataset, eps(100.0))
         .expect("registers")
         .seed(1)
@@ -100,7 +100,7 @@ fn budget_attack_protection() -> [String; 3] {
     // ledger outcome is independent of the data (charge equals the
     // declared ε whether or not the victim is present).
     let spent_for = |with_victim: bool| -> f64 {
-        let mut runtime = GuptRuntimeBuilder::new()
+        let runtime = GuptRuntimeBuilder::new()
             .register_dataset("t", rows(500, with_victim), eps(10.0))
             .expect("registers")
             .seed(2)

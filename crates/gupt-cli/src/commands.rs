@@ -4,7 +4,8 @@ use crate::args::Args;
 use crate::ledger::FileLedger;
 use crate::programs;
 use gupt_core::{
-    AccuracyGoal, Aggregator, Dataset, GuptRuntimeBuilder, QuerySpec, RangeEstimation,
+    AccuracyGoal, Aggregator, Dataset, GuptError, GuptRuntimeBuilder, QueryService, QuerySpec,
+    RangeEstimation, ServiceConfig,
 };
 use gupt_datasets::census::CensusDataset;
 use gupt_datasets::csv;
@@ -26,6 +27,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             ("generate", [which]) => generate(which, &args),
             ("ledger", [sub]) => ledger_cmd(sub, &args),
             ("query", []) => query(&args),
+            ("serve", []) => serve(&args),
             _ => Err(format!(
                 "unknown command {:?}; run `gupt-cli help`",
                 args.positional().join(" ")
@@ -49,6 +51,12 @@ USAGE:
                  [--group-column N]     (user-level privacy, §8.1)
                  [--telemetry json|text]  (stage timings + counters on stderr;
                                            operator-facing, NOT ε-protected)
+  gupt-cli serve --data FILE.csv --program SPEC --range LO,HI --budget EPS
+                 --queries N --epsilon-each E [--analysts T]
+                 [--max-in-flight M] [--max-queued Q] [--deadline-ms D]
+                 [--seed S] [--header yes]
+                 (multi-analyst driver: races N queries from T threads through
+                  the admission-controlled QueryService against one budget)
 
 PROGRAMS:
   mean:COL  median:COL  variance:COL  count  histogram:COL:BINS
@@ -254,7 +262,7 @@ fn query(args: &Args) -> Result<String, CliError> {
         None => None,
     };
 
-    let mut runtime = build_runtime(eps, dataset)?;
+    let runtime = build_runtime(eps, dataset)?;
     let mut answer = runtime.run("data", spec.epsilon(eps))?;
 
     // Telemetry is an operator side channel outside the ε guarantee: it
@@ -330,6 +338,113 @@ fn query(args: &Args) -> Result<String, CliError> {
             );
         }
     }
+    Ok(out)
+}
+
+/// Multi-analyst driver: races `--queries` identical queries from
+/// `--analysts` threads through an admission-controlled [`QueryService`]
+/// sharing one in-process budget ledger.
+///
+/// The final tallies demonstrate the concurrency contract from the shell:
+/// however the threads interleave, successes × ε-each never exceeds the
+/// lifetime budget, refusals are typed (budget vs. overload vs.
+/// deadline), and the remaining balance accounts exactly for the winners.
+fn serve(args: &Args) -> Result<String, CliError> {
+    let data_path = args.require("data")?;
+    let has_header = matches!(args.get("header"), Some("yes" | "true" | "1"));
+    let rows = csv::read_csv(data_path, has_header)?;
+    if rows.is_empty() {
+        return Err("dataset is empty".into());
+    }
+
+    let spec_str = args.require("program")?;
+    let resolved = programs::resolve(spec_str)?;
+    let (lo, hi) = args
+        .range("range")?
+        .ok_or("--range LO,HI is required (non-sensitive output bounds)")?;
+    let output_ranges = vec![OutputRange::new(lo, hi)?; resolved.output_dim];
+
+    let budget: f64 = args.require_parsed("budget", "positive number")?;
+    let queries: usize = args.require_parsed("queries", "integer")?;
+    let eps_each: f64 = args.require_parsed("epsilon-each", "positive number")?;
+    let analysts: usize = args
+        .get_parsed("analysts", "integer")?
+        .unwrap_or(4)
+        .clamp(1, 64);
+    let max_in_flight: usize = args.get_parsed("max-in-flight", "integer")?.unwrap_or(8);
+    let max_queued: usize = args.get_parsed("max-queued", "integer")?.unwrap_or(64);
+    let deadline_ms: Option<u64> = args.get_parsed("deadline-ms", "integer")?;
+    let seed: u64 = args.get_parsed("seed", "integer")?.unwrap_or(0);
+
+    let runtime = GuptRuntimeBuilder::new()
+        .register("data", Dataset::new(rows)?, Epsilon::new(budget)?)?
+        .seed(seed)
+        .build();
+    let mut config = ServiceConfig::new(max_in_flight, max_queued);
+    if let Some(ms) = deadline_ms {
+        config = config.default_deadline(std::time::Duration::from_millis(ms));
+    }
+    let service = QueryService::new(runtime, config);
+
+    let spec = QuerySpec::from_program(resolved.program)
+        .epsilon(Epsilon::new(eps_each)?)
+        .range_estimation(RangeEstimation::Tight(output_ranges));
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (mut ok, mut budget_refused, mut overloaded, mut deadline_expired) = (0, 0, 0, 0);
+    let results: Vec<Result<(), GuptError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..analysts)
+            .map(|_| {
+                let service = service.clone();
+                let spec = &spec;
+                let next = &next;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    while next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) < queries {
+                        mine.push(service.run("data", spec.clone()).map(drop));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("analyst thread panicked"))
+            .collect()
+    });
+    for r in &results {
+        match r {
+            Ok(()) => ok += 1,
+            Err(GuptError::Dp(_)) => budget_refused += 1,
+            Err(GuptError::Overloaded { .. }) => overloaded += 1,
+            Err(GuptError::DeadlineExceeded { .. }) => deadline_expired += 1,
+            Err(other) => return Err(format!("query failed: {other}").into()),
+        }
+    }
+
+    let stats = service.stats();
+    let remaining = service.runtime().remaining_budget("data")?;
+    let mut out = String::new();
+    let _ = writeln!(out, "served {queries} queries from {analysts} analysts");
+    let _ = writeln!(
+        out,
+        "admission   : {} in flight max, {} queued max{}",
+        max_in_flight,
+        max_queued,
+        match deadline_ms {
+            Some(ms) => format!(", {ms} ms deadline"),
+            None => String::new(),
+        }
+    );
+    let _ = writeln!(out, "succeeded   : {ok} × ε = {eps_each}");
+    let _ = writeln!(out, "budget-refused : {budget_refused}");
+    let _ = writeln!(out, "overloaded     : {overloaded}");
+    let _ = writeln!(out, "deadline       : {deadline_expired}");
+    let _ = writeln!(
+        out,
+        "ledger      : ε = {remaining:.6} of {budget} remaining ({} admitted)",
+        stats.admitted
+    );
     Ok(out)
 }
 
@@ -560,6 +675,39 @@ mod tests {
         .unwrap_err()
         .to_string();
         assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn serve_races_analysts_and_respects_budget() {
+        let csv_path = tmp("serve.csv");
+        run(&format!(
+            "generate census --rows 2000 --seed 8 --out {csv_path}"
+        ))
+        .unwrap();
+        // 12 queries × ε 0.5 against a 2.0 budget: exactly 4 can win, no
+        // matter how the 4 analyst threads interleave.
+        let out = run(&format!(
+            "serve --data {csv_path} --program mean:0 --range 0,150 --budget 2.0 \
+             --queries 12 --epsilon-each 0.5 --analysts 4 --seed 1 --header yes"
+        ))
+        .unwrap();
+        assert!(out.contains("succeeded   : 4"), "{out}");
+        assert!(out.contains("budget-refused : 8"), "{out}");
+        assert!(out.contains("overloaded     : 0"), "{out}");
+        assert!(out.contains("ε = 0.000000 of 2 remaining"), "{out}");
+    }
+
+    #[test]
+    fn serve_requires_budget_flags() {
+        let csv_path = tmp("serve_missing.csv");
+        run(&format!("generate ads --rows 200 --out {csv_path}")).unwrap();
+        let err = run(&format!(
+            "serve --data {csv_path} --program mean:0 --range 0,15 --budget 1.0 \
+             --queries 4 --header yes"
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("epsilon-each"), "{err}");
     }
 
     #[test]

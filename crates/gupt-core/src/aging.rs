@@ -80,6 +80,7 @@ pub fn aged_block_stats(
     let blocks: Vec<Vec<Vec<f64>>> = aged_rows.chunks(block_size).map(|c| c.to_vec()).collect();
     let block_outputs = manager
         .execute_blocks(program, blocks)
+        .0
         .into_iter()
         .map(|r| r.output)
         .collect();

@@ -8,15 +8,18 @@
 //!
 //! The batch is planned *before* anything is charged: block plans are
 //! resolved per query, the noise profiles computed, the allocation
-//! derived, and only then does the runtime execute the queries with
-//! their allocated budgets (each charged against the dataset ledger as
-//! usual).
+//! derived, and only then is the **whole** batch budget debited from the
+//! dataset ledger in one atomic charge. The single charge is what makes
+//! batches safe under the concurrent runtime: a racing query can land
+//! before or after the batch, but never between two of its members, so
+//! a batch either owns its full allocation or fails closed without
+//! spending anything.
 
 use crate::blocks::default_block_size;
 use crate::budget_distribution::{distribute_budget, QueryNoiseProfile};
 use crate::error::GuptError;
 use crate::query::{BlockSizeSpec, QuerySpec};
-use crate::runtime::{GuptRuntime, PrivateAnswer};
+use crate::runtime::{ChargeMode, GuptRuntime, PrivateAnswer};
 use gupt_dp::Epsilon;
 
 /// The result of a batch run: per-query answers plus the allocation.
@@ -38,8 +41,13 @@ impl GuptRuntime {
     /// explicit or defaulted block size. Accuracy-goal budgets are
     /// rejected — a goal already implies its own ε, so it cannot also
     /// receive a share of a common budget.
+    ///
+    /// The ledger sees the batch as **one** charge of `total_budget`,
+    /// debited atomically after planning succeeds; if a later member
+    /// then fails (e.g. an invalid spec), the budget stays spent —
+    /// fail-closed, like any charged query.
     pub fn run_batch(
-        &mut self,
+        &self,
         dataset: &str,
         queries: Vec<QuerySpec>,
         total_budget: Epsilon,
@@ -77,12 +85,18 @@ impl GuptRuntime {
 
         let shares = distribute_budget(total_budget, &profiles)?;
 
-        // Execute with the allocated budgets.
+        // Charge the whole allocation in one atomic debit (the shares
+        // sum to `total_budget`), then execute each member precharged.
+        self.charge_dataset(dataset, total_budget)?;
         let mut answers = Vec::with_capacity(queries.len());
         let mut allocations = Vec::with_capacity(queries.len());
         for (spec, share) in queries.into_iter().zip(shares) {
             allocations.push(share.value());
-            answers.push(self.run(dataset, spec.epsilon(share))?);
+            answers.push(self.run_with_charge(
+                dataset,
+                spec.epsilon(share),
+                ChargeMode::Precharged,
+            )?);
         }
         Ok(BatchAnswer {
             answers,
@@ -138,7 +152,7 @@ mod tests {
 
     #[test]
     fn example_4_allocation_is_proportional_to_range() {
-        let mut rt = GuptRuntimeBuilder::new()
+        let rt = GuptRuntimeBuilder::new()
             .register_dataset("ages", rows(), eps(100.0))
             .unwrap()
             .seed(1)
@@ -150,7 +164,7 @@ mod tests {
         // ε_variance : ε_mean = 10000 : 100 = 100 : 1.
         let ratio = batch.allocations[1] / batch.allocations[0];
         assert!((ratio - 100.0).abs() < 1e-6, "ratio = {ratio}");
-        // Whole budget spent (one ledger charge per query).
+        // Whole budget spent (one atomic ledger charge for the batch).
         assert!((rt.remaining_budget("ages").unwrap() - 96.0).abs() < 1e-9);
         // Both answers in the ballpark (equalised noise scale ≈ 6.3).
         assert!((batch.answers[0].values[0] - 49.5).abs() < 30.0);
@@ -166,7 +180,7 @@ mod tests {
             let trials = 40;
             let mut errs = (0.0, 0.0);
             for t in 0..trials {
-                let mut rt = GuptRuntimeBuilder::new()
+                let rt = GuptRuntimeBuilder::new()
                     .register_dataset("ages", rows(), eps(1e9))
                     .unwrap()
                     .seed(1000 + t)
@@ -198,7 +212,7 @@ mod tests {
 
     #[test]
     fn empty_batch_rejected() {
-        let mut rt = GuptRuntimeBuilder::new()
+        let rt = GuptRuntimeBuilder::new()
             .register_dataset("ages", rows(), eps(10.0))
             .unwrap()
             .build();
@@ -207,7 +221,7 @@ mod tests {
 
     #[test]
     fn accuracy_goal_queries_rejected_in_batch() {
-        let mut rt = GuptRuntimeBuilder::new()
+        let rt = GuptRuntimeBuilder::new()
             .register_dataset("ages", rows(), eps(10.0))
             .unwrap()
             .build();
@@ -219,24 +233,26 @@ mod tests {
 
     #[test]
     fn batch_respects_ledger() {
-        let mut rt = GuptRuntimeBuilder::new()
+        let rt = GuptRuntimeBuilder::new()
             .register_dataset("ages", rows(), eps(1.0))
             .unwrap()
             .seed(3)
             .build();
-        // First batch of 0.8 fits; second identical batch must fail on
-        // its first charge and spend at most the first query's share.
+        // First batch of 0.8 fits; the second's atomic charge must fail
+        // closed and spend nothing at all.
         rt.run_batch("ages", vec![mean_spec(), variance_spec()], eps(0.8))
             .unwrap();
+        let before = rt.remaining_budget("ages").unwrap();
         let err = rt
             .run_batch("ages", vec![mean_spec(), variance_spec()], eps(0.8))
             .unwrap_err();
         assert!(matches!(err, GuptError::Dp(_)));
+        assert_eq!(rt.remaining_budget("ages").unwrap(), before);
     }
 
     #[test]
     fn single_query_batch_gets_everything() {
-        let mut rt = GuptRuntimeBuilder::new()
+        let rt = GuptRuntimeBuilder::new()
             .register_dataset("ages", rows(), eps(10.0))
             .unwrap()
             .seed(4)

@@ -73,18 +73,9 @@ impl ComputationManager {
     }
 
     /// Runs `program` on every block in its own chamber; report order
-    /// matches block order.
+    /// matches block order. The [`PoolTrace`] rides along for operator
+    /// telemetry — callers that don't need it drop it.
     pub fn execute_blocks(
-        &self,
-        program: &Arc<dyn BlockProgram>,
-        blocks: Vec<Vec<Vec<f64>>>,
-    ) -> Vec<ChamberReport> {
-        self.pool.run_all(program, blocks)
-    }
-
-    /// Like [`ComputationManager::execute_blocks`], additionally
-    /// returning the pool's [`PoolTrace`] for operator telemetry.
-    pub fn execute_blocks_traced(
         &self,
         program: &Arc<dyn BlockProgram>,
         blocks: Vec<Vec<Vec<f64>>>,
@@ -99,7 +90,7 @@ impl ComputationManager {
         program: &Arc<dyn BlockProgram>,
         rows: &[Vec<f64>],
     ) -> ChamberReport {
-        let mut reports = self.pool.run_all(program, vec![rows.to_vec()]);
+        let (mut reports, _) = self.pool.run_all_traced(program, vec![rows.to_vec()]);
         reports.pop().expect("pool returns one report per block")
     }
 }
@@ -124,10 +115,11 @@ mod tests {
         let blocks: Vec<Vec<Vec<f64>>> = (0..10)
             .map(|b| (0..5).map(|_| vec![b as f64]).collect())
             .collect();
-        let reports = manager.execute_blocks(&mean_program(), blocks);
+        let (reports, trace) = manager.execute_blocks(&mean_program(), blocks);
         for (b, r) in reports.iter().enumerate() {
             assert_eq!(r.output, vec![b as f64]);
         }
+        assert!(trace.workers_used >= 1);
     }
 
     #[test]
@@ -146,7 +138,7 @@ mod tests {
             vec![b[0][0]]
         }));
         let blocks = vec![vec![vec![1.0]], vec![vec![-1.0]], vec![vec![3.0]]];
-        let reports = manager.execute_blocks(&picky, blocks);
+        let (reports, _) = manager.execute_blocks(&picky, blocks);
         let summary = ExecutionSummary::from_reports(&reports);
         assert_eq!(summary.completed, 2);
         assert_eq!(summary.panicked, 1);

@@ -35,6 +35,20 @@ pub enum GuptError {
     NoAgedData(String),
     /// The query specification is internally inconsistent.
     InvalidSpec(String),
+    /// The query service refused admission: the in-flight limit is
+    /// saturated and the waiting queue is full. Fail-fast — the analyst
+    /// should back off and resubmit.
+    Overloaded {
+        /// Queries executing when admission was refused.
+        in_flight: usize,
+        /// Queries already waiting for a slot.
+        queued: usize,
+    },
+    /// The query waited in the admission queue past its deadline.
+    DeadlineExceeded {
+        /// How long the query waited before being abandoned.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for GuptError {
@@ -64,6 +78,16 @@ impl fmt::Display for GuptError {
                 )
             }
             GuptError::InvalidSpec(why) => write!(f, "invalid query spec: {why}"),
+            GuptError::Overloaded { in_flight, queued } => write!(
+                f,
+                "service overloaded: {in_flight} queries in flight, {queued} queued; retry later"
+            ),
+            GuptError::DeadlineExceeded { waited_ms } => {
+                write!(
+                    f,
+                    "deadline exceeded after waiting {waited_ms} ms for admission"
+                )
+            }
         }
     }
 }
@@ -110,6 +134,14 @@ mod tests {
             ),
             (GuptError::NoAgedData("x".into()), "aged"),
             (GuptError::InvalidSpec("bad".into()), "bad"),
+            (
+                GuptError::Overloaded {
+                    in_flight: 4,
+                    queued: 8,
+                },
+                "overloaded",
+            ),
+            (GuptError::DeadlineExceeded { waited_ms: 250 }, "250 ms"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

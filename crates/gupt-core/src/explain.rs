@@ -80,16 +80,13 @@ impl GuptRuntime {
     /// estimator (still free: aged data is non-private). The
     /// `Optimized` block-size strategy is planned at the paper default,
     /// since optimisation itself runs the program.
-    pub fn explain(&self, dataset: &str, spec: &QuerySpec) -> Result<QueryPlan, GuptError> {
-        self.explain_impl(dataset, spec, &mut QueryTelemetry::disabled())
-    }
-
-    /// Like [`GuptRuntime::explain`], additionally returning a
-    /// [`TelemetryReport`] covering the planning-time stages (budget
-    /// resolution and block planning — the only stages a dry run
-    /// visits). Like all telemetry it is operator-facing and outside
-    /// the ε guarantee.
-    pub fn explain_traced(
+    ///
+    /// Always returns the [`TelemetryReport`] covering the planning-time
+    /// stages (budget resolution and block planning — the only stages a
+    /// dry run visits) alongside the plan; callers that only want the
+    /// plan drop it. Like all telemetry it is operator-facing and
+    /// outside the ε guarantee.
+    pub fn explain(
         &self,
         dataset: &str,
         spec: &QuerySpec,
@@ -218,7 +215,7 @@ mod tests {
             .epsilon(eps(2.0))
             .fixed_block_size(100)
             .range_estimation(RangeEstimation::Tight(vec![range(0.0, 50.0)]));
-        let plan = rt.explain("t", &spec).unwrap();
+        let (plan, _) = rt.explain("t", &spec).unwrap();
         assert_eq!(plan.epsilon, 2.0);
         assert_eq!(plan.block_size, 100);
         assert_eq!(plan.num_blocks, 100);
@@ -240,7 +237,7 @@ mod tests {
         let spec = mean_spec()
             .epsilon(eps(2.0))
             .range_estimation(RangeEstimation::Loose(vec![range(0.0, 500.0)]));
-        let plan = rt.explain("t", &spec).unwrap();
+        let (plan, _) = rt.explain("t", &spec).unwrap();
         assert_eq!(plan.split.aggregation_per_dim, 1.0);
         assert_eq!(plan.split.range_estimation_per_dim, 1.0);
         assert_eq!(plan.split.range_estimation_dims, 1);
@@ -248,7 +245,7 @@ mod tests {
 
     #[test]
     fn plan_matches_execution() {
-        let mut rt = GuptRuntimeBuilder::new()
+        let rt = GuptRuntimeBuilder::new()
             .register_dataset("t", rows(5_000), eps(10.0))
             .unwrap()
             .seed(3)
@@ -258,7 +255,7 @@ mod tests {
             .fixed_block_size(50)
             .resampling(2)
             .range_estimation(RangeEstimation::Tight(vec![range(0.0, 50.0)]));
-        let plan = rt.explain("t", &spec).unwrap();
+        let (plan, _) = rt.explain("t", &spec).unwrap();
         let answer = rt.run("t", spec).unwrap();
         assert_eq!(plan.block_size, answer.block_size);
         assert_eq!(plan.num_blocks, answer.num_blocks);
@@ -279,7 +276,7 @@ mod tests {
         let spec = mean_spec()
             .epsilon(eps(0.5))
             .range_estimation(RangeEstimation::Tight(vec![range(0.0, 10.0)]));
-        assert!(rt.explain("u", &spec).unwrap().user_level);
+        assert!(rt.explain("u", &spec).unwrap().0.user_level);
     }
 
     #[test]
@@ -291,7 +288,7 @@ mod tests {
         let spec = mean_spec()
             .epsilon(eps(0.5))
             .range_estimation(RangeEstimation::Tight(vec![range(0.0, 50.0)]));
-        let text = rt.explain("t", &spec).unwrap().to_string();
+        let text = rt.explain("t", &spec).unwrap().0.to_string();
         assert!(text.contains("query plan"), "{text}");
         assert!(text.contains("noise std"), "{text}");
     }
@@ -306,7 +303,7 @@ mod tests {
         let spec = mean_spec()
             .epsilon(eps(0.5))
             .range_estimation(RangeEstimation::Tight(vec![range(0.0, 50.0)]));
-        let (plan, report) = rt.explain_traced("t", &spec).unwrap();
+        let (plan, report) = rt.explain("t", &spec).unwrap();
         assert_eq!(plan.epsilon, 0.5);
         // A dry run visits exactly the two planning stages.
         assert!(report.stage(Stage::BlockPlanning).is_some());

@@ -23,7 +23,7 @@
 //! use gupt_dp::{Epsilon, OutputRange};
 //!
 //! let rows: Vec<Vec<f64>> = (0..2000).map(|i| vec![(i % 50) as f64]).collect();
-//! let mut runtime = GuptRuntimeBuilder::new()
+//! let runtime = GuptRuntimeBuilder::new()
 //!     .register_dataset("t", rows, Epsilon::new(5.0).unwrap())
 //!     .unwrap()
 //!     .seed(1)
@@ -55,9 +55,11 @@ pub mod dataset_manager;
 pub mod error;
 pub mod explain;
 pub mod output_range;
+pub mod prelude;
 pub mod query;
 pub mod runtime;
 pub mod saf;
+pub mod service;
 pub mod telemetry;
 
 pub use aggregator::Aggregator;
@@ -76,6 +78,7 @@ pub use output_range::{RangeEstimation, RangeTranslator};
 pub use query::{BlockSizeSpec, BudgetSpec, QuerySpec};
 pub use runtime::{GuptRuntime, GuptRuntimeBuilder, PrivateAnswer};
 pub use saf::{clamped_block_means, sample_and_aggregate};
+pub use service::{QueryService, ServiceConfig, ServiceStats};
 pub use telemetry::{
     BlockCounters, LedgerEvent, QueryTelemetry, Stage, StageTiming, TelemetryReport,
     TELEMETRY_SCHEMA_VERSION,

@@ -1,0 +1,39 @@
+//! One-stop imports for analysts.
+//!
+//! `use gupt_core::prelude::*;` brings in the whole analyst-facing
+//! surface — building a runtime, describing queries, running them
+//! (directly or through the admission-controlled service) and handling
+//! the errors — without enumerating modules:
+//!
+//! ```
+//! use gupt_core::prelude::*;
+//!
+//! let rows: Vec<Vec<f64>> = (0..2000).map(|i| vec![(i % 50) as f64]).collect();
+//! let runtime = GuptRuntimeBuilder::new()
+//!     .register_dataset("t", rows, Epsilon::new(5.0).unwrap())
+//!     .unwrap()
+//!     .seed(1)
+//!     .build();
+//! let spec = QuerySpec::program(|b: &[Vec<f64>]| {
+//!     vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len() as f64]
+//! })
+//! .epsilon(Epsilon::new(1.0).unwrap())
+//! .range_estimation(RangeEstimation::Tight(vec![OutputRange::new(0.0, 49.0).unwrap()]));
+//! let answer: PrivateAnswer = runtime.run("t", spec).unwrap();
+//! assert!(answer.epsilon_spent > 0.0);
+//! ```
+//!
+//! Internal machinery (block planning, estimators, telemetry schema…)
+//! stays behind its modules on purpose; reach into them explicitly when
+//! operating the system rather than querying it.
+
+pub use crate::batch::BatchAnswer;
+pub use crate::budget_estimator::AccuracyGoal;
+pub use crate::dataset::Dataset;
+pub use crate::error::GuptError;
+pub use crate::explain::QueryPlan;
+pub use crate::output_range::{RangeEstimation, RangeTranslator};
+pub use crate::query::QuerySpec;
+pub use crate::runtime::{GuptRuntime, GuptRuntimeBuilder, PrivateAnswer};
+pub use crate::service::{QueryService, ServiceConfig, ServiceStats};
+pub use gupt_dp::{DpError, Epsilon, OutputRange};

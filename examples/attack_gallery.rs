@@ -8,8 +8,7 @@
 //!
 //! Run: `cargo run --example attack_gallery --release`
 
-use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
-use gupt::dp::{Epsilon, OutputRange};
+use gupt::core::prelude::*;
 use gupt::sandbox::{
     attacks::{ScratchPersistenceProgram, TimingAttackProgram, LEAK_SENTINEL},
     BlockProgram, Chamber, ChamberOutcome, ChamberPolicy,
@@ -70,7 +69,7 @@ fn main() {
 
     println!("\n== 4. Budget attack is structurally impossible ==");
     let spent = |with_victim: bool| -> f64 {
-        let mut runtime = GuptRuntimeBuilder::new()
+        let runtime = GuptRuntimeBuilder::new()
             .register_dataset("t", block(with_victim), Epsilon::new(5.0).unwrap())
             .expect("registers")
             .seed(3)

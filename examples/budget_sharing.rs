@@ -7,8 +7,7 @@
 //!
 //! Run: `cargo run --example budget_sharing --release`
 
-use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
-use gupt::dp::{Epsilon, OutputRange};
+use gupt::core::prelude::*;
 
 const MAX_AGE: f64 = 100.0;
 
@@ -44,7 +43,7 @@ fn main() {
     let true_mean = 49.5;
     let true_var = 833.25;
 
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("ages", ages, Epsilon::new(100.0).unwrap())
         .expect("registers")
         .seed(29)

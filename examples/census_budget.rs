@@ -7,9 +7,8 @@
 //!
 //! Run: `cargo run --example census_budget --release`
 
-use gupt::core::{AccuracyGoal, Dataset, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt::core::prelude::*;
 use gupt::datasets::census::{CensusDataset, TRUE_MEAN_AGE};
-use gupt::dp::{Epsilon, OutputRange};
 
 fn main() {
     let census = CensusDataset::generate(21);
@@ -19,7 +18,7 @@ fn main() {
         .with_aged_fraction(0.10)
         .expect("valid fraction");
 
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register("census", dataset, Epsilon::new(10.0).unwrap())
         .expect("registers")
         .seed(23)

@@ -7,9 +7,8 @@
 //!
 //! Run: `cargo run --example private_kmeans --release`
 
-use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt::core::prelude::*;
 use gupt::datasets::life_sciences::{LifeSciencesConfig, LifeSciencesDataset};
-use gupt::dp::{Epsilon, OutputRange};
 use gupt::ml::kmeans::{intra_cluster_variance, kmeans, KMeansConfig, KMeansModel};
 use gupt::sandbox::ClosureProgram;
 use rand::{rngs::StdRng, SeedableRng};
@@ -69,7 +68,7 @@ fn main() {
         .collect();
 
     for eps in [1.0, 2.0, 4.0] {
-        let mut runtime = GuptRuntimeBuilder::new()
+        let runtime = GuptRuntimeBuilder::new()
             .register_dataset("compounds", data.clone(), Epsilon::new(100.0).unwrap())
             .expect("registers")
             .seed(100 + eps as u64)

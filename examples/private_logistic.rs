@@ -7,9 +7,8 @@
 //!
 //! Run: `cargo run --example private_logistic --release`
 
-use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt::core::prelude::*;
 use gupt::datasets::life_sciences::{LifeSciencesConfig, LifeSciencesDataset};
-use gupt::dp::{Epsilon, OutputRange};
 use gupt::ml::logistic::{train_logistic, LogisticConfig, LogisticModel};
 use gupt::sandbox::ClosureProgram;
 use std::sync::Arc;
@@ -39,7 +38,7 @@ fn main() {
         .map(|_| OutputRange::new(-2.0, 2.0).unwrap())
         .collect();
 
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("compounds", data.clone(), Epsilon::new(50.0).unwrap())
         .expect("registers")
         .seed(13)

@@ -7,8 +7,7 @@
 //!
 //! Run: `cargo run --example quickstart`
 
-use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
-use gupt::dp::{Epsilon, OutputRange};
+use gupt::core::prelude::*;
 
 fn main() {
     // --- Data owner side -------------------------------------------------
@@ -17,7 +16,7 @@ fn main() {
         .map(|i| vec![30_000.0 + (i % 70) as f64 * 1_000.0])
         .collect();
 
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("salaries", salaries, Epsilon::new(5.0).unwrap())
         .expect("dataset is valid")
         .seed(42) // reproducible noise for the demo

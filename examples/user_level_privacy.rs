@@ -8,8 +8,7 @@
 //!
 //! Run: `cargo run --example user_level_privacy --release`
 
-use gupt::core::{Dataset, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
-use gupt::dp::{Epsilon, OutputRange};
+use gupt::core::prelude::*;
 
 fn main() {
     // 2,000 users × up to 8 visit records: [user_id, spend].
@@ -28,7 +27,7 @@ fn main() {
         .with_group_column(0) // ← user-level privacy switch
         .expect("column exists");
 
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register("visits", dataset, Epsilon::new(5.0).unwrap())
         .expect("registers")
         .seed(31)
@@ -44,7 +43,7 @@ fn main() {
     ]));
 
     // Dry-run first: see the plan, spend nothing.
-    let plan = runtime.explain("visits", &spec).expect("plans");
+    let (plan, _) = runtime.explain("visits", &spec).expect("plans");
     println!("\n{plan}");
     assert!(plan.user_level);
     assert_eq!(runtime.remaining_budget("visits").unwrap(), 5.0);

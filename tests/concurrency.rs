@@ -1,0 +1,294 @@
+//! Concurrency stress suite for the shared runtime and query service.
+//!
+//! The redesign's two safety claims under contention:
+//!
+//! 1. **The ledger never overspends.** N racing analysts against one
+//!    dataset spend at most the lifetime budget — the sum of
+//!    `epsilon_spent` over successes stays ≤ total, losers fail closed
+//!    with a budget error, and a batch's allocation is one atomic debit
+//!    no racer can split.
+//! 2. **Seeded answers are interleaving-independent.** A query's answer
+//!    is a pure function of (runtime seed, admission sequence number),
+//!    so the multiset of answers from a seeded query mix is identical
+//!    whether the mix runs serially or races across threads.
+//!
+//! Plus the service-level admission contract: in-flight cap enforced,
+//! full queue rejects fast, expired deadlines surface as typed errors.
+
+use gupt::core::prelude::*;
+use gupt::sandbox::ClosureProgram;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn rows(n: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|i| vec![(i % 50) as f64]).collect()
+}
+
+fn mean_spec(e: f64) -> QuerySpec {
+    QuerySpec::program(|b: &[Vec<f64>]| {
+        vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+    })
+    .epsilon(eps(e))
+    .fixed_block_size(50)
+    .range_estimation(RangeEstimation::Tight(vec![
+        OutputRange::new(0.0, 50.0).unwrap()
+    ]))
+}
+
+fn runtime(total: f64, seed: u64) -> GuptRuntime {
+    GuptRuntimeBuilder::new()
+        .register_dataset("t", rows(1_000), eps(total))
+        .unwrap()
+        .seed(seed)
+        .workers(2)
+        .build()
+}
+
+/// 16 threads race 0.3-ε queries against a 1.0-ε lifetime budget: at
+/// most 3 can win, winners spend exactly what the ledger debited, and
+/// every loser gets the budget error with nothing charged.
+#[test]
+fn racing_queries_never_overspend() {
+    let total = 1.0;
+    let rt = runtime(total, 1);
+    let results: Vec<Result<PrivateAnswer, GuptError>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..16)
+            .map(|_| s.spawn(|| rt.run("t", mean_spec(0.3))))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let spent: f64 = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok().map(|a| a.epsilon_spent))
+        .sum();
+    let successes = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(successes, 3, "floor(1.0 / 0.3) queries must win");
+    assert!(spent <= total + 1e-9, "overspent: {spent}");
+    assert!(
+        (rt.remaining_budget("t").unwrap() - (total - spent)).abs() < 1e-9,
+        "ledger must equal total minus winners' spend"
+    );
+    for r in &results {
+        if let Err(e) = r {
+            assert!(matches!(e, GuptError::Dp(_)), "loser got {e}");
+        }
+    }
+}
+
+/// The same seeded query mix yields the same answer multiset whether it
+/// runs serially or races 8 threads: each admitted query's noise is a
+/// pure function of (seed, sequence number), and interleaving only
+/// permutes which thread draws which sequence number.
+#[test]
+fn seeded_answers_are_interleaving_independent() {
+    let n_queries = 8;
+    let collect_sorted = |concurrent: bool| -> Vec<u64> {
+        let rt = runtime(100.0, 99);
+        let mut values: Vec<f64> = if concurrent {
+            thread::scope(|s| {
+                let handles: Vec<_> = (0..n_queries)
+                    .map(|_| s.spawn(|| rt.run("t", mean_spec(0.5)).unwrap().values[0]))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        } else {
+            (0..n_queries)
+                .map(|_| rt.run("t", mean_spec(0.5)).unwrap().values[0])
+                .collect()
+        };
+        values.sort_by(f64::total_cmp);
+        // Compare exact bit patterns: determinism, not approximation.
+        values.into_iter().map(f64::to_bits).collect()
+    };
+    let serial = collect_sorted(false);
+    let concurrent = collect_sorted(true);
+    assert_eq!(serial, concurrent);
+    // And the draws differ across sequence numbers (no stream reuse).
+    assert!(serial.windows(2).any(|w| w[0] != w[1]));
+}
+
+/// Two racing batches worth 0.6 each against a 1.0 budget: the batch
+/// charge is atomic, so exactly one batch wins whole — the loser cannot
+/// interleave between the winner's members or spend partially.
+#[test]
+fn racing_batches_charge_atomically() {
+    let rt = runtime(1.0, 7);
+    let batch = || {
+        rt.run_batch(
+            "t",
+            vec![mean_spec(1.0), mean_spec(1.0)], // shares override ε
+            eps(0.6),
+        )
+    };
+    let (a, b) = thread::scope(|s| {
+        let ha = s.spawn(batch);
+        let hb = s.spawn(batch);
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    assert_eq!(
+        a.is_ok() as usize + b.is_ok() as usize,
+        1,
+        "exactly one batch must win"
+    );
+    assert!((rt.remaining_budget("t").unwrap() - 0.4).abs() < 1e-9);
+    let loser = if a.is_err() { a } else { b };
+    assert!(matches!(loser.unwrap_err(), GuptError::Dp(_)));
+}
+
+/// The service's in-flight cap bounds how many queries execute at once:
+/// block programs report their own concurrency, which must never exceed
+/// `max_in_flight × workers-per-runtime`.
+#[test]
+fn service_enforces_in_flight_cap() {
+    let live = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let spec = || {
+        let live = Arc::clone(&live);
+        let peak = Arc::clone(&peak);
+        let program = ClosureProgram::new(1, move |b: &[Vec<f64>]| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            thread::sleep(Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+            vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+        });
+        QuerySpec::from_program(Arc::new(program))
+            .epsilon(eps(0.1))
+            .fixed_block_size(250)
+            .range_estimation(RangeEstimation::Tight(vec![
+                OutputRange::new(0.0, 50.0).unwrap()
+            ]))
+    };
+    let rt = GuptRuntimeBuilder::new()
+        .register_dataset("t", rows(1_000), eps(100.0))
+        .unwrap()
+        .seed(5)
+        .workers(1)
+        .build();
+    let svc = QueryService::new(rt, ServiceConfig::new(2, 64));
+    thread::scope(|s| {
+        for _ in 0..12 {
+            let svc = svc.clone();
+            let spec = spec();
+            s.spawn(move || svc.run("t", spec).unwrap());
+        }
+    });
+    assert_eq!(svc.stats().admitted, 12);
+    assert!(
+        peak.load(Ordering::SeqCst) <= 2,
+        "more than max_in_flight × workers blocks ran at once: {}",
+        peak.load(Ordering::SeqCst)
+    );
+}
+
+/// A saturated service with a full queue refuses admission fast with the
+/// typed `Overloaded` error — and the refused query spends no budget.
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    let svc = QueryService::new(runtime(100.0, 11), ServiceConfig::new(1, 0));
+    let gate = Arc::new(AtomicUsize::new(0));
+    let slow_spec = {
+        let gate = Arc::clone(&gate);
+        let program = ClosureProgram::new(1, move |b: &[Vec<f64>]| {
+            gate.store(1, Ordering::SeqCst);
+            thread::sleep(Duration::from_millis(100));
+            vec![b.len() as f64]
+        });
+        QuerySpec::from_program(Arc::new(program))
+            .epsilon(eps(0.1))
+            .fixed_block_size(1_000)
+            .range_estimation(RangeEstimation::Tight(vec![
+                OutputRange::new(0.0, 1_000.0).unwrap()
+            ]))
+    };
+    thread::scope(|s| {
+        let holder = {
+            let svc = svc.clone();
+            s.spawn(move || svc.run("t", slow_spec).unwrap())
+        };
+        while gate.load(Ordering::SeqCst) == 0 {
+            thread::yield_now();
+        }
+        let before = svc.runtime().remaining_budget("t").unwrap();
+        let err = svc.run("t", mean_spec(0.5)).unwrap_err();
+        assert!(matches!(err, GuptError::Overloaded { in_flight: 1, .. }));
+        assert_eq!(svc.runtime().remaining_budget("t").unwrap(), before);
+        holder.join().unwrap();
+    });
+    assert_eq!(svc.stats().rejected_overloaded, 1);
+}
+
+/// A queued query whose deadline expires surfaces `DeadlineExceeded`
+/// instead of hanging, leaves the queue, and spends no budget.
+#[test]
+fn expired_deadline_surfaces_typed_error() {
+    let svc = QueryService::new(runtime(100.0, 13), ServiceConfig::new(1, 8));
+    let gate = Arc::new(AtomicUsize::new(0));
+    let slow_spec = {
+        let gate = Arc::clone(&gate);
+        let program = ClosureProgram::new(1, move |b: &[Vec<f64>]| {
+            gate.store(1, Ordering::SeqCst);
+            thread::sleep(Duration::from_millis(150));
+            vec![b.len() as f64]
+        });
+        QuerySpec::from_program(Arc::new(program))
+            .epsilon(eps(0.1))
+            .fixed_block_size(1_000)
+            .range_estimation(RangeEstimation::Tight(vec![
+                OutputRange::new(0.0, 1_000.0).unwrap()
+            ]))
+    };
+    thread::scope(|s| {
+        let holder = {
+            let svc = svc.clone();
+            s.spawn(move || svc.run("t", slow_spec).unwrap())
+        };
+        while gate.load(Ordering::SeqCst) == 0 {
+            thread::yield_now();
+        }
+        let before = svc.runtime().remaining_budget("t").unwrap();
+        let err = svc
+            .run_with_deadline("t", mean_spec(0.5), Duration::from_millis(20))
+            .unwrap_err();
+        let GuptError::DeadlineExceeded { waited_ms } = err else {
+            panic!("expected DeadlineExceeded, got {err}");
+        };
+        assert!(waited_ms >= 20);
+        assert_eq!(svc.runtime().remaining_budget("t").unwrap(), before);
+        assert_eq!(svc.stats().queued, 0);
+        holder.join().unwrap();
+    });
+    assert_eq!(svc.stats().rejected_deadline, 1);
+}
+
+/// Cloned service handles racing from many threads keep one consistent
+/// view: admissions + rejections account for every submission, and the
+/// budget invariant holds through the service exactly as it does on the
+/// bare runtime.
+#[test]
+fn service_under_load_preserves_ledger_invariant() {
+    let svc = QueryService::new(runtime(2.0, 17), ServiceConfig::new(4, 64));
+    let results: Vec<Result<PrivateAnswer, GuptError>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..20)
+            .map(|_| {
+                let svc = svc.clone();
+                s.spawn(move || svc.run("t", mean_spec(0.25)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let spent: f64 = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok().map(|a| a.epsilon_spent))
+        .sum();
+    assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 8);
+    assert!(spent <= 2.0 + 1e-9);
+    assert_eq!(svc.stats().admitted, 20, "queue was deep enough for all");
+    assert_eq!(svc.stats().in_flight, 0);
+}

@@ -160,7 +160,7 @@ fn end_to_end_runtime_respects_epsilon() {
 
     let n = trials() / 8; // each run executes the whole runtime
     let run_once = |rows: &[Vec<f64>], seed: u64| -> f64 {
-        let mut runtime = GuptRuntimeBuilder::new()
+        let runtime = GuptRuntimeBuilder::new()
             .register_dataset("t", rows.to_vec(), Epsilon::new(1e9).unwrap())
             .unwrap()
             .seed(seed)
@@ -205,7 +205,7 @@ fn resampling_does_not_weaken_the_guarantee() {
 
     let n = trials() / 10;
     let run_once = |rows: &[Vec<f64>], seed: u64| -> f64 {
-        let mut runtime = GuptRuntimeBuilder::new()
+        let runtime = GuptRuntimeBuilder::new()
             .register_dataset("t", rows.to_vec(), Epsilon::new(1e9).unwrap())
             .unwrap()
             .seed(seed)

@@ -25,7 +25,7 @@ fn age_range() -> OutputRange {
 fn census_mean_all_three_range_modes() {
     let census = CensusDataset::generate_sized(8_000, 1);
     for mode_idx in 0..3 {
-        let mut runtime = GuptRuntimeBuilder::new()
+        let runtime = GuptRuntimeBuilder::new()
             .register_dataset("census", census.rows(), Epsilon::new(100.0).unwrap())
             .unwrap()
             .seed(100 + mode_idx)
@@ -55,7 +55,7 @@ fn census_mean_all_three_range_modes() {
 #[test]
 fn loose_and_helper_modes_resolve_tighter_ranges() {
     let census = CensusDataset::generate_sized(8_000, 2);
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("census", census.rows(), Epsilon::new(100.0).unwrap())
         .unwrap()
         .seed(7)
@@ -72,7 +72,7 @@ fn loose_and_helper_modes_resolve_tighter_ranges() {
 #[test]
 fn budget_ledger_lifecycle() {
     let census = CensusDataset::generate_sized(2_000, 3);
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("census", census.rows(), Epsilon::new(1.0).unwrap())
         .unwrap()
         .seed(9)
@@ -102,7 +102,7 @@ fn accuracy_goal_policy_meets_goal_empirically() {
             .unwrap()
             .with_aged_fraction(0.1)
             .unwrap();
-        let mut runtime = GuptRuntimeBuilder::new()
+        let runtime = GuptRuntimeBuilder::new()
             .register("census", dataset, Epsilon::new(1e6).unwrap())
             .unwrap()
             .seed(1000 + run)
@@ -132,7 +132,7 @@ fn resampling_reduces_output_variance() {
     let variance_with_gamma = |gamma: usize| {
         let outputs: Vec<f64> = (0..40)
             .map(|run| {
-                let mut runtime = GuptRuntimeBuilder::new()
+                let runtime = GuptRuntimeBuilder::new()
                     .register_dataset("ads", ads.rows(), Epsilon::new(1e9).unwrap())
                     .unwrap()
                     .seed(2000 + run * 10 + gamma as u64)
@@ -166,7 +166,7 @@ fn resampling_reduces_output_variance() {
 fn multiple_datasets_are_isolated() {
     let a: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64 % 10.0]).collect();
     let b: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64 % 50.0]).collect();
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("a", a, Epsilon::new(1.0).unwrap())
         .unwrap()
         .register_dataset("b", b, Epsilon::new(2.0).unwrap())
@@ -190,7 +190,7 @@ fn multiple_datasets_are_isolated() {
 #[test]
 fn vector_valued_query_spends_once() {
     let rows: Vec<Vec<f64>> = (0..2_000).map(|i| vec![(i % 100) as f64]).collect();
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("t", rows, Epsilon::new(10.0).unwrap())
         .unwrap()
         .seed(5)

@@ -30,7 +30,7 @@ fn fig3_claim_accuracy_rises_with_epsilon() {
         let trials = 3;
         (0..trials)
             .map(|t| {
-                let mut runtime = GuptRuntimeBuilder::new()
+                let runtime = GuptRuntimeBuilder::new()
                     .register_dataset("d", data.clone(), Epsilon::new(1e6).unwrap())
                     .unwrap()
                     .seed(310 + (eps * 10.0) as u64 + t)
@@ -104,7 +104,7 @@ fn fig5_claim_pinq_degrades_with_iterations_gupt_does_not() {
         let trials = 3;
         (0..trials)
             .map(|t| {
-                let mut runtime = GuptRuntimeBuilder::new()
+                let runtime = GuptRuntimeBuilder::new()
                     .register_dataset("d", data.clone(), Epsilon::new(1e6).unwrap())
                     .unwrap()
                     .seed(520 + iterations as u64 + t)
@@ -161,7 +161,7 @@ fn fig9_claim_mean_likes_tiny_blocks_median_does_not() {
         let trials = 15;
         let sq: f64 = (0..trials)
             .map(|t| {
-                let mut runtime = GuptRuntimeBuilder::new()
+                let runtime = GuptRuntimeBuilder::new()
                     .register_dataset("ads", data.clone(), Epsilon::new(1e9).unwrap())
                     .unwrap()
                     .seed(910 + beta as u64 * 100 + t)

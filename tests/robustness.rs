@@ -22,7 +22,7 @@ fn eps(v: f64) -> Epsilon {
 fn total_panic_storm_yields_fallback_answer() {
     // Every block panics: the answer is the clamped fallback constant
     // plus noise — in particular, finite and within sanity bounds.
-    let mut rt = GuptRuntimeBuilder::new()
+    let rt = GuptRuntimeBuilder::new()
         .register_dataset("t", rows(500), eps(100.0))
         .unwrap()
         .seed(1)
@@ -48,7 +48,7 @@ fn partial_timeouts_still_produce_usable_answers() {
     for row in data.iter_mut().take(4) {
         row[0] = -1.0; // trigger marker: ~4 of 10 blocks will stall
     }
-    let mut rt = GuptRuntimeBuilder::new()
+    let rt = GuptRuntimeBuilder::new()
         .register_dataset("t", data, eps(100.0))
         .unwrap()
         .seed(2)
@@ -78,7 +78,7 @@ fn median_aggregator_shrugs_off_lying_minority() {
     // by ≈0.2·(150−50); the median aggregate barely moves.
     let data = rows(1000); // values 40..60, mean 50
     let run_with = |aggregator: Aggregator, seed: u64| -> f64 {
-        let mut rt = GuptRuntimeBuilder::new()
+        let rt = GuptRuntimeBuilder::new()
             .register_dataset("t", data.clone(), eps(1e9))
             .unwrap()
             .seed(seed)
@@ -116,7 +116,7 @@ fn median_aggregator_shrugs_off_lying_minority() {
 
 #[test]
 fn scratch_quota_overrun_counts_as_panic_in_summary() {
-    let mut rt = GuptRuntimeBuilder::new()
+    let rt = GuptRuntimeBuilder::new()
         .register_dataset("t", rows(200), eps(100.0))
         .unwrap()
         .seed(3)
@@ -152,7 +152,7 @@ fn scratch_quota_overrun_counts_as_panic_in_summary() {
 fn empty_block_edge_case_survives() {
     // Tiny dataset with a block size bigger than n: one block, program
     // must be robust to whatever it gets, runtime to whatever it returns.
-    let mut rt = GuptRuntimeBuilder::new()
+    let rt = GuptRuntimeBuilder::new()
         .register_dataset("t", rows(3), eps(10.0))
         .unwrap()
         .seed(4)

@@ -26,7 +26,7 @@ fn range() -> OutputRange {
 
 #[test]
 fn hostile_panicking_program_yields_in_range_answer() {
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("t", rows(true), Epsilon::new(10.0).unwrap())
         .unwrap()
         .seed(1)
@@ -48,7 +48,7 @@ fn hostile_panicking_program_yields_in_range_answer() {
 fn budget_charge_is_data_independent() {
     // The privacy-budget attack: charges must not depend on the data.
     let charge_for = |with_victim: bool| -> f64 {
-        let mut runtime = GuptRuntimeBuilder::new()
+        let runtime = GuptRuntimeBuilder::new()
             .register_dataset("t", rows(with_victim), Epsilon::new(10.0).unwrap())
             .unwrap()
             .seed(2)
@@ -74,7 +74,7 @@ fn budget_charge_is_data_independent() {
 #[test]
 fn timing_is_data_independent_under_bounded_policy() {
     let elapsed_for = |with_victim: bool| -> Duration {
-        let mut runtime = GuptRuntimeBuilder::new()
+        let runtime = GuptRuntimeBuilder::new()
             .register_dataset("t", rows(with_victim), Epsilon::new(10.0).unwrap())
             .unwrap()
             .seed(3)
@@ -110,7 +110,7 @@ fn state_flips_never_reach_the_analyst_interface() {
     // the declared range — the leaked sentinel cannot traverse it.
     let leaked = Arc::new(AtomicU64::new(0));
     let leaked2 = Arc::clone(&leaked);
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("t", rows(true), Epsilon::new(10.0).unwrap())
         .unwrap()
         .seed(4)
@@ -136,7 +136,7 @@ fn state_flips_never_reach_the_analyst_interface() {
 fn output_arity_attack_is_normalized() {
     // A program trying to signal through output length gets padded or
     // truncated to its declared dimension.
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("t", rows(true), Epsilon::new(10.0).unwrap())
         .unwrap()
         .seed(5)
@@ -156,7 +156,7 @@ fn output_arity_attack_is_normalized() {
 
 #[test]
 fn nan_poisoning_is_neutralized() {
-    let mut runtime = GuptRuntimeBuilder::new()
+    let runtime = GuptRuntimeBuilder::new()
         .register_dataset("t", rows(true), Epsilon::new(10.0).unwrap())
         .unwrap()
         .seed(6)
