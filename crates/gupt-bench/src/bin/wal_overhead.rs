@@ -1,0 +1,177 @@
+//! Durability tax: per-query latency with the WAL-backed ledger vs the
+//! in-memory one, on the concurrent_throughput workload.
+//!
+//! Every successful charge appends a framed debit record to the
+//! dataset's WAL *before* the query executes (never-under-report
+//! invariant), so durability sits on the charge path of every query.
+//! This bench measures what that costs under the default group-commit
+//! policy (`FsyncPolicy::EveryN(64)`): 8 analysts race identical
+//! sleep-based block programs through the admission-controlled service
+//! against an ephemeral ledger and a durable one, and we compare mean
+//! per-query latency.
+//!
+//! The run fails (exit 1) if the durable overhead exceeds
+//! `GUPT_MAX_WAL_OVERHEAD_PCT` (default 15%) — the PR's acceptance
+//! gate, enforced in CI at reduced scale.
+//!
+//! Run: `cargo run -p gupt-bench --bin wal_overhead --release`
+
+use gupt_bench::report::{banner, RunReport};
+use gupt_core::{
+    Dataset, Durability, FsyncPolicy, GuptRuntimeBuilder, QueryService, QuerySpec, RangeEstimation,
+    ServiceConfig, StorageConfig,
+};
+use gupt_dp::{Epsilon, OutputRange};
+use gupt_sandbox::ClosureProgram;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Fixed service time each block "computation" takes.
+const SERVICE_MS: u64 = 2;
+/// Blocks per query (and chamber workers per runtime).
+const BLOCKS: usize = 4;
+/// Analyst threads and the service in-flight cap.
+const ANALYSTS: usize = 8;
+
+fn rows() -> Vec<Vec<f64>> {
+    (0..2_000).map(|i| vec![(i % 50) as f64]).collect()
+}
+
+fn service(seed: u64, durability: Durability) -> QueryService {
+    let registration = Dataset::new(rows())
+        .expect("valid rows")
+        .builder()
+        .budget(Epsilon::new(1e6).expect("valid"))
+        .durability(durability);
+    let runtime = GuptRuntimeBuilder::new()
+        .dataset("t", registration)
+        .expect("registers")
+        .seed(seed)
+        .workers(BLOCKS)
+        .build();
+    QueryService::new(
+        runtime,
+        ServiceConfig::new(ANALYSTS, 4 * ANALYSTS * ANALYSTS),
+    )
+}
+
+fn spec() -> QuerySpec {
+    let program = ClosureProgram::new(1, |b: &[Vec<f64>]| {
+        thread::sleep(Duration::from_millis(SERVICE_MS));
+        vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+    });
+    QuerySpec::from_program(Arc::new(program))
+        .epsilon(Epsilon::new(1.0).expect("valid"))
+        .fixed_block_size(2_000 / BLOCKS)
+        .range_estimation(RangeEstimation::Tight(vec![
+            OutputRange::new(0.0, 50.0).expect("valid")
+        ]))
+}
+
+/// Races `queries` identical queries from `ANALYSTS` threads and
+/// returns the mean per-query latency in milliseconds.
+fn mean_latency_ms(svc: &QueryService, queries: usize) -> f64 {
+    let next = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(queries));
+    thread::scope(|s| {
+        for _ in 0..ANALYSTS {
+            let svc = svc.clone();
+            let next = &next;
+            let latencies = &latencies;
+            s.spawn(move || {
+                while next.fetch_add(1, Ordering::Relaxed) < queries {
+                    let start = Instant::now();
+                    svc.run("t", spec()).expect("budget is ample");
+                    let ms = start.elapsed().as_secs_f64() * 1e3;
+                    latencies.lock().expect("not poisoned").push(ms);
+                }
+            });
+        }
+    });
+    let latencies = latencies.into_inner().expect("not poisoned");
+    latencies.iter().sum::<f64>() / latencies.len().max(1) as f64
+}
+
+fn main() {
+    banner("WAL overhead: durable vs in-memory ledger on the charge path");
+
+    let queries = gupt_bench::trials(48).max(2 * ANALYSTS);
+    let max_overhead_pct: f64 = std::env::var("GUPT_MAX_WAL_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15.0);
+
+    let state_dir = std::env::temp_dir()
+        .join("gupt_wal_overhead")
+        .join(format!("run_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    println!(
+        "{queries} queries × {BLOCKS} blocks × {SERVICE_MS} ms service time, \
+         {ANALYSTS} analysts, fsync every 64 records\n"
+    );
+
+    let ephemeral_svc = service(42, Durability::Ephemeral);
+    // Same mix with every charge durably logged before execution.
+    let config = StorageConfig::new(&state_dir).fsync(FsyncPolicy::EveryN(64));
+    let durable_svc = service(42, Durability::Durable(config));
+
+    // Warm-up, then interleaved rounds with a best-of-rounds mean: the
+    // sleep-based workload is dominated by scheduler jitter (several
+    // percent per round), so a single paired run would measure host
+    // luck rather than the WAL append. The minimum mean per mode is the
+    // run least disturbed by that jitter.
+    mean_latency_ms(&ephemeral_svc, ANALYSTS);
+    mean_latency_ms(&durable_svc, ANALYSTS);
+    let (mut ephemeral_ms, mut durable_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        ephemeral_ms = ephemeral_ms.min(mean_latency_ms(&ephemeral_svc, queries));
+        durable_ms = durable_ms.min(mean_latency_ms(&durable_svc, queries));
+    }
+
+    let overhead_pct = (durable_ms / ephemeral_ms - 1.0) * 100.0;
+    let storage = durable_svc
+        .runtime()
+        .storage_stats("t")
+        .expect("dataset exists")
+        .expect("durable ledger has stats");
+
+    println!("ephemeral   : {ephemeral_ms:.3} ms mean latency");
+    println!("durable     : {durable_ms:.3} ms mean latency");
+    println!("overhead    : {overhead_pct:+.2}% (gate: < {max_overhead_pct}%)");
+    println!(
+        "storage     : {} WAL records, {} fsyncs, {} compactions",
+        storage.records_written, storage.fsyncs, storage.compactions
+    );
+
+    // One traced query through the durable service so the run-report
+    // carries full lifecycle telemetry for CI to validate.
+    let traced = durable_svc
+        .run("t", spec().collect_telemetry())
+        .expect("budget is ample");
+
+    RunReport::new("wal_overhead")
+        .setting("queries", queries as f64)
+        .setting("analysts", ANALYSTS as f64)
+        .setting("blocks_per_query", BLOCKS as f64)
+        .setting("service_ms", SERVICE_MS as f64)
+        .setting("fsync_every", 64.0)
+        .setting("max_overhead_pct", max_overhead_pct)
+        .metric("ephemeral_mean_ms", ephemeral_ms)
+        .metric("durable_mean_ms", durable_ms)
+        .metric("overhead_pct", overhead_pct)
+        .metric("wal_records", storage.records_written as f64)
+        .metric("fsyncs", storage.fsyncs as f64)
+        .metric("compactions", storage.compactions as f64)
+        .telemetry(traced.telemetry.expect("telemetry requested"))
+        .emit();
+
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    assert!(
+        overhead_pct < max_overhead_pct,
+        "durable ledger overhead regression: {overhead_pct:.2}% ≥ allowed {max_overhead_pct}%"
+    );
+}

@@ -3,9 +3,10 @@
 use crate::args::Args;
 use crate::ledger::FileLedger;
 use crate::programs;
+use gupt_core::storage;
 use gupt_core::{
-    AccuracyGoal, Aggregator, Dataset, GuptError, GuptRuntimeBuilder, QueryService, QuerySpec,
-    RangeEstimation, ServiceConfig,
+    AccuracyGoal, Aggregator, Dataset, Durability, FsyncPolicy, GuptError, GuptRuntimeBuilder,
+    QueryService, QuerySpec, RangeEstimation, ServiceConfig, StorageConfig,
 };
 use gupt_datasets::census::CensusDataset;
 use gupt_datasets::csv;
@@ -28,6 +29,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             ("ledger", [sub]) => ledger_cmd(sub, &args),
             ("query", []) => query(&args),
             ("serve", []) => serve(&args),
+            ("recover", []) => recover_cmd(&args),
             _ => Err(format!(
                 "unknown command {:?}; run `gupt-cli help`",
                 args.positional().join(" ")
@@ -55,8 +57,14 @@ USAGE:
                  --queries N --epsilon-each E [--analysts T]
                  [--max-in-flight M] [--max-queued Q] [--deadline-ms D]
                  [--seed S] [--header yes]
+                 [--state-dir DIR] [--fsync always|never|N]
                  (multi-analyst driver: races N queries from T threads through
-                  the admission-controlled QueryService against one budget)
+                  the admission-controlled QueryService against one budget;
+                  with --state-dir the ledger is WAL-backed and survives
+                  restarts — rerun with the same DIR to keep spending it)
+  gupt-cli recover --state-dir DIR --dataset NAME
+                 (replays NAME's snapshot + WAL and reports the recovered
+                  books without charging or serving anything)
 
 PROGRAMS:
   mean:COL  median:COL  variance:COL  count  histogram:COL:BINS
@@ -375,11 +383,27 @@ fn serve(args: &Args) -> Result<String, CliError> {
     let max_queued: usize = args.get_parsed("max-queued", "integer")?.unwrap_or(64);
     let deadline_ms: Option<u64> = args.get_parsed("deadline-ms", "integer")?;
     let seed: u64 = args.get_parsed("seed", "integer")?.unwrap_or(0);
+    let state_dir = args.get("state-dir");
 
-    let runtime = GuptRuntimeBuilder::new()
-        .register("data", Dataset::new(rows)?, Epsilon::new(budget)?)?
-        .seed(seed)
-        .build();
+    let durability = match state_dir {
+        None => Durability::Ephemeral,
+        Some(dir) => {
+            let mut config = StorageConfig::new(dir);
+            if let Some(mode) = args.get("fsync") {
+                config = config.fsync(parse_fsync(mode)?);
+            }
+            Durability::Durable(config)
+        }
+    };
+    let registration = Dataset::new(rows)?
+        .builder()
+        .budget(Epsilon::new(budget)?)
+        .durability(durability);
+    let runtime = match GuptRuntimeBuilder::new().dataset("data", registration) {
+        Ok(builder) => builder.seed(seed).build(),
+        Err(err) => return Err(render_runtime_error(err)),
+    };
+    let recovered = runtime.recovery_info("data")?.cloned();
     let mut config = ServiceConfig::new(max_in_flight, max_queued);
     if let Some(ms) = deadline_ms {
         config = config.default_deadline(std::time::Duration::from_millis(ms));
@@ -412,20 +436,33 @@ fn serve(args: &Args) -> Result<String, CliError> {
             .flat_map(|h| h.join().expect("analyst thread panicked"))
             .collect()
     });
-    for r in &results {
+    for r in results {
         match r {
             Ok(()) => ok += 1,
             Err(GuptError::Dp(_)) => budget_refused += 1,
             Err(GuptError::Overloaded { .. }) => overloaded += 1,
             Err(GuptError::DeadlineExceeded { .. }) => deadline_expired += 1,
-            Err(other) => return Err(format!("query failed: {other}").into()),
+            Err(other) => return Err(render_runtime_error(other)),
         }
     }
 
     let stats = service.stats();
     let remaining = service.runtime().remaining_budget("data")?;
+    let ledger_state = service.runtime().ledger_state("data")?;
+    let storage_stats = service.runtime().storage_stats("data")?;
     let mut out = String::new();
     let _ = writeln!(out, "served {queries} queries from {analysts} analysts");
+    if let Some(recovered) = &recovered {
+        let _ = writeln!(
+            out,
+            "recovered   : ε = {:.6} over {} queries ({} WAL records, {} torn bytes, {} µs replay)",
+            recovered.spent,
+            recovered.queries,
+            recovered.wal_records,
+            recovered.truncated_bytes,
+            recovered.replay.as_micros()
+        );
+    }
     let _ = writeln!(
         out,
         "admission   : {} in flight max, {} queued max{}",
@@ -445,7 +482,112 @@ fn serve(args: &Args) -> Result<String, CliError> {
         "ledger      : ε = {remaining:.6} of {budget} remaining ({} admitted)",
         stats.admitted
     );
+    if ledger_state.durable {
+        let _ = writeln!(
+            out,
+            "durable     : ε = {:.6} spent over {} queries (persisted in {})",
+            ledger_state.spent,
+            ledger_state.queries,
+            state_dir.unwrap_or("?"),
+        );
+        if let Some(s) = storage_stats {
+            let _ = writeln!(
+                out,
+                "storage     : {} WAL records, {} fsyncs, {} compactions{}",
+                s.records_written,
+                s.fsyncs,
+                s.compactions,
+                if s.poisoned {
+                    "  ⚠ store poisoned"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
     Ok(out)
+}
+
+/// Replays a durable dataset's snapshot + WAL and reports the books
+/// without charging or serving anything.
+fn recover_cmd(args: &Args) -> Result<String, CliError> {
+    let dir = args.require("state-dir")?;
+    let dataset = args.require("dataset")?;
+    let config = StorageConfig::new(dir);
+    let recovered = match storage::recover(dataset, &config) {
+        Ok(r) => r,
+        Err(err) => return Err(render_runtime_error(err)),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "recovered ledger for {dataset:?} from {dir}");
+    let _ = writeln!(
+        out,
+        "  total     ε = {}",
+        if recovered.had_snapshot {
+            format!("{:.6}", recovered.total)
+        } else {
+            "unknown (no snapshot yet; totals live in the registration)".to_string()
+        }
+    );
+    let _ = writeln!(out, "  spent     ε = {:.6}", recovered.spent);
+    let _ = writeln!(out, "  queries     = {}", recovered.queries);
+    let _ = writeln!(
+        out,
+        "  WAL         = {} records{}",
+        recovered.wal_records,
+        if recovered.truncated_bytes > 0 {
+            format!(
+                " ({} torn trailing bytes ignored — crashed mid-append)",
+                recovered.truncated_bytes
+            )
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  snapshot    = {}",
+        if recovered.had_snapshot { "yes" } else { "no" }
+    );
+    let _ = writeln!(out, "  replay      = {} µs", recovered.replay.as_micros());
+    Ok(out)
+}
+
+/// Parses `--fsync always|never|N` into a [`FsyncPolicy`].
+fn parse_fsync(mode: &str) -> Result<FsyncPolicy, CliError> {
+    match mode {
+        "always" => Ok(FsyncPolicy::Always),
+        "never" => Ok(FsyncPolicy::Never),
+        n => match n.parse::<u32>() {
+            Ok(every) if every > 0 => Ok(FsyncPolicy::EveryN(every)),
+            _ => Err(
+                format!("--fsync takes always, never or a positive integer, not {mode:?}").into(),
+            ),
+        },
+    }
+}
+
+/// Renders a runtime error for the operator, matching on the typed
+/// variants so storage trouble comes with actionable guidance instead
+/// of a bare Display string.
+fn render_runtime_error(err: GuptError) -> CliError {
+    match err {
+        GuptError::Storage { source, path } => format!(
+            "ledger storage failure at {}: {source}\n\
+             no charge was granted; fix the disk (permissions, space, mount) and retry — \
+             the on-disk ledger never under-reports spent budget",
+            path.display()
+        )
+        .into(),
+        GuptError::Corrupt { path, detail } => format!(
+            "corrupt ledger state at {}: {detail}\n\
+             refusing to serve against books that cannot be trusted; restore the state \
+             directory from backup or move it aside to start a fresh ledger",
+            path.display()
+        )
+        .into(),
+        other => Box::new(other),
+    }
 }
 
 #[cfg(test)]
@@ -708,6 +850,100 @@ mod tests {
         .unwrap_err()
         .to_string();
         assert!(err.contains("epsilon-each"), "{err}");
+    }
+
+    fn tmp_dir(name: &str) -> String {
+        let dir = std::env::temp_dir().join("gupt_cli_cmd_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn serve_with_state_dir_persists_spend_across_invocations() {
+        let csv_path = tmp("serve_durable.csv");
+        let state = tmp_dir("serve_durable_state");
+        run(&format!(
+            "generate census --rows 2000 --seed 8 --out {csv_path}"
+        ))
+        .unwrap();
+        // First run spends 4 × 0.5 = 2.0 of the 3.0 budget.
+        let first = run(&format!(
+            "serve --data {csv_path} --program mean:0 --range 0,150 --budget 3.0 \
+             --queries 4 --epsilon-each 0.5 --analysts 2 --seed 1 --header yes \
+             --state-dir {state} --fsync always"
+        ))
+        .unwrap();
+        assert!(first.contains("succeeded   : 4"), "{first}");
+        assert!(
+            first.contains("durable     : ε = 2.000000 spent"),
+            "{first}"
+        );
+        assert!(first.contains("WAL records"), "{first}");
+
+        // Second run against the same state dir recovers the 2.0 spend,
+        // so only 2 of its 4 queries fit in the remaining 1.0.
+        let second = run(&format!(
+            "serve --data {csv_path} --program mean:0 --range 0,150 --budget 3.0 \
+             --queries 4 --epsilon-each 0.5 --analysts 2 --seed 2 --header yes \
+             --state-dir {state}"
+        ))
+        .unwrap();
+        assert!(
+            second.contains("recovered   : ε = 2.000000 over 4 queries"),
+            "{second}"
+        );
+        assert!(second.contains("succeeded   : 2"), "{second}");
+        assert!(second.contains("budget-refused : 2"), "{second}");
+
+        // `recover` reads the same books without spending anything.
+        let report = run(&format!("recover --state-dir {state} --dataset data")).unwrap();
+        assert!(report.contains("spent     ε = 3.000000"), "{report}");
+        assert!(report.contains("queries     = 6"), "{report}");
+    }
+
+    #[test]
+    fn recover_on_missing_state_reports_empty_books() {
+        let state = tmp_dir("recover_fresh_state");
+        let out = run(&format!("recover --state-dir {state} --dataset data")).unwrap();
+        assert!(out.contains("spent     ε = 0.000000"), "{out}");
+        assert!(out.contains("snapshot    = no"), "{out}");
+    }
+
+    #[test]
+    fn recover_requires_flags() {
+        assert!(run("recover --dataset data").is_err());
+        assert!(run("recover --state-dir /tmp/x").is_err());
+    }
+
+    #[test]
+    fn bad_fsync_mode_rejected() {
+        let csv_path = tmp("badfsync.csv");
+        let state = tmp_dir("badfsync_state");
+        run(&format!("generate ads --rows 200 --out {csv_path}")).unwrap();
+        let err = run(&format!(
+            "serve --data {csv_path} --program mean:0 --range 0,15 --budget 1.0 \
+             --queries 1 --epsilon-each 0.5 --header yes \
+             --state-dir {state} --fsync sometimes"
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--fsync"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_snapshot_renders_operator_guidance() {
+        let state = tmp_dir("corrupt_snapshot_state");
+        std::fs::write(
+            std::path::Path::new(&state).join("data.snap"),
+            b"GUPTSNP1 this is not a valid snapshot at all",
+        )
+        .unwrap();
+        let err = run(&format!("recover --state-dir {state} --dataset data"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("corrupt ledger state"), "{err}");
+        assert!(err.contains("backup"), "{err}");
     }
 
     #[test]

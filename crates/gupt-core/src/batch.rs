@@ -96,6 +96,7 @@ impl GuptRuntime {
                 dataset,
                 spec.epsilon(share),
                 ChargeMode::Precharged,
+                None,
             )?);
         }
         Ok(BatchAnswer {

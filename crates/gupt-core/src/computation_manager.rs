@@ -13,6 +13,7 @@ use gupt_sandbox::{
     BlockProgram, ChamberOutcome, ChamberPolicy, ChamberPool, ChamberReport, PoolTrace,
 };
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Summary of how a batch of chamber executions went.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,6 +73,11 @@ impl ComputationManager {
         self.pool.workers()
     }
 
+    /// The chamber policy the pool runs under.
+    pub fn policy(&self) -> &ChamberPolicy {
+        self.pool.policy()
+    }
+
     /// Runs `program` on every block in its own chamber; report order
     /// matches block order. The [`PoolTrace`] rides along for operator
     /// telemetry — callers that don't need it drop it.
@@ -81,6 +87,28 @@ impl ComputationManager {
         blocks: Vec<Vec<Vec<f64>>>,
     ) -> (Vec<ChamberReport>, PoolTrace) {
         self.pool.run_all_traced(program, blocks)
+    }
+
+    /// Like [`ComputationManager::execute_blocks`], but when `cap` is
+    /// set *and* the pool's policy has no execution budget of its own,
+    /// chambers run under the pool policy with `cap` as the kill bound.
+    /// An explicitly configured budget always wins — the owner's §6.2
+    /// timing-attack bound is not loosened by a lenient query deadline.
+    pub fn execute_blocks_capped(
+        &self,
+        program: &Arc<dyn BlockProgram>,
+        blocks: Vec<Vec<Vec<f64>>>,
+        cap: Option<Duration>,
+    ) -> (Vec<ChamberReport>, PoolTrace) {
+        match cap {
+            Some(cap) if self.pool.policy().execution_budget.is_none() => {
+                let policy = self.pool.policy().clone().with_execution_budget(cap);
+                self.pool
+                    .with_policy(policy)
+                    .run_all_traced(program, blocks)
+            }
+            _ => self.pool.run_all_traced(program, blocks),
+        }
     }
 
     /// Runs `program` once over an entire row set (used on aged,
@@ -144,6 +172,40 @@ mod tests {
         assert_eq!(summary.panicked, 1);
         assert_eq!(summary.timed_out, 0);
         assert_eq!(summary.total(), 3);
+    }
+
+    #[test]
+    fn capped_execution_kills_overrunning_blocks() {
+        let manager = ComputationManager::new(ChamberPolicy::unbounded(), 2);
+        let slow: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| {
+            std::thread::sleep(Duration::from_secs(5));
+            vec![1.0]
+        }));
+        let (reports, _) = manager.execute_blocks_capped(
+            &slow,
+            vec![vec![vec![1.0]]],
+            Some(Duration::from_millis(20)),
+        );
+        assert_eq!(reports[0].outcome, ChamberOutcome::TimedOut);
+    }
+
+    #[test]
+    fn explicit_policy_budget_wins_over_cap() {
+        // The owner's 5 s bound is not overridden by a 1 ms cap request:
+        // a program that sleeps 30 ms still completes under the
+        // configured policy even though it would blow the cap.
+        let policy = ChamberPolicy::bounded(Duration::from_secs(5), 0.0).without_padding();
+        let manager = ComputationManager::new(policy, 2);
+        let napper: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| {
+            std::thread::sleep(Duration::from_millis(30));
+            vec![1.0]
+        }));
+        let (reports, _) = manager.execute_blocks_capped(
+            &napper,
+            vec![vec![vec![3.0]]],
+            Some(Duration::from_millis(1)),
+        );
+        assert_eq!(reports[0].outcome, ChamberOutcome::Completed);
     }
 
     #[test]

@@ -6,17 +6,101 @@
 //! [`PrivacyLedger`] *before* any computation touches the private rows —
 //! this ordering is the §6.2 privacy-budget-attack defense: accounting is
 //! runtime-side and fails closed.
+//!
+//! Registration is builder-style: a [`Dataset`] becomes a
+//! [`DatasetRegistration`] carrying its lifetime budget and
+//! [`Durability`], so storage configuration lands without widening
+//! positional signatures:
+//!
+//! ```
+//! use gupt_core::prelude::*;
+//!
+//! let mut manager = gupt_core::DatasetManager::new();
+//! let dataset = Dataset::new(vec![vec![1.0], vec![2.0]]).unwrap();
+//! manager
+//!     .add("ages", dataset.builder().budget(Epsilon::new(2.0).unwrap()))
+//!     .unwrap();
+//! ```
+//!
+//! With [`Durability::Durable`], every successful charge is logged to a
+//! write-ahead log *before* it is granted, and registration replays any
+//! existing state — see [`crate::storage`].
 
 use crate::dataset::Dataset;
 use crate::error::GuptError;
-use gupt_dp::{Epsilon, PrivacyLedger};
+use crate::storage::{Durability, LedgerStore, RecoveredLedger, StorageStats};
+use gupt_dp::{DpError, Epsilon, PrivacyLedger};
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
-/// A registered dataset together with its lifetime budget ledger.
+/// A pending registration: dataset + lifetime budget + durability.
+///
+/// Built with [`Dataset::builder`] and consumed by
+/// [`DatasetManager::add`] (or [`crate::GuptRuntimeBuilder::dataset`]).
+#[derive(Debug)]
+pub struct DatasetRegistration {
+    dataset: Dataset,
+    budget: Option<Epsilon>,
+    durability: Durability,
+}
+
+impl DatasetRegistration {
+    /// Starts a registration for `dataset` (no budget yet, ephemeral).
+    pub fn new(dataset: Dataset) -> Self {
+        DatasetRegistration {
+            dataset,
+            budget: None,
+            durability: Durability::Ephemeral,
+        }
+    }
+
+    /// Sets the lifetime privacy budget (required).
+    pub fn budget(mut self, total: Epsilon) -> Self {
+        self.budget = Some(total);
+        self
+    }
+
+    /// Sets how the ledger is persisted (default: ephemeral).
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+}
+
+impl Dataset {
+    /// Starts a builder-style registration of this dataset:
+    /// `dataset.builder().budget(..).durability(..)`.
+    pub fn builder(self) -> DatasetRegistration {
+        DatasetRegistration::new(self)
+    }
+}
+
+/// Inspectable ledger state for one dataset, as the runtime reports it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerState {
+    /// Lifetime budget ε.
+    pub total: f64,
+    /// ε spent (may exceed `total` after a conservative recovery).
+    pub spent: f64,
+    /// ε remaining (clamped at zero).
+    pub remaining: f64,
+    /// Successful charges, including recovered ones.
+    pub queries: usize,
+    /// Whether the ledger is WAL-backed.
+    pub durable: bool,
+}
+
+/// A registered dataset together with its lifetime budget ledger and,
+/// when durable, the write side of its on-disk state.
 #[derive(Debug)]
 pub struct DatasetEntry {
     dataset: Dataset,
     ledger: PrivacyLedger,
+    /// The WAL behind a mutex: the holder serialises check-afford → WAL
+    /// append → in-memory debit, so the on-disk record order matches the
+    /// ledger's serial order exactly.
+    store: Option<Mutex<LedgerStore>>,
+    recovered: Option<RecoveredLedger>,
 }
 
 impl DatasetEntry {
@@ -25,9 +109,65 @@ impl DatasetEntry {
         &self.dataset
     }
 
-    /// The budget ledger.
+    /// The budget ledger (read-only view; charge via
+    /// [`DatasetEntry::charge`] so durable entries hit the WAL).
     pub fn ledger(&self) -> &PrivacyLedger {
         &self.ledger
+    }
+
+    /// What recovery replayed when this entry was registered (durable
+    /// entries only).
+    pub fn recovery(&self) -> Option<&RecoveredLedger> {
+        self.recovered.as_ref()
+    }
+
+    /// Persistence counters (durable entries only).
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        self.store
+            .as_ref()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).stats())
+    }
+
+    /// Point-in-time ledger state.
+    pub fn ledger_state(&self) -> LedgerState {
+        LedgerState {
+            total: self.ledger.total(),
+            spent: self.ledger.spent(),
+            remaining: self.ledger.remaining(),
+            queries: self.ledger.query_count(),
+            durable: self.store.is_some(),
+        }
+    }
+
+    /// Atomically debits `eps`, writing ahead to the WAL first when the
+    /// entry is durable.
+    ///
+    /// Order of operations for a durable entry (under the store lock):
+    /// affordability check → WAL append (+ fsync per policy) → in-memory
+    /// debit. A charge that fails at the WAL is **not granted** and the
+    /// store poisons itself; a charge that was durably appended but lost
+    /// before the in-memory debit (process death) is replayed at
+    /// recovery — the books only ever err toward *more* spent.
+    pub fn charge(&self, eps: Epsilon) -> Result<(), GuptError> {
+        match &self.store {
+            None => self.ledger.charge(eps).map_err(GuptError::Dp),
+            Some(store) => {
+                let mut store = store.lock().unwrap_or_else(|p| p.into_inner());
+                if !self.ledger.can_afford(eps) {
+                    return Err(GuptError::Dp(DpError::BudgetExhausted {
+                        requested: eps.value(),
+                        remaining: self.ledger.remaining(),
+                    }));
+                }
+                store.append_charge(eps.value())?;
+                self.ledger.charge(eps).map_err(GuptError::Dp)?;
+                store.maybe_compact(
+                    self.ledger.total(),
+                    self.ledger.spent(),
+                    self.ledger.query_count() as u64,
+                )
+            }
+        }
     }
 }
 
@@ -43,25 +183,61 @@ impl DatasetManager {
         DatasetManager::default()
     }
 
+    /// Registers a dataset from a builder-style [`DatasetRegistration`].
+    ///
+    /// For a durable registration this opens (or creates) the dataset's
+    /// on-disk state, truncates any torn WAL tail and replays snapshot +
+    /// WAL into the ledger — the registration's budget is authoritative
+    /// for `total`; the recovered spend and query count carry over.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        registration: DatasetRegistration,
+    ) -> Result<(), GuptError> {
+        let name = name.into();
+        if self.entries.contains_key(&name) {
+            return Err(GuptError::DatasetExists(name));
+        }
+        let budget = registration.budget.ok_or_else(|| {
+            GuptError::InvalidDataset(format!(
+                "registration of {name:?} is missing a lifetime budget; \
+                 call .budget(..) on the builder"
+            ))
+        })?;
+        let (ledger, store, recovered) = match registration.durability {
+            Durability::Ephemeral => (PrivacyLedger::new(budget), None, None),
+            Durability::Durable(config) => {
+                let (store, recovered) = LedgerStore::open(&name, &config)?;
+                let ledger =
+                    PrivacyLedger::restore(budget, recovered.spent, recovered.queries as usize);
+                (ledger, Some(Mutex::new(store)), Some(recovered))
+            }
+        };
+        self.entries.insert(
+            name,
+            DatasetEntry {
+                dataset: registration.dataset,
+                ledger,
+                store,
+                recovered,
+            },
+        );
+        Ok(())
+    }
+
     /// Registers `dataset` under `name` with a lifetime privacy budget.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `manager.add(name, dataset.builder().budget(total))` — the builder \
+                also carries the `Durability` storage configuration"
+    )]
     pub fn register(
         &mut self,
         name: impl Into<String>,
         dataset: Dataset,
         total_budget: Epsilon,
     ) -> Result<(), GuptError> {
-        let name = name.into();
-        if self.entries.contains_key(&name) {
-            return Err(GuptError::DatasetExists(name));
-        }
-        self.entries.insert(
-            name,
-            DatasetEntry {
-                dataset,
-                ledger: PrivacyLedger::new(total_budget),
-            },
-        );
-        Ok(())
+        self.add(name, dataset.builder().budget(total_budget))
     }
 
     /// Looks up a dataset entry.
@@ -90,6 +266,7 @@ impl DatasetManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::{FsyncPolicy, StorageConfig};
 
     fn dataset(n: usize) -> Dataset {
         Dataset::new((0..n).map(|i| vec![i as f64]).collect()).unwrap()
@@ -99,23 +276,53 @@ mod tests {
         Epsilon::new(v).unwrap()
     }
 
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("gupt_manager_tests")
+            .join(format!("{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn register_and_lookup() {
         let mut m = DatasetManager::new();
-        m.register("ages", dataset(10), eps(2.0)).unwrap();
+        m.add("ages", dataset(10).builder().budget(eps(2.0)))
+            .unwrap();
         let entry = m.get("ages").unwrap();
         assert_eq!(entry.dataset().len(), 10);
         assert_eq!(entry.ledger().total(), 2.0);
         assert_eq!(m.names(), vec!["ages"]);
         assert_eq!(m.len(), 1);
+        let state = entry.ledger_state();
+        assert!(!state.durable);
+        assert_eq!(state.remaining, 2.0);
+    }
+
+    #[test]
+    fn deprecated_register_forwards_to_add() {
+        let mut m = DatasetManager::new();
+        #[allow(deprecated)]
+        m.register("x", dataset(5), eps(1.0)).unwrap();
+        assert_eq!(m.get("x").unwrap().ledger().total(), 1.0);
+    }
+
+    #[test]
+    fn registration_requires_budget() {
+        let mut m = DatasetManager::new();
+        assert!(matches!(
+            m.add("x", dataset(5).builder()).unwrap_err(),
+            GuptError::InvalidDataset(_)
+        ));
     }
 
     #[test]
     fn duplicate_registration_rejected() {
         let mut m = DatasetManager::new();
-        m.register("x", dataset(5), eps(1.0)).unwrap();
+        m.add("x", dataset(5).builder().budget(eps(1.0))).unwrap();
         assert!(matches!(
-            m.register("x", dataset(5), eps(1.0)).unwrap_err(),
+            m.add("x", dataset(5).builder().budget(eps(1.0)))
+                .unwrap_err(),
             GuptError::DatasetExists(_)
         ));
     }
@@ -133,9 +340,9 @@ mod tests {
     #[test]
     fn ledger_charges_are_per_dataset() {
         let mut m = DatasetManager::new();
-        m.register("a", dataset(5), eps(1.0)).unwrap();
-        m.register("b", dataset(5), eps(1.0)).unwrap();
-        m.get("a").unwrap().ledger().charge(eps(0.7)).unwrap();
+        m.add("a", dataset(5).builder().budget(eps(1.0))).unwrap();
+        m.add("b", dataset(5).builder().budget(eps(1.0))).unwrap();
+        m.get("a").unwrap().charge(eps(0.7)).unwrap();
         assert!((m.get("a").unwrap().ledger().remaining() - 0.3).abs() < 1e-12);
         assert_eq!(m.get("b").unwrap().ledger().remaining(), 1.0);
     }
@@ -143,8 +350,56 @@ mod tests {
     #[test]
     fn names_sorted() {
         let mut m = DatasetManager::new();
-        m.register("zeta", dataset(2), eps(1.0)).unwrap();
-        m.register("alpha", dataset(2), eps(1.0)).unwrap();
+        m.add("zeta", dataset(2).builder().budget(eps(1.0)))
+            .unwrap();
+        m.add("alpha", dataset(2).builder().budget(eps(1.0)))
+            .unwrap();
         assert_eq!(m.names(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn durable_charges_survive_re_registration() {
+        let dir = tmp_dir("survive");
+        let durable = || Durability::Durable(StorageConfig::new(&dir).fsync(FsyncPolicy::Always));
+        {
+            let mut m = DatasetManager::new();
+            m.add(
+                "d",
+                dataset(5).builder().budget(eps(2.0)).durability(durable()),
+            )
+            .unwrap();
+            let entry = m.get("d").unwrap();
+            entry.charge(eps(0.5)).unwrap();
+            entry.charge(eps(0.25)).unwrap();
+            let stats = entry.storage_stats().unwrap();
+            assert_eq!(stats.records_written, 2);
+            assert!(!stats.poisoned);
+        }
+        // "Restart": a fresh manager over the same state directory.
+        let mut m = DatasetManager::new();
+        m.add(
+            "d",
+            dataset(5).builder().budget(eps(2.0)).durability(durable()),
+        )
+        .unwrap();
+        let entry = m.get("d").unwrap();
+        let state = entry.ledger_state();
+        assert!(state.durable);
+        assert!((state.spent - 0.75).abs() < 1e-12);
+        assert_eq!(state.queries, 2);
+        let recovery = entry.recovery().expect("durable entry records recovery");
+        assert_eq!(recovery.wal_records, 2);
+        // The restored ledger keeps enforcing the lifetime budget.
+        assert!(entry.charge(eps(2.0)).is_err());
+        entry.charge(eps(1.0)).unwrap();
+    }
+
+    #[test]
+    fn ephemeral_entry_has_no_storage() {
+        let mut m = DatasetManager::new();
+        m.add("e", dataset(3).builder().budget(eps(1.0))).unwrap();
+        let entry = m.get("e").unwrap();
+        assert!(entry.storage_stats().is_none());
+        assert!(entry.recovery().is_none());
     }
 }

@@ -2,9 +2,15 @@
 
 use gupt_dp::DpError;
 use std::fmt;
+use std::path::PathBuf;
 
 /// Errors surfaced by the GUPT runtime.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm,
+/// which lets the runtime grow new failure modes (as the storage layer
+/// did) without a breaking release.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum GuptError {
     /// No dataset registered under the given name.
     DatasetNotFound(String),
@@ -49,6 +55,24 @@ pub enum GuptError {
         /// How long the query waited before being abandoned.
         waited_ms: u64,
     },
+    /// A durable-ledger I/O operation failed. The affected charge was
+    /// **not** granted (the store fails closed); the underlying
+    /// [`std::io::Error`] is reachable through `source()`.
+    Storage {
+        /// The failing I/O error.
+        source: std::io::Error,
+        /// The file or directory the operation touched.
+        path: PathBuf,
+    },
+    /// Durable ledger state failed validation (bad magic, checksum
+    /// mismatch, impossible values). Recovery refuses to guess — fixing
+    /// or removing the named file is an operator decision.
+    Corrupt {
+        /// The corrupt file.
+        path: PathBuf,
+        /// What failed to validate.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GuptError {
@@ -88,6 +112,21 @@ impl fmt::Display for GuptError {
                     "deadline exceeded after waiting {waited_ms} ms for admission"
                 )
             }
+            GuptError::Storage { source, path } => {
+                write!(
+                    f,
+                    "ledger storage failure at {}: {source} (charge not granted)",
+                    path.display()
+                )
+            }
+            GuptError::Corrupt { path, detail } => {
+                write!(
+                    f,
+                    "corrupt ledger state at {}: {detail}; refusing to guess — \
+                     inspect or remove the file to recover",
+                    path.display()
+                )
+            }
         }
     }
 }
@@ -96,6 +135,7 @@ impl std::error::Error for GuptError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GuptError::Dp(e) => Some(e),
+            GuptError::Storage { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -142,6 +182,20 @@ mod tests {
                 "overloaded",
             ),
             (GuptError::DeadlineExceeded { waited_ms: 250 }, "250 ms"),
+            (
+                GuptError::Storage {
+                    source: std::io::Error::other("disk gone"),
+                    path: PathBuf::from("/state/d.wal"),
+                },
+                "d.wal",
+            ),
+            (
+                GuptError::Corrupt {
+                    path: PathBuf::from("/state/d.snap"),
+                    detail: "checksum mismatch".into(),
+                },
+                "checksum",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");
@@ -153,5 +207,22 @@ mod tests {
         let err: GuptError = DpError::EmptyInput.into();
         assert!(matches!(err, GuptError::Dp(_)));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn storage_error_chains_io_source() {
+        let err = GuptError::Storage {
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "ro fs"),
+            path: PathBuf::from("/state/d.wal"),
+        };
+        let source = std::error::Error::source(&err).expect("io source");
+        let io = source.downcast_ref::<std::io::Error>().expect("io error");
+        assert_eq!(io.kind(), std::io::ErrorKind::PermissionDenied);
+        // Corrupt carries no source: the file itself is the evidence.
+        let corrupt = GuptError::Corrupt {
+            path: PathBuf::from("x"),
+            detail: "bad magic".into(),
+        };
+        assert!(std::error::Error::source(&corrupt).is_none());
     }
 }

@@ -60,6 +60,7 @@ pub mod query;
 pub mod runtime;
 pub mod saf;
 pub mod service;
+pub mod storage;
 pub mod telemetry;
 
 pub use aggregator::Aggregator;
@@ -71,7 +72,7 @@ pub use budget_distribution::{distribute_budget, QueryNoiseProfile};
 pub use budget_estimator::{estimate_epsilon, AccuracyGoal, TailBound};
 pub use computation_manager::{ComputationManager, ExecutionSummary};
 pub use dataset::Dataset;
-pub use dataset_manager::{DatasetEntry, DatasetManager};
+pub use dataset_manager::{DatasetEntry, DatasetManager, DatasetRegistration, LedgerState};
 pub use error::GuptError;
 pub use explain::{BudgetSplit, QueryPlan};
 pub use output_range::{RangeEstimation, RangeTranslator};
@@ -79,6 +80,10 @@ pub use query::{BlockSizeSpec, BudgetSpec, QuerySpec};
 pub use runtime::{GuptRuntime, GuptRuntimeBuilder, PrivateAnswer};
 pub use saf::{clamped_block_means, sample_and_aggregate};
 pub use service::{QueryService, ServiceConfig, ServiceStats};
+pub use storage::{
+    Durability, FailingStore, FailureMode, FsyncPolicy, LedgerStore, RecoveredLedger,
+    StorageConfig, StorageStats,
+};
 pub use telemetry::{
     BlockCounters, LedgerEvent, QueryTelemetry, Stage, StageTiming, TelemetryReport,
     TELEMETRY_SCHEMA_VERSION,

@@ -23,17 +23,23 @@
 //! assert!(answer.epsilon_spent > 0.0);
 //! ```
 //!
-//! Internal machinery (block planning, estimators, telemetry schema…)
-//! stays behind its modules on purpose; reach into them explicitly when
-//! operating the system rather than querying it.
+//! Internal machinery (block planning, estimators, telemetry schema,
+//! the WAL record format…) stays behind its modules on purpose; reach
+//! into them explicitly when operating the system rather than querying
+//! it. The audit rule for what belongs here: every name is used by at
+//! least one `examples/` program or is part of the durable-service
+//! surface (service config/stats, durability config, ledger
+//! inspection); plumbing types like the batch answer, query plans or
+//! range translators stay behind `gupt_core::{batch, explain,
+//! output_range}`.
 
-pub use crate::batch::BatchAnswer;
 pub use crate::budget_estimator::AccuracyGoal;
 pub use crate::dataset::Dataset;
+pub use crate::dataset_manager::{DatasetRegistration, LedgerState};
 pub use crate::error::GuptError;
-pub use crate::explain::QueryPlan;
-pub use crate::output_range::{RangeEstimation, RangeTranslator};
+pub use crate::output_range::RangeEstimation;
 pub use crate::query::QuerySpec;
 pub use crate::runtime::{GuptRuntime, GuptRuntimeBuilder, PrivateAnswer};
 pub use crate::service::{QueryService, ServiceConfig, ServiceStats};
-pub use gupt_dp::{DpError, Epsilon, OutputRange};
+pub use crate::storage::{Durability, FsyncPolicy, RecoveredLedger, StorageConfig, StorageStats};
+pub use gupt_dp::{Epsilon, OutputRange};

@@ -34,16 +34,17 @@ use crate::blocks::{default_block_size, partition, partition_grouped};
 use crate::budget_estimator::{estimate_epsilon, AccuracyGoal};
 use crate::computation_manager::{ComputationManager, ExecutionSummary};
 use crate::dataset::Dataset;
-use crate::dataset_manager::DatasetManager;
+use crate::dataset_manager::{DatasetManager, DatasetRegistration, LedgerState};
 use crate::error::GuptError;
 use crate::output_range::{resolve_helper, resolve_loose, resolve_tight, RangeEstimation};
 use crate::query::{BlockSizeSpec, BudgetSpec, QuerySpec};
+use crate::storage::{RecoveredLedger, StorageStats};
 use crate::telemetry::{LedgerEvent, QueryTelemetry, Stage, TelemetryReport};
 use gupt_dp::{Epsilon, OutputRange};
 use gupt_sandbox::ChamberPolicy;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A differentially private answer.
 #[derive(Debug, Clone)]
@@ -87,7 +88,21 @@ impl GuptRuntimeBuilder {
         }
     }
 
-    /// Registers a raw row table under `name` with a lifetime budget.
+    /// Registers a dataset from a builder-style registration — the entry
+    /// point that carries storage configuration:
+    /// `.dataset("d", ds.builder().budget(eps).durability(durable))`.
+    pub fn dataset(
+        mut self,
+        name: impl Into<String>,
+        registration: DatasetRegistration,
+    ) -> Result<Self, GuptError> {
+        self.manager.add(name, registration)?;
+        Ok(self)
+    }
+
+    /// Registers a raw row table under `name` with a lifetime budget
+    /// (ephemeral ledger; use [`GuptRuntimeBuilder::dataset`] for
+    /// durable storage).
     pub fn register_dataset(
         mut self,
         name: impl Into<String>,
@@ -95,18 +110,20 @@ impl GuptRuntimeBuilder {
         total_budget: Epsilon,
     ) -> Result<Self, GuptError> {
         self.manager
-            .register(name, Dataset::new(rows)?, total_budget)?;
+            .add(name, Dataset::new(rows)?.builder().budget(total_budget))?;
         Ok(self)
     }
 
-    /// Registers a pre-built [`Dataset`] (with input ranges / aged view).
+    /// Registers a pre-built [`Dataset`] (with input ranges / aged view)
+    /// with an ephemeral ledger.
     pub fn register(
         mut self,
         name: impl Into<String>,
         dataset: Dataset,
         total_budget: Epsilon,
     ) -> Result<Self, GuptError> {
-        self.manager.register(name, dataset, total_budget)?;
+        self.manager
+            .add(name, dataset.builder().budget(total_budget))?;
         Ok(self)
     }
 
@@ -199,13 +216,28 @@ impl GuptRuntime {
     }
 
     /// Atomically debits `eps` from a dataset's lifetime budget (used by
-    /// batches to reserve their whole allocation in one charge).
+    /// batches to reserve their whole allocation in one charge). Durable
+    /// datasets log the debit to their WAL before it is granted.
     pub(crate) fn charge_dataset(&self, dataset: &str, eps: Epsilon) -> Result<(), GuptError> {
-        self.manager
-            .get(dataset)?
-            .ledger()
-            .charge(eps)
-            .map_err(GuptError::Dp)
+        self.manager.get(dataset)?.charge(eps)
+    }
+
+    /// Point-in-time ledger state of a dataset (total, spent, remaining,
+    /// query count, durability).
+    pub fn ledger_state(&self, dataset: &str) -> Result<LedgerState, GuptError> {
+        Ok(self.manager.get(dataset)?.ledger_state())
+    }
+
+    /// Persistence counters of a dataset's durable ledger; `None` for
+    /// ephemeral datasets.
+    pub fn storage_stats(&self, dataset: &str) -> Result<Option<StorageStats>, GuptError> {
+        Ok(self.manager.get(dataset)?.storage_stats())
+    }
+
+    /// What recovery replayed when the dataset was registered; `None`
+    /// for ephemeral datasets.
+    pub fn recovery_info(&self, dataset: &str) -> Result<Option<&RecoveredLedger>, GuptError> {
+        Ok(self.manager.get(dataset)?.recovery())
     }
 
     /// Registered dataset names.
@@ -305,7 +337,19 @@ impl GuptRuntime {
     /// the shared chamber pool, with the dataset ledger as the only
     /// serialization point.
     pub fn run(&self, dataset: &str, spec: QuerySpec) -> Result<PrivateAnswer, GuptError> {
-        self.run_with_charge(dataset, spec, ChargeMode::Charge)
+        self.run_with_charge(dataset, spec, ChargeMode::Charge, None)
+    }
+
+    /// Like [`GuptRuntime::run`], with an optional execution cap the
+    /// chamber policy falls back to when it carries no budget of its
+    /// own. The query service derives this from the remaining deadline.
+    pub(crate) fn run_capped(
+        &self,
+        dataset: &str,
+        spec: QuerySpec,
+        exec_cap: Option<Duration>,
+    ) -> Result<PrivateAnswer, GuptError> {
+        self.run_with_charge(dataset, spec, ChargeMode::Charge, exec_cap)
     }
 
     pub(crate) fn run_with_charge(
@@ -313,6 +357,7 @@ impl GuptRuntime {
         dataset: &str,
         spec: QuerySpec,
         charge: ChargeMode,
+        exec_cap: Option<Duration>,
     ) -> Result<PrivateAnswer, GuptError> {
         let mut rng = self.next_query_rng();
         let mut tel = QueryTelemetry::new(spec.telemetry_enabled());
@@ -402,7 +447,9 @@ impl GuptRuntime {
         // admits charges in some serial order and never overspends.
         let stage_start = Instant::now();
         if charge == ChargeMode::Charge {
-            entry.ledger().charge(eps_total).map_err(GuptError::Dp)?;
+            // Durable datasets write the debit ahead to the WAL here,
+            // before any private row is read.
+            entry.charge(eps_total)?;
         }
         tel.record_stage(Stage::LedgerCharge, stage_start.elapsed());
         tel.record_ledger(LedgerEvent {
@@ -423,7 +470,9 @@ impl GuptRuntime {
         tel.record_stage(Stage::BlockPlanning, planning_head + stage_start.elapsed());
 
         let stage_start = Instant::now();
-        let (reports, trace) = self.computation.execute_blocks(&spec.program, blocks);
+        let (reports, trace) =
+            self.computation
+                .execute_blocks_capped(&spec.program, blocks, exec_cap);
         tel.record_stage(Stage::ChamberExecution, stage_start.elapsed());
         let execution = ExecutionSummary::from_reports(&reports);
         tel.record_blocks(&execution, &trace);

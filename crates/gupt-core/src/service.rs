@@ -179,9 +179,14 @@ impl QueryService {
     }
 
     /// Runs one query, waiting at most `deadline` for admission. The
-    /// deadline bounds queue wait — once a query is admitted it runs to
-    /// completion (budget is charged exactly when execution starts, so
-    /// an abandoned wait provably spends nothing).
+    /// deadline bounds queue wait *and* in-chamber work: when the
+    /// runtime's chamber policy carries no `execution_budget` of its
+    /// own, the remaining deadline after admission becomes the kill
+    /// bound, so a deadline actually bounds end-to-end latency instead
+    /// of only the wait for a slot. An explicitly configured chamber
+    /// budget always wins — a lenient deadline never loosens the
+    /// owner's §6.2 timing bound. Budget is charged exactly when
+    /// execution starts, so an abandoned wait provably spends nothing.
     pub fn run_with_deadline(
         &self,
         dataset: &str,
@@ -197,8 +202,18 @@ impl QueryService {
         spec: QuerySpec,
         deadline: Option<Duration>,
     ) -> Result<PrivateAnswer, GuptError> {
+        let start = Instant::now();
         let _permit = self.admit(deadline)?;
-        self.inner.runtime.run(dataset, spec)
+        // Whatever deadline is left after queueing caps chamber
+        // execution (the runtime ignores the cap when its policy already
+        // sets a budget). Clamped to ≥ 1 ms so a query admitted exactly
+        // at the wire gets a kill bound, not an instant zero-time kill.
+        let exec_cap = deadline.map(|limit| {
+            limit
+                .saturating_sub(start.elapsed())
+                .max(Duration::from_millis(1))
+        });
+        self.inner.runtime.run_capped(dataset, spec, exec_cap)
     }
 
     /// Runs a §5.2 budget-distributed batch as **one** admission unit:
@@ -401,5 +416,65 @@ mod tests {
     #[test]
     fn config_clamps_in_flight_to_one() {
         assert_eq!(ServiceConfig::new(0, 5).max_in_flight, 1);
+    }
+
+    #[test]
+    fn deadline_bounds_in_chamber_work() {
+        use gupt_sandbox::ClosureProgram;
+        // A program that would run for minutes: with no explicit chamber
+        // budget, the deadline must become the kill bound, so the query
+        // returns promptly with timed-out chambers instead of hanging.
+        let svc = service(ServiceConfig::default());
+        let slow = ClosureProgram::new(1, |_: &[Vec<f64>]| {
+            thread::sleep(Duration::from_secs(120));
+            vec![0.0]
+        });
+        let spec = QuerySpec::from_program(Arc::new(slow))
+            .epsilon(eps(0.5))
+            .fixed_block_size(500)
+            .range_estimation(RangeEstimation::Tight(vec![
+                OutputRange::new(0.0, 50.0).unwrap()
+            ]));
+        let start = std::time::Instant::now();
+        let answer = svc
+            .run_with_deadline("t", spec, Duration::from_millis(100))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(30), "query hung");
+        assert_eq!(answer.execution.timed_out, answer.num_blocks);
+    }
+
+    #[test]
+    fn explicit_chamber_budget_not_loosened_by_deadline() {
+        use gupt_sandbox::{ChamberPolicy, ClosureProgram};
+        // The owner set a 50 ms bound; a 10 s deadline must not extend it.
+        let rows: Vec<Vec<f64>> = (0..500).map(|i| vec![(i % 50) as f64]).collect();
+        let runtime = GuptRuntimeBuilder::new()
+            .register_dataset("t", rows, eps(100.0))
+            .unwrap()
+            .chamber_policy(
+                ChamberPolicy::bounded(Duration::from_millis(50), 25.0).without_padding(),
+            )
+            .seed(7)
+            .build();
+        let svc = QueryService::new(runtime, ServiceConfig::default());
+        let slow = ClosureProgram::new(1, |_: &[Vec<f64>]| {
+            thread::sleep(Duration::from_secs(120));
+            vec![0.0]
+        });
+        let spec = QuerySpec::from_program(Arc::new(slow))
+            .epsilon(eps(0.5))
+            .fixed_block_size(500)
+            .range_estimation(RangeEstimation::Tight(vec![
+                OutputRange::new(0.0, 50.0).unwrap()
+            ]));
+        let start = std::time::Instant::now();
+        let answer = svc
+            .run_with_deadline("t", spec, Duration::from_secs(10))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "owner bound ignored"
+        );
+        assert_eq!(answer.execution.timed_out, answer.num_blocks);
     }
 }

@@ -1,0 +1,912 @@
+//! Durable storage for privacy ledgers: WAL + snapshot + recovery.
+//!
+//! GUPT's guarantee is only as strong as its budget accounting (§3.1,
+//! §5.2): an in-memory ledger forgets every ε already spent when the
+//! process dies, so an analyst who can crash the service could replay
+//! queries past the lifetime budget. This module makes the ledger
+//! crash-safe:
+//!
+//! - every successful charge is appended to a per-dataset **write-ahead
+//!   log** *before* the in-memory debit (and before any private data is
+//!   read), as a length+checksum framed record;
+//! - the log is periodically **compacted** into a snapshot (total /
+//!   spent / query count) plus an empty tail;
+//! - **recovery** replays snapshot + WAL, truncating a torn tail to the
+//!   longest valid record prefix.
+//!
+//! # The never-under-report invariant
+//!
+//! Recovery resolves every ambiguity conservatively: a record that was
+//! durably acknowledged is always replayed, and a charge interrupted
+//! mid-append is either dropped (it was never acknowledged, so the query
+//! never ran) or — around compaction — counted twice. Over-reporting
+//! spend wastes budget; under-reporting would break the ε guarantee, so
+//! the books only ever err toward *more* spent.
+//!
+//! The same reasoning poisons a store whose append fails: once bytes of
+//! unknown extent may sit at the tail, appending further valid records
+//! after them could mask the damage, so the store wedges and every later
+//! charge fails closed with [`GuptError::Storage`].
+//!
+//! # On-disk layout
+//!
+//! Under the configured state directory, per dataset `name`:
+//!
+//! - `name.wal` — framed debit records: `[len: u32 LE][crc32: u32 LE]`
+//!   `[payload]` where the CRC covers `len ‖ payload` and the payload is
+//!   `[tag: u8 = 0x01][ε: f64 LE]`.
+//! - `name.snap` — magic ‖ version ‖ total ‖ spent ‖ queries ‖ crc32,
+//!   written atomically (tmp + rename + fsync).
+
+use crate::error::GuptError;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Schema version written into snapshot headers.
+pub const STORAGE_VERSION: u32 = 1;
+
+/// Magic prefix of snapshot files.
+const SNAP_MAGIC: &[u8; 8] = b"GUPTSNP1";
+
+/// Record payload tag: a single budget debit.
+const TAG_DEBIT: u8 = 0x01;
+
+/// Frame header size: length (u32) + CRC (u32).
+const FRAME_HEADER: usize = 8;
+
+/// Debit payload size: tag + f64.
+const DEBIT_PAYLOAD: usize = 9;
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected), table-driven. Hand-rolled because the
+// workspace is offline and carries no checksum crate; the polynomial is
+// the same one zlib/ethernet use, so records are checkable with any
+// standard crc32 tool.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Configuration.
+// ---------------------------------------------------------------------
+
+/// When the WAL is flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: a durably acknowledged charge survives
+    /// power loss. The safest and slowest policy.
+    Always,
+    /// `fsync` after every `n` records. Bounds data-at-risk to at most
+    /// `n - 1` *acknowledged-but-unsynced* charges — losing those
+    /// under-reports nothing the analyst was told succeeded durably, but
+    /// deployments wanting strict durability use [`FsyncPolicy::Always`].
+    EveryN(u32),
+    /// Never `fsync` explicitly; rely on the OS page cache. Survives
+    /// process crashes (the records are in kernel buffers) but not power
+    /// loss. Benchmarking / bulk-load mode.
+    Never,
+}
+
+/// Where and how a dataset's ledger is persisted.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Directory holding `name.wal` / `name.snap` files.
+    pub dir: PathBuf,
+    /// WAL flush policy.
+    pub fsync: FsyncPolicy,
+    /// Compact the WAL into a snapshot once it holds this many records.
+    pub compact_after: u64,
+}
+
+impl StorageConfig {
+    /// A config rooted at `dir` with `EveryN(64)` fsync and compaction
+    /// every 4096 records.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StorageConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryN(64),
+            compact_after: 4096,
+        }
+    }
+
+    /// Sets the fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Sets the compaction threshold (clamped to ≥ 1).
+    pub fn compact_after(mut self, records: u64) -> Self {
+        self.compact_after = records.max(1);
+        self
+    }
+}
+
+/// Whether a dataset's ledger survives the process.
+#[derive(Debug, Clone, Default)]
+pub enum Durability {
+    /// In-memory only: budget state dies with the process (the seed
+    /// behaviour, and the right choice for tests and one-shot analyses).
+    #[default]
+    Ephemeral,
+    /// WAL-backed: every charge is logged before it is granted and
+    /// recovery replays the books on restart.
+    Durable(StorageConfig),
+}
+
+// ---------------------------------------------------------------------
+// Record framing.
+// ---------------------------------------------------------------------
+
+/// Encodes one debit of `eps` as a framed WAL record.
+pub fn encode_record(eps: f64) -> Vec<u8> {
+    let mut payload = [0u8; DEBIT_PAYLOAD];
+    payload[0] = TAG_DEBIT;
+    payload[1..].copy_from_slice(&eps.to_le_bytes());
+    let len = payload.len() as u32;
+    let mut crc_input = Vec::with_capacity(4 + payload.len());
+    crc_input.extend_from_slice(&len.to_le_bytes());
+    crc_input.extend_from_slice(&payload);
+    let crc = crc32(&crc_input);
+    let mut rec = Vec::with_capacity(FRAME_HEADER + payload.len());
+    rec.extend_from_slice(&len.to_le_bytes());
+    rec.extend_from_slice(&crc.to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec
+}
+
+/// Result of scanning a WAL byte stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    /// Decoded debit values, in append order.
+    pub debits: Vec<f64>,
+    /// Bytes of the longest valid record prefix.
+    pub valid_len: usize,
+    /// Whether bytes past `valid_len` were present (torn tail or
+    /// corruption) and should be truncated.
+    pub truncated: bool,
+}
+
+/// Scans a WAL image, returning the longest valid record prefix.
+///
+/// Scanning stops at the first incomplete or checksum-failing record:
+/// everything before it is replayed, everything from it on is treated as
+/// a torn tail. A record that fails its CRC was never acknowledged under
+/// the write protocol (the store poisons itself on any partial append),
+/// so dropping the tail never under-reports acknowledged spend.
+pub fn scan_wal(bytes: &[u8]) -> WalScan {
+    let mut debits = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= FRAME_HEADER {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        // Cap record size well above any legal payload so a corrupt
+        // length field cannot drive a huge allocation.
+        if len != DEBIT_PAYLOAD || bytes.len() - pos - FRAME_HEADER < len {
+            break;
+        }
+        let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+        let mut crc_input = Vec::with_capacity(4 + len);
+        crc_input.extend_from_slice(&(len as u32).to_le_bytes());
+        crc_input.extend_from_slice(payload);
+        if crc32(&crc_input) != crc || payload[0] != TAG_DEBIT {
+            break;
+        }
+        let eps = f64::from_le_bytes(payload[1..].try_into().expect("8 bytes"));
+        if !eps.is_finite() || eps < 0.0 {
+            break;
+        }
+        debits.push(eps);
+        pos += FRAME_HEADER + len;
+    }
+    WalScan {
+        debits,
+        valid_len: pos,
+        truncated: pos < bytes.len(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot.
+// ---------------------------------------------------------------------
+
+/// Compacted ledger state: everything the WAL said up to the snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Lifetime budget ε.
+    pub total: f64,
+    /// ε spent at snapshot time.
+    pub spent: f64,
+    /// Successful charges at snapshot time.
+    pub queries: u64,
+}
+
+fn encode_snapshot(snap: &Snapshot) -> Vec<u8> {
+    let mut body = Vec::with_capacity(8 + 4 + 8 + 8 + 8 + 4);
+    body.extend_from_slice(SNAP_MAGIC);
+    body.extend_from_slice(&STORAGE_VERSION.to_le_bytes());
+    body.extend_from_slice(&snap.total.to_le_bytes());
+    body.extend_from_slice(&snap.spent.to_le_bytes());
+    body.extend_from_slice(&snap.queries.to_le_bytes());
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    body
+}
+
+fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<Snapshot, GuptError> {
+    let corrupt = |detail: &str| GuptError::Corrupt {
+        path: path.to_path_buf(),
+        detail: detail.to_string(),
+    };
+    if bytes.len() != 8 + 4 + 8 + 8 + 8 + 4 {
+        return Err(corrupt("wrong snapshot length"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != crc {
+        return Err(corrupt("snapshot checksum mismatch"));
+    }
+    if &body[..8] != SNAP_MAGIC {
+        return Err(corrupt("bad snapshot magic"));
+    }
+    let version = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
+    if version != STORAGE_VERSION {
+        return Err(corrupt("unsupported snapshot version"));
+    }
+    let total = f64::from_le_bytes(body[12..20].try_into().expect("8 bytes"));
+    let spent = f64::from_le_bytes(body[20..28].try_into().expect("8 bytes"));
+    let queries = u64::from_le_bytes(body[28..36].try_into().expect("8 bytes"));
+    if !total.is_finite() || !spent.is_finite() || spent < 0.0 {
+        return Err(corrupt("snapshot values out of range"));
+    }
+    Ok(Snapshot {
+        total,
+        spent,
+        queries,
+    })
+}
+
+// ---------------------------------------------------------------------
+// WAL file abstraction + fault injection.
+// ---------------------------------------------------------------------
+
+/// The append-and-sync surface a [`LedgerStore`] writes through.
+///
+/// Production uses [`StdWalFile`]; the recovery test-suite wraps it in a
+/// [`FailingStore`] to inject crashes at exact write boundaries.
+pub trait WalFile: Send {
+    /// Appends `bytes` at the end of the log.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes all appended bytes to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A [`WalFile`] over a real [`File`] opened in append mode.
+#[derive(Debug)]
+pub struct StdWalFile {
+    file: File,
+}
+
+impl StdWalFile {
+    /// Opens (creating if absent) `path` for appending.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(StdWalFile { file })
+    }
+}
+
+impl WalFile for StdWalFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// What a [`FailingStore`] does when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// The append returns an error with nothing written — a crash just
+    /// before the write.
+    Error,
+    /// The given prefix length of the record is written, then the append
+    /// errors — a torn write / crash mid-write.
+    Truncate(usize),
+    /// One bit of the record is flipped and the append *succeeds* —
+    /// silent media corruption the checksum must catch at recovery.
+    BitFlip(usize),
+}
+
+/// Fault-injection wrapper: passes writes through until the `n`-th
+/// append (0-based), then applies [`FailureMode`] once.
+pub struct FailingStore<W: WalFile> {
+    inner: W,
+    fail_at: u64,
+    mode: FailureMode,
+    appends: u64,
+}
+
+impl<W: WalFile> FailingStore<W> {
+    /// Wraps `inner`, arming `mode` for the `fail_at`-th append.
+    pub fn new(inner: W, fail_at: u64, mode: FailureMode) -> Self {
+        FailingStore {
+            inner,
+            fail_at,
+            mode,
+            appends: 0,
+        }
+    }
+}
+
+impl<W: WalFile> WalFile for FailingStore<W> {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let n = self.appends;
+        self.appends += 1;
+        if n != self.fail_at {
+            return self.inner.append(bytes);
+        }
+        match self.mode {
+            FailureMode::Error => Err(io::Error::other("injected: append failed")),
+            FailureMode::Truncate(keep) => {
+                let keep = keep.min(bytes.len());
+                self.inner.append(&bytes[..keep])?;
+                let _ = self.inner.sync();
+                Err(io::Error::other("injected: torn write"))
+            }
+            FailureMode::BitFlip(byte) => {
+                let mut copy = bytes.to_vec();
+                if let Some(b) = copy.get_mut(byte % bytes.len().max(1)) {
+                    *b ^= 0x10;
+                }
+                self.inner.append(&copy)
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recovery.
+// ---------------------------------------------------------------------
+
+/// What recovery reconstructed for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredLedger {
+    /// Lifetime budget carried by the snapshot (0 when none existed).
+    pub total: f64,
+    /// ε spent: snapshot spend plus every valid WAL debit.
+    pub spent: f64,
+    /// Successful charges: snapshot count plus WAL records.
+    pub queries: u64,
+    /// Valid WAL records replayed.
+    pub wal_records: u64,
+    /// Bytes discarded as a torn / corrupt tail.
+    pub truncated_bytes: u64,
+    /// Whether a snapshot contributed to the state.
+    pub had_snapshot: bool,
+    /// Wall-clock time the replay took.
+    pub replay: Duration,
+}
+
+fn storage_err(source: io::Error, path: &Path) -> GuptError {
+    GuptError::Storage {
+        source,
+        path: path.to_path_buf(),
+    }
+}
+
+/// Validates that a dataset name maps to a safe file stem.
+fn file_stem(name: &str) -> Result<&str, GuptError> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        && !name.starts_with('.');
+    if ok {
+        Ok(name)
+    } else {
+        Err(GuptError::InvalidDataset(format!(
+            "dataset name {name:?} is not filesystem-safe for durable storage \
+             (use ASCII letters, digits, '-', '_', '.')"
+        )))
+    }
+}
+
+/// Paths of a dataset's durable files under `dir`.
+fn paths(dir: &Path, name: &str) -> Result<(PathBuf, PathBuf), GuptError> {
+    let stem = file_stem(name)?;
+    Ok((
+        dir.join(format!("{stem}.wal")),
+        dir.join(format!("{stem}.snap")),
+    ))
+}
+
+/// Replays a dataset's snapshot + WAL without opening it for writing.
+///
+/// Pure read: repeated recovery of the same state directory returns
+/// bit-identical results. A missing state (no snapshot, no WAL) recovers
+/// to zero spend; a *corrupt snapshot* is a hard [`GuptError::Corrupt`] —
+/// the snapshot is the compacted truth and guessing around it could
+/// under-report.
+pub fn recover(name: &str, config: &StorageConfig) -> Result<RecoveredLedger, GuptError> {
+    let start = Instant::now();
+    let (wal_path, snap_path) = paths(&config.dir, name)?;
+
+    let snapshot = match std::fs::read(&snap_path) {
+        Ok(bytes) => Some(decode_snapshot(&bytes, &snap_path)?),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => return Err(storage_err(e, &snap_path)),
+    };
+
+    let wal_bytes = match std::fs::read(&wal_path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(storage_err(e, &wal_path)),
+    };
+    let scan = scan_wal(&wal_bytes);
+
+    let base = snapshot.unwrap_or(Snapshot {
+        total: 0.0,
+        spent: 0.0,
+        queries: 0,
+    });
+    Ok(RecoveredLedger {
+        total: base.total,
+        spent: base.spent + scan.debits.iter().sum::<f64>(),
+        queries: base.queries + scan.debits.len() as u64,
+        wal_records: scan.debits.len() as u64,
+        truncated_bytes: (wal_bytes.len() - scan.valid_len) as u64,
+        had_snapshot: snapshot.is_some(),
+        replay: start.elapsed(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// The live store.
+// ---------------------------------------------------------------------
+
+/// Persistence counters for one dataset's [`LedgerStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// WAL records appended by this process.
+    pub records_written: u64,
+    /// `fsync` calls issued by this process.
+    pub fsyncs: u64,
+    /// WAL→snapshot compactions performed.
+    pub compactions: u64,
+    /// Whether the store wedged after a failed write (all further
+    /// charges fail closed).
+    pub poisoned: bool,
+}
+
+/// The write side of one dataset's durable ledger.
+///
+/// Owned by the dataset entry behind a mutex: the holder serialises
+/// check-afford → WAL append → in-memory debit so the on-disk order
+/// matches the ledger order exactly.
+pub struct LedgerStore {
+    wal: Box<dyn WalFile>,
+    wal_path: PathBuf,
+    snap_path: PathBuf,
+    fsync: FsyncPolicy,
+    compact_after: u64,
+    /// Records in the WAL file right now (survivors of recovery plus
+    /// appends since).
+    wal_records: u64,
+    /// Appends since the last fsync (for `EveryN`).
+    unsynced: u32,
+    stats: StorageStats,
+}
+
+impl std::fmt::Debug for LedgerStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LedgerStore")
+            .field("wal_path", &self.wal_path)
+            .field("wal_records", &self.wal_records)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl LedgerStore {
+    /// Opens (or creates) the durable state for `name`, truncating any
+    /// torn WAL tail, and returns the store plus the recovered books.
+    pub fn open(name: &str, config: &StorageConfig) -> Result<(Self, RecoveredLedger), GuptError> {
+        std::fs::create_dir_all(&config.dir).map_err(|e| storage_err(e, &config.dir))?;
+        let recovered = recover(name, config)?;
+        let (wal_path, snap_path) = paths(&config.dir, name)?;
+
+        // Physically drop the torn tail so the next append continues the
+        // valid prefix instead of burying garbage mid-log.
+        if recovered.truncated_bytes > 0 {
+            let file = OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .map_err(|e| storage_err(e, &wal_path))?;
+            let keep = std::fs::metadata(&wal_path)
+                .map_err(|e| storage_err(e, &wal_path))?
+                .len()
+                .saturating_sub(recovered.truncated_bytes);
+            file.set_len(keep).map_err(|e| storage_err(e, &wal_path))?;
+            file.sync_data().map_err(|e| storage_err(e, &wal_path))?;
+        }
+
+        let wal = StdWalFile::open(&wal_path).map_err(|e| storage_err(e, &wal_path))?;
+        Ok((
+            LedgerStore {
+                wal: Box::new(wal),
+                wal_path,
+                snap_path,
+                fsync: config.fsync,
+                compact_after: config.compact_after.max(1),
+                wal_records: recovered.wal_records,
+                unsynced: 0,
+                stats: StorageStats::default(),
+            },
+            recovered,
+        ))
+    }
+
+    /// Swaps the WAL backend — fault-injection hook for tests.
+    pub fn with_wal(mut self, wal: Box<dyn WalFile>) -> Self {
+        self.wal = wal;
+        self
+    }
+
+    /// Point-in-time persistence counters.
+    pub fn stats(&self) -> StorageStats {
+        self.stats
+    }
+
+    /// Whether the store has wedged after a failed write.
+    pub fn is_poisoned(&self) -> bool {
+        self.stats.poisoned
+    }
+
+    fn poisoned_err(&self) -> GuptError {
+        GuptError::Storage {
+            source: io::Error::other(
+                "ledger store is poisoned after an earlier write failure; \
+                 restart and recover to resume charging",
+            ),
+            path: self.wal_path.clone(),
+        }
+    }
+
+    /// Durably logs one debit of `eps`. On any failure the store poisons
+    /// itself: bytes of unknown extent may sit at the WAL tail and
+    /// appending valid records after them could mask the damage at
+    /// recovery (an under-report). The charge must be considered
+    /// *not granted*.
+    pub fn append_charge(&mut self, eps: f64) -> Result<(), GuptError> {
+        if self.stats.poisoned {
+            return Err(self.poisoned_err());
+        }
+        let record = encode_record(eps);
+        if let Err(e) = self.wal.append(&record) {
+            self.stats.poisoned = true;
+            return Err(storage_err(e, &self.wal_path));
+        }
+        self.stats.records_written += 1;
+        self.wal_records += 1;
+        self.unsynced += 1;
+        let should_sync = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if should_sync {
+            if let Err(e) = self.wal.sync() {
+                self.stats.poisoned = true;
+                return Err(storage_err(e, &self.wal_path));
+            }
+            self.stats.fsyncs += 1;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Compacts WAL → snapshot once the log is long enough.
+    ///
+    /// `total` / `spent` / `queries` are the ledger's books *including*
+    /// every debit already appended. The snapshot is written atomically
+    /// (tmp + rename + fsync) before the WAL is truncated; a crash
+    /// between the two leaves the WAL records double-counted on recovery
+    /// — a bounded over-report, never an under-report. Compaction
+    /// failures poison the store (fail closed) like append failures.
+    pub fn maybe_compact(&mut self, total: f64, spent: f64, queries: u64) -> Result<(), GuptError> {
+        if self.stats.poisoned || self.wal_records < self.compact_after {
+            return Ok(());
+        }
+        if let Err(e) = self.write_snapshot(&Snapshot {
+            total,
+            spent,
+            queries,
+        }) {
+            self.stats.poisoned = true;
+            return Err(e);
+        }
+        // Truncate the WAL now that the snapshot owns its records.
+        if let Err(e) = OpenOptions::new()
+            .write(true)
+            .open(&self.wal_path)
+            .and_then(|f| {
+                f.set_len(0)?;
+                f.sync_data()
+            })
+        {
+            self.stats.poisoned = true;
+            return Err(storage_err(e, &self.wal_path));
+        }
+        // Reopen so the append cursor restarts at the (new) end.
+        match StdWalFile::open(&self.wal_path) {
+            Ok(f) => self.wal = Box::new(f),
+            Err(e) => {
+                self.stats.poisoned = true;
+                return Err(storage_err(e, &self.wal_path));
+            }
+        }
+        self.wal_records = 0;
+        self.unsynced = 0;
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    fn write_snapshot(&self, snap: &Snapshot) -> Result<(), GuptError> {
+        let tmp = self.snap_path.with_extension("snap.tmp");
+        let bytes = encode_snapshot(snap);
+        let mut file = File::create(&tmp).map_err(|e| storage_err(e, &tmp))?;
+        file.write_all(&bytes).map_err(|e| storage_err(e, &tmp))?;
+        file.sync_all().map_err(|e| storage_err(e, &tmp))?;
+        drop(file);
+        std::fs::rename(&tmp, &self.snap_path).map_err(|e| storage_err(e, &self.snap_path))?;
+        // Sync the directory so the rename itself is durable.
+        if let Some(dir) = self.snap_path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads the raw WAL image for a dataset (test/inspection helper).
+pub fn read_wal(name: &str, config: &StorageConfig) -> Result<Vec<u8>, GuptError> {
+    let (wal_path, _) = paths(&config.dir, name)?;
+    match std::fs::read(&wal_path) {
+        Ok(bytes) => Ok(bytes),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(storage_err(e, &wal_path)),
+    }
+}
+
+/// Opens a WAL file read-only and returns its contents (used by tests
+/// that inject faults through a custom [`WalFile`] and then re-scan).
+pub fn read_file(path: &Path) -> Result<Vec<u8>, GuptError> {
+    let mut file = File::open(path).map_err(|e| storage_err(e, path))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| storage_err(e, path))?;
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("gupt_storage_tests")
+            .join(format!("{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let mut image = Vec::new();
+        for eps in [0.5, 1.25, 1e-9, 42.0] {
+            image.extend_from_slice(&encode_record(eps));
+        }
+        let scan = scan_wal(&image);
+        assert_eq!(scan.debits, vec![0.5, 1.25, 1e-9, 42.0]);
+        assert_eq!(scan.valid_len, image.len());
+        assert!(!scan.truncated);
+    }
+
+    #[test]
+    fn bit_flip_rejected() {
+        let mut image = encode_record(0.7);
+        image.extend_from_slice(&encode_record(0.3));
+        let rec_len = encode_record(0.7).len();
+        // Flip one bit in the second record's payload.
+        image[rec_len + FRAME_HEADER + 3] ^= 0x01;
+        let scan = scan_wal(&image);
+        assert_eq!(scan.debits, vec![0.7]);
+        assert!(scan.truncated);
+        assert_eq!(scan.valid_len, rec_len);
+    }
+
+    #[test]
+    fn torn_tail_recovers_longest_prefix() {
+        let mut image = Vec::new();
+        for eps in [0.1, 0.2, 0.3] {
+            image.extend_from_slice(&encode_record(eps));
+        }
+        let full = image.len();
+        image.extend_from_slice(&encode_record(0.4)[..5]); // torn mid-write
+        let scan = scan_wal(&image);
+        assert_eq!(scan.debits, vec![0.1, 0.2, 0.3]);
+        assert_eq!(scan.valid_len, full);
+        assert!(scan.truncated);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_corruption() {
+        let snap = Snapshot {
+            total: 5.0,
+            spent: 3.25,
+            queries: 17,
+        };
+        let mut bytes = encode_snapshot(&snap);
+        let p = Path::new("x.snap");
+        assert_eq!(decode_snapshot(&bytes, p).unwrap(), snap);
+        bytes[15] ^= 0x40;
+        assert!(matches!(
+            decode_snapshot(&bytes, p).unwrap_err(),
+            GuptError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn store_logs_syncs_and_compacts() {
+        let dir = tmp_dir("lifecycle");
+        let config = StorageConfig::new(&dir)
+            .fsync(FsyncPolicy::Always)
+            .compact_after(3);
+        let (mut store, recovered) = LedgerStore::open("d", &config).unwrap();
+        assert_eq!(recovered.spent, 0.0);
+        let mut spent = 0.0;
+        for i in 0..5u64 {
+            store.append_charge(0.5).unwrap();
+            spent += 0.5;
+            store.maybe_compact(10.0, spent, i + 1).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.records_written, 5);
+        assert_eq!(stats.fsyncs, 5);
+        assert_eq!(stats.compactions, 1);
+        drop(store);
+
+        let recovered = recover("d", &config).unwrap();
+        assert!((recovered.spent - 2.5).abs() < 1e-12);
+        assert_eq!(recovered.queries, 5);
+        assert!(recovered.had_snapshot);
+        // Only the post-compaction records remain in the WAL.
+        assert_eq!(recovered.wal_records, 2);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let dir = tmp_dir("idempotent");
+        let config = StorageConfig::new(&dir).fsync(FsyncPolicy::Always);
+        let (mut store, _) = LedgerStore::open("d", &config).unwrap();
+        for _ in 0..4 {
+            store.append_charge(0.25).unwrap();
+        }
+        drop(store);
+        let a = recover("d", &config).unwrap();
+        let b = recover("d", &config).unwrap();
+        assert_eq!(
+            (a.spent, a.queries, a.wal_records),
+            (b.spent, b.queries, b.wal_records)
+        );
+    }
+
+    #[test]
+    fn open_truncates_torn_tail() {
+        let dir = tmp_dir("torn");
+        let config = StorageConfig::new(&dir).fsync(FsyncPolicy::Always);
+        let (mut store, _) = LedgerStore::open("d", &config).unwrap();
+        store.append_charge(0.5).unwrap();
+        drop(store);
+        // Simulate a torn write at the tail.
+        let wal_path = dir.join("d.wal");
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        let valid = bytes.len();
+        bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE]);
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        let (store, recovered) = LedgerStore::open("d", &config).unwrap();
+        assert_eq!(recovered.truncated_bytes, 3);
+        assert_eq!(recovered.wal_records, 1);
+        drop(store);
+        assert_eq!(std::fs::metadata(&wal_path).unwrap().len() as usize, valid);
+    }
+
+    #[test]
+    fn failing_store_poisons_on_error() {
+        let dir = tmp_dir("poison");
+        let config = StorageConfig::new(&dir).fsync(FsyncPolicy::Always);
+        let (store, _) = LedgerStore::open("d", &config).unwrap();
+        let wal = StdWalFile::open(&dir.join("d.wal")).unwrap();
+        let mut store = store.with_wal(Box::new(FailingStore::new(wal, 1, FailureMode::Error)));
+        store.append_charge(0.5).unwrap();
+        let err = store.append_charge(0.5).unwrap_err();
+        assert!(matches!(err, GuptError::Storage { .. }));
+        assert!(store.is_poisoned());
+        // Every further charge fails closed.
+        assert!(store.append_charge(0.1).is_err());
+        drop(store);
+        let recovered = recover("d", &config).unwrap();
+        assert!((recovered.spent - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsafe_dataset_names_rejected() {
+        let config = StorageConfig::new(std::env::temp_dir());
+        for bad in ["", "a/b", "..", ".hidden", "a b", "ü"] {
+            assert!(
+                matches!(recover(bad, &config), Err(GuptError::InvalidDataset(_))),
+                "{bad:?} accepted"
+            );
+        }
+        assert!(file_stem("ok-name_1.v2").is_ok());
+    }
+
+    #[test]
+    fn every_n_fsync_batches() {
+        let dir = tmp_dir("everyn");
+        let config = StorageConfig::new(&dir).fsync(FsyncPolicy::EveryN(4));
+        let (mut store, _) = LedgerStore::open("d", &config).unwrap();
+        for _ in 0..10 {
+            store.append_charge(0.1).unwrap();
+        }
+        assert_eq!(store.stats().fsyncs, 2);
+        assert_eq!(store.stats().records_written, 10);
+    }
+}

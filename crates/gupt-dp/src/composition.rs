@@ -20,6 +20,9 @@ pub struct Accountant {
     total: f64,
     spent: f64,
     charges: Vec<f64>,
+    /// Queries recovered from durable storage; they predate this process
+    /// so their individual ε values are not in `charges`.
+    restored_queries: usize,
 }
 
 impl Accountant {
@@ -29,6 +32,24 @@ impl Accountant {
             total: total.value(),
             spent: 0.0,
             charges: Vec::new(),
+            restored_queries: 0,
+        }
+    }
+
+    /// Rebuilds an accountant from recovered durable state.
+    ///
+    /// Unlike [`Accountant::charge`], restoration accepts `spent > total`:
+    /// a crash can leave a charge durably logged but never answered, and
+    /// the recovery contract is to *never under-report* spend —
+    /// over-reporting is privacy-safe, so conservative recovery may push
+    /// the books past the lifetime budget. `remaining` clamps at zero and
+    /// every further charge fails closed.
+    pub fn restore(total: Epsilon, spent: f64, queries: usize) -> Self {
+        Accountant {
+            total: total.value(),
+            spent: spent.max(0.0),
+            charges: Vec::new(),
+            restored_queries: queries,
         }
     }
 
@@ -67,13 +88,15 @@ impl Accountant {
         self.total
     }
 
-    /// Number of successful charges.
+    /// Number of successful charges (including restored ones).
     #[inline]
     pub fn query_count(&self) -> usize {
-        self.charges.len()
+        self.restored_queries + self.charges.len()
     }
 
-    /// History of successful charges, in order.
+    /// History of successful charges made *in this process*, in order.
+    /// Charges restored from durable storage are counted by
+    /// [`Accountant::query_count`] but carry no per-charge history.
     pub fn charges(&self) -> &[f64] {
         &self.charges
     }
@@ -99,6 +122,14 @@ impl PrivacyLedger {
     pub fn new(total: Epsilon) -> Self {
         PrivacyLedger {
             inner: Mutex::new(Accountant::new(total)),
+        }
+    }
+
+    /// Rebuilds a ledger from recovered durable state; see
+    /// [`Accountant::restore`] for the over-report semantics.
+    pub fn restore(total: Epsilon, spent: f64, queries: usize) -> Self {
+        PrivacyLedger {
+            inner: Mutex::new(Accountant::restore(total, spent, queries)),
         }
     }
 
@@ -224,6 +255,29 @@ mod tests {
         assert_eq!(total_ok, 1000);
         assert!(ledger.spent() <= 10.0 * (1.0 + 1e-9));
         assert_eq!(ledger.query_count(), 1000);
+    }
+
+    #[test]
+    fn restore_accepts_over_budget_spend() {
+        // Conservative recovery may over-report: a ledger restored past
+        // its lifetime budget clamps `remaining` at zero and fails every
+        // further charge closed.
+        let acc = Accountant::restore(eps(1.0), 1.4, 3);
+        assert_eq!(acc.spent(), 1.4);
+        assert_eq!(acc.remaining(), 0.0);
+        assert_eq!(acc.query_count(), 3);
+        assert!(acc.charges().is_empty());
+        assert!(!acc.can_afford(eps(1e-9)));
+    }
+
+    #[test]
+    fn restored_ledger_keeps_counting() {
+        let ledger = PrivacyLedger::restore(eps(2.0), 0.5, 4);
+        ledger.charge(eps(0.25)).unwrap();
+        assert!((ledger.spent() - 0.75).abs() < 1e-12);
+        assert_eq!(ledger.query_count(), 5);
+        let err = ledger.charge(eps(2.0)).unwrap_err();
+        assert!(matches!(err, DpError::BudgetExhausted { .. }));
     }
 
     #[test]

@@ -230,6 +230,21 @@ impl ChamberPool {
         self.workers
     }
 
+    /// The policy chambers run under.
+    pub fn policy(&self) -> &ChamberPolicy {
+        &self.policy
+    }
+
+    /// A pool with the same worker count but a different policy — how
+    /// per-query policy overrides (e.g. a deadline-derived execution
+    /// budget) are applied without touching the shared pool.
+    pub fn with_policy(&self, policy: ChamberPolicy) -> ChamberPool {
+        ChamberPool {
+            policy,
+            workers: self.workers,
+        }
+    }
+
     /// Executes `program` on every block, in parallel, preserving block
     /// order in the returned reports.
     pub fn run_all(

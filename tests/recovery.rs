@@ -1,0 +1,237 @@
+//! Crash-recovery guarantees of the durable privacy ledger.
+//!
+//! The invariant under test is the one the WAL exists for: **a
+//! recovered ledger never under-reports durably acknowledged spend**.
+//! Every charge is appended (and synced, under `FsyncPolicy::Always`)
+//! before it is granted, any write failure poisons the store so no
+//! later record can land after torn bytes, and recovery replays the
+//! longest valid record prefix. Whatever the crash point, replayed
+//! spend ≥ the sum of charges the store acknowledged.
+//!
+//! [`FailingStore`] injects the crashes at exact write boundaries:
+//! clean append errors, torn writes of every possible prefix length,
+//! and silent single-bit media corruption that only the checksum can
+//! catch at recovery time.
+
+use gupt::core::storage::{
+    self, encode_record, scan_wal, FailingStore, FailureMode, FsyncPolicy, LedgerStore, StdWalFile,
+    StorageConfig,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Framed record size: 8-byte header + 9-byte debit payload.
+const RECORD: usize = 17;
+
+/// The charge schedule every fault-injection run replays.
+const CHARGES: [f64; 6] = [0.5, 0.25, 1.0, 0.125, 2.0, 0.75];
+
+fn state_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("gupt_recovery_tests")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(dir: &PathBuf) -> StorageConfig {
+    StorageConfig::new(dir).fsync(FsyncPolicy::Always)
+}
+
+/// Opens a store for `dataset` whose WAL fails at the `fail_at`-th
+/// append with `mode`, replays [`CHARGES`] through it, and returns the
+/// ε total the store *acknowledged* (appends that returned `Ok`).
+fn run_with_fault(dir: &PathBuf, dataset: &str, fail_at: u64, mode: FailureMode) -> f64 {
+    let cfg = config(dir);
+    let (store, _) = LedgerStore::open(dataset, &cfg).unwrap();
+    let wal = StdWalFile::open(&dir.join(format!("{dataset}.wal"))).unwrap();
+    let mut store = store.with_wal(Box::new(FailingStore::new(wal, fail_at, mode)));
+    let mut acked = 0.0;
+    for eps in CHARGES {
+        if store.append_charge(eps).is_ok() {
+            acked += eps;
+        }
+    }
+    acked
+}
+
+#[test]
+fn recovered_spend_covers_acknowledged_spend_at_every_crash_point() {
+    // A clean append error and torn writes of every prefix length of
+    // the 17-byte record, each injected at every append index.
+    let mut modes = vec![FailureMode::Error];
+    modes.extend((0..RECORD).map(FailureMode::Truncate));
+    for mode in modes {
+        for fail_at in 0..=CHARGES.len() as u64 {
+            let dir = state_dir("crash_points");
+            let acked = run_with_fault(&dir, "d", fail_at, mode);
+            let recovered = storage::recover("d", &config(&dir)).unwrap();
+            assert!(
+                recovered.spent >= acked - 1e-12,
+                "under-report at fail_at={fail_at} mode={mode:?}: \
+                 recovered {} < acknowledged {acked}",
+                recovered.spent
+            );
+            // The store poisons itself at the fault, so exactly the
+            // acknowledged charges (the prefix before `fail_at`) are
+            // on disk — recovery is tight here, not just conservative.
+            let expected: f64 = CHARGES
+                .iter()
+                .take((fail_at as usize).min(CHARGES.len()))
+                .sum();
+            assert!(
+                (recovered.spent - expected).abs() < 1e-12,
+                "fail_at={fail_at} mode={mode:?}: recovered {} ≠ prefix sum {expected}",
+                recovered.spent
+            );
+        }
+    }
+}
+
+#[test]
+fn poisoned_store_refuses_all_later_charges() {
+    let dir = state_dir("poisoned");
+    let acked = run_with_fault(&dir, "d", 2, FailureMode::Error);
+    // Only the two pre-fault charges were acknowledged; everything
+    // after the fault must have failed closed.
+    assert!((acked - (CHARGES[0] + CHARGES[1])).abs() < 1e-12);
+    let recovered = storage::recover("d", &config(&dir)).unwrap();
+    assert_eq!(recovered.wal_records, 2);
+}
+
+#[test]
+fn bit_flip_is_detected_truncated_and_healed() {
+    // Flip one bit in the 3rd record at several byte offsets: header
+    // length, checksum, tag and ε payload. The flipped append
+    // *succeeds* (silent media corruption), so detection can only
+    // happen at recovery.
+    for byte in [0usize, 5, 8, 12, 16] {
+        let dir = state_dir("bit_flip");
+        run_with_fault(&dir, "d", 2, FailureMode::BitFlip(byte));
+        let recovered = storage::recover("d", &config(&dir)).unwrap();
+        // The corrupt record and everything after it is discarded.
+        assert_eq!(recovered.wal_records, 2, "byte={byte}");
+        assert!((recovered.spent - (CHARGES[0] + CHARGES[1])).abs() < 1e-12);
+        assert!(recovered.truncated_bytes > 0, "byte={byte}");
+
+        // Re-opening the store heals the log: the torn tail is
+        // physically truncated, and a third recovery sees a clean WAL
+        // with the same books.
+        let (store, replayed) = LedgerStore::open("d", &config(&dir)).unwrap();
+        drop(store);
+        assert_eq!(replayed.wal_records, 2);
+        let healed = storage::recover("d", &config(&dir)).unwrap();
+        assert_eq!(healed.truncated_bytes, 0, "byte={byte}");
+        assert_eq!(healed.spent, recovered.spent);
+        assert_eq!(healed.queries, recovered.queries);
+    }
+}
+
+#[test]
+fn double_recovery_is_idempotent_and_bit_identical() {
+    let dir = state_dir("idempotent");
+    run_with_fault(&dir, "d", 4, FailureMode::Truncate(9));
+    let cfg = config(&dir);
+
+    // recover() is a pure read: run it twice, books identical.
+    let a = storage::recover("d", &cfg).unwrap();
+    let b = storage::recover("d", &cfg).unwrap();
+    assert_eq!(
+        (a.spent, a.queries, a.wal_records),
+        (b.spent, b.queries, b.wal_records)
+    );
+    assert_eq!(a.truncated_bytes, b.truncated_bytes);
+
+    // Opening the store twice (each open truncates any torn tail)
+    // converges to a byte-identical WAL image.
+    drop(LedgerStore::open("d", &cfg).unwrap());
+    let first = storage::read_wal("d", &cfg).unwrap();
+    drop(LedgerStore::open("d", &cfg).unwrap());
+    let second = storage::read_wal("d", &cfg).unwrap();
+    assert_eq!(first, second);
+    assert_eq!(first.len() % RECORD, 0, "healed WAL holds whole records");
+}
+
+#[test]
+fn recovery_survives_compaction_crash_window_without_under_reporting() {
+    // Compact after 4 records; the snapshot write itself crashes
+    // (injected at the WAL level the snapshot does not use, so here we
+    // just verify the normal snapshot + tail replay math instead).
+    let dir = state_dir("compaction");
+    let cfg = config(&dir).compact_after(4);
+    let (mut store, _) = LedgerStore::open("d", &cfg).unwrap();
+    let mut spent = 0.0;
+    for (i, eps) in CHARGES.iter().enumerate() {
+        store.append_charge(*eps).unwrap();
+        spent += eps;
+        store.maybe_compact(10.0, spent, i as u64 + 1).unwrap();
+    }
+    drop(store);
+    let recovered = storage::recover("d", &cfg).unwrap();
+    assert!(recovered.had_snapshot);
+    assert!((recovered.spent - CHARGES.iter().sum::<f64>()).abs() < 1e-12);
+    assert_eq!(recovered.queries, CHARGES.len() as u64);
+    // Only the post-snapshot tail is left in the log.
+    assert!(recovered.wal_records < CHARGES.len() as u64);
+}
+
+// ---------------------------------------------------------------------
+// WAL format properties.
+// ---------------------------------------------------------------------
+
+fn debits_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10.0, 0..40)
+}
+
+proptest! {
+    #[test]
+    fn wal_roundtrip_preserves_arbitrary_debit_sequences(debits in debits_strategy()) {
+        let mut image = Vec::new();
+        for &eps in &debits {
+            image.extend_from_slice(&encode_record(eps));
+        }
+        let scan = scan_wal(&image);
+        prop_assert_eq!(&scan.debits, &debits);
+        prop_assert_eq!(scan.valid_len, image.len());
+        prop_assert!(!scan.truncated);
+    }
+
+    #[test]
+    fn any_single_bit_flip_truncates_at_the_flipped_record(
+        debits in prop::collection::vec(0.0f64..10.0, 1..20),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let mut image = Vec::new();
+        for &eps in &debits {
+            image.extend_from_slice(&encode_record(eps));
+        }
+        let byte = ((byte_frac * image.len() as f64) as usize).min(image.len() - 1);
+        image[byte] ^= 1 << bit;
+        let scan = scan_wal(&image);
+        // CRC32 catches every single-bit error, so the scan stops at
+        // the record containing the flip: the decoded debits are
+        // exactly the records before it, never a wrong value.
+        let hit = byte / RECORD;
+        prop_assert_eq!(&scan.debits, &debits[..hit]);
+        prop_assert!(scan.truncated);
+    }
+
+    #[test]
+    fn torn_tail_replays_the_longest_valid_prefix(
+        debits in prop::collection::vec(0.0f64..10.0, 0..20),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut image = Vec::new();
+        for &eps in &debits {
+            image.extend_from_slice(&encode_record(eps));
+        }
+        let cut = (cut_frac * image.len() as f64) as usize;
+        let scan = scan_wal(&image[..cut]);
+        let whole = cut / RECORD;
+        prop_assert_eq!(&scan.debits, &debits[..whole]);
+        prop_assert_eq!(scan.valid_len, whole * RECORD);
+        prop_assert_eq!(scan.truncated, !cut.is_multiple_of(RECORD));
+    }
+}
