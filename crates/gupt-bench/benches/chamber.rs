@@ -2,51 +2,53 @@
 //! chamber vs bounded (worker-thread) chamber, and pool throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gupt_sandbox::{BlockProgram, Chamber, ChamberPolicy, ChamberPool, ClosureProgram, Scratch};
+use gupt_sandbox::{
+    BlockProgram, BlockView, Chamber, ChamberPolicy, ChamberPool, ClosureProgram, Scratch,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn sum_program() -> Arc<dyn BlockProgram> {
-    Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+    Arc::new(ClosureProgram::new(1, |block: &BlockView| {
         vec![block.iter().map(|r| r[0]).sum::<f64>()]
     }))
 }
 
-fn block(n: usize) -> Vec<Vec<f64>> {
-    (0..n).map(|i| vec![i as f64]).collect()
+fn block(n: usize) -> BlockView {
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+    BlockView::from_rows(&rows)
 }
 
 fn bench_dispatch(c: &mut Criterion) {
     let program = sum_program();
-    let data = block(500);
+    let view = block(500);
 
     c.bench_function("chamber/direct_call", |b| {
         b.iter(|| {
-            let owned = data.clone();
             let mut scratch = Scratch::new();
-            black_box(program.run(&owned, &mut scratch))
+            black_box(program.run(&view, &mut scratch))
         })
     });
 
     let unbounded = Chamber::new(ChamberPolicy::unbounded());
     c.bench_function("chamber/unbounded", |b| {
-        b.iter(|| black_box(unbounded.execute(Arc::clone(&program), data.clone())))
+        b.iter(|| black_box(unbounded.execute(Arc::clone(&program), view.clone())))
     });
 
     let bounded =
         Chamber::new(ChamberPolicy::bounded(Duration::from_secs(5), 0.0).without_padding());
     c.bench_function("chamber/bounded_worker_thread", |b| {
-        b.iter(|| black_box(bounded.execute(Arc::clone(&program), data.clone())))
+        b.iter(|| black_box(bounded.execute(Arc::clone(&program), view.clone())))
     });
 }
 
 fn bench_pool(c: &mut Criterion) {
     let program = sum_program();
-    let blocks: Vec<Vec<Vec<f64>>> = (0..64).map(|_| block(100)).collect();
+    let views: Vec<BlockView> = (0..64).map(|_| block(100)).collect();
     let pool = ChamberPool::with_default_parallelism(ChamberPolicy::unbounded());
     c.bench_function("chamber/pool_64_blocks", |b| {
-        b.iter(|| black_box(pool.run_all(&program, blocks.clone())))
+        b.iter(|| black_box(pool.run_all(&program, views.clone())))
     });
 }
 

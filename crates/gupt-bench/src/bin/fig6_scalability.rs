@@ -14,7 +14,7 @@ use gupt_bench::report::{banner, RunReport, SeriesTable};
 use gupt_core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation, RangeTranslator};
 use gupt_datasets::life_sciences::{LifeSciencesConfig, LifeSciencesDataset};
 use gupt_dp::{Epsilon, OutputRange};
-use gupt_sandbox::Scratch;
+use gupt_sandbox::{BlockView, Scratch};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -76,10 +76,12 @@ fn main() {
             times[times.len() / 2]
         };
 
-        // Non-private: the program runs once over the whole table.
+        // Non-private: the program runs once over the whole table,
+        // through a full-table view of the shared store.
+        let full = BlockView::from_rows(&data);
         let non_private = time_of(&mut || {
             let mut scratch = Scratch::new();
-            let out = program.run(&data, &mut scratch);
+            let out = program.run(&full, &mut scratch);
             std::hint::black_box(out);
         });
 

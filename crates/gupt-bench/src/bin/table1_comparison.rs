@@ -245,8 +245,9 @@ fn timing_attack_protection() -> [String; 3] {
 
     // GUPT: padded chamber — measure with and without the victim.
     let chamber = Chamber::new(ChamberPolicy::bounded(budget, 0.0));
-    let t_with = chamber.execute(program(), rows(20, true)).elapsed;
-    let t_without = chamber.execute(program(), rows(20, false)).elapsed;
+    let view = |v: bool| gupt_sandbox::BlockView::from_rows(&rows(20, v));
+    let t_with = chamber.execute(program(), view(true)).elapsed;
+    let t_without = chamber.execute(program(), view(false)).elapsed;
     let gupt = if t_with.abs_diff(t_without) < Duration::from_millis(20) {
         "Yes"
     } else {

@@ -97,7 +97,15 @@ fn validate_telemetry(t: &Value) -> Result<(), String> {
     let blocks = t
         .get("blocks")
         .ok_or("telemetry.blocks must be an object")?;
-    for key in ["run", "completed", "timed_out", "panicked", "workers"] {
+    for key in [
+        "run",
+        "completed",
+        "timed_out",
+        "panicked",
+        "workers",
+        "views_served",
+        "bytes_materialized",
+    ] {
         let n = require_number(blocks, key).map_err(|e| format!("telemetry.blocks: {e}"))?;
         if n < 0.0 || n.fract() != 0.0 {
             return Err(format!(
@@ -189,6 +197,17 @@ mod tests {
         let doc = parse(r#"{"run_report_version":1,"bench":"b","settings":{},"metrics":{"m":"fast"},"telemetry":null}"#).unwrap();
         let err = validate_run_report(&doc).unwrap_err();
         assert!(err.contains("metrics.m"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_data_plane_counters() {
+        let json = RunReport::new("b")
+            .telemetry(TelemetryReport::default())
+            .to_json()
+            .replace("\"views_served\"", "\"views_servedX\"");
+        let doc = parse(&json).unwrap();
+        let err = validate_run_report(&doc).unwrap_err();
+        assert!(err.contains("views_served"), "{err}");
     }
 
     #[test]

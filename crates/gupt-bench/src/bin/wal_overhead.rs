@@ -22,7 +22,7 @@ use gupt_core::{
     ServiceConfig, StorageConfig,
 };
 use gupt_dp::{Epsilon, OutputRange};
-use gupt_sandbox::ClosureProgram;
+use gupt_sandbox::{BlockView, ClosureProgram};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -58,7 +58,7 @@ fn service(seed: u64, durability: Durability) -> QueryService {
 }
 
 fn spec() -> QuerySpec {
-    let program = ClosureProgram::new(1, |b: &[Vec<f64>]| {
+    let program = ClosureProgram::new(1, |b: &BlockView| {
         thread::sleep(Duration::from_millis(SERVICE_MS));
         vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
     });

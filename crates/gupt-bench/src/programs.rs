@@ -1,17 +1,21 @@
 //! The analyst programs used by the evaluation, packaged as the opaque
 //! block programs GUPT runs (§7.1: scipy k-means, the MSR logistic
 //! package; §7.2: mean/median queries).
+//!
+//! All programs are view-native: they read their block through the shared
+//! [`BlockView`] without materialising rows (the k-means/logistic wrappers
+//! collect a `Vec<&[f64]>` of borrowed row slices — pointers, not data).
 
 use gupt_ml::kmeans::{kmeans, KMeansConfig};
 use gupt_ml::logistic::{train_logistic, LogisticConfig};
-use gupt_sandbox::{BlockProgram, ClosureProgram};
+use gupt_sandbox::{BlockProgram, BlockView, ClosureProgram};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
 
 /// Mean of column 0 — the §7.2 census "average age" query.
 pub fn mean_program() -> Arc<dyn BlockProgram> {
     Arc::new(
-        ClosureProgram::new(1, |block: &[Vec<f64>]| {
+        ClosureProgram::new(1, |block: &BlockView| {
             if block.is_empty() {
                 return vec![0.0];
             }
@@ -24,7 +28,7 @@ pub fn mean_program() -> Arc<dyn BlockProgram> {
 /// Median of column 0 — the §7.2.2 internet-ads query.
 pub fn median_program() -> Arc<dyn BlockProgram> {
     Arc::new(
-        ClosureProgram::new(1, |block: &[Vec<f64>]| {
+        ClosureProgram::new(1, |block: &BlockView| {
             if block.is_empty() {
                 return vec![0.0];
             }
@@ -55,13 +59,14 @@ pub fn kmeans_program(
     seed: u64,
 ) -> Arc<dyn BlockProgram> {
     Arc::new(
-        ClosureProgram::new(k * dims, move |block: &[Vec<f64>]| {
+        ClosureProgram::new(k * dims, move |block: &BlockView| {
             // The program carries its own seed: a black box has no access
             // to the runtime RNG (and must not, for reproducibility of
             // the runtime's noise draws).
             let mut rng = StdRng::seed_from_u64(seed);
+            let rows: Vec<&[f64]> = block.iter().collect();
             let model = kmeans(
-                block,
+                &rows,
                 KMeansConfig {
                     k,
                     max_iterations: iterations,
@@ -79,8 +84,9 @@ pub fn kmeans_program(
 /// (the §7.1 classification program).
 pub fn logistic_program(dims: usize) -> Arc<dyn BlockProgram> {
     Arc::new(
-        ClosureProgram::new(dims + 1, move |block: &[Vec<f64>]| {
-            train_logistic(block, LogisticConfig::default()).weights
+        ClosureProgram::new(dims + 1, move |block: &BlockView| {
+            let rows: Vec<&[f64]> = block.iter().collect();
+            train_logistic(&rows, LogisticConfig::default()).weights
         })
         .named("logistic-regression"),
     )
@@ -94,16 +100,19 @@ mod tests {
     #[test]
     fn mean_program_output() {
         let mut s = Scratch::new();
-        let out = mean_program().run(&[vec![2.0], vec![4.0]], &mut s);
+        let view = BlockView::from_rows(&[vec![2.0], vec![4.0]]);
+        let out = mean_program().run(&view, &mut s);
         assert_eq!(out, vec![3.0]);
-        assert_eq!(mean_program().run(&[], &mut s), vec![0.0]);
+        let empty = BlockView::from_rows(&[]);
+        assert_eq!(mean_program().run(&empty, &mut s), vec![0.0]);
     }
 
     #[test]
     fn median_program_output() {
         let mut s = Scratch::new();
         let rows: Vec<Vec<f64>> = [5.0, 1.0, 3.0].iter().map(|&v| vec![v]).collect();
-        assert_eq!(median_program().run(&rows, &mut s), vec![3.0]);
+        let view = BlockView::from_rows(&rows);
+        assert_eq!(median_program().run(&view, &mut s), vec![3.0]);
     }
 
     #[test]
@@ -112,7 +121,8 @@ mod tests {
         assert_eq!(p.output_dimension(), 6);
         let mut s = Scratch::new();
         let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 0.0]).collect();
-        assert_eq!(p.run(&rows, &mut s).len(), 6);
+        let view = BlockView::from_rows(&rows);
+        assert_eq!(p.run(&view, &mut s).len(), 6);
     }
 
     #[test]
@@ -121,6 +131,7 @@ mod tests {
         assert_eq!(p.output_dimension(), 3);
         let mut s = Scratch::new();
         let rows = vec![vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]];
-        assert_eq!(p.run(&rows, &mut s).len(), 3);
+        let view = BlockView::from_rows(&rows);
+        assert_eq!(p.run(&view, &mut s).len(), 3);
     }
 }

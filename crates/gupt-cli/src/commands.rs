@@ -236,7 +236,7 @@ fn query(args: &Args) -> Result<String, CliError> {
     // the in-process ledger only carries this one query's budget.
     let build_runtime = |budget: Epsilon, ds: Dataset| -> Result<_, CliError> {
         Ok(GuptRuntimeBuilder::new()
-            .register("data", ds, budget)?
+            .dataset("data", ds.builder().budget(budget))?
             .seed(seed)
             .build())
     };

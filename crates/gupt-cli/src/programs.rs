@@ -7,7 +7,7 @@
 
 use gupt_ml::histogram::Histogram;
 use gupt_ml::stats;
-use gupt_sandbox::{BlockProgram, ClosureProgram};
+use gupt_sandbox::{BlockProgram, BlockView, ClosureProgram};
 use std::fmt;
 use std::sync::Arc;
 
@@ -62,10 +62,8 @@ pub fn resolve(spec: &str) -> Result<ResolvedProgram, ProgramError> {
             let col = one_column(spec, &params, "mean:COL")?;
             Ok(ResolvedProgram {
                 program: Arc::new(
-                    ClosureProgram::new(1, move |b: &[Vec<f64>]| {
-                        vec![stats::mean(&column(b, col))]
-                    })
-                    .named(format!("mean:{col}")),
+                    ClosureProgram::new(1, move |b: &BlockView| vec![stats::mean(&column(b, col))])
+                        .named(format!("mean:{col}")),
                 ),
                 output_dim: 1,
                 description: format!("mean of column {col}"),
@@ -75,7 +73,7 @@ pub fn resolve(spec: &str) -> Result<ResolvedProgram, ProgramError> {
             let col = one_column(spec, &params, "median:COL")?;
             Ok(ResolvedProgram {
                 program: Arc::new(
-                    ClosureProgram::new(1, move |b: &[Vec<f64>]| {
+                    ClosureProgram::new(1, move |b: &BlockView| {
                         vec![stats::median(&column(b, col))]
                     })
                     .named(format!("median:{col}")),
@@ -88,7 +86,7 @@ pub fn resolve(spec: &str) -> Result<ResolvedProgram, ProgramError> {
             let col = one_column(spec, &params, "variance:COL")?;
             Ok(ResolvedProgram {
                 program: Arc::new(
-                    ClosureProgram::new(1, move |b: &[Vec<f64>]| {
+                    ClosureProgram::new(1, move |b: &BlockView| {
                         vec![stats::variance(&column(b, col))]
                     })
                     .named(format!("variance:{col}")),
@@ -106,7 +104,7 @@ pub fn resolve(spec: &str) -> Result<ResolvedProgram, ProgramError> {
             }
             Ok(ResolvedProgram {
                 program: Arc::new(
-                    ClosureProgram::new(1, |b: &[Vec<f64>]| vec![b.len() as f64]).named("count"),
+                    ClosureProgram::new(1, |b: &BlockView| vec![b.len() as f64]).named("count"),
                 ),
                 output_dim: 1,
                 description: "record count per block".to_string(),
@@ -153,7 +151,7 @@ pub fn resolve(spec: &str) -> Result<ResolvedProgram, ProgramError> {
 /// = per-bucket *fractions* (each in [0, 1]).
 pub fn histogram_with_range(col: usize, bins: usize, lo: f64, hi: f64) -> Arc<dyn BlockProgram> {
     Arc::new(
-        ClosureProgram::new(bins, move |b: &[Vec<f64>]| {
+        ClosureProgram::new(bins, move |b: &BlockView| {
             Histogram::build(&column(b, col), lo, hi, bins).fractions()
         })
         .named(format!("histogram:{col}:{bins}")),
@@ -173,8 +171,9 @@ fn one_column(spec: &str, params: &[&str], usage: &'static str) -> Result<usize,
     })
 }
 
-fn column(rows: &[Vec<f64>], col: usize) -> Vec<f64> {
-    rows.iter()
+fn column(block: &BlockView, col: usize) -> Vec<f64> {
+    block
+        .iter()
         .map(|r| r.get(col).copied().unwrap_or(0.0))
         .collect()
 }
@@ -184,8 +183,8 @@ mod tests {
     use super::*;
     use gupt_sandbox::Scratch;
 
-    fn rows() -> Vec<Vec<f64>> {
-        vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]
+    fn rows() -> BlockView {
+        BlockView::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]])
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::computation_manager::ComputationManager;
 use crate::error::GuptError;
+use gupt_sandbox::view::{BlockView, RowStore};
 use gupt_sandbox::BlockProgram;
 use std::sync::Arc;
 
@@ -66,25 +67,31 @@ impl AgedBlockStats {
 /// once over the full aged dataset.
 ///
 /// Chunking is deterministic (the aged rows are an i.i.d. sample, so a
-/// shuffle would only add variance to the estimate).
+/// shuffle would only add variance to the estimate). Each chunk is a
+/// *dense* [`BlockView`] onto the shared aged store — the estimator path
+/// allocates no row data and not even index lists.
 pub fn aged_block_stats(
     manager: &ComputationManager,
     program: &Arc<dyn BlockProgram>,
-    aged_rows: &[Vec<f64>],
+    aged: &Arc<RowStore>,
     block_size: usize,
 ) -> Result<AgedBlockStats, GuptError> {
-    if aged_rows.is_empty() {
+    if aged.is_empty() {
         return Err(GuptError::NoAgedData("<aged view>".into()));
     }
-    let block_size = block_size.clamp(1, aged_rows.len());
-    let blocks: Vec<Vec<Vec<f64>>> = aged_rows.chunks(block_size).map(|c| c.to_vec()).collect();
+    let n = aged.len();
+    let block_size = block_size.clamp(1, n);
+    let views: Vec<BlockView> = (0..n)
+        .step_by(block_size)
+        .map(|start| BlockView::dense(Arc::clone(aged), start, block_size.min(n - start)))
+        .collect();
     let block_outputs = manager
-        .execute_blocks(program, blocks)
+        .execute_blocks(program, views)
         .0
         .into_iter()
         .map(|r| r.output)
         .collect();
-    let full_output = manager.execute_full(program, aged_rows).output;
+    let full_output = manager.execute_full(program, aged).output;
     Ok(AgedBlockStats {
         block_outputs,
         full_output,
@@ -102,13 +109,17 @@ mod tests {
     }
 
     fn mean_program() -> Arc<dyn BlockProgram> {
-        Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+        Arc::new(ClosureProgram::new(1, |block: &BlockView| {
             vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
         }))
     }
 
-    fn rows(n: usize) -> Vec<Vec<f64>> {
-        (0..n).map(|i| vec![(i % 10) as f64]).collect()
+    fn rows(n: usize) -> Arc<RowStore> {
+        store((0..n).map(|i| vec![(i % 10) as f64]).collect())
+    }
+
+    fn store(rows: Vec<Vec<f64>>) -> Arc<RowStore> {
+        Arc::new(RowStore::from_rows(&rows))
     }
 
     #[test]
@@ -125,19 +136,19 @@ mod tests {
     fn estimation_error_grows_for_mismatched_blocks() {
         // Mean of the square: nonlinear, so block means differ from the
         // full-data output.
-        let program: Arc<dyn BlockProgram> =
-            Arc::new(ClosureProgram::new(1, |b: &[Vec<f64>]| {
-                let m = b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64;
-                vec![m * m]
-            }));
+        let program: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |b: &BlockView| {
+            let m = b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64;
+            vec![m * m]
+        }));
         let stats = aged_block_stats(&manager(), &program, &rows(100), 3).unwrap();
         assert!(stats.estimation_error() > 0.0);
     }
 
     #[test]
     fn empty_aged_rows_error() {
+        let empty = Arc::new(RowStore::from_flat(Vec::new(), 0));
         assert!(matches!(
-            aged_block_stats(&manager(), &mean_program(), &[], 10).unwrap_err(),
+            aged_block_stats(&manager(), &mean_program(), &empty, 10).unwrap_err(),
             GuptError::NoAgedData(_)
         ));
     }
@@ -157,9 +168,9 @@ mod tests {
 
     #[test]
     fn variance_positive_for_heterogeneous_blocks() {
-        let mut data = rows(50);
+        let mut data: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 10) as f64]).collect();
         data.extend((0..50).map(|i| vec![(i % 10) as f64 + 100.0]));
-        let stats = aged_block_stats(&manager(), &mean_program(), &data, 10).unwrap();
+        let stats = aged_block_stats(&manager(), &mean_program(), &store(data), 10).unwrap();
         assert!(stats.block_variance()[0] > 1.0);
     }
 }

@@ -19,6 +19,7 @@ use crate::aging::aged_block_stats;
 use crate::computation_manager::ComputationManager;
 use crate::error::GuptError;
 use gupt_dp::Epsilon;
+use gupt_sandbox::view::RowStore;
 use gupt_sandbox::BlockProgram;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -48,12 +49,12 @@ const REFINE_ROUNDS: usize = 4;
 pub fn optimal_block_size(
     manager: &ComputationManager,
     program: &Arc<dyn BlockProgram>,
-    aged_rows: &[Vec<f64>],
+    aged: &Arc<RowStore>,
     n: usize,
     output_width: f64,
     eps_per_dim: Epsilon,
 ) -> Result<BlockSizeChoice, GuptError> {
-    if aged_rows.is_empty() {
+    if aged.is_empty() {
         return Err(GuptError::NoAgedData("<aged view>".into()));
     }
     if n < 2 {
@@ -61,7 +62,7 @@ pub fn optimal_block_size(
             "block-size optimization needs n ≥ 2".into(),
         ));
     }
-    let n_np = aged_rows.len();
+    let n_np = aged.len();
     let ln_n = (n as f64).ln();
     // Feasibility: block size n^{1−α} ≤ n_np ⇒ α ≥ 1 − ln n_np / ln n.
     let alpha_min = (1.0 - (n_np as f64).ln() / ln_n).max(0.0);
@@ -74,7 +75,7 @@ pub fn optimal_block_size(
         let estimation = match cache.get(&beta) {
             Some(&a) => a,
             None => {
-                let stats = aged_block_stats(manager, program, aged_rows, beta)?;
+                let stats = aged_block_stats(manager, program, aged, beta)?;
                 let a = stats.estimation_error();
                 cache.insert(beta, a);
                 a
@@ -130,29 +131,32 @@ mod tests {
         ComputationManager::new(ChamberPolicy::unbounded(), 2)
     }
 
+    use gupt_sandbox::view::BlockView;
+
     fn mean_program() -> Arc<dyn BlockProgram> {
-        Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+        Arc::new(ClosureProgram::new(1, |block: &BlockView| {
             vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
         }))
     }
 
     fn median_program() -> Arc<dyn BlockProgram> {
-        Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+        Arc::new(ClosureProgram::new(1, |block: &BlockView| {
             let mut v: Vec<f64> = block.iter().map(|r| r[0]).collect();
             v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
             vec![v[v.len() / 2]]
         }))
     }
 
-    fn skewed_rows(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    fn skewed_rows(n: usize, seed: u64) -> Arc<RowStore> {
         let mut r = StdRng::seed_from_u64(seed);
-        (0..n)
+        let rows: Vec<Vec<f64>> = (0..n)
             .map(|_| {
                 // Right-skewed: mostly small, occasionally large.
                 let u: f64 = r.random();
                 vec![if u < 0.8 { u } else { 10.0 * u }]
             })
-            .collect()
+            .collect();
+        Arc::new(RowStore::from_rows(&rows))
     }
 
     #[test]
@@ -208,11 +212,12 @@ mod tests {
 
     #[test]
     fn no_aged_data_error() {
+        let empty = Arc::new(RowStore::from_flat(Vec::new(), 0));
         assert!(matches!(
             optimal_block_size(
                 &manager(),
                 &mean_program(),
-                &[],
+                &empty,
                 1000,
                 1.0,
                 Epsilon::new(1.0).unwrap()

@@ -8,20 +8,26 @@
 //! sensitivity of the block average is `γ·s/ℓ = s·β/n` — independent of
 //! `γ` — so resampling reduces partition variance for free.
 
+use gupt_sandbox::view::{BlockView, RowStore};
 use rand::{Rng, RngExt};
+use std::sync::Arc;
 
 /// A partition plan: blocks of record indices into the dataset.
+///
+/// Index lists are `Arc`-backed so that the [`BlockView`]s handed to
+/// chamber workers share them instead of copying — block preparation
+/// allocates the index lists once, here, and nothing else.
 #[derive(Debug, Clone)]
 pub struct BlockPlan {
-    blocks: Vec<Vec<usize>>,
+    blocks: Vec<Arc<[usize]>>,
     block_size: usize,
     gamma: usize,
     records: usize,
 }
 
 impl BlockPlan {
-    /// The blocks (lists of record indices).
-    pub fn blocks(&self) -> &[Vec<usize>] {
+    /// The blocks (shared lists of record indices).
+    pub fn blocks(&self) -> &[Arc<[usize]>] {
         &self.blocks
     }
 
@@ -55,19 +61,46 @@ impl BlockPlan {
         self.gamma as f64 * output_width / self.blocks.len() as f64
     }
 
-    /// Materialises one block by cloning the referenced rows.
-    pub fn materialize(&self, rows: &[Vec<f64>], block: usize) -> Vec<Vec<f64>> {
-        self.blocks[block]
+    /// Builds the zero-copy [`BlockView`]s the computation manager ships
+    /// to the chambers: each view is two `Arc` bumps (store + index
+    /// list), so this allocates only the outer `Vec` — O(ℓ) handles, no
+    /// row data, independent of γ·dataset-bytes.
+    ///
+    /// Panics when the plan was built for more records than `store`
+    /// holds (views bounds-check their indices on construction).
+    pub fn views(&self, store: &Arc<RowStore>) -> Vec<BlockView> {
+        self.blocks
             .iter()
-            .map(|&i| rows[i].clone())
+            .map(|idx| BlockView::sparse(Arc::clone(store), Arc::clone(idx)))
             .collect()
     }
 
-    /// Materialises every block (what the computation manager pipes into
-    /// the chambers).
-    pub fn materialize_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<Vec<f64>>> {
+    /// Bytes of index bookkeeping the plan holds — the *only* per-query
+    /// block-preparation allocation on the view plane (the legacy clone
+    /// plane copied `γ · payload_bytes` of row data instead).
+    pub fn index_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.len() * std::mem::size_of::<usize>())
+            .sum()
+    }
+
+    /// Materialises one block by deep-cloning the referenced rows.
+    ///
+    /// Legacy clone plane: survives only for the equivalence tests and
+    /// the clone-vs-view benchmark. Query paths use [`BlockPlan::views`].
+    pub fn materialize(&self, store: &RowStore, block: usize) -> Vec<Vec<f64>> {
+        self.blocks[block]
+            .iter()
+            .map(|&i| store.row(i).to_vec())
+            .collect()
+    }
+
+    /// Materialises every block by deep-cloning rows (legacy clone
+    /// plane — see [`BlockPlan::materialize`]).
+    pub fn materialize_all(&self, store: &RowStore) -> Vec<Vec<Vec<f64>>> {
         (0..self.blocks.len())
-            .map(|b| self.materialize(rows, b))
+            .map(|b| self.materialize(store, b))
             .collect()
     }
 }
@@ -116,7 +149,7 @@ pub fn partition<R: Rng + ?Sized>(
         let mut order: Vec<usize> = (0..n).collect();
         shuffle(&mut order, rng);
         for chunk in order.chunks(block_size) {
-            blocks.push(chunk.to_vec());
+            blocks.push(Arc::from(chunk));
         }
     }
     BlockPlan {
@@ -154,7 +187,7 @@ pub fn partition_grouped<R: Rng + ?Sized>(
             records: 0,
         };
     }
-    let mut blocks = Vec::new();
+    let mut blocks: Vec<Arc<[usize]>> = Vec::new();
     for _ in 0..gamma {
         let mut order: Vec<usize> = (0..groups.len())
             .filter(|&g| !groups[g].is_empty())
@@ -164,11 +197,11 @@ pub fn partition_grouped<R: Rng + ?Sized>(
         for &g in &order {
             current.extend_from_slice(&groups[g]);
             if current.len() >= block_size {
-                blocks.push(std::mem::take(&mut current));
+                blocks.push(Arc::from(std::mem::take(&mut current)));
             }
         }
         if !current.is_empty() {
-            blocks.push(current);
+            blocks.push(Arc::from(current));
         }
     }
     BlockPlan {
@@ -206,7 +239,7 @@ mod tests {
         let mut seen = vec![0usize; 1000];
         for block in plan.blocks() {
             assert!(block.len() <= 100);
-            for &i in block {
+            for &i in block.iter() {
                 seen[i] += 1;
             }
         }
@@ -223,7 +256,7 @@ mod tests {
             // No record twice within one block.
             let set: HashSet<usize> = block.iter().copied().collect();
             assert_eq!(set.len(), block.len());
-            for &i in block {
+            for &i in block.iter() {
                 counts[i] += 1;
             }
         }
@@ -237,7 +270,7 @@ mod tests {
         assert_eq!(plan.num_blocks(), 22);
         let mut counts = vec![0usize; 103];
         for block in plan.blocks() {
-            for &i in block {
+            for &i in block.iter() {
                 counts[i] += 1;
             }
         }
@@ -282,8 +315,9 @@ mod tests {
     #[test]
     fn materialize_clones_correct_rows() {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let store = RowStore::from_rows(&rows);
         let plan = partition(20, 5, 1, &mut rng());
-        let all = plan.materialize_all(&rows);
+        let all = plan.materialize_all(&store);
         assert_eq!(all.len(), 4);
         for (b, block) in all.iter().enumerate() {
             for (r, row) in block.iter().enumerate() {
@@ -318,7 +352,7 @@ mod tests {
         // Every record appears exactly γ times.
         let mut counts = vec![0usize; next];
         for block in plan.blocks() {
-            for &i in block {
+            for &i in block.iter() {
                 counts[i] += 1;
             }
         }

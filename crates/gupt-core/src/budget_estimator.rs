@@ -20,6 +20,7 @@ use crate::aging::aged_block_stats;
 use crate::computation_manager::ComputationManager;
 use crate::error::GuptError;
 use gupt_dp::{Epsilon, OutputRange};
+use gupt_sandbox::view::RowStore;
 use gupt_sandbox::BlockProgram;
 use std::sync::Arc;
 
@@ -94,20 +95,20 @@ impl AccuracyGoal {
 pub fn estimate_epsilon(
     manager: &ComputationManager,
     program: &Arc<dyn BlockProgram>,
-    aged_rows: &[Vec<f64>],
+    aged: &Arc<RowStore>,
     ranges: &[OutputRange],
     block_size: usize,
     n: usize,
     goal: AccuracyGoal,
 ) -> Result<Epsilon, GuptError> {
-    if aged_rows.is_empty() {
+    if aged.is_empty() {
         return Err(GuptError::NoAgedData("<aged view>".into()));
     }
     if n == 0 {
         return Err(GuptError::InvalidDataset("private table is empty".into()));
     }
     let block_size = block_size.clamp(1, n);
-    let stats = aged_block_stats(manager, program, aged_rows, block_size)?;
+    let stats = aged_block_stats(manager, program, aged, block_size)?;
     if stats.full_output.len() != ranges.len() {
         return Err(GuptError::DimensionMismatch {
             expected: stats.full_output.len(),
@@ -181,17 +182,20 @@ mod tests {
         ComputationManager::new(ChamberPolicy::unbounded(), 2)
     }
 
+    use gupt_sandbox::view::BlockView;
+
     fn mean_program() -> Arc<dyn BlockProgram> {
-        Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+        Arc::new(ClosureProgram::new(1, |block: &BlockView| {
             vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
         }))
     }
 
-    fn age_rows(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    fn age_rows(n: usize, seed: u64) -> Arc<RowStore> {
         let mut r = StdRng::seed_from_u64(seed);
-        (0..n)
+        let rows: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![20.0 + 40.0 * r.random::<f64>()])
-            .collect()
+            .collect();
+        Arc::new(RowStore::from_rows(&rows))
     }
 
     fn range() -> Vec<OutputRange> {
@@ -276,9 +280,11 @@ mod tests {
         // Tiny blocks on a high-variance statistic with an extremely tight
         // goal: estimation variance alone exceeds the permitted variance.
         let mut r = StdRng::seed_from_u64(3);
-        let aged: Vec<Vec<f64>> = (0..2000)
-            .map(|_| vec![if r.random::<f64>() < 0.5 { 0.0 } else { 100.0 }])
-            .collect();
+        let aged: Arc<RowStore> = Arc::new(RowStore::from_rows(
+            &(0..2000)
+                .map(|_| vec![if r.random::<f64>() < 0.5 { 0.0 } else { 100.0 }])
+                .collect::<Vec<_>>(),
+        ));
         let err = estimate_epsilon(
             &manager(),
             &mean_program(),
@@ -297,11 +303,12 @@ mod tests {
 
     #[test]
     fn no_aged_data_error() {
+        let empty = Arc::new(RowStore::from_flat(Vec::new(), 0));
         assert!(matches!(
             estimate_epsilon(
                 &manager(),
                 &mean_program(),
-                &[],
+                &empty,
                 &range(),
                 10,
                 100,
@@ -335,7 +342,7 @@ mod tests {
         // accuracy goal holds empirically.
         use crate::saf::sample_and_aggregate;
         let aged = age_rows(3000, 5);
-        let private = age_rows(30_000, 6);
+        let private = age_rows(30_000, 6).to_rows();
         let goal = AccuracyGoal::new(0.9, 0.9).unwrap();
         let beta = 50;
         let eps = estimate_epsilon(

@@ -8,7 +8,13 @@
 //! into the chambers and collects the per-block reports, from which the
 //! runtime computes the DP aggregate. The untrusted program never
 //! communicates with anything but its own chamber.
+//!
+//! Blocks arrive as zero-copy [`BlockView`]s onto the registration-time
+//! row store; shipping one to a chamber is two `Arc` bumps, so a query's
+//! data-plane allocation is O(total indices) regardless of γ or the
+//! dataset's byte size.
 
+use gupt_sandbox::view::{BlockView, RowStore};
 use gupt_sandbox::{
     BlockProgram, ChamberOutcome, ChamberPolicy, ChamberPool, ChamberReport, PoolTrace,
 };
@@ -84,9 +90,9 @@ impl ComputationManager {
     pub fn execute_blocks(
         &self,
         program: &Arc<dyn BlockProgram>,
-        blocks: Vec<Vec<Vec<f64>>>,
+        views: Vec<BlockView>,
     ) -> (Vec<ChamberReport>, PoolTrace) {
-        self.pool.run_all_traced(program, blocks)
+        self.pool.run_all_traced(program, views)
     }
 
     /// Like [`ComputationManager::execute_blocks`], but when `cap` is
@@ -97,28 +103,28 @@ impl ComputationManager {
     pub fn execute_blocks_capped(
         &self,
         program: &Arc<dyn BlockProgram>,
-        blocks: Vec<Vec<Vec<f64>>>,
+        views: Vec<BlockView>,
         cap: Option<Duration>,
     ) -> (Vec<ChamberReport>, PoolTrace) {
         match cap {
             Some(cap) if self.pool.policy().execution_budget.is_none() => {
                 let policy = self.pool.policy().clone().with_execution_budget(cap);
-                self.pool
-                    .with_policy(policy)
-                    .run_all_traced(program, blocks)
+                self.pool.with_policy(policy).run_all_traced(program, views)
             }
-            _ => self.pool.run_all_traced(program, blocks),
+            _ => self.pool.run_all_traced(program, views),
         }
     }
 
-    /// Runs `program` once over an entire row set (used on aged,
+    /// Runs `program` once over an entire row store (used on aged,
     /// non-private data by the estimators, and by non-private baselines).
+    /// The full-table view is as cheap as any block view.
     pub fn execute_full(
         &self,
         program: &Arc<dyn BlockProgram>,
-        rows: &[Vec<f64>],
+        store: &Arc<RowStore>,
     ) -> ChamberReport {
-        let (mut reports, _) = self.pool.run_all_traced(program, vec![rows.to_vec()]);
+        let view = BlockView::full(Arc::clone(store));
+        let (mut reports, _) = self.pool.run_all_traced(program, vec![view]);
         reports.pop().expect("pool returns one report per block")
     }
 }
@@ -128,8 +134,12 @@ mod tests {
     use super::*;
     use gupt_sandbox::ClosureProgram;
 
+    fn view(rows: &[Vec<f64>]) -> BlockView {
+        BlockView::from_rows(rows)
+    }
+
     fn mean_program() -> Arc<dyn BlockProgram> {
-        Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+        Arc::new(ClosureProgram::new(1, |block: &BlockView| {
             if block.is_empty() {
                 return vec![0.0];
             }
@@ -140,8 +150,8 @@ mod tests {
     #[test]
     fn executes_blocks_in_order() {
         let manager = ComputationManager::new(ChamberPolicy::unbounded(), 4);
-        let blocks: Vec<Vec<Vec<f64>>> = (0..10)
-            .map(|b| (0..5).map(|_| vec![b as f64]).collect())
+        let blocks: Vec<BlockView> = (0..10)
+            .map(|b| view(&(0..5).map(|_| vec![b as f64]).collect::<Vec<_>>()))
             .collect();
         let (reports, trace) = manager.execute_blocks(&mean_program(), blocks);
         for (b, r) in reports.iter().enumerate() {
@@ -154,18 +164,19 @@ mod tests {
     fn execute_full_runs_whole_table() {
         let manager = ComputationManager::new(ChamberPolicy::unbounded(), 2);
         let rows: Vec<Vec<f64>> = (0..=10).map(|i| vec![i as f64]).collect();
-        let report = manager.execute_full(&mean_program(), &rows);
+        let store = Arc::new(RowStore::from_rows(&rows));
+        let report = manager.execute_full(&mean_program(), &store);
         assert_eq!(report.output, vec![5.0]);
     }
 
     #[test]
     fn summary_counts_outcomes() {
         let manager = ComputationManager::new(ChamberPolicy::unbounded(), 2);
-        let picky: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |b: &[Vec<f64>]| {
-            assert!(b[0][0] >= 0.0);
-            vec![b[0][0]]
+        let picky: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |b: &BlockView| {
+            assert!(b.row(0)[0] >= 0.0);
+            vec![b.row(0)[0]]
         }));
-        let blocks = vec![vec![vec![1.0]], vec![vec![-1.0]], vec![vec![3.0]]];
+        let blocks = vec![view(&[vec![1.0]]), view(&[vec![-1.0]]), view(&[vec![3.0]])];
         let (reports, _) = manager.execute_blocks(&picky, blocks);
         let summary = ExecutionSummary::from_reports(&reports);
         assert_eq!(summary.completed, 2);
@@ -177,13 +188,13 @@ mod tests {
     #[test]
     fn capped_execution_kills_overrunning_blocks() {
         let manager = ComputationManager::new(ChamberPolicy::unbounded(), 2);
-        let slow: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| {
+        let slow: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &BlockView| {
             std::thread::sleep(Duration::from_secs(5));
             vec![1.0]
         }));
         let (reports, _) = manager.execute_blocks_capped(
             &slow,
-            vec![vec![vec![1.0]]],
+            vec![view(&[vec![1.0]])],
             Some(Duration::from_millis(20)),
         );
         assert_eq!(reports[0].outcome, ChamberOutcome::TimedOut);
@@ -196,13 +207,13 @@ mod tests {
         // configured policy even though it would blow the cap.
         let policy = ChamberPolicy::bounded(Duration::from_secs(5), 0.0).without_padding();
         let manager = ComputationManager::new(policy, 2);
-        let napper: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| {
+        let napper: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &BlockView| {
             std::thread::sleep(Duration::from_millis(30));
             vec![1.0]
         }));
         let (reports, _) = manager.execute_blocks_capped(
             &napper,
-            vec![vec![vec![3.0]]],
+            vec![view(&[vec![3.0]])],
             Some(Duration::from_millis(1)),
         );
         assert_eq!(reports[0].outcome, ChamberOutcome::Completed);

@@ -6,22 +6,30 @@
 //! mark a fraction of the records as *aged* — drawn from the same
 //! distribution but no longer privacy-sensitive — which the runtime uses
 //! to tune block sizes and translate accuracy goals into budgets.
+//!
+//! Rows are flattened **once**, at construction, into an `Arc`-backed
+//! [`RowStore`]; every query partition afterwards hands out
+//! [`gupt_sandbox::view::BlockView`]s onto that shared store instead of
+//! cloning rows.
 
 use crate::error::GuptError;
 use gupt_dp::OutputRange;
+use gupt_sandbox::view::RowStore;
+use std::sync::Arc;
 
 /// A registered dataset.
 #[derive(Debug, Clone)]
 pub struct Dataset {
-    rows: Vec<Vec<f64>>,
+    store: Arc<RowStore>,
     input_ranges: Option<Vec<OutputRange>>,
-    aged_rows: Vec<Vec<f64>>,
+    aged: Arc<RowStore>,
     group_column: Option<usize>,
 }
 
 impl Dataset {
     /// Creates a dataset from row-major records. All rows must be
-    /// non-empty and of equal width.
+    /// non-empty and of equal width. The rows are flattened into the
+    /// shared [`RowStore`] here — the only copy the data plane makes.
     pub fn new(rows: Vec<Vec<f64>>) -> Result<Self, GuptError> {
         let Some(first) = rows.first() else {
             return Err(GuptError::InvalidDataset("dataset has no rows".into()));
@@ -42,9 +50,9 @@ impl Dataset {
             ));
         }
         Ok(Dataset {
-            rows,
+            store: Arc::new(RowStore::from_rows(&rows)),
             input_ranges: None,
-            aged_rows: Vec::new(),
+            aged: Arc::new(RowStore::from_flat(Vec::new(), 0)),
             group_column: None,
         })
     }
@@ -74,9 +82,13 @@ impl Dataset {
                 "aged fraction must lie in (0, 1), got {fraction}"
             )));
         }
-        let cut = ((self.rows.len() as f64) * fraction).round() as usize;
-        let cut = cut.clamp(1, self.rows.len().saturating_sub(1));
-        self.aged_rows = self.rows.drain(..cut).collect();
+        let n = self.store.len();
+        let cut = ((n as f64) * fraction).round() as usize;
+        let cut = cut.clamp(1, n.saturating_sub(1));
+        let arity = self.store.dimension();
+        let flat = self.store.flat();
+        self.aged = Arc::new(RowStore::from_flat(flat[..cut * arity].to_vec(), arity));
+        self.store = Arc::new(RowStore::from_flat(flat[cut * arity..].to_vec(), arity));
         Ok(self)
     }
 
@@ -88,38 +100,39 @@ impl Dataset {
                 "aged rows have mismatched width".into(),
             ));
         }
-        self.aged_rows = aged;
+        self.aged = Arc::new(RowStore::from_rows(&aged));
         Ok(self)
     }
 
-    /// The privacy-sensitive records.
-    pub fn rows(&self) -> &[Vec<f64>] {
-        &self.rows
+    /// The privacy-sensitive records: the shared row store that query
+    /// [`gupt_sandbox::view::BlockView`]s borrow from.
+    pub fn store(&self) -> &Arc<RowStore> {
+        &self.store
     }
 
     /// The aged, non-private records (empty unless configured).
-    pub fn aged_rows(&self) -> &[Vec<f64>] {
-        &self.aged_rows
+    pub fn aged_store(&self) -> &Arc<RowStore> {
+        &self.aged
     }
 
     /// Whether an aged view is available.
     pub fn has_aged_data(&self) -> bool {
-        !self.aged_rows.is_empty()
+        !self.aged.is_empty()
     }
 
     /// Number of privacy-sensitive records.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.store.len()
     }
 
     /// Whether the private table is empty.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.store.is_empty()
     }
 
     /// Row width `k`.
     pub fn dimension(&self) -> usize {
-        self.rows.first().map_or(0, Vec::len)
+        self.store.dimension()
     }
 
     /// Owner-declared input ranges, if any.
@@ -154,7 +167,7 @@ impl Dataset {
         let col = self.group_column?;
         let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        for (i, row) in self.rows.iter().enumerate() {
+        for (i, row) in self.store.iter_rows().enumerate() {
             let key = row[col].to_bits();
             let g = *index.entry(key).or_insert_with(|| {
                 groups.push(Vec::new());
@@ -227,12 +240,13 @@ mod tests {
             .unwrap()
             .with_aged_fraction(0.1)
             .unwrap();
-        assert_eq!(ds.aged_rows().len(), 10);
+        assert_eq!(ds.aged_store().len(), 10);
         assert_eq!(ds.len(), 90);
         assert!(ds.has_aged_data());
-        // Aged rows are the prefix.
-        assert_eq!(ds.aged_rows()[0], vec![0.0, 0.0]);
-        assert_eq!(ds.rows()[0], vec![10.0, 20.0]);
+        // Aged rows are the prefix; both stores keep the shared arity.
+        assert_eq!(ds.aged_store().row(0), &[0.0, 0.0]);
+        assert_eq!(ds.store().row(0), &[10.0, 20.0]);
+        assert_eq!(ds.aged_store().dimension(), 2);
     }
 
     #[test]
@@ -243,7 +257,7 @@ mod tests {
         assert!(ds.clone().with_aged_fraction(f64::NAN).is_err());
         // Tiny fraction still leaves at least one aged row.
         let tiny = ds.with_aged_fraction(0.001).unwrap();
-        assert_eq!(tiny.aged_rows().len(), 1);
+        assert_eq!(tiny.aged_store().len(), 1);
     }
 
     #[test]
@@ -273,12 +287,21 @@ mod tests {
     }
 
     #[test]
+    fn store_is_shared_not_copied() {
+        let ds = Dataset::new(rows(6)).unwrap();
+        let a = Arc::clone(ds.store());
+        let b = ds.clone();
+        // Cloning the dataset bumps the Arc instead of copying rows.
+        assert!(Arc::ptr_eq(&a, b.store()));
+    }
+
+    #[test]
     fn explicit_aged_rows() {
         let ds = Dataset::new(rows(5))
             .unwrap()
             .with_aged_rows(rows(3))
             .unwrap();
-        assert_eq!(ds.aged_rows().len(), 3);
+        assert_eq!(ds.aged_store().len(), 3);
         assert_eq!(ds.len(), 5); // private table untouched
                                  // Width mismatch rejected.
         let bad = Dataset::new(rows(5))

@@ -75,6 +75,7 @@ pub use dataset::Dataset;
 pub use dataset_manager::{DatasetEntry, DatasetManager, DatasetRegistration, LedgerState};
 pub use error::GuptError;
 pub use explain::{BudgetSplit, QueryPlan};
+pub use gupt_sandbox::view::{BlockRows, BlockView, RowStore};
 pub use output_range::{RangeEstimation, RangeTranslator};
 pub use query::{BlockSizeSpec, BudgetSpec, QuerySpec};
 pub use runtime::{GuptRuntime, GuptRuntimeBuilder, PrivateAnswer};

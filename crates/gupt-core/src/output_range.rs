@@ -16,6 +16,7 @@
 
 use crate::error::GuptError;
 use gupt_dp::{dp_quartile_range, Epsilon, OutputRange};
+use gupt_sandbox::view::RowStore;
 use rand::Rng;
 use std::fmt;
 use std::sync::Arc;
@@ -111,8 +112,10 @@ pub fn resolve_loose<R: Rng + ?Sized>(
 /// `GUPT-helper` resolution (Theorem 1.1): DP quartiles of each *input*
 /// dimension (spending `eps_per_input_dim` each) produce tight input
 /// ranges; the analyst's translator converts them to output ranges.
+/// Columns are gathered straight from the shared [`RowStore`] — the
+/// `O(n ln n)` pass never clones rows.
 pub fn resolve_helper<R: Rng + ?Sized>(
-    rows: &[Vec<f64>],
+    store: &RowStore,
     input_ranges: &[OutputRange],
     translate: &RangeTranslator,
     input_dim: usize,
@@ -128,7 +131,7 @@ pub fn resolve_helper<R: Rng + ?Sized>(
     }
     let tight_inputs: Vec<OutputRange> = (0..input_dim)
         .map(|d| {
-            let column: Vec<f64> = rows.iter().map(|r| r[d]).collect();
+            let column: Vec<f64> = store.iter_rows().map(|r| r[d]).collect();
             dp_quartile_range(&column, input_ranges[d], eps_per_input_dim, rng)
                 .map_err(GuptError::Dp)
         })
@@ -194,9 +197,10 @@ mod tests {
         // Inputs uniform on [0, 100]; translator: output range = input
         // range (an identity query like "mean").
         let rows: Vec<Vec<f64>> = (0..1000).map(|i| vec![(i % 101) as f64]).collect();
+        let store = RowStore::from_rows(&rows);
         let translate: RangeTranslator = Arc::new(|inputs: &[OutputRange]| inputs.to_vec());
         let resolved = resolve_helper(
-            &rows,
+            &store,
             &[range(0.0, 10_000.0)],
             &translate,
             1,
@@ -213,9 +217,10 @@ mod tests {
     #[test]
     fn helper_rejects_bad_translator_arity() {
         let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let store = RowStore::from_rows(&rows);
         let translate: RangeTranslator = Arc::new(|_: &[OutputRange]| Vec::new());
         let err = resolve_helper(
-            &rows,
+            &store,
             &[range(0.0, 100.0)],
             &translate,
             1,
@@ -230,9 +235,10 @@ mod tests {
     #[test]
     fn helper_rejects_input_range_mismatch() {
         let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let store = RowStore::from_rows(&rows);
         let translate: RangeTranslator = Arc::new(|inputs: &[OutputRange]| inputs.to_vec());
         let err = resolve_helper(
-            &rows,
+            &store,
             &[range(0.0, 100.0)],
             &translate,
             2,

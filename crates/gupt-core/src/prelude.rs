@@ -14,7 +14,7 @@
 //!     .unwrap()
 //!     .seed(1)
 //!     .build();
-//! let spec = QuerySpec::program(|b: &[Vec<f64>]| {
+//! let spec = QuerySpec::view_program(|b: &BlockView| {
 //!     vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len() as f64]
 //! })
 //! .epsilon(Epsilon::new(1.0).unwrap())
@@ -29,7 +29,8 @@
 //! it. The audit rule for what belongs here: every name is used by at
 //! least one `examples/` program or is part of the durable-service
 //! surface (service config/stats, durability config, ledger
-//! inspection); plumbing types like the batch answer, query plans or
+//! inspection, the zero-copy data-plane types [`RowStore`] and
+//! [`BlockView`]); plumbing types like the batch answer, query plans or
 //! range translators stay behind `gupt_core::{batch, explain,
 //! output_range}`.
 
@@ -43,3 +44,4 @@ pub use crate::runtime::{GuptRuntime, GuptRuntimeBuilder, PrivateAnswer};
 pub use crate::service::{QueryService, ServiceConfig, ServiceStats};
 pub use crate::storage::{Durability, FsyncPolicy, RecoveredLedger, StorageConfig, StorageStats};
 pub use gupt_dp::{Epsilon, OutputRange};
+pub use gupt_sandbox::view::{BlockView, RowStore};

@@ -10,7 +10,8 @@ use crate::aggregator::Aggregator;
 use crate::budget_estimator::AccuracyGoal;
 use crate::output_range::RangeEstimation;
 use gupt_dp::Epsilon;
-use gupt_sandbox::{BlockProgram, ClosureProgram};
+use gupt_sandbox::view::BlockView;
+use gupt_sandbox::{BlockProgram, ClosureProgram, RowSliceProgram};
 use std::fmt;
 use std::sync::Arc;
 
@@ -60,7 +61,29 @@ impl fmt::Debug for QuerySpec {
 }
 
 impl QuerySpec {
-    /// Wraps a scalar-output closure (`output_dimension = 1`).
+    /// Wraps a scalar-output zero-copy closure (`output_dimension = 1`)
+    /// reading its block through a [`BlockView`].
+    pub fn view_program<F>(f: F) -> QuerySpec
+    where
+        F: Fn(&BlockView) -> Vec<f64> + Send + Sync + 'static,
+    {
+        QuerySpec::view_program_with_dim(1, f)
+    }
+
+    /// Wraps a zero-copy closure with a declared output dimension `p`.
+    pub fn view_program_with_dim<F>(output_dim: usize, f: F) -> QuerySpec
+    where
+        F: Fn(&BlockView) -> Vec<f64> + Send + Sync + 'static,
+    {
+        QuerySpec::from_program(Arc::new(ClosureProgram::new(output_dim, f)))
+    }
+
+    /// Wraps a scalar-output legacy slice closure (`output_dimension = 1`).
+    ///
+    /// **Note**: runs on the deprecated clone plane — every block is
+    /// deep-copied into `Vec<Vec<f64>>` before the closure sees it.
+    /// Prefer [`QuerySpec::view_program`], which reads the shared row
+    /// store without copying.
     pub fn program<F>(f: F) -> QuerySpec
     where
         F: Fn(&[Vec<f64>]) -> Vec<f64> + Send + Sync + 'static,
@@ -68,12 +91,16 @@ impl QuerySpec {
         QuerySpec::program_with_dim(1, f)
     }
 
-    /// Wraps a closure with a declared output dimension `p`.
+    /// Wraps a legacy slice closure with a declared output dimension `p`.
+    ///
+    /// **Note**: clone-plane compatibility shim, like
+    /// [`QuerySpec::program`] — prefer
+    /// [`QuerySpec::view_program_with_dim`].
     pub fn program_with_dim<F>(output_dim: usize, f: F) -> QuerySpec
     where
         F: Fn(&[Vec<f64>]) -> Vec<f64> + Send + Sync + 'static,
     {
-        QuerySpec::from_program(Arc::new(ClosureProgram::new(output_dim, f)))
+        QuerySpec::from_program(Arc::new(RowSliceProgram::new(output_dim, f)))
     }
 
     /// Uses an existing [`BlockProgram`] (e.g. a wrapped binary).
@@ -221,8 +248,17 @@ mod tests {
 
     #[test]
     fn debug_uses_program_name() {
-        let spec = QuerySpec::program(|_: &[Vec<f64>]| vec![0.0]);
+        let spec = QuerySpec::view_program(|_: &BlockView| vec![0.0]);
         assert!(format!("{spec:?}").contains("closure-program"));
+        let spec = QuerySpec::program(|_: &[Vec<f64>]| vec![0.0]);
+        assert!(format!("{spec:?}").contains("row-slice-program"));
+    }
+
+    #[test]
+    fn view_program_defaults() {
+        let spec = QuerySpec::view_program_with_dim(2, |_: &BlockView| vec![0.0; 2]);
+        assert_eq!(spec.output_dimension(), 2);
+        assert_eq!(spec.gamma(), 1);
     }
 
     #[test]

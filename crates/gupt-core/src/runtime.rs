@@ -47,7 +47,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// A differentially private answer.
+///
+/// `#[non_exhaustive]` (like [`GuptError`]): future fields must not
+/// break analysts, so construct-by-literal is reserved to the runtime.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct PrivateAnswer {
     /// The noisy output vector (one value per output dimension).
     pub values: Vec<f64>,
@@ -304,7 +308,7 @@ impl GuptRuntime {
         estimate_epsilon(
             &self.computation,
             &spec.program,
-            ds.aged_rows(),
+            ds.aged_store(),
             ranges,
             block_size,
             ds.len(),
@@ -417,7 +421,7 @@ impl GuptRuntime {
                 crate::block_size::optimal_block_size(
                     &self.computation,
                     &spec.program,
-                    ds.aged_rows(),
+                    ds.aged_store(),
                     n,
                     max_width,
                     eps_per_dim,
@@ -466,13 +470,17 @@ impl GuptRuntime {
             Some(groups) => partition_grouped(&groups, block_size, spec.gamma(), &mut rng),
             None => partition(n, block_size, spec.gamma(), &mut rng),
         };
-        let blocks = plan.materialize_all(ds.rows());
+        // Zero-copy block prep: views share the registration-time row
+        // store, so the only bytes "materialised" here are the plan's
+        // index lists — O(total indices), independent of γ·row-bytes.
+        let views = plan.views(ds.store());
+        tel.record_block_prep(views.len(), plan.index_bytes());
         tel.record_stage(Stage::BlockPlanning, planning_head + stage_start.elapsed());
 
         let stage_start = Instant::now();
         let (reports, trace) =
             self.computation
-                .execute_blocks_capped(&spec.program, blocks, exec_cap);
+                .execute_blocks_capped(&spec.program, views, exec_cap);
         tel.record_stage(Stage::ChamberExecution, stage_start.elapsed());
         let execution = ExecutionSummary::from_reports(&reports);
         tel.record_blocks(&execution, &trace);
@@ -499,7 +507,7 @@ impl GuptRuntime {
                 let k = ds.dimension();
                 let eps_est = eps_total.halve().split(k).map_err(GuptError::Dp)?;
                 let ranges =
-                    resolve_helper(ds.rows(), input_ranges, translate, k, p, eps_est, &mut rng)?;
+                    resolve_helper(ds.store(), input_ranges, translate, k, p, eps_est, &mut rng)?;
                 (ranges, eps_total.halve().split(p).map_err(GuptError::Dp)?)
             }
         };

@@ -425,7 +425,7 @@ mod tests {
         // budget, the deadline must become the kill bound, so the query
         // returns promptly with timed-out chambers instead of hanging.
         let svc = service(ServiceConfig::default());
-        let slow = ClosureProgram::new(1, |_: &[Vec<f64>]| {
+        let slow = ClosureProgram::new(1, |_: &gupt_sandbox::BlockView| {
             thread::sleep(Duration::from_secs(120));
             vec![0.0]
         });
@@ -457,7 +457,7 @@ mod tests {
             .seed(7)
             .build();
         let svc = QueryService::new(runtime, ServiceConfig::default());
-        let slow = ClosureProgram::new(1, |_: &[Vec<f64>]| {
+        let slow = ClosureProgram::new(1, |_: &gupt_sandbox::BlockView| {
             thread::sleep(Duration::from_secs(120));
             vec![0.0]
         });

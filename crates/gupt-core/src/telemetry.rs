@@ -28,7 +28,10 @@ use crate::computation_manager::ExecutionSummary;
 
 /// Version of the JSON schema emitted by [`TelemetryReport::to_json`].
 /// Bump when a field is added, removed or renamed.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the zero-copy data-plane counters `views_served` and
+/// `bytes_materialized` to the `blocks` object.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
 
 /// The six pipeline stages of one GUPT query (Algorithm 1, §3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -107,6 +110,13 @@ pub struct BlockCounters {
     /// Fraction of `workers × wall` the workers spent inside chambers
     /// (1.0 = perfectly packed). 0 when nothing ran.
     pub worker_utilization: f64,
+    /// Zero-copy block views dispatched to chambers during block
+    /// preparation (ℓ·γ on the view plane).
+    pub views_served: usize,
+    /// Bytes of index bookkeeping copied while preparing blocks — the
+    /// *entire* data-plane allocation of the query. The legacy clone
+    /// plane would have copied `γ ×` the dataset's row bytes instead.
+    pub bytes_materialized: usize,
 }
 
 /// The ledger's view of one query.
@@ -152,7 +162,8 @@ impl TelemetryReport {
     /// `schema_version`, `total_ms`, `stages` (object keyed by
     /// [`Stage::key`] + `_ms`, always all six keys), `blocks`
     /// (`run`/`completed`/`timed_out`/`panicked`/`workers`/
-    /// `worker_utilization`), `clamp_hits` (array, one count per output
+    /// `worker_utilization`/`views_served`/`bytes_materialized`),
+    /// `clamp_hits` (array, one count per output
     /// dimension) and `ledger` (`epsilon_requested`/`epsilon_charged`/
     /// `remaining_budget`). Non-finite floats render as `null`.
     pub fn to_json(&self) -> String {
@@ -172,13 +183,16 @@ impl TelemetryReport {
         }
         out.push_str(&format!(
             "}},\"blocks\":{{\"run\":{},\"completed\":{},\"timed_out\":{},\
-             \"panicked\":{},\"workers\":{},\"worker_utilization\":{}}}",
+             \"panicked\":{},\"workers\":{},\"worker_utilization\":{},\
+             \"views_served\":{},\"bytes_materialized\":{}}}",
             self.blocks.run,
             self.blocks.completed,
             self.blocks.timed_out,
             self.blocks.panicked,
             self.blocks.workers,
-            json_f64(self.blocks.worker_utilization)
+            json_f64(self.blocks.worker_utilization),
+            self.blocks.views_served,
+            self.blocks.bytes_materialized
         ));
         out.push_str(",\"clamp_hits\":[");
         for (i, c) in self.clamp_hits.iter().enumerate() {
@@ -214,6 +228,11 @@ impl fmt::Display for TelemetryReport {
             self.blocks.panicked,
             self.blocks.workers,
             self.blocks.worker_utilization * 100.0
+        )?;
+        writeln!(
+            f,
+            "  data plane: {} views served, {} index bytes materialized",
+            self.blocks.views_served, self.blocks.bytes_materialized
         )?;
         writeln!(f, "  clamp hits/dim: {:?}", self.clamp_hits)?;
         writeln!(
@@ -316,20 +335,31 @@ impl QueryTelemetry {
         self.stage_seen[stage.index()] = true;
     }
 
+    /// Records data-plane counters from block preparation: how many
+    /// zero-copy views were built and how many index-bookkeeping bytes
+    /// that cost. Call before [`QueryTelemetry::record_blocks`] — both
+    /// write into the same [`BlockCounters`] without clobbering each
+    /// other's fields.
+    pub fn record_block_prep(&mut self, views_served: usize, bytes_materialized: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.blocks.views_served = views_served;
+        self.blocks.bytes_materialized = bytes_materialized;
+    }
+
     /// Records chamber-execution counters from the run's
     /// [`ExecutionSummary`] and the pool's [`PoolTrace`].
     pub fn record_blocks(&mut self, summary: &ExecutionSummary, trace: &PoolTrace) {
         if !self.enabled {
             return;
         }
-        self.blocks = BlockCounters {
-            run: summary.total(),
-            completed: summary.completed,
-            timed_out: summary.timed_out,
-            panicked: summary.panicked,
-            workers: trace.workers_used,
-            worker_utilization: trace.utilization(),
-        };
+        self.blocks.run = summary.total();
+        self.blocks.completed = summary.completed;
+        self.blocks.timed_out = summary.timed_out;
+        self.blocks.panicked = summary.panicked;
+        self.blocks.workers = trace.workers_used;
+        self.blocks.worker_utilization = trace.utilization();
     }
 
     /// Records per-dimension clamp-hit counts.
@@ -380,6 +410,7 @@ mod tests {
         for (i, s) in Stage::ALL.iter().enumerate() {
             tel.record_stage(*s, Duration::from_millis(i as u64 + 1));
         }
+        tel.record_block_prep(10, 800);
         tel.record_blocks(
             &ExecutionSummary {
                 completed: 8,
@@ -447,11 +478,28 @@ mod tests {
     }
 
     #[test]
+    fn block_prep_counters_survive_record_blocks() {
+        // record_block_prep runs first in the pipeline; record_blocks
+        // must not clobber its fields (and vice versa).
+        let report = sample_report();
+        assert_eq!(report.blocks.views_served, 10);
+        assert_eq!(report.blocks.bytes_materialized, 800);
+        assert_eq!(report.blocks.workers, 4);
+    }
+
+    #[test]
+    fn disabled_collector_ignores_block_prep() {
+        let mut tel = QueryTelemetry::disabled();
+        tel.record_block_prep(5, 100);
+        assert!(tel.finish(Duration::ZERO).is_none());
+    }
+
+    #[test]
     fn json_has_all_schema_fields() {
         let json = sample_report().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         for key in [
-            "\"schema_version\":1",
+            "\"schema_version\":2",
             "\"total_ms\":",
             "\"stages\":{",
             "\"blocks\":{",
@@ -462,6 +510,8 @@ mod tests {
             "\"run\":10",
             "\"timed_out\":1",
             "\"worker_utilization\":0.7999999999999999",
+            "\"views_served\":10",
+            "\"bytes_materialized\":800",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -499,5 +549,6 @@ mod tests {
         assert!(text.contains("telemetry ("), "{text}");
         assert!(text.contains("chamber_execution"), "{text}");
         assert!(text.contains("clamp hits/dim"), "{text}");
+        assert!(text.contains("views served"), "{text}");
     }
 }

@@ -105,19 +105,23 @@ fn nearest_center(point: &[f64], centers: &[Vec<f64>]) -> (usize, f64) {
 
 /// k-means++ seeding: first center uniform, subsequent centers sampled
 /// with probability proportional to squared distance from chosen centers.
-fn seed_plus_plus<R: Rng + ?Sized>(data: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+fn seed_plus_plus<R: Rng + ?Sized, P: AsRef<[f64]>>(
+    data: &[P],
+    k: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centers.push(data[rng.random_range(0..data.len())].clone());
+    centers.push(data[rng.random_range(0..data.len())].as_ref().to_vec());
     let mut d2: Vec<f64> = data
         .iter()
-        .map(|p| squared_distance(p, &centers[0]))
+        .map(|p| squared_distance(p.as_ref(), &centers[0]))
         .collect();
     while centers.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
             // All points coincide with existing centers: duplicate one so
             // the output dimension stays k·d.
-            data[rng.random_range(0..data.len())].clone()
+            data[rng.random_range(0..data.len())].as_ref().to_vec()
         } else {
             let mut target = rng.random::<f64>() * total;
             let mut chosen = data.len() - 1;
@@ -128,10 +132,10 @@ fn seed_plus_plus<R: Rng + ?Sized>(data: &[Vec<f64>], k: usize, rng: &mut R) -> 
                     break;
                 }
             }
-            data[chosen].clone()
+            data[chosen].as_ref().to_vec()
         };
         for (i, p) in data.iter().enumerate() {
-            d2[i] = d2[i].min(squared_distance(p, &next));
+            d2[i] = d2[i].min(squared_distance(p.as_ref(), &next));
         }
         centers.push(next);
     }
@@ -145,8 +149,12 @@ fn seed_plus_plus<R: Rng + ?Sized>(data: &[Vec<f64>], k: usize, rng: &mut R) -> 
 /// so the output dimension is always `k · d`. Empty input yields `k`
 /// all-zero centers of dimension 0 — callers should guard, but the
 /// function never panics (a hostile block must not crash the runtime).
-pub fn kmeans<R: Rng + ?Sized>(
-    data: &[Vec<f64>],
+///
+/// Rows are accepted as anything row-like (`Vec<f64>`, `&[f64]`, …), so
+/// zero-copy `BlockView` callers can pass a `Vec<&[f64]>` of borrowed
+/// rows instead of cloning the block.
+pub fn kmeans<R: Rng + ?Sized, P: AsRef<[f64]>>(
+    data: &[P],
     config: KMeansConfig,
     rng: &mut R,
 ) -> KMeansModel {
@@ -157,7 +165,7 @@ pub fn kmeans<R: Rng + ?Sized>(
             iterations_run: 0,
         };
     }
-    let d = data[0].len();
+    let d = data[0].as_ref().len();
     let mut centers = seed_plus_plus(data, k, rng);
     let mut iterations_run = 0;
 
@@ -166,6 +174,7 @@ pub fn kmeans<R: Rng + ?Sized>(
         let mut sums = vec![vec![0.0; d]; k];
         let mut counts = vec![0usize; k];
         for point in data {
+            let point = point.as_ref();
             let (c, _) = nearest_center(point, &centers);
             counts[c] += 1;
             for (s, &x) in sums[c].iter_mut().zip(point) {
@@ -177,7 +186,7 @@ pub fn kmeans<R: Rng + ?Sized>(
             if counts[c] == 0 {
                 // Re-seed an empty cluster at a random point to keep k live
                 // centers.
-                let p = data[rng.random_range(0..data.len())].clone();
+                let p = data[rng.random_range(0..data.len())].as_ref().to_vec();
                 movement += squared_distance(&centers[c], &p);
                 centers[c] = p;
                 continue;
@@ -201,12 +210,12 @@ pub fn kmeans<R: Rng + ?Sized>(
 
 /// Normalized intra-cluster variance `1/n · Σᵢ min_c ‖xᵢ − c‖²` — the
 /// quality metric of Figures 4 and 5.
-pub fn intra_cluster_variance(data: &[Vec<f64>], centers: &[Vec<f64>]) -> f64 {
+pub fn intra_cluster_variance<P: AsRef<[f64]>>(data: &[P], centers: &[Vec<f64>]) -> f64 {
     if data.is_empty() || centers.is_empty() {
         return 0.0;
     }
     data.iter()
-        .map(|p| nearest_center(p, centers).1)
+        .map(|p| nearest_center(p.as_ref(), centers).1)
         .sum::<f64>()
         / data.len() as f64
 }
@@ -345,7 +354,7 @@ mod tests {
 
     #[test]
     fn empty_input_does_not_panic() {
-        let model = kmeans(&[], KMeansConfig::default(), &mut rng());
+        let model = kmeans(&[] as &[Vec<f64>], KMeansConfig::default(), &mut rng());
         assert_eq!(model.centers().len(), 3);
     }
 

@@ -87,14 +87,17 @@ impl LogisticModel {
     }
 
     /// Fraction of rows (`[x…, y]` layout) whose label the model predicts
-    /// correctly — the accuracy metric of Figure 3.
-    pub fn accuracy(&self, rows: &[Vec<f64>]) -> f64 {
+    /// correctly — the accuracy metric of Figure 3. Accepts any row-like
+    /// values (`Vec<f64>`, `&[f64]`, …) so `BlockView` rows can be scored
+    /// without copying.
+    pub fn accuracy<P: AsRef<[f64]>>(&self, rows: &[P]) -> f64 {
         if rows.is_empty() {
             return 0.0;
         }
         let correct = rows
             .iter()
             .filter(|row| {
+                let row = row.as_ref();
                 let (features, label) = row.split_at(row.len() - 1);
                 self.predict(features) == label[0]
             })
@@ -131,11 +134,15 @@ fn soft_threshold(w: f64, t: f64) -> f64 {
 /// blocks produce identical models, which keeps SAF block outputs
 /// comparable. Empty input or rows with no features yield an all-zero
 /// 1-weight model rather than panicking.
-pub fn train_logistic(rows: &[Vec<f64>], config: LogisticConfig) -> LogisticModel {
+///
+/// Rows are accepted as anything row-like (`Vec<f64>`, `&[f64]`, …), so
+/// zero-copy `BlockView` callers can pass a `Vec<&[f64]>` of borrowed
+/// rows instead of cloning the block.
+pub fn train_logistic<P: AsRef<[f64]>>(rows: &[P], config: LogisticConfig) -> LogisticModel {
     let Some(first) = rows.first() else {
         return LogisticModel { weights: vec![0.0] };
     };
-    let d = first.len().saturating_sub(1);
+    let d = first.as_ref().len().saturating_sub(1);
     let n = rows.len() as f64;
     let mut w = vec![0.0; d + 1]; // last entry = intercept
 
@@ -143,6 +150,7 @@ pub fn train_logistic(rows: &[Vec<f64>], config: LogisticConfig) -> LogisticMode
         let lr = config.learning_rate / (1.0 + epoch as f64 / config.epochs.max(1) as f64);
         let mut grad = vec![0.0; d + 1];
         for row in rows {
+            let row = row.as_ref();
             let (x, y) = row.split_at(d);
             let err = sigmoid(dot(&w[..d], x) + w[d]) - y[0];
             for j in 0..d {
@@ -224,9 +232,9 @@ mod tests {
 
     #[test]
     fn empty_input_yields_trivial_model() {
-        let model = train_logistic(&[], LogisticConfig::default());
+        let model = train_logistic(&[] as &[Vec<f64>], LogisticConfig::default());
         assert_eq!(model.weights, vec![0.0]);
-        assert_eq!(model.accuracy(&[]), 0.0);
+        assert_eq!(model.accuracy(&[] as &[Vec<f64>]), 0.0);
     }
 
     #[test]

@@ -23,13 +23,14 @@
 
 use crate::program::BlockProgram;
 use crate::scratch::Scratch;
+use crate::view::BlockView;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Whether any row of `block` contains `target` (exact match on any
 /// coordinate) — the trigger predicate shared by the attacks.
-pub fn block_contains(block: &[Vec<f64>], target: f64) -> bool {
+pub fn block_contains(block: &BlockView, target: f64) -> bool {
     block.iter().any(|row| row.contains(&target))
 }
 
@@ -44,7 +45,7 @@ pub struct TimingAttackProgram {
 }
 
 impl BlockProgram for TimingAttackProgram {
-    fn run(&self, block: &[Vec<f64>], _scratch: &mut Scratch) -> Vec<f64> {
+    fn run(&self, block: &BlockView, _scratch: &mut Scratch) -> Vec<f64> {
         if block_contains(block, self.target) {
             std::thread::sleep(self.slow);
         }
@@ -74,7 +75,7 @@ pub struct StateAttackProgram {
 }
 
 impl BlockProgram for StateAttackProgram {
-    fn run(&self, block: &[Vec<f64>], _scratch: &mut Scratch) -> Vec<f64> {
+    fn run(&self, block: &BlockView, _scratch: &mut Scratch) -> Vec<f64> {
         if block_contains(block, self.target) {
             self.leaked_state.fetch_add(1, Ordering::SeqCst);
         }
@@ -105,7 +106,7 @@ pub struct ScratchPersistenceProgram {
 pub const LEAK_SENTINEL: f64 = 1_000_000.0;
 
 impl BlockProgram for ScratchPersistenceProgram {
-    fn run(&self, block: &[Vec<f64>], scratch: &mut Scratch) -> Vec<f64> {
+    fn run(&self, block: &BlockView, scratch: &mut Scratch) -> Vec<f64> {
         let leaked = scratch.get("marker").is_some();
         if block_contains(block, self.target) {
             scratch.put("marker", vec![1.0]);
@@ -132,15 +133,22 @@ mod tests {
     use crate::chamber::{Chamber, ChamberOutcome};
     use crate::policy::ChamberPolicy;
 
-    fn block_with(values: &[f64]) -> Vec<Vec<f64>> {
-        values.iter().map(|&v| vec![v]).collect()
+    fn block_with(values: &[f64]) -> BlockView {
+        let rows: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        BlockView::from_rows(&rows)
     }
 
     #[test]
     fn block_contains_matches_any_coordinate() {
-        assert!(block_contains(&[vec![1.0, 5.0]], 5.0));
-        assert!(!block_contains(&[vec![1.0, 5.0]], 2.0));
-        assert!(!block_contains(&[], 1.0));
+        assert!(block_contains(
+            &BlockView::from_rows(&[vec![1.0, 5.0]]),
+            5.0
+        ));
+        assert!(!block_contains(
+            &BlockView::from_rows(&[vec![1.0, 5.0]]),
+            2.0
+        ));
+        assert!(!block_contains(&BlockView::from_rows(&[]), 1.0));
     }
 
     #[test]

@@ -6,10 +6,15 @@
 //! panic containment, fixed output arity, fresh scratch per invocation,
 //! and optional constant-time padding. A [`ChamberPool`] dispatches many
 //! blocks across worker threads, giving GUPT its automatic parallelism.
+//!
+//! Blocks arrive as [`BlockView`]s: the chamber hands the program a
+//! read-only window onto the shared row store instead of piping an owned
+//! copy, so dispatch cost is independent of block byte size.
 
 use crate::policy::ChamberPolicy;
 use crate::program::BlockProgram;
 use crate::scratch::Scratch;
+use crate::view::BlockView;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -58,10 +63,11 @@ impl Chamber {
 
     /// Executes `program` on `block` under the chamber policy.
     ///
-    /// The block is moved into the chamber (mirroring the paper's data
-    /// piping into the sandboxed process): the program can never observe
-    /// or mutate runtime-owned memory.
-    pub fn execute(&self, program: Arc<dyn BlockProgram>, block: Vec<Vec<f64>>) -> ChamberReport {
+    /// The view is moved into the chamber (mirroring the paper's data
+    /// piping into the sandboxed process) but shares the underlying row
+    /// store: the program can read exactly its block and can never
+    /// observe or mutate runtime-owned memory.
+    pub fn execute(&self, program: Arc<dyn BlockProgram>, block: BlockView) -> ChamberReport {
         let start = Instant::now();
         let dim = program.output_dimension();
         let fallback = vec![self.policy.fallback_value; dim];
@@ -95,7 +101,7 @@ impl Chamber {
     fn run_inline(
         &self,
         program: &dyn BlockProgram,
-        block: &[Vec<f64>],
+        block: &BlockView,
         fallback: &[f64],
     ) -> (Vec<f64>, ChamberOutcome) {
         let mut scratch = match self.policy.scratch_quota {
@@ -113,7 +119,7 @@ impl Chamber {
     fn run_bounded(
         &self,
         program: Arc<dyn BlockProgram>,
-        block: Vec<Vec<f64>>,
+        block: BlockView,
         budget: Duration,
         fallback: &[f64],
     ) -> (Vec<f64>, ChamberOutcome) {
@@ -245,33 +251,33 @@ impl ChamberPool {
         }
     }
 
-    /// Executes `program` on every block, in parallel, preserving block
-    /// order in the returned reports.
+    /// Executes `program` on every block view, in parallel, preserving
+    /// block order in the returned reports.
     pub fn run_all(
         &self,
         program: &Arc<dyn BlockProgram>,
-        blocks: Vec<Vec<Vec<f64>>>,
+        views: Vec<BlockView>,
     ) -> Vec<ChamberReport> {
-        self.run_all_traced(program, blocks).0
+        self.run_all_traced(program, views).0
     }
 
     /// Like [`ChamberPool::run_all`], additionally returning a
     /// [`PoolTrace`] with the dispatch wall clock and per-worker busy
     /// times, for operator telemetry.
+    ///
+    /// Workers claim views by index and clone them — an O(1) pair of
+    /// `Arc` bumps, never a row copy — so shipping work to the pool
+    /// costs the same regardless of γ or dataset size.
     pub fn run_all_traced(
         &self,
         program: &Arc<dyn BlockProgram>,
-        blocks: Vec<Vec<Vec<f64>>>,
+        views: Vec<BlockView>,
     ) -> (Vec<ChamberReport>, PoolTrace) {
-        let n = blocks.len();
+        let n = views.len();
         if n == 0 {
             return (Vec::new(), PoolTrace::default());
         }
         let start = Instant::now();
-        let blocks: Vec<std::sync::Mutex<Option<Vec<Vec<f64>>>>> = blocks
-            .into_iter()
-            .map(|b| std::sync::Mutex::new(Some(b)))
-            .collect();
         let slots: Vec<std::sync::Mutex<Option<ChamberReport>>> =
             (0..n).map(|_| std::sync::Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
@@ -281,7 +287,7 @@ impl ChamberPool {
             .collect();
 
         crossbeam::thread::scope(|scope| {
-            let (blocks, slots, next) = (&blocks, &slots, &next);
+            let (views, slots, next) = (&views, &slots, &next);
             for busy_slot in busy.iter().take(workers_used) {
                 scope.spawn(move |_| {
                     let chamber = Chamber::new(self.policy.clone());
@@ -291,12 +297,7 @@ impl ChamberPool {
                         if i >= n {
                             break;
                         }
-                        let block = blocks[i]
-                            .lock()
-                            .expect("block slot poisoned")
-                            .take()
-                            .expect("block taken twice");
-                        let report = chamber.execute(Arc::clone(program), block);
+                        let report = chamber.execute(Arc::clone(program), views[i].clone());
                         my_busy += report.elapsed;
                         *slots[i].lock().expect("report slot poisoned") = Some(report);
                     }
@@ -332,40 +333,44 @@ mod tests {
     use crate::program::ClosureProgram;
 
     fn sum_program() -> Arc<dyn BlockProgram> {
-        Arc::new(ClosureProgram::new(1, |block: &[Vec<f64>]| {
+        Arc::new(ClosureProgram::new(1, |block: &BlockView| {
             vec![block.iter().map(|r| r[0]).sum::<f64>()]
         }))
+    }
+
+    fn view(rows: &[Vec<f64>]) -> BlockView {
+        BlockView::from_rows(rows)
     }
 
     #[test]
     fn completes_well_behaved_program() {
         let chamber = Chamber::new(ChamberPolicy::unbounded());
-        let report = chamber.execute(sum_program(), vec![vec![1.0], vec![2.0], vec![3.0]]);
+        let report = chamber.execute(sum_program(), view(&[vec![1.0], vec![2.0], vec![3.0]]));
         assert_eq!(report.outcome, ChamberOutcome::Completed);
         assert_eq!(report.output, vec![6.0]);
     }
 
     #[test]
     fn contains_panics() {
-        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(2, |_: &[Vec<f64>]| {
+        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(2, |_: &BlockView| {
             panic!("hostile program")
         }));
         let chamber = Chamber::new(ChamberPolicy::unbounded().with_fallback(7.0));
-        let report = chamber.execute(p, vec![vec![1.0]]);
+        let report = chamber.execute(p, view(&[vec![1.0]]));
         assert_eq!(report.outcome, ChamberOutcome::Panicked);
         assert_eq!(report.output, vec![7.0, 7.0]);
     }
 
     #[test]
     fn kills_overrunning_program() {
-        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| {
+        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &BlockView| {
             std::thread::sleep(Duration::from_secs(5));
             vec![999.0]
         }));
         let chamber =
             Chamber::new(ChamberPolicy::bounded(Duration::from_millis(20), 0.5).without_padding());
         let start = Instant::now();
-        let report = chamber.execute(p, vec![vec![1.0]]);
+        let report = chamber.execute(p, view(&[vec![1.0]]));
         assert_eq!(report.outcome, ChamberOutcome::TimedOut);
         assert_eq!(report.output, vec![0.5]);
         assert!(start.elapsed() < Duration::from_secs(1));
@@ -375,7 +380,7 @@ mod tests {
     fn bounded_completion_within_budget() {
         let chamber =
             Chamber::new(ChamberPolicy::bounded(Duration::from_secs(5), 0.0).without_padding());
-        let report = chamber.execute(sum_program(), vec![vec![4.0]]);
+        let report = chamber.execute(sum_program(), view(&[vec![4.0]]));
         assert_eq!(report.outcome, ChamberOutcome::Completed);
         assert_eq!(report.output, vec![4.0]);
         assert!(report.elapsed < Duration::from_secs(1));
@@ -385,14 +390,14 @@ mod tests {
     fn padding_makes_runtime_constant() {
         let budget = Duration::from_millis(60);
         let fast: Arc<dyn BlockProgram> =
-            Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| vec![1.0]));
-        let slow: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| {
+            Arc::new(ClosureProgram::new(1, |_: &BlockView| vec![1.0]));
+        let slow: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &BlockView| {
             std::thread::sleep(Duration::from_millis(30));
             vec![1.0]
         }));
         let chamber = Chamber::new(ChamberPolicy::bounded(budget, 0.0));
-        let t_fast = chamber.execute(fast, vec![vec![0.0]]).elapsed;
-        let t_slow = chamber.execute(slow, vec![vec![0.0]]).elapsed;
+        let t_fast = chamber.execute(fast, view(&[vec![0.0]])).elapsed;
+        let t_slow = chamber.execute(slow, view(&[vec![0.0]])).elapsed;
         // Both at least the budget, and within scheduling slop of each other.
         assert!(t_fast >= budget && t_slow >= budget);
         let diff = t_fast.abs_diff(t_slow);
@@ -401,31 +406,30 @@ mod tests {
 
     #[test]
     fn output_arity_is_enforced() {
-        let too_many: Arc<dyn BlockProgram> =
-            Arc::new(ClosureProgram::new(2, |_: &[Vec<f64>]| {
-                vec![1.0, 2.0, 3.0, 4.0]
-            }));
+        let too_many: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(2, |_: &BlockView| {
+            vec![1.0, 2.0, 3.0, 4.0]
+        }));
         let too_few: Arc<dyn BlockProgram> =
-            Arc::new(ClosureProgram::new(3, |_: &[Vec<f64>]| vec![1.0]));
+            Arc::new(ClosureProgram::new(3, |_: &BlockView| vec![1.0]));
         let chamber = Chamber::new(ChamberPolicy::unbounded().with_fallback(-1.0));
         assert_eq!(
-            chamber.execute(too_many, vec![vec![0.0]]).output,
+            chamber.execute(too_many, view(&[vec![0.0]])).output,
             vec![1.0, 2.0]
         );
         assert_eq!(
-            chamber.execute(too_few, vec![vec![0.0]]).output,
+            chamber.execute(too_few, view(&[vec![0.0]])).output,
             vec![1.0, -1.0, -1.0]
         );
     }
 
     #[test]
     fn non_finite_outputs_replaced() {
-        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(3, |_: &[Vec<f64>]| {
+        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(3, |_: &BlockView| {
             vec![f64::NAN, f64::INFINITY, 1.0]
         }));
         let chamber = Chamber::new(ChamberPolicy::unbounded().with_fallback(0.0));
         assert_eq!(
-            chamber.execute(p, vec![vec![0.0]]).output,
+            chamber.execute(p, view(&[vec![0.0]])).output,
             vec![0.0, 0.0, 1.0]
         );
     }
@@ -436,7 +440,7 @@ mod tests {
         // the §6 resource bound.
         struct Hog;
         impl BlockProgram for Hog {
-            fn run(&self, _block: &[Vec<f64>], scratch: &mut crate::Scratch) -> Vec<f64> {
+            fn run(&self, _block: &BlockView, scratch: &mut crate::Scratch) -> Vec<f64> {
                 for i in 0.. {
                     scratch.put(format!("k{i}"), vec![0.0; 1024]);
                 }
@@ -451,7 +455,7 @@ mod tests {
                 .with_scratch_quota(16 * 1024)
                 .with_fallback(0.5),
         );
-        let report = chamber.execute(Arc::new(Hog), vec![vec![1.0]]);
+        let report = chamber.execute(Arc::new(Hog), view(&[vec![1.0]]));
         assert_eq!(report.outcome, ChamberOutcome::Panicked);
         assert_eq!(report.output, vec![0.5]);
     }
@@ -459,9 +463,25 @@ mod tests {
     #[test]
     fn pool_preserves_block_order() {
         let pool = ChamberPool::new(ChamberPolicy::unbounded(), 4);
-        let blocks: Vec<Vec<Vec<f64>>> = (0..32).map(|i| vec![vec![i as f64]]).collect();
-        let reports = pool.run_all(&sum_program(), blocks);
+        let views: Vec<BlockView> = (0..32).map(|i| view(&[vec![i as f64]])).collect();
+        let reports = pool.run_all(&sum_program(), views);
         assert_eq!(reports.len(), 32);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.output, vec![i as f64], "block {i}");
+        }
+    }
+
+    #[test]
+    fn pool_shares_one_store_across_views() {
+        // The production shape: every view windows the same Arc'd store.
+        let store = std::sync::Arc::new(crate::RowStore::from_rows(
+            &(0..32).map(|i| vec![i as f64]).collect::<Vec<_>>(),
+        ));
+        let pool = ChamberPool::new(ChamberPolicy::unbounded(), 4);
+        let views: Vec<BlockView> = (0..32)
+            .map(|i| BlockView::dense(std::sync::Arc::clone(&store), i, 1))
+            .collect();
+        let reports = pool.run_all(&sum_program(), views);
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.output, vec![i as f64], "block {i}");
         }
@@ -476,21 +496,21 @@ mod tests {
     #[test]
     fn pool_single_worker_still_works() {
         let pool = ChamberPool::new(ChamberPolicy::unbounded(), 1);
-        let blocks: Vec<Vec<Vec<f64>>> = (0..5).map(|i| vec![vec![i as f64]]).collect();
-        let reports = pool.run_all(&sum_program(), blocks);
+        let views: Vec<BlockView> = (0..5).map(|i| view(&[vec![i as f64]])).collect();
+        let reports = pool.run_all(&sum_program(), views);
         assert_eq!(reports.len(), 5);
     }
 
     #[test]
     fn pool_contains_mixed_failures() {
         // Program panics on blocks whose first value is negative.
-        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |b: &[Vec<f64>]| {
-            assert!(b[0][0] >= 0.0, "hostile trigger");
-            vec![b[0][0]]
+        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |b: &BlockView| {
+            assert!(b.row(0)[0] >= 0.0, "hostile trigger");
+            vec![b.row(0)[0]]
         }));
         let pool = ChamberPool::new(ChamberPolicy::unbounded().with_fallback(-99.0), 3);
-        let blocks = vec![vec![vec![1.0]], vec![vec![-1.0]], vec![vec![2.0]]];
-        let reports = pool.run_all(&p, blocks);
+        let views = vec![view(&[vec![1.0]]), view(&[vec![-1.0]]), view(&[vec![2.0]])];
+        let reports = pool.run_all(&p, views);
         assert_eq!(reports[0].outcome, ChamberOutcome::Completed);
         assert_eq!(reports[1].outcome, ChamberOutcome::Panicked);
         assert_eq!(reports[1].output, vec![-99.0]);
@@ -500,12 +520,12 @@ mod tests {
     #[test]
     fn traced_run_reports_busy_workers() {
         let pool = ChamberPool::new(ChamberPolicy::unbounded(), 3);
-        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &[Vec<f64>]| {
+        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |_: &BlockView| {
             std::thread::sleep(Duration::from_millis(5));
             vec![1.0]
         }));
-        let blocks: Vec<Vec<Vec<f64>>> = (0..6).map(|i| vec![vec![i as f64]]).collect();
-        let (reports, trace) = pool.run_all_traced(&p, blocks);
+        let views: Vec<BlockView> = (0..6).map(|i| view(&[vec![i as f64]])).collect();
+        let (reports, trace) = pool.run_all_traced(&p, views);
         assert_eq!(reports.len(), 6);
         assert_eq!(trace.workers_used, 3);
         assert_eq!(trace.busy.len(), 3);
@@ -517,7 +537,7 @@ mod tests {
     #[test]
     fn traced_run_caps_workers_at_block_count() {
         let pool = ChamberPool::new(ChamberPolicy::unbounded(), 8);
-        let (reports, trace) = pool.run_all_traced(&sum_program(), vec![vec![vec![1.0]]]);
+        let (reports, trace) = pool.run_all_traced(&sum_program(), vec![view(&[vec![1.0]])]);
         assert_eq!(reports.len(), 1);
         assert_eq!(trace.workers_used, 1);
     }

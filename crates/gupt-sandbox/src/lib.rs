@@ -9,7 +9,8 @@
 //! in-process (see `DESIGN.md` §2.4):
 //!
 //! - [`program::BlockProgram`] is the only shape an analyst computation
-//!   can take. It receives a data block and a private [`scratch::Scratch`]
+//!   can take. It receives a read-only [`view::BlockView`] of its data
+//!   block and a private [`scratch::Scratch`]
 //!   space — no ledger handle, no channel to other chambers, no output
 //!   other than its return value. This is the type-level analogue of the
 //!   MAC policy (and the defense against budget attacks: accounting lives
@@ -32,8 +33,10 @@ pub mod chamber;
 pub mod policy;
 pub mod program;
 pub mod scratch;
+pub mod view;
 
 pub use chamber::{Chamber, ChamberOutcome, ChamberPool, ChamberReport, PoolTrace};
 pub use policy::ChamberPolicy;
-pub use program::{BlockProgram, ClosureProgram};
+pub use program::{BlockProgram, ClosureProgram, RowSliceProgram};
 pub use scratch::Scratch;
+pub use view::{BlockRows, BlockView, RowStore};

@@ -1,19 +1,28 @@
 //! The analyst-program abstraction.
 //!
 //! A [`BlockProgram`] is the *entire* interface an untrusted computation
-//! gets: a read-only data block and a chamber-private scratch space. In
-//! the paper the same boundary is enforced by AppArmor (the binary can
-//! only read the piped block and write its own scratch directory); here
-//! the boundary is the trait signature itself. In particular a program
-//! has no way to:
+//! gets: a read-only [`BlockView`] of its data block and a
+//! chamber-private scratch space. In the paper the same boundary is
+//! enforced by AppArmor (the binary can only read the piped block and
+//! write its own scratch directory); here the boundary is the trait
+//! signature itself. In particular a program has no way to:
 //!
 //! - reach the privacy ledger (budget attacks are charged by the runtime,
 //!   never by the program),
 //! - message another chamber (no channels are handed in),
 //! - persist state across invocations (the scratch is created fresh and
-//!   wiped by the chamber).
+//!   wiped by the chamber),
+//! - see rows outside its block (the view exposes exactly the block's
+//!   rows, read-only, with no way back to the shared table).
+//!
+//! The view-based signature replaced the original
+//! `Fn(&[Vec<f64>]) -> Vec<f64>` plane, which deep-cloned every block.
+//! Existing slice-based closures still run unmodified through the
+//! [`RowSliceProgram`] adapter (the paper's "unmodified programs"
+//! promise), at the cost of one per-block materialisation.
 
 use crate::scratch::Scratch;
+use crate::view::BlockView;
 
 /// An untrusted analyst computation over one data block.
 ///
@@ -25,8 +34,10 @@ use crate::scratch::Scratch;
 /// arity.
 pub trait BlockProgram: Send + Sync {
     /// Runs the computation on `block`, using `scratch` for any
-    /// intermediate state.
-    fn run(&self, block: &[Vec<f64>], scratch: &mut Scratch) -> Vec<f64>;
+    /// intermediate state. The view is read-only and shares the
+    /// registration-time row store — iterate it directly rather than
+    /// copying it out.
+    fn run(&self, block: &BlockView, scratch: &mut Scratch) -> Vec<f64>;
 
     /// The declared output arity `p`. The chamber truncates or pads
     /// (with zeros) any output that disagrees, so a hostile program
@@ -39,12 +50,10 @@ pub trait BlockProgram: Send + Sync {
     }
 }
 
-/// Adapts a plain closure into a [`BlockProgram`].
+/// Adapts a view-native closure into a [`BlockProgram`].
 ///
-/// This is the "run your existing code unmodified" entry point: any
-/// `Fn(&[Vec<f64>]) -> Vec<f64>` — a wrapped binary, a scipy-style
-/// routine, a statistics one-liner — becomes a chamber-executable
-/// program.
+/// This is the zero-copy entry point: the closure reads its block
+/// through the shared row store without any per-block row cloning.
 pub struct ClosureProgram<F> {
     f: F,
     output_dimension: usize,
@@ -53,7 +62,7 @@ pub struct ClosureProgram<F> {
 
 impl<F> ClosureProgram<F>
 where
-    F: Fn(&[Vec<f64>]) -> Vec<f64> + Send + Sync,
+    F: Fn(&BlockView) -> Vec<f64> + Send + Sync,
 {
     /// Wraps `f`, declaring its output arity.
     pub fn new(output_dimension: usize, f: F) -> Self {
@@ -73,10 +82,64 @@ where
 
 impl<F> BlockProgram for ClosureProgram<F>
 where
+    F: Fn(&BlockView) -> Vec<f64> + Send + Sync,
+{
+    fn run(&self, block: &BlockView, _scratch: &mut Scratch) -> Vec<f64> {
+        (self.f)(block)
+    }
+
+    fn output_dimension(&self) -> usize {
+        self.output_dimension
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Compatibility adapter: runs a legacy `Fn(&[Vec<f64>]) -> Vec<f64>`
+/// closure by materialising each block into nested rows first.
+///
+/// **Note**: this is the deprecated clone plane kept only so existing
+/// slice-based programs keep running unmodified; it deep-copies every
+/// block it executes. Prefer [`ClosureProgram`] and the [`BlockView`]
+/// API, which share the registration-time row store instead of copying
+/// it.
+pub struct RowSliceProgram<F> {
+    f: F,
+    output_dimension: usize,
+    name: String,
+}
+
+impl<F> RowSliceProgram<F>
+where
     F: Fn(&[Vec<f64>]) -> Vec<f64> + Send + Sync,
 {
-    fn run(&self, block: &[Vec<f64>], _scratch: &mut Scratch) -> Vec<f64> {
-        (self.f)(block)
+    /// Wraps a legacy slice-based closure, declaring its output arity.
+    pub fn new(output_dimension: usize, f: F) -> Self {
+        RowSliceProgram {
+            f,
+            output_dimension,
+            name: "row-slice-program".to_string(),
+        }
+    }
+
+    /// Sets a human-readable name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl<F> BlockProgram for RowSliceProgram<F>
+where
+    F: Fn(&[Vec<f64>]) -> Vec<f64> + Send + Sync,
+{
+    fn run(&self, block: &BlockView, _scratch: &mut Scratch) -> Vec<f64> {
+        // The one surviving materialisation: the legacy closure contract
+        // requires owned nested rows.
+        let rows = block.to_rows();
+        (self.f)(&rows)
     }
 
     fn output_dimension(&self) -> usize {
@@ -94,31 +157,48 @@ mod tests {
 
     #[test]
     fn closure_program_runs() {
-        let p = ClosureProgram::new(1, |block: &[Vec<f64>]| {
+        let p = ClosureProgram::new(1, |block: &BlockView| {
             vec![block.iter().map(|r| r[0]).sum::<f64>()]
         });
         let mut scratch = Scratch::new();
-        let out = p.run(&[vec![1.0], vec![2.0]], &mut scratch);
+        let out = p.run(&BlockView::from_rows(&[vec![1.0], vec![2.0]]), &mut scratch);
         assert_eq!(out, vec![3.0]);
         assert_eq!(p.output_dimension(), 1);
     }
 
     #[test]
     fn named_program() {
-        let p = ClosureProgram::new(1, |_: &[Vec<f64>]| vec![0.0]).named("mean-age");
+        let p = ClosureProgram::new(1, |_: &BlockView| vec![0.0]).named("mean-age");
         assert_eq!(p.name(), "mean-age");
     }
 
     #[test]
     fn default_name() {
-        let p = ClosureProgram::new(2, |_: &[Vec<f64>]| vec![0.0, 0.0]);
+        let p = ClosureProgram::new(2, |_: &BlockView| vec![0.0, 0.0]);
         assert_eq!(p.name(), "closure-program");
     }
 
     #[test]
     fn trait_object_safe() {
-        let p: Box<dyn BlockProgram> = Box::new(ClosureProgram::new(1, |_: &[Vec<f64>]| vec![1.0]));
+        let p: Box<dyn BlockProgram> = Box::new(ClosureProgram::new(1, |_: &BlockView| vec![1.0]));
         let mut scratch = Scratch::new();
-        assert_eq!(p.run(&[], &mut scratch), vec![1.0]);
+        assert_eq!(p.run(&BlockView::from_rows(&[]), &mut scratch), vec![1.0]);
+    }
+
+    #[test]
+    fn row_slice_adapter_matches_view_native() {
+        let legacy = RowSliceProgram::new(1, |rows: &[Vec<f64>]| {
+            vec![rows.iter().map(|r| r[0]).sum::<f64>()]
+        });
+        let native = ClosureProgram::new(1, |block: &BlockView| {
+            vec![block.iter().map(|r| r[0]).sum::<f64>()]
+        });
+        let view = BlockView::from_rows(&[vec![4.0], vec![5.0]]);
+        let mut scratch = Scratch::new();
+        assert_eq!(
+            legacy.run(&view, &mut scratch),
+            native.run(&view, &mut scratch)
+        );
+        assert_eq!(legacy.name(), "row-slice-program");
     }
 }

@@ -1,0 +1,394 @@
+//! The zero-copy data plane: a shared row store and cheap block views.
+//!
+//! The paper pipes a *copy* of each block into the sandboxed process.
+//! The first in-process analogue did the same — `Vec<Vec<Vec<f64>>>`
+//! blocks deep-cloned from the dataset — which copies the whole table
+//! γ times per query before a single chamber runs. This module replaces
+//! that plane with sharing:
+//!
+//! - [`RowStore`] holds the table **once**, as a flat row-major `f64`
+//!   buffer plus a row arity, and is handed around behind an `Arc`.
+//! - [`BlockView`] is a cheap handle onto a store: either a dense index
+//!   range or a shared sparse index list. Cloning a view copies two
+//!   pointers and two integers — never row data — so shipping γ·⌈n/β⌉
+//!   blocks to chamber workers allocates O(total indices), independent
+//!   of γ and of the dataset's byte size.
+//!
+//! Read-only sharing preserves the §6 isolation story: a program holding
+//! a `BlockView` can *read* exactly its block's rows and nothing else —
+//! the view API has no mutators, no neighbouring-row access, and the
+//! store behind the `Arc` is immutable by construction.
+
+use std::sync::Arc;
+
+/// An immutable, contiguous, row-major table of `f64` values.
+///
+/// Constructed once at dataset registration and shared behind an `Arc`
+/// by every [`BlockView`] derived from it. All rows have the same arity
+/// ([`RowStore::dimension`]); row `i` lives at `data[i*arity..(i+1)*arity]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowStore {
+    data: Vec<f64>,
+    arity: usize,
+    rows: usize,
+}
+
+impl RowStore {
+    /// Builds a store by flattening `rows`.
+    ///
+    /// All rows must share the first row's arity (the caller validates
+    /// shape; this constructor only asserts it). An empty slice yields
+    /// an empty store of dimension 0.
+    pub fn from_rows(rows: &[Vec<f64>]) -> RowStore {
+        let arity = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * arity);
+        for row in rows {
+            assert_eq!(row.len(), arity, "all rows must share one arity");
+            data.extend_from_slice(row);
+        }
+        RowStore {
+            data,
+            arity,
+            rows: rows.len(),
+        }
+    }
+
+    /// Builds a store from an already-flat row-major buffer.
+    ///
+    /// `data.len()` must be a multiple of `arity` (an `arity` of 0
+    /// requires an empty buffer).
+    pub fn from_flat(data: Vec<f64>, arity: usize) -> RowStore {
+        let rows = if arity == 0 {
+            assert!(data.is_empty(), "arity 0 requires an empty buffer");
+            0
+        } else {
+            assert!(
+                data.len().is_multiple_of(arity),
+                "flat buffer length must be a multiple of the arity"
+            );
+            data.len() / arity
+        };
+        RowStore { data, arity, rows }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row arity (values per row).
+    pub fn dimension(&self) -> usize {
+        self.arity
+    }
+
+    /// Row `i` as a slice (panics when out of bounds).
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates over all rows in order.
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.arity.max(1)).take(self.rows)
+    }
+
+    /// The flat row-major buffer (row `i` occupies
+    /// `flat[i*dimension()..(i+1)*dimension()]`).
+    pub fn flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Size of the row payload in bytes — what the legacy clone plane
+    /// would copy per materialisation.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Deep-copies the store back into nested rows (legacy shape).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.iter_rows().map(<[f64]>::to_vec).collect()
+    }
+}
+
+/// Which rows of the store a [`BlockView`] exposes.
+#[derive(Debug, Clone)]
+enum ViewIndices {
+    /// A contiguous row range `start..start+len` (estimator paths:
+    /// whole-table runs, aged-data chunks). Costs no index storage.
+    Dense { start: usize, len: usize },
+    /// An explicit index list shared with the block plan. `Arc`-backed
+    /// so cloning the view never copies the indices either.
+    Sparse(Arc<[usize]>),
+}
+
+/// A read-only window onto an [`Arc<RowStore>`]: the block a chamber
+/// ships to an untrusted program.
+///
+/// This is the data half of the isolation boundary (the trait signature
+/// of [`crate::BlockProgram`] is the other half): a program can index
+/// and iterate its block's rows but cannot reach neighbouring rows,
+/// mutate the store, or learn its own indices' positions in the table.
+/// Cloning is O(1) — two `Arc` bumps — which is what makes shipping
+/// views to pool workers γ-independent.
+#[derive(Debug, Clone)]
+pub struct BlockView {
+    store: Arc<RowStore>,
+    indices: ViewIndices,
+}
+
+impl BlockView {
+    /// A view over an explicit, shared index list.
+    ///
+    /// Panics when an index is out of bounds for the store (checked once
+    /// here so `row` stays branch-light).
+    pub fn sparse(store: Arc<RowStore>, indices: Arc<[usize]>) -> BlockView {
+        let n = store.len();
+        assert!(
+            indices.iter().all(|&i| i < n),
+            "block index out of bounds for store of {n} rows"
+        );
+        BlockView {
+            store,
+            indices: ViewIndices::Sparse(indices),
+        }
+    }
+
+    /// A view over the contiguous row range `start..start+len`.
+    pub fn dense(store: Arc<RowStore>, start: usize, len: usize) -> BlockView {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= store.len()),
+            "dense range {start}..{} out of bounds for store of {} rows",
+            start + len,
+            store.len()
+        );
+        BlockView {
+            store,
+            indices: ViewIndices::Dense { start, len },
+        }
+    }
+
+    /// A view over the whole store.
+    pub fn full(store: Arc<RowStore>) -> BlockView {
+        let len = store.len();
+        BlockView::dense(store, 0, len)
+    }
+
+    /// Convenience for tests and adapters: copies `rows` into a fresh
+    /// single-use store and views all of it. (Production paths share one
+    /// registration-time store instead.)
+    pub fn from_rows(rows: &[Vec<f64>]) -> BlockView {
+        BlockView::full(Arc::new(RowStore::from_rows(rows)))
+    }
+
+    /// Number of rows in the block.
+    pub fn len(&self) -> usize {
+        match &self.indices {
+            ViewIndices::Dense { len, .. } => *len,
+            ViewIndices::Sparse(idx) => idx.len(),
+        }
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row arity of the underlying store.
+    pub fn dimension(&self) -> usize {
+        self.store.dimension()
+    }
+
+    /// The `i`-th row of the block (panics when out of bounds).
+    pub fn row(&self, i: usize) -> &[f64] {
+        match &self.indices {
+            ViewIndices::Dense { start, len } => {
+                assert!(i < *len, "row {i} out of bounds for block of {len} rows");
+                self.store.row(start + i)
+            }
+            ViewIndices::Sparse(idx) => self.store.row(idx[i]),
+        }
+    }
+
+    /// Iterates over the block's rows in block order.
+    pub fn iter(&self) -> BlockRows<'_> {
+        BlockRows { view: self, pos: 0 }
+    }
+
+    /// The shared row store this view borrows from. Exposed so callers
+    /// can assert zero-copy sharing (`Arc::ptr_eq`); the store itself is
+    /// immutable.
+    pub fn store(&self) -> &Arc<RowStore> {
+        &self.store
+    }
+
+    /// Bytes of *index* bookkeeping this view carries (0 for dense
+    /// ranges) — the only per-block allocation the view plane makes.
+    pub fn index_bytes(&self) -> usize {
+        match &self.indices {
+            ViewIndices::Dense { .. } => 0,
+            ViewIndices::Sparse(idx) => idx.len() * std::mem::size_of::<usize>(),
+        }
+    }
+
+    /// Deep-copies the block into the legacy nested-rows shape.
+    ///
+    /// This is the clone plane the view API replaces; it survives only
+    /// for the [`crate::RowSliceProgram`] compatibility adapter and for
+    /// equivalence tests. New programs should iterate the view directly.
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.iter().map(<[f64]>::to_vec).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a BlockView {
+    type Item = &'a [f64];
+    type IntoIter = BlockRows<'a>;
+
+    fn into_iter(self) -> BlockRows<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`BlockView`]'s rows.
+#[derive(Debug)]
+pub struct BlockRows<'a> {
+    view: &'a BlockView,
+    pos: usize,
+}
+
+impl<'a> Iterator for BlockRows<'a> {
+    type Item = &'a [f64];
+
+    fn next(&mut self) -> Option<&'a [f64]> {
+        if self.pos >= self.view.len() {
+            return None;
+        }
+        let row = self.view.row(self.pos);
+        self.pos += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.view.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for BlockRows<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> Arc<RowStore> {
+        Arc::new(RowStore::from_rows(&[
+            vec![0.0, 10.0],
+            vec![1.0, 11.0],
+            vec![2.0, 12.0],
+            vec![3.0, 13.0],
+        ]))
+    }
+
+    #[test]
+    fn store_round_trips_rows() {
+        let s = store();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dimension(), 2);
+        assert_eq!(s.row(2), &[2.0, 12.0]);
+        assert_eq!(s.iter_rows().count(), 4);
+        assert_eq!(s.to_rows()[3], vec![3.0, 13.0]);
+        assert_eq!(s.payload_bytes(), 4 * 2 * 8);
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = RowStore::from_rows(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.dimension(), 0);
+        assert_eq!(s.iter_rows().count(), 0);
+    }
+
+    #[test]
+    fn from_flat_round_trips() {
+        let s = RowStore::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the arity")]
+    fn from_flat_rejects_ragged() {
+        RowStore::from_flat(vec![1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one arity")]
+    fn from_rows_rejects_ragged() {
+        RowStore::from_rows(&[vec![1.0], vec![2.0, 3.0]]);
+    }
+
+    #[test]
+    fn sparse_view_selects_and_repeats() {
+        let v = BlockView::sparse(store(), Arc::from(vec![3, 1, 1].into_boxed_slice()));
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.dimension(), 2);
+        assert_eq!(v.row(0), &[3.0, 13.0]);
+        assert_eq!(v.row(2), &[1.0, 11.0]);
+        let firsts: Vec<f64> = v.iter().map(|r| r[0]).collect();
+        assert_eq!(firsts, vec![3.0, 1.0, 1.0]);
+        assert_eq!(v.index_bytes(), 3 * std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn dense_view_windows_the_store() {
+        let v = BlockView::dense(store(), 1, 2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.row(0), &[1.0, 11.0]);
+        assert_eq!(v.row(1), &[2.0, 12.0]);
+        assert_eq!(v.index_bytes(), 0);
+        assert_eq!(v.to_rows(), vec![vec![1.0, 11.0], vec![2.0, 12.0]]);
+    }
+
+    #[test]
+    fn full_view_covers_everything() {
+        let v = BlockView::full(store());
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert_eq!(v.iter().len(), 4);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let s = store();
+        let v = BlockView::full(Arc::clone(&s));
+        let w = v.clone();
+        assert_eq!(Arc::strong_count(&s), 3);
+        assert_eq!(w.row(0), v.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sparse_rejects_out_of_range_index() {
+        BlockView::sparse(store(), Arc::from(vec![4].into_boxed_slice()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn dense_rejects_overlong_range() {
+        BlockView::dense(store(), 2, 3);
+    }
+
+    #[test]
+    fn for_loop_iteration() {
+        let v = BlockView::from_rows(&[vec![5.0], vec![6.0]]);
+        let mut sum = 0.0;
+        for row in &v {
+            sum += row[0];
+        }
+        assert_eq!(sum, 11.0);
+    }
+}

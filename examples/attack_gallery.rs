@@ -18,12 +18,16 @@ use std::time::Duration;
 
 const VICTIM: f64 = 13.0;
 
-fn block(with_victim: bool) -> Vec<Vec<f64>> {
+fn rows(with_victim: bool) -> Vec<Vec<f64>> {
     let mut rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 + 100.0]).collect();
     if with_victim {
         rows[0][0] = VICTIM;
     }
     rows
+}
+
+fn block(with_victim: bool) -> BlockView {
+    BlockView::from_rows(&rows(with_victim))
 }
 
 fn main() {
@@ -70,14 +74,14 @@ fn main() {
     println!("\n== 4. Budget attack is structurally impossible ==");
     let spent = |with_victim: bool| -> f64 {
         let runtime = GuptRuntimeBuilder::new()
-            .register_dataset("t", block(with_victim), Epsilon::new(5.0).unwrap())
+            .register_dataset("t", rows(with_victim), Epsilon::new(5.0).unwrap())
             .expect("registers")
             .seed(3)
             .build();
         // Even a hostile program can only return numbers — it has no
         // handle to the ledger, and the runtime charges the declared ε
         // before execution.
-        let spec = QuerySpec::program(|b: &[Vec<f64>]| vec![b.len() as f64])
+        let spec = QuerySpec::view_program(|b: &BlockView| vec![b.len() as f64])
             .epsilon(Epsilon::new(0.7).unwrap())
             .range_estimation(RangeEstimation::Tight(vec![
                 OutputRange::new(0.0, 100.0).unwrap()

@@ -12,7 +12,7 @@ use gupt::core::prelude::*;
 const MAX_AGE: f64 = 100.0;
 
 fn mean_spec() -> QuerySpec {
-    QuerySpec::program(|b: &[Vec<f64>]| {
+    QuerySpec::view_program(|b: &BlockView| {
         vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
     })
     .fixed_block_size(10)
@@ -22,7 +22,7 @@ fn mean_spec() -> QuerySpec {
 }
 
 fn variance_spec() -> QuerySpec {
-    QuerySpec::program(|b: &[Vec<f64>]| {
+    QuerySpec::view_program(|b: &BlockView| {
         let n = b.len() as f64;
         if b.len() < 2 {
             return vec![0.0];

@@ -19,13 +19,16 @@ fn main() {
         .expect("valid fraction");
 
     let runtime = GuptRuntimeBuilder::new()
-        .register("census", dataset, Epsilon::new(10.0).unwrap())
+        .dataset(
+            "census",
+            dataset.builder().budget(Epsilon::new(10.0).unwrap()),
+        )
         .expect("registers")
         .seed(23)
         .build();
 
     let average_age = || {
-        QuerySpec::program(|block: &[Vec<f64>]| {
+        QuerySpec::view_program(|block: &BlockView| {
             vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
         })
         .accuracy_goal(

@@ -10,7 +10,7 @@
 use gupt::core::prelude::*;
 use gupt::datasets::life_sciences::{LifeSciencesConfig, LifeSciencesDataset};
 use gupt::ml::kmeans::{intra_cluster_variance, kmeans, KMeansConfig, KMeansModel};
-use gupt::sandbox::ClosureProgram;
+use gupt::sandbox::{BlockView, ClosureProgram};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
 
@@ -39,23 +39,22 @@ fn main() {
     let reference_icv = intra_cluster_variance(&data, reference.centers());
     println!("non-private ICV: {reference_icv:.3}");
 
-    // The analyst's unmodified clustering program.
-    let program = Arc::new(ClosureProgram::new(
-        K * dims,
-        move |block: &[Vec<f64>]| {
-            let mut rng = StdRng::seed_from_u64(7);
-            kmeans(
-                block,
-                KMeansConfig {
-                    k: K,
-                    max_iterations: 30,
-                    tolerance: 1e-6,
-                },
-                &mut rng,
-            )
-            .flatten()
-        },
-    ));
+    // The analyst's clustering program, reading its block zero-copy
+    // through the shared row store.
+    let program = Arc::new(ClosureProgram::new(K * dims, move |block: &BlockView| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rows: Vec<&[f64]> = block.iter().collect();
+        kmeans(
+            &rows,
+            KMeansConfig {
+                k: K,
+                max_iterations: 30,
+                tolerance: 1e-6,
+            },
+            &mut rng,
+        )
+        .flatten()
+    }));
 
     // GUPT-tight: the owner's exact attribute bounds, replicated per center.
     let tight: Vec<OutputRange> = (0..K)

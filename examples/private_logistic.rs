@@ -10,7 +10,7 @@
 use gupt::core::prelude::*;
 use gupt::datasets::life_sciences::{LifeSciencesConfig, LifeSciencesDataset};
 use gupt::ml::logistic::{train_logistic, LogisticConfig, LogisticModel};
-use gupt::sandbox::ClosureProgram;
+use gupt::sandbox::{BlockView, ClosureProgram};
 use std::sync::Arc;
 
 fn main() {
@@ -29,9 +29,11 @@ fn main() {
         reference.accuracy(&data) * 100.0
     );
 
-    // The unmodified training routine as a GUPT program.
-    let program = Arc::new(ClosureProgram::new(dims + 1, |block: &[Vec<f64>]| {
-        train_logistic(block, LogisticConfig::default()).weights
+    // The training routine as a GUPT program: borrowed row slices out
+    // of the shared store, no per-block cloning.
+    let program = Arc::new(ClosureProgram::new(dims + 1, |block: &BlockView| {
+        let rows: Vec<&[f64]> = block.iter().collect();
+        train_logistic(&rows, LogisticConfig::default()).weights
     }));
 
     let ranges: Vec<OutputRange> = (0..=dims)

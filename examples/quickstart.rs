@@ -23,12 +23,13 @@ fn main() {
         .build();
 
     // --- Analyst side ----------------------------------------------------
-    // An ordinary mean — no privacy code anywhere in it.
-    let average_salary = |block: &[Vec<f64>]| {
+    // An ordinary mean — no privacy code anywhere in it. The block
+    // arrives as a zero-copy view onto the owner's shared row store.
+    let average_salary = |block: &BlockView| {
         vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
     };
 
-    let spec = QuerySpec::program(average_salary)
+    let spec = QuerySpec::view_program(average_salary)
         .epsilon(Epsilon::new(1.0).unwrap())
         // Non-sensitive public knowledge: salaries lie in [0, 500k].
         .range_estimation(RangeEstimation::Loose(vec![OutputRange::new(

@@ -28,12 +28,15 @@ fn main() {
         .expect("column exists");
 
     let runtime = GuptRuntimeBuilder::new()
-        .register("visits", dataset, Epsilon::new(5.0).unwrap())
+        .dataset(
+            "visits",
+            dataset.builder().budget(Epsilon::new(5.0).unwrap()),
+        )
         .expect("registers")
         .seed(31)
         .build();
 
-    let spec = QuerySpec::program(|block: &[Vec<f64>]| {
+    let spec = QuerySpec::view_program(|block: &BlockView| {
         vec![block.iter().map(|r| r[1]).sum::<f64>() / block.len().max(1) as f64]
     })
     .epsilon(Epsilon::new(1.0).unwrap())

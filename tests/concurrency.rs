@@ -16,7 +16,7 @@
 //! full queue rejects fast, expired deadlines surface as typed errors.
 
 use gupt::core::prelude::*;
-use gupt::sandbox::ClosureProgram;
+use gupt::sandbox::{BlockView, ClosureProgram};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -151,7 +151,7 @@ fn service_enforces_in_flight_cap() {
     let spec = || {
         let live = Arc::clone(&live);
         let peak = Arc::clone(&peak);
-        let program = ClosureProgram::new(1, move |b: &[Vec<f64>]| {
+        let program = ClosureProgram::new(1, move |b: &BlockView| {
             let now = live.fetch_add(1, Ordering::SeqCst) + 1;
             peak.fetch_max(now, Ordering::SeqCst);
             thread::sleep(Duration::from_millis(2));
@@ -195,7 +195,7 @@ fn full_queue_rejects_with_overloaded() {
     let gate = Arc::new(AtomicUsize::new(0));
     let slow_spec = {
         let gate = Arc::clone(&gate);
-        let program = ClosureProgram::new(1, move |b: &[Vec<f64>]| {
+        let program = ClosureProgram::new(1, move |b: &BlockView| {
             gate.store(1, Ordering::SeqCst);
             thread::sleep(Duration::from_millis(100));
             vec![b.len() as f64]
@@ -232,7 +232,7 @@ fn expired_deadline_surfaces_typed_error() {
     let gate = Arc::new(AtomicUsize::new(0));
     let slow_spec = {
         let gate = Arc::clone(&gate);
-        let program = ClosureProgram::new(1, move |b: &[Vec<f64>]| {
+        let program = ClosureProgram::new(1, move |b: &BlockView| {
             gate.store(1, Ordering::SeqCst);
             thread::sleep(Duration::from_millis(150));
             vec![b.len() as f64]

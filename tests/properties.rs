@@ -70,7 +70,7 @@ proptest! {
             let set: HashSet<usize> = block.iter().copied().collect();
             prop_assert_eq!(set.len(), block.len());
             prop_assert!(block.len() <= beta.min(n).max(1));
-            for &i in block {
+            for &i in block.iter() {
                 counts[i] += 1;
             }
         }
@@ -178,7 +178,7 @@ proptest! {
                 let present = group.iter().filter(|i| set.contains(i)).count();
                 prop_assert!(present == 0 || present == group.len());
             }
-            for &i in block {
+            for &i in block.iter() {
                 counts[i] += 1;
             }
         }

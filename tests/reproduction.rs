@@ -111,10 +111,11 @@ fn fig5_claim_pinq_degrades_with_iterations_gupt_does_not() {
                     .build();
                 let spec = QuerySpec::from_program(Arc::new(ClosureProgram::new(
                     40,
-                    move |b: &[Vec<f64>]| {
+                    move |b: &gupt::sandbox::BlockView| {
                         let mut rng = StdRng::seed_from_u64(7);
+                        let rows: Vec<&[f64]> = b.iter().collect();
                         gupt::ml::kmeans::kmeans(
-                            b,
+                            &rows,
                             gupt::ml::kmeans::KMeansConfig {
                                 k: 4,
                                 max_iterations: iterations,

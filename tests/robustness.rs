@@ -125,11 +125,11 @@ fn scratch_quota_overrun_counts_as_panic_in_summary() {
     // The closure program cannot reach scratch directly; use a program
     // that allocates through its own means — the quota applies to the
     // scratch channel, so craft a scratch-hungry BlockProgram instead.
-    use gupt::sandbox::{BlockProgram, Scratch};
+    use gupt::sandbox::{BlockProgram, BlockView, Scratch};
     use std::sync::Arc;
     struct Hog;
     impl BlockProgram for Hog {
-        fn run(&self, _b: &[Vec<f64>], scratch: &mut Scratch) -> Vec<f64> {
+        fn run(&self, _b: &BlockView, scratch: &mut Scratch) -> Vec<f64> {
             for i in 0..1000 {
                 scratch.put(format!("k{i}"), vec![0.0; 64]);
             }

@@ -141,13 +141,16 @@ fn output_arity_attack_is_normalized() {
         .unwrap()
         .seed(5)
         .build();
-    let spec = QuerySpec::from_program(Arc::new(ClosureProgram::new(2, |b: &[Vec<f64>]| {
-        if b.iter().any(|r| r[0] == VICTIM) {
-            vec![1.0, 2.0, 3.0, 4.0, 5.0] // arity leak attempt
-        } else {
-            vec![1.0]
-        }
-    })))
+    let spec = QuerySpec::from_program(Arc::new(ClosureProgram::new(
+        2,
+        |b: &gupt::sandbox::BlockView| {
+            if b.iter().any(|r| r[0] == VICTIM) {
+                vec![1.0, 2.0, 3.0, 4.0, 5.0] // arity leak attempt
+            } else {
+                vec![1.0]
+            }
+        },
+    )))
     .epsilon(Epsilon::new(1.0).unwrap())
     .range_estimation(RangeEstimation::Tight(vec![range(), range()]));
     let answer = runtime.run("t", spec).unwrap();
