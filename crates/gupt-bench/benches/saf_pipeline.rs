@@ -3,7 +3,9 @@
 //! an end-to-end runtime query.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gupt_core::{partition, sample_and_aggregate, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt_core::{
+    partition, sample_and_aggregate, BlockView, GuptRuntimeBuilder, QuerySpec, RangeEstimation,
+};
 use gupt_dp::{Epsilon, OutputRange};
 use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;
@@ -48,7 +50,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                 .expect("registers")
                 .seed(3)
                 .build();
-            let spec = QuerySpec::program(|block: &[Vec<f64>]| {
+            let spec = QuerySpec::view_program(|block: &BlockView| {
                 vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
             })
             .epsilon(Epsilon::new(1.0).expect("valid"))

@@ -1,0 +1,126 @@
+//! Answer-cache effectiveness: replay latency and ε on a repeat workload.
+//!
+//! A released DP answer is post-processing — re-serving it verbatim
+//! costs zero additional ε. The answer cache exploits exactly that: a
+//! fingerprinted query that already ran returns its stored
+//! [`gupt_core::PrivateAnswer`] before any ledger charge or chamber
+//! execution. This bench drives a 100 %-repeat workload (one named
+//! query, asked over and over) and measures:
+//!
+//! - cold latency (the one real execution) vs warm replay latency;
+//! - ε spent by the repeats — which must be **exactly zero**.
+//!
+//! The run fails (exit 1) if the warm/cold speedup drops below
+//! `GUPT_MIN_CACHE_SPEEDUP` (default 10×) or if any repeat touches the
+//! ledger — the PR's acceptance gate, enforced in CI at reduced scale.
+//!
+//! Run: `cargo run -p gupt-bench --bin cache_effectiveness --release`
+
+use gupt_bench::report::{banner, RunReport};
+use gupt_core::{BlockView, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt_dp::{Epsilon, OutputRange};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median seconds per call of `f` over `trials` calls.
+fn time_of(trials: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..trials)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn spec() -> QuerySpec {
+    QuerySpec::named_program("bench-mean", 1, |b: &BlockView| {
+        vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+    })
+    .epsilon(Epsilon::new(0.1).expect("valid"))
+    .range_estimation(RangeEstimation::Tight(vec![
+        OutputRange::new(0.0, 997.0).expect("valid")
+    ]))
+}
+
+fn main() {
+    banner("Answer-cache effectiveness: 100 %-repeat workload");
+
+    let n = gupt_bench::rows(20_000);
+    let trials = gupt_bench::trials(31).max(3);
+    let min_speedup: f64 = std::env::var("GUPT_MIN_CACHE_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 997) as f64]).collect();
+    let runtime = GuptRuntimeBuilder::new()
+        .register_dataset("t", rows, Epsilon::new(100.0).expect("valid"))
+        .expect("registers")
+        .seed(0xCAC4E)
+        .build();
+
+    println!("{n} rows, {trials} warm trials, gate ≥ {min_speedup}×\n");
+
+    // Cold: the single real execution (chambers + ledger charge).
+    let cold_start = Instant::now();
+    let cold_answer = runtime.run("t", spec()).expect("cold query runs");
+    let cold_s = cold_start.elapsed().as_secs_f64();
+    let after_cold = runtime.remaining_budget("t").expect("dataset exists");
+
+    // Warm: every subsequent ask replays the stored answer.
+    let warm_s = time_of(trials, || {
+        let answer = runtime.run("t", spec()).expect("warm query runs");
+        black_box(answer);
+    });
+    let after_warm = runtime.remaining_budget("t").expect("dataset exists");
+    let repeat_epsilon = after_cold - after_warm;
+
+    let stats = runtime.cache_stats();
+    let speedup = cold_s / warm_s.max(1e-9);
+    println!(
+        "cold {:>9.3} ms | warm {:>9.5} ms | speedup {speedup:>8.1}×",
+        cold_s * 1e3,
+        warm_s * 1e3,
+    );
+    println!(
+        "repeats spent ε = {repeat_epsilon} | cache: {} hits / {} misses, ε saved {:.3}",
+        stats.hits, stats.misses, stats.epsilon_saved
+    );
+
+    // One traced replay so the run-report carries full lifecycle
+    // telemetry — including the v3 cache counters — for CI to validate.
+    let traced = runtime
+        .run("t", spec().collect_telemetry())
+        .expect("traced replay runs");
+    assert_eq!(
+        traced.values, cold_answer.values,
+        "replay must be bit-identical to the released answer"
+    );
+
+    RunReport::new("cache_effectiveness")
+        .setting("rows", n as f64)
+        .setting("trials", trials as f64)
+        .setting("min_cache_speedup", min_speedup)
+        .metric("cold_s", cold_s)
+        .metric("warm_s", warm_s)
+        .metric("speedup", speedup)
+        .metric("repeat_epsilon", repeat_epsilon)
+        .metric("cache_hits", stats.hits as f64)
+        .metric("cache_misses", stats.misses as f64)
+        .metric("epsilon_saved", stats.epsilon_saved)
+        .telemetry(traced.telemetry.expect("telemetry requested"))
+        .emit();
+
+    assert!(
+        repeat_epsilon == 0.0,
+        "cache replay touched the ledger: repeats spent ε = {repeat_epsilon}"
+    );
+    assert!(
+        speedup >= min_speedup,
+        "cache regression: warm replay only {speedup:.2}× faster than cold \
+         execution (gate: ≥ {min_speedup}×)"
+    );
+}

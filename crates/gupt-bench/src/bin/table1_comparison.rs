@@ -19,7 +19,7 @@
 use gupt_baselines::airavat::{AiravatJob, AiravatRuntime, FnMapper, Reducer};
 use gupt_baselines::pinq::PinqQueryable;
 use gupt_bench::report::{banner, render_string_table};
-use gupt_core::{AccuracyGoal, Dataset, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt_core::{AccuracyGoal, BlockView, Dataset, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
 use gupt_dp::{Epsilon, OutputRange};
 use gupt_sandbox::{
     attacks::{StateAttackProgram, TimingAttackProgram},
@@ -74,7 +74,7 @@ fn automated_budget() -> [String; 3] {
         .expect("registers")
         .seed(1)
         .build();
-    let spec = QuerySpec::program(|b: &[Vec<f64>]| {
+    let spec = QuerySpec::view_program(|b: &BlockView| {
         vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
     })
     .accuracy_goal(AccuracyGoal::new(0.9, 0.9).expect("valid"))
@@ -105,7 +105,7 @@ fn budget_attack_protection() -> [String; 3] {
             .expect("registers")
             .seed(2)
             .build();
-        let spec = QuerySpec::program(|b: &[Vec<f64>]| vec![b.len() as f64])
+        let spec = QuerySpec::view_program(|b: &BlockView| vec![b.len() as f64])
             .epsilon(eps(0.5))
             .range_estimation(RangeEstimation::Tight(vec![
                 OutputRange::new(0.0, 100.0).expect("static")

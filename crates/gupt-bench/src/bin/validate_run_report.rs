@@ -2,12 +2,13 @@
 //!
 //! Usage: `validate_run_report FILE.json [FILE.json ...]`
 //!
-//! Each file must be a `RunReport` document (schema version 1): the
-//! envelope fields, numeric `settings`/`metrics`, and — when present —
-//! a `telemetry` object carrying all six stage timings, the block
-//! counters and the ledger event, exactly as `gupt-cli --telemetry
-//! json` emits them. Exits non-zero on the first malformed report so
-//! the bench-smoke CI job fails loudly instead of archiving garbage.
+//! Each file must be a `RunReport` document: the envelope fields,
+//! numeric `settings`/`metrics`, and — when present — a `telemetry`
+//! object at the current schema version carrying all six stage
+//! timings, the block counters, the ledger event and (since schema v3)
+//! the answer-cache counters, exactly as `gupt-cli --telemetry json`
+//! emits them. Exits non-zero on the first malformed report so the
+//! bench-smoke CI job fails loudly instead of archiving garbage.
 
 use gupt_bench::json::{parse, Value};
 use std::process::ExitCode;
@@ -133,6 +134,24 @@ fn validate_telemetry(t: &Value) -> Result<(), String> {
     for key in ["epsilon_requested", "epsilon_charged", "remaining_budget"] {
         require_number_or_null(ledger, key).map_err(|e| format!("telemetry.ledger: {e}"))?;
     }
+
+    let cache = t.get("cache").ok_or("telemetry.cache must be an object")?;
+    for key in [
+        "hits",
+        "misses",
+        "evictions",
+        "recovered_entries",
+        "entries",
+        "capacity",
+    ] {
+        let n = require_number(cache, key).map_err(|e| format!("telemetry.cache: {e}"))?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!(
+                "telemetry.cache.{key} must be a non-negative integer"
+            ));
+        }
+    }
+    require_number_or_null(cache, "epsilon_saved").map_err(|e| format!("telemetry.cache: {e}"))?;
     Ok(())
 }
 
@@ -208,6 +227,17 @@ mod tests {
         let doc = parse(&json).unwrap();
         let err = validate_run_report(&doc).unwrap_err();
         assert!(err.contains("views_served"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_cache_counters() {
+        let json = RunReport::new("b")
+            .telemetry(TelemetryReport::default())
+            .to_json()
+            .replace("\"recovered_entries\"", "\"recovered_entriesX\"");
+        let doc = parse(&json).unwrap();
+        let err = validate_run_report(&doc).unwrap_err();
+        assert!(err.contains("recovered_entries"), "{err}");
     }
 
     #[test]

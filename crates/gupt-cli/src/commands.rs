@@ -53,15 +53,20 @@ USAGE:
                  [--group-column N]     (user-level privacy, §8.1)
                  [--telemetry json|text]  (stage timings + counters on stderr;
                                            operator-facing, NOT ε-protected)
+                 [--cache-stats yes]      (answer-cache counters after the run)
   gupt-cli serve --data FILE.csv --program SPEC --range LO,HI --budget EPS
                  --queries N --epsilon-each E [--analysts T]
                  [--max-in-flight M] [--max-queued Q] [--deadline-ms D]
                  [--seed S] [--header yes]
                  [--state-dir DIR] [--fsync always|never|N]
+                 [--cache-capacity C] [--cache-stats yes]
                  (multi-analyst driver: races N queries from T threads through
                   the admission-controlled QueryService against one budget;
                   with --state-dir the ledger is WAL-backed and survives
-                  restarts — rerun with the same DIR to keep spending it)
+                  restarts — rerun with the same DIR to keep spending it;
+                  --cache-capacity C > 0 turns on the answer cache, so
+                  repeated queries replay their released answer at zero ε —
+                  with --state-dir the warm cache survives restarts too)
   gupt-cli recover --state-dir DIR --dataset NAME
                  (replays NAME's snapshot + WAL and reports the recovered
                   books without charging or serving anything)
@@ -197,6 +202,7 @@ fn query(args: &Args) -> Result<String, CliError> {
         Some(other) => return Err(format!("unknown aggregator {other:?} (mean|median)").into()),
     };
     let range_mode = args.get("range-mode").unwrap_or("tight");
+    let show_cache_stats = matches!(args.get("cache-stats"), Some("yes" | "true" | "1"));
     let telemetry_mode = match args.get("telemetry") {
         None => None,
         Some(mode @ ("json" | "text")) => Some(mode.to_string()),
@@ -221,7 +227,11 @@ fn query(args: &Args) -> Result<String, CliError> {
         "loose" => RangeEstimation::Loose(output_ranges),
         other => return Err(format!("unknown range mode {other:?} (tight|loose)").into()),
     };
+    // The resolved program string is a stable identity, so the query is
+    // fingerprintable by the answer cache (a no-op for this ephemeral
+    // runtime beyond the --cache-stats counters).
     let mut spec = QuerySpec::from_program(program)
+        .with_identity(spec_str, 1)
         .resampling(gamma)
         .aggregator(aggregator)
         .range_estimation(estimation);
@@ -346,7 +356,28 @@ fn query(args: &Args) -> Result<String, CliError> {
             );
         }
     }
+    if show_cache_stats {
+        let _ = writeln!(
+            out,
+            "cache       : {}",
+            render_cache_stats(&runtime.cache_stats())
+        );
+    }
     Ok(out)
+}
+
+/// One-line rendering of the answer-cache counters.
+fn render_cache_stats(stats: &gupt_core::CacheStats) -> String {
+    format!(
+        "{} hits / {} misses, ε saved {:.6}, {} evictions, {} recovered, {}/{} entries",
+        stats.hits,
+        stats.misses,
+        stats.epsilon_saved,
+        stats.evictions,
+        stats.recovered_entries,
+        stats.entries,
+        stats.capacity
+    )
 }
 
 /// Multi-analyst driver: races `--queries` identical queries from
@@ -384,6 +415,10 @@ fn serve(args: &Args) -> Result<String, CliError> {
     let deadline_ms: Option<u64> = args.get_parsed("deadline-ms", "integer")?;
     let seed: u64 = args.get_parsed("seed", "integer")?.unwrap_or(0);
     let state_dir = args.get("state-dir");
+    // Off by default: the serve driver exists to demonstrate budget
+    // contention, and a warm cache makes every repeat free.
+    let cache_capacity: usize = args.get_parsed("cache-capacity", "integer")?.unwrap_or(0);
+    let show_cache_stats = matches!(args.get("cache-stats"), Some("yes" | "true" | "1"));
 
     let durability = match state_dir {
         None => Durability::Ephemeral,
@@ -400,7 +435,7 @@ fn serve(args: &Args) -> Result<String, CliError> {
         .budget(Epsilon::new(budget)?)
         .durability(durability);
     let runtime = match GuptRuntimeBuilder::new().dataset("data", registration) {
-        Ok(builder) => builder.seed(seed).build(),
+        Ok(builder) => builder.seed(seed).cache_capacity(cache_capacity).build(),
         Err(err) => return Err(render_runtime_error(err)),
     };
     let recovered = runtime.recovery_info("data")?.cloned();
@@ -410,7 +445,11 @@ fn serve(args: &Args) -> Result<String, CliError> {
     }
     let service = QueryService::new(runtime, config);
 
+    // The program string names the query, so with --cache-capacity > 0
+    // the N identical asks fingerprint to one cache entry: the first
+    // execution pays ε, every repeat replays the released answer free.
     let spec = QuerySpec::from_program(resolved.program)
+        .with_identity(spec_str, 1)
         .epsilon(Epsilon::new(eps_each)?)
         .range_estimation(RangeEstimation::Tight(output_ranges));
 
@@ -482,6 +521,13 @@ fn serve(args: &Args) -> Result<String, CliError> {
         "ledger      : ε = {remaining:.6} of {budget} remaining ({} admitted)",
         stats.admitted
     );
+    if show_cache_stats {
+        let _ = writeln!(
+            out,
+            "cache       : {}",
+            render_cache_stats(&service.cache_stats())
+        );
+    }
     if ledger_state.durable {
         let _ = writeln!(
             out,
@@ -900,6 +946,85 @@ mod tests {
         let report = run(&format!("recover --state-dir {state} --dataset data")).unwrap();
         assert!(report.contains("spent     ε = 3.000000"), "{report}");
         assert!(report.contains("queries     = 6"), "{report}");
+    }
+
+    #[test]
+    fn serve_with_cache_replays_repeats_for_free() {
+        let csv_path = tmp("serve_cache.csv");
+        run(&format!(
+            "generate census --rows 2000 --seed 8 --out {csv_path}"
+        ))
+        .unwrap();
+        // 12 identical queries × ε 0.5 against a 2.0 budget: without the
+        // cache only 4 fit; with it, the first ask pays and the other 11
+        // replay the same released answer at zero ε.
+        let out = run(&format!(
+            "serve --data {csv_path} --program mean:0 --range 0,150 --budget 2.0 \
+             --queries 12 --epsilon-each 0.5 --analysts 1 --seed 1 --header yes \
+             --cache-capacity 16 --cache-stats yes"
+        ))
+        .unwrap();
+        assert!(out.contains("succeeded   : 12"), "{out}");
+        assert!(out.contains("budget-refused : 0"), "{out}");
+        assert!(out.contains("ε = 1.500000 of 2 remaining"), "{out}");
+        assert!(out.contains("11 hits / 1 misses"), "{out}");
+        assert!(out.contains("ε saved 5.500000"), "{out}");
+    }
+
+    #[test]
+    fn serve_restart_recovers_warm_cache_from_wal() {
+        let csv_path = tmp("serve_cache_durable.csv");
+        let state = tmp_dir("serve_cache_durable_state");
+        run(&format!(
+            "generate census --rows 2000 --seed 8 --out {csv_path}"
+        ))
+        .unwrap();
+        // First process: one real execution (ε 0.5), one in-memory hit;
+        // the cached answer is journaled into the WAL alongside the debit.
+        let first = run(&format!(
+            "serve --data {csv_path} --program mean:0 --range 0,150 --budget 3.0 \
+             --queries 2 --epsilon-each 0.5 --analysts 1 --seed 1 --header yes \
+             --state-dir {state} --fsync always --cache-capacity 16 --cache-stats yes"
+        ))
+        .unwrap();
+        assert!(first.contains("succeeded   : 2"), "{first}");
+        assert!(first.contains("1 hits / 1 misses"), "{first}");
+        assert!(
+            first.contains("durable     : ε = 0.500000 spent"),
+            "{first}"
+        );
+
+        // Second process (fresh runtime, same state dir): the cache warms
+        // from the WAL, so *every* query replays — the durable spend
+        // stays exactly where the first process left it.
+        let second = run(&format!(
+            "serve --data {csv_path} --program mean:0 --range 0,150 --budget 3.0 \
+             --queries 2 --epsilon-each 0.5 --analysts 1 --seed 2 --header yes \
+             --state-dir {state} --cache-capacity 16 --cache-stats yes"
+        ))
+        .unwrap();
+        assert!(second.contains("succeeded   : 2"), "{second}");
+        assert!(second.contains("2 hits / 0 misses"), "{second}");
+        assert!(second.contains("1 recovered"), "{second}");
+        assert!(
+            second.contains("durable     : ε = 0.500000 spent"),
+            "{second}"
+        );
+    }
+
+    #[test]
+    fn query_cache_stats_flag_prints_counters() {
+        let csv_path = tmp("query_cache_stats.csv");
+        run(&format!("generate ads --rows 500 --out {csv_path}")).unwrap();
+        let out = run(&format!(
+            "query --data {csv_path} --program mean:0 --epsilon 1 --range 0,15 \
+             --seed 5 --header yes --cache-stats yes"
+        ))
+        .unwrap();
+        // Ephemeral runtime: the single fingerprinted query is a miss
+        // that populates one entry.
+        assert!(out.contains("cache       : 0 hits / 1 misses"), "{out}");
+        assert!(out.contains("1/256 entries"), "{out}");
     }
 
     #[test]

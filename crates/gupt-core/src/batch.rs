@@ -27,7 +27,9 @@ use gupt_dp::Epsilon;
 pub struct BatchAnswer {
     /// Per-query private answers, in submission order.
     pub answers: Vec<PrivateAnswer>,
-    /// The ε allocated to each query.
+    /// The ε charged for each query. `0.0` marks a member served from
+    /// the answer cache — its answer was already released, so it
+    /// received no share of the batch budget.
     pub allocations: Vec<f64>,
 }
 
@@ -85,19 +87,52 @@ impl GuptRuntime {
 
         let shares = distribute_budget(total_budget, &profiles)?;
 
-        // Charge the whole allocation in one atomic debit (the shares
-        // sum to `total_budget`), then execute each member precharged.
-        self.charge_dataset(dataset, total_budget)?;
+        // Split hits from misses *before* charging: each member is
+        // fingerprinted with its allocated share, and a hit is pulled
+        // from the cache now — not peeked — so an eviction between
+        // planning and execution can never leave a member both
+        // uncharged and uncached. (A concurrent insert that would have
+        // made a charged member a hit is a safe over-charge.)
+        let mut cached: Vec<Option<PrivateAnswer>> = Vec::with_capacity(queries.len());
+        let mut miss_total = 0.0;
+        for (spec, share) in queries.iter().zip(&shares) {
+            let hit = self
+                .fingerprint_with_epsilon(dataset, spec, *share)
+                .and_then(|fp| self.cache().lookup(fp));
+            if hit.is_none() {
+                miss_total += share.value();
+            }
+            cached.push(hit);
+        }
+        let misses = cached.iter().filter(|c| c.is_none()).count();
+
+        // One atomic debit covering exactly the miss set: the full
+        // budget when nothing hit (bit-identical to the pre-cache
+        // behaviour), the sum of miss shares on a partial hit, and
+        // nothing at all when every member replays from the cache.
+        if misses == queries.len() {
+            self.charge_dataset(dataset, total_budget)?;
+        } else if miss_total > 0.0 {
+            self.charge_dataset(dataset, Epsilon::new(miss_total).map_err(GuptError::Dp)?)?;
+        }
         let mut answers = Vec::with_capacity(queries.len());
         let mut allocations = Vec::with_capacity(queries.len());
-        for (spec, share) in queries.into_iter().zip(shares) {
-            allocations.push(share.value());
-            answers.push(self.run_with_charge(
-                dataset,
-                spec.epsilon(share),
-                ChargeMode::Precharged,
-                None,
-            )?);
+        for ((spec, share), hit) in queries.into_iter().zip(shares).zip(cached) {
+            match hit {
+                Some(answer) => {
+                    allocations.push(0.0);
+                    answers.push(answer);
+                }
+                None => {
+                    allocations.push(share.value());
+                    answers.push(self.run_with_charge(
+                        dataset,
+                        spec.epsilon(share),
+                        ChargeMode::Precharged,
+                        None,
+                    )?);
+                }
+            }
         }
         Ok(BatchAnswer {
             answers,
@@ -249,6 +284,68 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, GuptError::Dp(_)));
         assert_eq!(rt.remaining_budget("ages").unwrap(), before);
+    }
+
+    fn named_mean_spec() -> QuerySpec {
+        QuerySpec::named_program("batch-mean-age", 1, |b: &crate::BlockView| {
+            vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+        })
+        .fixed_block_size(10)
+        .range_estimation(RangeEstimation::Tight(vec![range(0.0, 100.0)]))
+    }
+
+    #[test]
+    fn repeated_batch_replays_from_cache_for_free() {
+        let rt = GuptRuntimeBuilder::new()
+            .register_dataset("ages", rows(), eps(10.0))
+            .unwrap()
+            .seed(5)
+            .build();
+        let first = rt
+            .run_batch("ages", vec![named_mean_spec()], eps(2.0))
+            .unwrap();
+        let after_first = rt.remaining_budget("ages").unwrap();
+        let second = rt
+            .run_batch("ages", vec![named_mean_spec()], eps(2.0))
+            .unwrap();
+        // Fully cached batch: zero debit, zero allocation, bit-identical
+        // answer.
+        assert_eq!(rt.remaining_budget("ages").unwrap(), after_first);
+        assert_eq!(second.allocations, vec![0.0]);
+        assert_eq!(second.answers[0].values, first.answers[0].values);
+        assert_eq!(
+            second.answers[0].epsilon_spent,
+            first.answers[0].epsilon_spent
+        );
+    }
+
+    #[test]
+    fn partial_hit_batch_charges_only_the_miss_share() {
+        let rt = GuptRuntimeBuilder::new()
+            .register_dataset("ages", rows(), eps(100.0))
+            .unwrap()
+            .seed(6)
+            .build();
+        // Warm the cache with the named member at the share it will get
+        // inside the batch below (ζ-proportional: 100 : 10000 of ε=4).
+        let batch = rt
+            .run_batch("ages", vec![named_mean_spec(), variance_spec()], eps(4.0))
+            .unwrap();
+        let after_first = rt.remaining_budget("ages").unwrap();
+        // Re-run: the named member hits, the anonymous variance query
+        // cannot be fingerprinted and must be re-charged its own share.
+        let second = rt
+            .run_batch("ages", vec![named_mean_spec(), variance_spec()], eps(4.0))
+            .unwrap();
+        assert_eq!(second.allocations[0], 0.0);
+        assert!((second.allocations[1] - batch.allocations[1]).abs() < 1e-12);
+        let spent = after_first - rt.remaining_budget("ages").unwrap();
+        assert!(
+            (spent - batch.allocations[1]).abs() < 1e-9,
+            "only the miss share should be debited: spent {spent}, share {}",
+            batch.allocations[1]
+        );
+        assert_eq!(second.answers[0].values, batch.answers[0].values);
     }
 
     #[test]

@@ -16,12 +16,12 @@
 //! best grid point, caching program runs per distinct block size.
 
 use crate::aging::aged_block_stats;
+use crate::cache::Memo;
 use crate::computation_manager::ComputationManager;
 use crate::error::GuptError;
 use gupt_dp::Epsilon;
 use gupt_sandbox::view::RowStore;
 use gupt_sandbox::BlockProgram;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Result of the optimizer: the chosen block size and its predicted error.
@@ -68,19 +68,15 @@ pub fn optimal_block_size(
     let alpha_min = (1.0 - (n_np as f64).ln() / ln_n).max(0.0);
     let alpha_max = 1.0;
 
-    let mut cache: HashMap<usize, f64> = HashMap::new();
+    // Distinct α values frequently collapse onto the same β; the memo
+    // keeps each aged-program evaluation to exactly one chamber run.
+    let mut memo: Memo<usize, f64> = Memo::new();
     let mut eval = |alpha: f64| -> Result<(f64, usize), GuptError> {
         let alpha = alpha.clamp(alpha_min, alpha_max);
         let beta = ((n as f64).powf(1.0 - alpha).round() as usize).clamp(1, n_np);
-        let estimation = match cache.get(&beta) {
-            Some(&a) => a,
-            None => {
-                let stats = aged_block_stats(manager, program, aged, beta)?;
-                let a = stats.estimation_error();
-                cache.insert(beta, a);
-                a
-            }
-        };
+        let estimation = memo.get_or_try_insert(beta, || {
+            Ok::<_, GuptError>(aged_block_stats(manager, program, aged, beta)?.estimation_error())
+        })?;
         let noise = std::f64::consts::SQRT_2 * output_width
             / (eps_per_dim.value() * (n as f64).powf(alpha));
         Ok((estimation + noise, beta))
@@ -239,6 +235,26 @@ mod tests {
             Epsilon::new(1.0).unwrap()
         )
         .is_err());
+    }
+
+    #[test]
+    fn memoised_climb_matches_direct_evaluation() {
+        // The memo must be a pure cache: the chosen point's predicted
+        // error has to equal Equation 2 recomputed from scratch, bit for
+        // bit, at the same (α, β).
+        let aged = skewed_rows(800, 6);
+        let n = 8_000;
+        let width = 10.0;
+        let eps = Epsilon::new(1.5).unwrap();
+        let choice =
+            optimal_block_size(&manager(), &median_program(), &aged, n, width, eps).unwrap();
+        let direct_estimation =
+            aged_block_stats(&manager(), &median_program(), &aged, choice.block_size)
+                .unwrap()
+                .estimation_error();
+        let direct_noise =
+            std::f64::consts::SQRT_2 * width / (eps.value() * (n as f64).powf(choice.alpha));
+        assert_eq!(choice.predicted_error, direct_estimation + direct_noise);
     }
 
     #[test]

@@ -159,6 +159,44 @@ mod tests {
     }
 
     #[test]
+    fn single_query_receives_entire_budget() {
+        let shares = distribute_budget(eps(2.5), &[profile(7.0)]).unwrap();
+        assert_eq!(shares.len(), 1);
+        // ζ/Σζ = 1 exactly, so the lone query gets the whole ε bit for
+        // bit — the batch path relies on this to charge precisely what
+        // the analyst asked for.
+        assert_eq!(shares[0].value(), 2.5);
+    }
+
+    #[test]
+    fn zero_zeta_entries_leave_the_real_queries_whole() {
+        // Constant-output members must not siphon a visible share away
+        // from the queries that actually add noise, but every share must
+        // still be a valid (positive) ε the ledger can record.
+        let shares =
+            distribute_budget(eps(4.0), &[profile(0.0), profile(8.0), profile(0.0)]).unwrap();
+        assert!(shares[0].value() > 0.0 && shares[0].value() < 1e-9);
+        assert!(shares[2].value() > 0.0 && shares[2].value() < 1e-9);
+        assert!(shares[1].value() > 4.0 * (1.0 - 1e-9));
+        // The nominal ledger shares overshoot the total by O(ε·1e-12)
+        // — invisible at any useful ε, but not bitwise zero.
+        let total: f64 = shares.iter().map(|e| e.value()).sum();
+        assert!(total <= 4.0 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn power_of_two_weights_sum_exactly_to_total() {
+        // ζ ∝ (1, 2, 1) over Σζ = 4: every quotient is a dyadic
+        // rational, so the proportional split must reproduce the total
+        // with *zero* floating-point slack.
+        let shares =
+            distribute_budget(eps(3.0), &[profile(1.0), profile(2.0), profile(1.0)]).unwrap();
+        let total: f64 = shares.iter().map(|e| e.value()).sum();
+        assert_eq!(total, 3.0);
+        assert_eq!(shares[1].value(), 1.5);
+    }
+
+    #[test]
     fn shares_never_exceed_total() {
         let profiles: Vec<QueryNoiseProfile> = (1..=10).map(|i| profile(i as f64)).collect();
         let shares = distribute_budget(eps(0.5), &profiles).unwrap();

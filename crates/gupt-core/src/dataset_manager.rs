@@ -28,7 +28,7 @@
 
 use crate::dataset::Dataset;
 use crate::error::GuptError;
-use crate::storage::{Durability, LedgerStore, RecoveredLedger, StorageStats};
+use crate::storage::{CacheRecord, Durability, LedgerStore, RecoveredLedger, StorageStats};
 use gupt_dp::{DpError, Epsilon, PrivacyLedger};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -101,12 +101,39 @@ pub struct DatasetEntry {
     /// ledger's serial order exactly.
     store: Option<Mutex<LedgerStore>>,
     recovered: Option<RecoveredLedger>,
+    /// Content hash of the registered data, fixed at registration.
+    /// Cached answers are keyed under it: re-registering changed rows
+    /// produces a new epoch, so stale WAL cache records are dropped at
+    /// recovery instead of replaying answers about data that no longer
+    /// exists.
+    epoch: u64,
 }
 
 impl DatasetEntry {
     /// The dataset.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
+    }
+
+    /// The registration epoch: a content hash of the registered rows
+    /// (main and aged stores, dimension, group column). Two
+    /// registrations of identical data share an epoch; any change to the
+    /// data changes it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Journals one released answer to the durable WAL so a restarted
+    /// process recovers its warm cache. Ephemeral entries keep the cache
+    /// in memory only — this is a no-op for them.
+    pub(crate) fn journal_cache(&self, rec: &CacheRecord) -> Result<(), GuptError> {
+        match &self.store {
+            None => Ok(()),
+            Some(store) => store
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .append_cache_record(rec),
+        }
     }
 
     /// The budget ledger (read-only view; charge via
@@ -171,6 +198,35 @@ impl DatasetEntry {
     }
 }
 
+/// FNV-1a 64 content hash of a dataset: dimension, row count, every row
+/// bit of the main and aged stores, and the group column. Deterministic
+/// across processes (no `DefaultHasher`), so a restarted service
+/// computes the same epoch for the same registered bytes.
+fn dataset_epoch(dataset: &Dataset) -> u64 {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut write = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    };
+    write(&(dataset.dimension() as u64).to_le_bytes());
+    write(&(dataset.len() as u64).to_le_bytes());
+    for &v in dataset.store().flat() {
+        write(&v.to_bits().to_le_bytes());
+    }
+    // Sentinel-coded group column: u64::MAX means "none declared".
+    let group = dataset.group_column().map_or(u64::MAX, |c| c as u64);
+    write(&group.to_le_bytes());
+    let aged = dataset.aged_store();
+    write(&(aged.len() as u64).to_le_bytes());
+    for &v in aged.flat() {
+        write(&v.to_bits().to_le_bytes());
+    }
+    h
+}
+
 /// Registry of datasets available to analysts.
 #[derive(Debug, Default)]
 pub struct DatasetManager {
@@ -213,6 +269,7 @@ impl DatasetManager {
                 (ledger, Some(Mutex::new(store)), Some(recovered))
             }
         };
+        let epoch = dataset_epoch(&registration.dataset);
         self.entries.insert(
             name,
             DatasetEntry {
@@ -220,6 +277,7 @@ impl DatasetManager {
                 ledger,
                 store,
                 recovered,
+                epoch,
             },
         );
         Ok(())
@@ -392,6 +450,46 @@ mod tests {
         // The restored ledger keeps enforcing the lifetime budget.
         assert!(entry.charge(eps(2.0)).is_err());
         entry.charge(eps(1.0)).unwrap();
+    }
+
+    #[test]
+    fn epoch_is_a_content_hash() {
+        let mut m = DatasetManager::new();
+        m.add("a", dataset(10).builder().budget(eps(1.0))).unwrap();
+        m.add("b", dataset(10).builder().budget(eps(1.0))).unwrap();
+        // Identical contents → identical epoch, regardless of name.
+        assert_eq!(m.get("a").unwrap().epoch(), m.get("b").unwrap().epoch());
+
+        // Any content change → different epoch.
+        let mut rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        rows[3][0] += 1e-9;
+        let mut m2 = DatasetManager::new();
+        m2.add("a", Dataset::new(rows).unwrap().builder().budget(eps(1.0)))
+            .unwrap();
+        assert_ne!(m.get("a").unwrap().epoch(), m2.get("a").unwrap().epoch());
+    }
+
+    #[test]
+    fn epoch_sees_group_column_and_aged_view() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 10) as f64, i as f64]).collect();
+        let plain = Dataset::new(rows.clone()).unwrap();
+        let grouped = Dataset::new(rows.clone())
+            .unwrap()
+            .with_group_column(0)
+            .unwrap();
+        let aged = Dataset::new(rows).unwrap().with_aged_fraction(0.2).unwrap();
+        let mut m = DatasetManager::new();
+        m.add("p", plain.builder().budget(eps(1.0))).unwrap();
+        m.add("g", grouped.builder().budget(eps(1.0))).unwrap();
+        m.add("a", aged.builder().budget(eps(1.0))).unwrap();
+        let (p, g, a) = (
+            m.get("p").unwrap().epoch(),
+            m.get("g").unwrap().epoch(),
+            m.get("a").unwrap().epoch(),
+        );
+        assert_ne!(p, g);
+        assert_ne!(p, a);
+        assert_ne!(g, a);
     }
 
     #[test]

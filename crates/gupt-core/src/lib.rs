@@ -29,7 +29,10 @@
 //!     .seed(1)
 //!     .build();
 //!
-//! let spec = QuerySpec::program(|block: &[Vec<f64>]| {
+//! // A *named* program is zero-copy (runs on [`BlockView`]s) and carries
+//! // a stable identity, so repeated runs replay from the answer cache at
+//! // zero additional ε.
+//! let spec = QuerySpec::named_program("mean", 1, |block: &gupt_core::BlockView| {
 //!     vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len() as f64]
 //! })
 //! .epsilon(Epsilon::new(1.0).unwrap())
@@ -49,6 +52,7 @@ pub mod block_size;
 pub mod blocks;
 pub mod budget_distribution;
 pub mod budget_estimator;
+pub mod cache;
 pub mod computation_manager;
 pub mod dataset;
 pub mod dataset_manager;
@@ -70,6 +74,9 @@ pub use block_size::{optimal_block_size, BlockSizeChoice};
 pub use blocks::{default_block_size, partition, partition_grouped, BlockPlan};
 pub use budget_distribution::{distribute_budget, QueryNoiseProfile};
 pub use budget_estimator::{estimate_epsilon, AccuracyGoal, TailBound};
+pub use cache::{
+    AnswerCache, CacheStats, Memo, ProgramIdentity, QueryFingerprint, DEFAULT_CACHE_CAPACITY,
+};
 pub use computation_manager::{ComputationManager, ExecutionSummary};
 pub use dataset::Dataset;
 pub use dataset_manager::{DatasetEntry, DatasetManager, DatasetRegistration, LedgerState};
@@ -82,7 +89,7 @@ pub use runtime::{GuptRuntime, GuptRuntimeBuilder, PrivateAnswer};
 pub use saf::{clamped_block_means, sample_and_aggregate};
 pub use service::{QueryService, ServiceConfig, ServiceStats};
 pub use storage::{
-    Durability, FailingStore, FailureMode, FsyncPolicy, LedgerStore, RecoveredLedger,
+    CacheRecord, Durability, FailingStore, FailureMode, FsyncPolicy, LedgerStore, RecoveredLedger,
     StorageConfig, StorageStats,
 };
 pub use telemetry::{

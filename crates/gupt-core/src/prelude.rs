@@ -30,11 +30,12 @@
 //! least one `examples/` program or is part of the durable-service
 //! surface (service config/stats, durability config, ledger
 //! inspection, the zero-copy data-plane types [`RowStore`] and
-//! [`BlockView`]); plumbing types like the batch answer, query plans or
-//! range translators stay behind `gupt_core::{batch, explain,
-//! output_range}`.
+//! [`BlockView`], the answer-cache stats [`CacheStats`]); plumbing
+//! types like the batch answer, query plans or range translators stay
+//! behind `gupt_core::{batch, explain, output_range}`.
 
 pub use crate::budget_estimator::AccuracyGoal;
+pub use crate::cache::CacheStats;
 pub use crate::dataset::Dataset;
 pub use crate::dataset_manager::{DatasetRegistration, LedgerState};
 pub use crate::error::GuptError;

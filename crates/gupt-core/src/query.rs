@@ -8,6 +8,7 @@
 
 use crate::aggregator::Aggregator;
 use crate::budget_estimator::AccuracyGoal;
+use crate::cache::ProgramIdentity;
 use crate::output_range::RangeEstimation;
 use gupt_dp::Epsilon;
 use gupt_sandbox::view::BlockView;
@@ -39,6 +40,7 @@ pub enum BlockSizeSpec {
 #[derive(Clone)]
 pub struct QuerySpec {
     pub(crate) program: Arc<dyn BlockProgram>,
+    pub(crate) identity: Option<ProgramIdentity>,
     pub(crate) budget: BudgetSpec,
     pub(crate) range_estimation: Option<RangeEstimation>,
     pub(crate) block_size: BlockSizeSpec,
@@ -51,6 +53,7 @@ impl fmt::Debug for QuerySpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("QuerySpec")
             .field("program", &self.program.name())
+            .field("identity", &self.identity)
             .field("budget", &self.budget)
             .field("range_estimation", &self.range_estimation)
             .field("block_size", &self.block_size)
@@ -78,12 +81,46 @@ impl QuerySpec {
         QuerySpec::from_program(Arc::new(ClosureProgram::new(output_dim, f)))
     }
 
+    /// Wraps a scalar-output zero-copy closure under a stable
+    /// (name, version) identity, making the query *fingerprintable*: the
+    /// runtime's [`crate::cache::AnswerCache`] can replay its released
+    /// answer at zero marginal ε. Bump `version` whenever the program's
+    /// logic changes — the identity asserts "same name + version ⇒ same
+    /// computation".
+    pub fn named_program<F>(name: impl Into<String>, version: u32, f: F) -> QuerySpec
+    where
+        F: Fn(&BlockView) -> Vec<f64> + Send + Sync + 'static,
+    {
+        QuerySpec::named_program_with_dim(name, version, 1, f)
+    }
+
+    /// Like [`QuerySpec::named_program`] with a declared output
+    /// dimension `p`.
+    pub fn named_program_with_dim<F>(
+        name: impl Into<String>,
+        version: u32,
+        output_dim: usize,
+        f: F,
+    ) -> QuerySpec
+    where
+        F: Fn(&BlockView) -> Vec<f64> + Send + Sync + 'static,
+    {
+        let name = name.into();
+        let mut spec = QuerySpec::from_program(Arc::new(
+            ClosureProgram::new(output_dim, f).named(name.as_str()),
+        ));
+        spec.identity = Some(ProgramIdentity::new(name, version));
+        spec
+    }
+
     /// Wraps a scalar-output legacy slice closure (`output_dimension = 1`).
     ///
     /// **Note**: runs on the deprecated clone plane — every block is
     /// deep-copied into `Vec<Vec<f64>>` before the closure sees it.
-    /// Prefer [`QuerySpec::view_program`], which reads the shared row
-    /// store without copying.
+    /// Prefer [`QuerySpec::view_program`] (zero-copy), or better
+    /// [`QuerySpec::named_program`], which is zero-copy *and*
+    /// fingerprintable so repeated releases can be served from the
+    /// answer cache without spending ε.
     pub fn program<F>(f: F) -> QuerySpec
     where
         F: Fn(&[Vec<f64>]) -> Vec<f64> + Send + Sync + 'static,
@@ -104,9 +141,14 @@ impl QuerySpec {
     }
 
     /// Uses an existing [`BlockProgram`] (e.g. a wrapped binary).
+    ///
+    /// The spec carries no [`ProgramIdentity`] and therefore bypasses
+    /// the answer cache; attach one with [`QuerySpec::with_identity`] if
+    /// the program's behaviour is stable under its (name, version).
     pub fn from_program(program: Arc<dyn BlockProgram>) -> QuerySpec {
         QuerySpec {
             program,
+            identity: None,
             budget: BudgetSpec::Epsilon(Epsilon::new(1.0).expect("1.0 is a valid epsilon")),
             range_estimation: None,
             block_size: BlockSizeSpec::Default,
@@ -158,6 +200,21 @@ impl QuerySpec {
     pub fn aggregator(mut self, aggregator: Aggregator) -> Self {
         self.aggregator = aggregator;
         self
+    }
+
+    /// Asserts a stable identity for a spec built from a raw
+    /// [`BlockProgram`] (e.g. a wrapped binary), opting it into the
+    /// answer cache.
+    pub fn with_identity(mut self, name: impl Into<String>, version: u32) -> Self {
+        self.identity = Some(ProgramIdentity::new(name, version));
+        self
+    }
+
+    /// The program's stable identity, when one was declared
+    /// ([`QuerySpec::named_program`] / [`QuerySpec::with_identity`]).
+    /// `None` means the query bypasses the answer cache.
+    pub fn identity(&self) -> Option<&ProgramIdentity> {
+        self.identity.as_ref()
     }
 
     /// The program's declared output dimension.
@@ -259,6 +316,38 @@ mod tests {
         let spec = QuerySpec::view_program_with_dim(2, |_: &BlockView| vec![0.0; 2]);
         assert_eq!(spec.output_dimension(), 2);
         assert_eq!(spec.gamma(), 1);
+    }
+
+    #[test]
+    fn named_program_carries_identity() {
+        let spec = QuerySpec::named_program("mean-age", 3, |_: &BlockView| vec![0.0]);
+        let id = spec.identity().expect("named program has an identity");
+        assert_eq!(id.name(), "mean-age");
+        assert_eq!(id.version(), 3);
+        // The underlying program adopts the name too (telemetry/debug).
+        assert!(format!("{spec:?}").contains("mean-age"));
+        // Builder setters preserve the identity.
+        let spec = spec.epsilon(Epsilon::new(2.0).unwrap()).resampling(2);
+        assert!(spec.identity().is_some());
+    }
+
+    #[test]
+    fn anonymous_programs_have_no_identity() {
+        assert!(QuerySpec::view_program(|_: &BlockView| vec![0.0])
+            .identity()
+            .is_none());
+        assert!(QuerySpec::program(|_: &[Vec<f64>]| vec![0.0])
+            .identity()
+            .is_none());
+    }
+
+    #[test]
+    fn with_identity_opts_in_a_raw_program() {
+        let program = Arc::new(gupt_sandbox::ClosureProgram::new(1, |_: &BlockView| {
+            vec![0.0]
+        }));
+        let spec = QuerySpec::from_program(program).with_identity("wrapped-binary", 1);
+        assert_eq!(spec.identity().unwrap().name(), "wrapped-binary");
     }
 
     #[test]

@@ -32,13 +32,14 @@
 use crate::aggregator::aggregate;
 use crate::blocks::{default_block_size, partition, partition_grouped};
 use crate::budget_estimator::{estimate_epsilon, AccuracyGoal};
+use crate::cache::{AnswerCache, CacheStats, QueryFingerprint, DEFAULT_CACHE_CAPACITY};
 use crate::computation_manager::{ComputationManager, ExecutionSummary};
 use crate::dataset::Dataset;
 use crate::dataset_manager::{DatasetManager, DatasetRegistration, LedgerState};
 use crate::error::GuptError;
 use crate::output_range::{resolve_helper, resolve_loose, resolve_tight, RangeEstimation};
 use crate::query::{BlockSizeSpec, BudgetSpec, QuerySpec};
-use crate::storage::{RecoveredLedger, StorageStats};
+use crate::storage::{CacheRecord, RecoveredLedger, StorageStats};
 use crate::telemetry::{LedgerEvent, QueryTelemetry, Stage, TelemetryReport};
 use gupt_dp::{Epsilon, OutputRange};
 use gupt_sandbox::ChamberPolicy;
@@ -79,6 +80,7 @@ pub struct GuptRuntimeBuilder {
     seed: Option<u64>,
     policy: ChamberPolicy,
     workers: Option<usize>,
+    cache_capacity: usize,
 }
 
 impl GuptRuntimeBuilder {
@@ -89,6 +91,7 @@ impl GuptRuntimeBuilder {
             seed: None,
             policy: ChamberPolicy::unbounded(),
             workers: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
 
@@ -150,18 +153,51 @@ impl GuptRuntimeBuilder {
         self
     }
 
-    /// Builds the runtime.
+    /// Sets the answer-cache capacity (default
+    /// [`DEFAULT_CACHE_CAPACITY`]); `0` disables caching entirely.
+    ///
+    /// Only fingerprintable queries ([`QuerySpec::named_program`] with
+    /// an explicit ε and a tight/loose range) ever touch the cache, so
+    /// the default is safe for closure-based workloads — they bypass it.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Builds the runtime, warming the answer cache from any WAL cache
+    /// records recovered at dataset registration. Records whose epoch no
+    /// longer matches the re-registered data are dropped (epoch-based
+    /// invalidation), as are records the cache cannot reconstruct.
     pub fn build(self) -> GuptRuntime {
         let computation = match self.workers {
             Some(w) => ComputationManager::new(self.policy, w),
             None => ComputationManager::with_default_parallelism(self.policy),
         };
         let seed = self.seed.unwrap_or_else(|| rand::rng().next_u64());
+        let cache = AnswerCache::new(self.cache_capacity);
+        if cache.is_enabled() {
+            for name in self.manager.names() {
+                let entry = self.manager.get(name).expect("name just listed");
+                let Some(recovery) = entry.recovery() else {
+                    continue;
+                };
+                for rec in &recovery.cache_records {
+                    if rec.epoch != entry.epoch() {
+                        continue;
+                    }
+                    if let Some(answer) = answer_from_record(rec) {
+                        cache
+                            .insert_recovered(QueryFingerprint::from_u128(rec.fingerprint), answer);
+                    }
+                }
+            }
+        }
         GuptRuntime {
             manager: self.manager,
             computation,
             seed,
             query_seq: AtomicU64::new(0),
+            cache,
         }
     }
 }
@@ -186,6 +222,52 @@ pub struct GuptRuntime {
     /// Monotone query sequence number; combined with `seed` it pins each
     /// query's RNG stream regardless of which thread runs the query.
     query_seq: AtomicU64,
+    /// Released-answer cache: fingerprintable repeat queries are served
+    /// from here at zero marginal ε (DP post-processing invariance),
+    /// before any ledger charge or chamber execution.
+    cache: AnswerCache,
+}
+
+/// Converts a released answer into its WAL journal form.
+fn to_cache_record(epoch: u64, fp: QueryFingerprint, answer: &PrivateAnswer) -> CacheRecord {
+    CacheRecord {
+        epoch,
+        fingerprint: fp.as_u128(),
+        epsilon_spent: answer.epsilon_spent,
+        block_size: answer.block_size as u64,
+        num_blocks: answer.num_blocks as u64,
+        gamma: answer.gamma as u64,
+        completed: answer.execution.completed as u64,
+        timed_out: answer.execution.timed_out as u64,
+        panicked: answer.execution.panicked as u64,
+        values: answer.values.clone(),
+        ranges: answer.ranges.iter().map(|r| (r.lo(), r.hi())).collect(),
+    }
+}
+
+/// Rebuilds a released answer from its WAL journal form. `None` when a
+/// range pair no longer validates — the record is skipped rather than
+/// replayed wrong.
+fn answer_from_record(rec: &CacheRecord) -> Option<PrivateAnswer> {
+    let ranges = rec
+        .ranges
+        .iter()
+        .map(|&(lo, hi)| OutputRange::new(lo, hi).ok())
+        .collect::<Option<Vec<_>>>()?;
+    Some(PrivateAnswer {
+        values: rec.values.clone(),
+        epsilon_spent: rec.epsilon_spent,
+        block_size: rec.block_size as usize,
+        num_blocks: rec.num_blocks as usize,
+        gamma: rec.gamma as usize,
+        ranges,
+        execution: ExecutionSummary {
+            completed: rec.completed as usize,
+            timed_out: rec.timed_out as usize,
+            panicked: rec.panicked as usize,
+        },
+        telemetry: None,
+    })
 }
 
 /// SplitMix64 finalizer: decorrelates nearby (seed, sequence) pairs so
@@ -272,6 +354,48 @@ impl GuptRuntime {
     /// The computation manager (exposed for benchmarking harnesses).
     pub fn computation_manager(&self) -> &ComputationManager {
         &self.computation
+    }
+
+    /// Point-in-time counters of the answer cache (hits, misses, ε
+    /// recycled, evictions, recovered entries).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The answer cache (batch hit/miss splitting).
+    pub(crate) fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
+    /// Fingerprints `spec` against `dataset`'s current registration
+    /// epoch with an explicit ε (the batch path fingerprints members
+    /// with their allocated share). `None` when the cache is disabled or
+    /// the query is not fingerprintable.
+    pub(crate) fn fingerprint_with_epsilon(
+        &self,
+        dataset: &str,
+        spec: &QuerySpec,
+        eps: Epsilon,
+    ) -> Option<QueryFingerprint> {
+        if !self.cache.is_enabled() {
+            return None;
+        }
+        let entry = self.manager.get(dataset).ok()?;
+        QueryFingerprint::compute_with_epsilon(dataset, entry.epoch(), spec, eps)
+    }
+
+    /// Journals a freshly released answer into the cache (and, for a
+    /// durable dataset, its WAL). A journal failure is swallowed: the ε
+    /// was already charged and the store poisons itself so later
+    /// *charges* fail closed — losing a cache record costs latency,
+    /// never privacy.
+    pub(crate) fn cache_insert(&self, dataset: &str, fp: QueryFingerprint, answer: &PrivateAnswer) {
+        let Ok(entry) = self.manager.get(dataset) else {
+            return;
+        };
+        self.cache.insert(fp, answer.clone());
+        let record = to_cache_record(entry.epoch(), fp, answer);
+        let _ = entry.journal_cache(&record);
     }
 
     /// Estimates, without spending any budget, the ε that `spec`'s
@@ -363,7 +487,6 @@ impl GuptRuntime {
         charge: ChargeMode,
         exec_cap: Option<Duration>,
     ) -> Result<PrivateAnswer, GuptError> {
-        let mut rng = self.next_query_rng();
         let mut tel = QueryTelemetry::new(spec.telemetry_enabled());
         let query_start = Instant::now();
         let entry = self.manager.get(dataset)?;
@@ -382,6 +505,37 @@ impl GuptRuntime {
             .range_estimation
             .clone()
             .ok_or_else(|| GuptError::InvalidSpec("no range-estimation mode chosen".into()))?;
+
+        // --- 0. Answer cache. ------------------------------------------
+        // Fingerprintable queries (named program, explicit ε, tight or
+        // loose range) are looked up before *anything* is spent: a hit
+        // replays the already-released answer — zero ledger debit, no
+        // chamber execution, and no RNG sequence number consumed, so a
+        // seeded workload's k-th executed query draws the same noise
+        // whether earlier queries hit or missed. Precharged (batch)
+        // members skip the lookup: the batch planner already consulted
+        // the cache when it decided what to charge.
+        let fingerprint = if self.cache.is_enabled() {
+            QueryFingerprint::compute(dataset, entry.epoch(), &spec)
+        } else {
+            None
+        };
+        if charge == ChargeMode::Charge {
+            if let Some(fp) = fingerprint {
+                if let Some(mut answer) = self.cache.lookup(fp) {
+                    tel.record_ledger(LedgerEvent {
+                        epsilon_requested: answer.epsilon_spent,
+                        epsilon_charged: 0.0,
+                        remaining_budget: entry.ledger().remaining(),
+                    });
+                    tel.record_cache(self.cache.stats());
+                    answer.telemetry = tel.finish(query_start.elapsed());
+                    return Ok(answer);
+                }
+            }
+        }
+
+        let mut rng = self.next_query_rng();
 
         // Planning-time (pre-resolution) ranges: tight as given, loose as
         // given, helper via the translator applied to the loose input
@@ -528,7 +682,7 @@ impl GuptRuntime {
         )?;
         tel.record_stage(Stage::Aggregation, stage_start.elapsed());
 
-        Ok(PrivateAnswer {
+        let mut answer = PrivateAnswer {
             values,
             epsilon_spent: eps_total.value(),
             block_size,
@@ -536,8 +690,18 @@ impl GuptRuntime {
             gamma: plan.gamma(),
             ranges,
             execution,
-            telemetry: tel.finish(query_start.elapsed()),
-        })
+            telemetry: None,
+        };
+
+        // A fingerprintable miss journals its released answer so the
+        // next identical query replays free — and, on a durable dataset,
+        // so a restarted process recovers the warm cache from the WAL.
+        if let Some(fp) = fingerprint {
+            self.cache_insert(dataset, fp, &answer);
+        }
+        tel.record_cache(self.cache.stats());
+        answer.telemetry = tel.finish(query_start.elapsed());
+        Ok(answer)
     }
 }
 

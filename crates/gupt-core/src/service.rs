@@ -160,6 +160,13 @@ impl QueryService {
         self.inner.config
     }
 
+    /// Snapshot of the shared runtime's answer-cache counters. Like
+    /// [`QueryService::runtime`] reads, this bypasses admission — it
+    /// touches no chamber and spends no budget.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.inner.runtime.cache_stats()
+    }
+
     /// Snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         let gate = lock_gate(&self.inner.gate);

@@ -32,11 +32,18 @@
 //!
 //! Under the configured state directory, per dataset `name`:
 //!
-//! - `name.wal` — framed debit records: `[len: u32 LE][crc32: u32 LE]`
-//!   `[payload]` where the CRC covers `len ‖ payload` and the payload is
-//!   `[tag: u8 = 0x01][ε: f64 LE]`.
+//! - `name.wal` — framed records: `[len: u32 LE][crc32: u32 LE]`
+//!   `[payload]` where the CRC covers `len ‖ payload` and the payload's
+//!   first byte is a tag. Tag `0x01` is a budget debit
+//!   (`[0x01][ε: f64 LE]`); tag `0x02` is a released-answer cache record
+//!   (see [`CacheRecord`]) journaled so a restarted process recovers its
+//!   warm answer cache together with the ledger.
 //! - `name.snap` — magic ‖ version ‖ total ‖ spent ‖ queries ‖ crc32,
-//!   written atomically (tmp + rename + fsync).
+//!   written atomically (tmp + rename + fsync). Compaction folds only
+//!   *debits* into the snapshot and truncates the WAL, so cache records
+//!   older than the last compaction are dropped: the persisted cache
+//!   cold-starts, which costs latency on the next repeat query but never
+//!   privacy.
 
 use crate::error::GuptError;
 use std::fs::{File, OpenOptions};
@@ -53,11 +60,23 @@ const SNAP_MAGIC: &[u8; 8] = b"GUPTSNP1";
 /// Record payload tag: a single budget debit.
 const TAG_DEBIT: u8 = 0x01;
 
+/// Record payload tag: a released answer journaled for the warm cache.
+const TAG_CACHE: u8 = 0x02;
+
 /// Frame header size: length (u32) + CRC (u32).
 const FRAME_HEADER: usize = 8;
 
 /// Debit payload size: tag + f64.
 const DEBIT_PAYLOAD: usize = 9;
+
+/// Fixed head of a cache payload: tag ‖ epoch ‖ fingerprint ‖ ε ‖
+/// block_size ‖ num_blocks ‖ γ ‖ completed ‖ timed_out ‖ panicked ‖
+/// values_len ‖ ranges_len.
+const CACHE_PAYLOAD_HEAD: usize = 1 + 8 + 16 + 8 + 6 * 8 + 4 + 4;
+
+/// Hard cap on any record payload, well above every legal record, so a
+/// corrupt length field can never drive a huge allocation during a scan.
+const MAX_PAYLOAD: usize = 1 << 20;
 
 // ---------------------------------------------------------------------
 // CRC32 (IEEE 802.3, reflected), table-driven. Hand-rolled because the
@@ -169,21 +188,136 @@ pub enum Durability {
 // Record framing.
 // ---------------------------------------------------------------------
 
+/// Wraps a payload in the `[len][crc][payload]` frame.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() as u32;
+    let mut crc_input = Vec::with_capacity(4 + payload.len());
+    crc_input.extend_from_slice(&len.to_le_bytes());
+    crc_input.extend_from_slice(payload);
+    let crc = crc32(&crc_input);
+    let mut rec = Vec::with_capacity(FRAME_HEADER + payload.len());
+    rec.extend_from_slice(&len.to_le_bytes());
+    rec.extend_from_slice(&crc.to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec
+}
+
 /// Encodes one debit of `eps` as a framed WAL record.
 pub fn encode_record(eps: f64) -> Vec<u8> {
     let mut payload = [0u8; DEBIT_PAYLOAD];
     payload[0] = TAG_DEBIT;
     payload[1..].copy_from_slice(&eps.to_le_bytes());
-    let len = payload.len() as u32;
-    let mut crc_input = Vec::with_capacity(4 + payload.len());
-    crc_input.extend_from_slice(&len.to_le_bytes());
-    crc_input.extend_from_slice(&payload);
-    let crc = crc32(&crc_input);
-    let mut rec = Vec::with_capacity(FRAME_HEADER + payload.len());
-    rec.extend_from_slice(&len.to_le_bytes());
-    rec.extend_from_slice(&crc.to_le_bytes());
-    rec.extend_from_slice(&payload);
-    rec
+    frame(&payload)
+}
+
+/// One released answer journaled to the WAL so the answer cache survives
+/// a restart. Everything [`crate::runtime::PrivateAnswer`] carries
+/// except telemetry (a replayed answer gets fresh hit-path telemetry),
+/// plus the fingerprint it is stored under and the dataset registration
+/// epoch it was computed against — recovery drops records whose epoch no
+/// longer matches the re-registered data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheRecord {
+    /// Registration epoch (content hash) of the dataset at release time.
+    pub epoch: u64,
+    /// The answer's [`crate::cache::QueryFingerprint`], as raw bits.
+    pub fingerprint: u128,
+    /// ε the original release charged.
+    pub epsilon_spent: f64,
+    /// Block size β used.
+    pub block_size: u64,
+    /// Number of blocks ℓ aggregated.
+    pub num_blocks: u64,
+    /// Resampling factor γ.
+    pub gamma: u64,
+    /// Chambers that completed normally.
+    pub completed: u64,
+    /// Chambers killed on the execution budget.
+    pub timed_out: u64,
+    /// Chambers that panicked.
+    pub panicked: u64,
+    /// The released noisy values.
+    pub values: Vec<f64>,
+    /// The resolved clamping ranges, as (lo, hi) pairs.
+    pub ranges: Vec<(f64, f64)>,
+}
+
+/// Encodes a cache record as a framed WAL record.
+pub fn encode_cache_record(rec: &CacheRecord) -> Vec<u8> {
+    let mut payload =
+        Vec::with_capacity(CACHE_PAYLOAD_HEAD + 8 * rec.values.len() + 16 * rec.ranges.len());
+    payload.push(TAG_CACHE);
+    payload.extend_from_slice(&rec.epoch.to_le_bytes());
+    payload.extend_from_slice(&rec.fingerprint.to_le_bytes());
+    payload.extend_from_slice(&rec.epsilon_spent.to_le_bytes());
+    payload.extend_from_slice(&rec.block_size.to_le_bytes());
+    payload.extend_from_slice(&rec.num_blocks.to_le_bytes());
+    payload.extend_from_slice(&rec.gamma.to_le_bytes());
+    payload.extend_from_slice(&rec.completed.to_le_bytes());
+    payload.extend_from_slice(&rec.timed_out.to_le_bytes());
+    payload.extend_from_slice(&rec.panicked.to_le_bytes());
+    payload.extend_from_slice(&(rec.values.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&(rec.ranges.len() as u32).to_le_bytes());
+    for v in &rec.values {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    for (lo, hi) in &rec.ranges {
+        payload.extend_from_slice(&lo.to_le_bytes());
+        payload.extend_from_slice(&hi.to_le_bytes());
+    }
+    frame(&payload)
+}
+
+/// Decodes a cache payload (past the tag check). `None` means the
+/// payload is structurally malformed despite its valid CRC; the scanner
+/// treats that exactly like a checksum failure and stops.
+fn decode_cache_payload(payload: &[u8]) -> Option<CacheRecord> {
+    if payload.len() < CACHE_PAYLOAD_HEAD {
+        return None;
+    }
+    let u64_at = |o: usize| u64::from_le_bytes(payload[o..o + 8].try_into().expect("8 bytes"));
+    let f64_at = |o: usize| f64::from_le_bytes(payload[o..o + 8].try_into().expect("8 bytes"));
+    let epoch = u64_at(1);
+    let fingerprint = u128::from_le_bytes(payload[9..25].try_into().expect("16 bytes"));
+    let epsilon_spent = f64_at(25);
+    let block_size = u64_at(33);
+    let num_blocks = u64_at(41);
+    let gamma = u64_at(49);
+    let completed = u64_at(57);
+    let timed_out = u64_at(65);
+    let panicked = u64_at(73);
+    let values_len = u32::from_le_bytes(payload[81..85].try_into().expect("4 bytes")) as usize;
+    let ranges_len = u32::from_le_bytes(payload[85..89].try_into().expect("4 bytes")) as usize;
+    if payload.len() != CACHE_PAYLOAD_HEAD + 8 * values_len + 16 * ranges_len {
+        return None;
+    }
+    if !epsilon_spent.is_finite() || epsilon_spent < 0.0 {
+        return None;
+    }
+    let mut pos = CACHE_PAYLOAD_HEAD;
+    let mut values = Vec::with_capacity(values_len);
+    for _ in 0..values_len {
+        values.push(f64_at(pos));
+        pos += 8;
+    }
+    let mut ranges = Vec::with_capacity(ranges_len);
+    for _ in 0..ranges_len {
+        ranges.push((f64_at(pos), f64_at(pos + 8)));
+        pos += 16;
+    }
+    Some(CacheRecord {
+        epoch,
+        fingerprint,
+        epsilon_spent,
+        block_size,
+        num_blocks,
+        gamma,
+        completed,
+        timed_out,
+        panicked,
+        values,
+        ranges,
+    })
 }
 
 /// Result of scanning a WAL byte stream.
@@ -191,6 +325,8 @@ pub fn encode_record(eps: f64) -> Vec<u8> {
 pub struct WalScan {
     /// Decoded debit values, in append order.
     pub debits: Vec<f64>,
+    /// Decoded cache records, in append order.
+    pub cache_records: Vec<CacheRecord>,
     /// Bytes of the longest valid record prefix.
     pub valid_len: usize,
     /// Whether bytes past `valid_len` were present (torn tail or
@@ -204,34 +340,51 @@ pub struct WalScan {
 /// everything before it is replayed, everything from it on is treated as
 /// a torn tail. A record that fails its CRC was never acknowledged under
 /// the write protocol (the store poisons itself on any partial append),
-/// so dropping the tail never under-reports acknowledged spend.
+/// so dropping the tail never under-reports acknowledged spend. A
+/// CRC-valid record with an unknown tag or a malformed payload stops the
+/// scan for the same conservative reason: the log is not in a state this
+/// implementation wrote, and guessing past it could mask damage.
 pub fn scan_wal(bytes: &[u8]) -> WalScan {
     let mut debits = Vec::new();
+    let mut cache_records = Vec::new();
     let mut pos = 0usize;
     while bytes.len() - pos >= FRAME_HEADER {
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-        // Cap record size well above any legal payload so a corrupt
-        // length field cannot drive a huge allocation.
-        if len != DEBIT_PAYLOAD || bytes.len() - pos - FRAME_HEADER < len {
+        // The cap keeps a corrupt length field from driving a huge
+        // allocation; a short read means a torn tail.
+        if len == 0 || len > MAX_PAYLOAD || bytes.len() - pos - FRAME_HEADER < len {
             break;
         }
         let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
         let mut crc_input = Vec::with_capacity(4 + len);
         crc_input.extend_from_slice(&(len as u32).to_le_bytes());
         crc_input.extend_from_slice(payload);
-        if crc32(&crc_input) != crc || payload[0] != TAG_DEBIT {
+        if crc32(&crc_input) != crc {
             break;
         }
-        let eps = f64::from_le_bytes(payload[1..].try_into().expect("8 bytes"));
-        if !eps.is_finite() || eps < 0.0 {
-            break;
+        match payload[0] {
+            TAG_DEBIT => {
+                if len != DEBIT_PAYLOAD {
+                    break;
+                }
+                let eps = f64::from_le_bytes(payload[1..].try_into().expect("8 bytes"));
+                if !eps.is_finite() || eps < 0.0 {
+                    break;
+                }
+                debits.push(eps);
+            }
+            TAG_CACHE => match decode_cache_payload(payload) {
+                Some(rec) => cache_records.push(rec),
+                None => break,
+            },
+            _ => break,
         }
-        debits.push(eps);
         pos += FRAME_HEADER + len;
     }
     WalScan {
         debits,
+        cache_records,
         valid_len: pos,
         truncated: pos < bytes.len(),
     }
@@ -412,14 +565,18 @@ pub struct RecoveredLedger {
     pub total: f64,
     /// ε spent: snapshot spend plus every valid WAL debit.
     pub spent: f64,
-    /// Successful charges: snapshot count plus WAL records.
+    /// Successful charges: snapshot count plus WAL *debit* records.
     pub queries: u64,
-    /// Valid WAL records replayed.
+    /// Valid WAL records replayed (debits + cache records).
     pub wal_records: u64,
     /// Bytes discarded as a torn / corrupt tail.
     pub truncated_bytes: u64,
     /// Whether a snapshot contributed to the state.
     pub had_snapshot: bool,
+    /// Released answers journaled in the WAL, for warming the answer
+    /// cache. The runtime re-inserts only those whose `epoch` matches
+    /// the dataset's current registration epoch.
+    pub cache_records: Vec<CacheRecord>,
     /// Wall-clock time the replay took.
     pub replay: Duration,
 }
@@ -490,9 +647,10 @@ pub fn recover(name: &str, config: &StorageConfig) -> Result<RecoveredLedger, Gu
         total: base.total,
         spent: base.spent + scan.debits.iter().sum::<f64>(),
         queries: base.queries + scan.debits.len() as u64,
-        wal_records: scan.debits.len() as u64,
+        wal_records: (scan.debits.len() + scan.cache_records.len()) as u64,
         truncated_bytes: (wal_bytes.len() - scan.valid_len) as u64,
         had_snapshot: snapshot.is_some(),
+        cache_records: scan.cache_records,
         replay: start.elapsed(),
     })
 }
@@ -615,10 +773,22 @@ impl LedgerStore {
     /// recovery (an under-report). The charge must be considered
     /// *not granted*.
     pub fn append_charge(&mut self, eps: f64) -> Result<(), GuptError> {
+        self.append_framed(encode_record(eps))
+    }
+
+    /// Durably journals one released answer for the warm cache, under
+    /// the same write protocol as [`LedgerStore::append_charge`]: any
+    /// failure poisons the store, because bytes of unknown extent at the
+    /// WAL tail would make *later debits* unrecoverable — the privacy
+    /// books and the cache share one log.
+    pub fn append_cache_record(&mut self, rec: &CacheRecord) -> Result<(), GuptError> {
+        self.append_framed(encode_cache_record(rec))
+    }
+
+    fn append_framed(&mut self, record: Vec<u8>) -> Result<(), GuptError> {
         if self.stats.poisoned {
             return Err(self.poisoned_err());
         }
-        let record = encode_record(eps);
         if let Err(e) = self.wal.append(&record) {
             self.stats.poisoned = true;
             return Err(storage_err(e, &self.wal_path));
@@ -896,6 +1066,125 @@ mod tests {
             );
         }
         assert!(file_stem("ok-name_1.v2").is_ok());
+    }
+
+    fn sample_cache_record(fp: u128) -> CacheRecord {
+        CacheRecord {
+            epoch: 0xFEED_F00D,
+            fingerprint: fp,
+            epsilon_spent: 0.75,
+            block_size: 100,
+            num_blocks: 10,
+            gamma: 2,
+            completed: 9,
+            timed_out: 1,
+            panicked: 0,
+            values: vec![39.5, -1.25],
+            ranges: vec![(0.0, 100.0), (-5.0, 5.0)],
+        }
+    }
+
+    #[test]
+    fn cache_record_roundtrip() {
+        let rec = sample_cache_record(0xDEAD_BEEF_CAFE_BABE_0123_4567_89AB_CDEF);
+        let mut image = encode_cache_record(&rec);
+        image.extend_from_slice(&encode_record(0.5));
+        image.extend_from_slice(&encode_cache_record(&sample_cache_record(7)));
+        let scan = scan_wal(&image);
+        assert_eq!(scan.debits, vec![0.5]);
+        assert_eq!(scan.cache_records.len(), 2);
+        assert_eq!(scan.cache_records[0], rec);
+        assert_eq!(scan.cache_records[1].fingerprint, 7);
+        assert!(!scan.truncated);
+    }
+
+    #[test]
+    fn empty_value_cache_record_roundtrip() {
+        let mut rec = sample_cache_record(1);
+        rec.values.clear();
+        rec.ranges.clear();
+        let scan = scan_wal(&encode_cache_record(&rec));
+        assert_eq!(scan.cache_records, vec![rec]);
+    }
+
+    #[test]
+    fn corrupt_cache_record_stops_scan_conservatively() {
+        let mut image = encode_record(0.5);
+        let cache_rec = encode_cache_record(&sample_cache_record(3));
+        image.extend_from_slice(&cache_rec);
+        image.extend_from_slice(&encode_record(0.25));
+        // Flip a bit inside the cache record's payload: the scan must
+        // keep the first debit, drop the cache record AND the debit
+        // behind it (never-under-report treats the rest as torn).
+        let flip_at = encode_record(0.5).len() + FRAME_HEADER + 10;
+        image[flip_at] ^= 0x04;
+        let scan = scan_wal(&image);
+        assert_eq!(scan.debits, vec![0.5]);
+        assert!(scan.cache_records.is_empty());
+        assert!(scan.truncated);
+    }
+
+    #[test]
+    fn unknown_tag_stops_scan() {
+        let mut payload = vec![0x7Fu8];
+        payload.extend_from_slice(&1.0f64.to_le_bytes());
+        let mut image = encode_record(0.5);
+        image.extend_from_slice(&frame(&payload));
+        let scan = scan_wal(&image);
+        assert_eq!(scan.debits, vec![0.5]);
+        assert!(scan.truncated);
+    }
+
+    #[test]
+    fn malformed_cache_length_fields_rejected() {
+        // CRC-valid payload whose declared values_len disagrees with the
+        // actual byte count: structurally malformed, scan stops.
+        let good = encode_cache_record(&sample_cache_record(9));
+        let payload_start = FRAME_HEADER;
+        let mut payload = good[payload_start..].to_vec();
+        payload[81] = payload[81].wrapping_add(1); // values_len += 1
+        let image = frame(&payload);
+        let scan = scan_wal(&image);
+        assert!(scan.cache_records.is_empty());
+        assert!(scan.truncated);
+        assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn store_appends_cache_records_and_recovers_them() {
+        let dir = tmp_dir("cache_records");
+        let config = StorageConfig::new(&dir).fsync(FsyncPolicy::Always);
+        let (mut store, _) = LedgerStore::open("d", &config).unwrap();
+        store.append_charge(0.5).unwrap();
+        store.append_cache_record(&sample_cache_record(11)).unwrap();
+        store.append_charge(0.25).unwrap();
+        assert_eq!(store.stats().records_written, 3);
+        drop(store);
+        let recovered = recover("d", &config).unwrap();
+        assert!((recovered.spent - 0.75).abs() < 1e-12);
+        assert_eq!(recovered.queries, 2, "cache records are not charges");
+        assert_eq!(recovered.wal_records, 3, "but they are physical records");
+        assert_eq!(recovered.cache_records.len(), 1);
+        assert_eq!(recovered.cache_records[0].fingerprint, 11);
+    }
+
+    #[test]
+    fn compaction_drops_cache_records() {
+        let dir = tmp_dir("cache_compaction");
+        let config = StorageConfig::new(&dir)
+            .fsync(FsyncPolicy::Always)
+            .compact_after(2);
+        let (mut store, _) = LedgerStore::open("d", &config).unwrap();
+        store.append_charge(0.5).unwrap();
+        store.append_cache_record(&sample_cache_record(5)).unwrap();
+        // 2 physical records reach the threshold; compaction folds the
+        // debit into the snapshot and truncates the cache record away.
+        store.maybe_compact(10.0, 0.5, 1).unwrap();
+        drop(store);
+        let recovered = recover("d", &config).unwrap();
+        assert!((recovered.spent - 0.5).abs() < 1e-12);
+        assert_eq!(recovered.queries, 1);
+        assert!(recovered.cache_records.is_empty(), "cache cold-starts");
     }
 
     #[test]

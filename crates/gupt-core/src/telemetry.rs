@@ -24,14 +24,17 @@ use gupt_sandbox::PoolTrace;
 use std::fmt;
 use std::time::Duration;
 
+use crate::cache::CacheStats;
 use crate::computation_manager::ExecutionSummary;
 
 /// Version of the JSON schema emitted by [`TelemetryReport::to_json`].
 /// Bump when a field is added, removed or renamed.
 ///
 /// v2 added the zero-copy data-plane counters `views_served` and
-/// `bytes_materialized` to the `blocks` object.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
+/// `bytes_materialized` to the `blocks` object. v3 added the `cache`
+/// object (answer-cache hits / misses / ε recycled / evictions /
+/// recovered entries / occupancy).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 3;
 
 /// The six pipeline stages of one GUPT query (Algorithm 1, §3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -143,6 +146,10 @@ pub struct TelemetryReport {
     pub clamp_hits: Vec<usize>,
     /// What the privacy ledger recorded.
     pub ledger: LedgerEvent,
+    /// Runtime-wide answer-cache counters at the moment the query
+    /// finished (a cache *hit* reports with empty `stages` — nothing but
+    /// the lookup ran).
+    pub cache: CacheStats,
     /// End-to-end wall clock of the query.
     pub total: Duration,
 }
@@ -164,8 +171,10 @@ impl TelemetryReport {
     /// (`run`/`completed`/`timed_out`/`panicked`/`workers`/
     /// `worker_utilization`/`views_served`/`bytes_materialized`),
     /// `clamp_hits` (array, one count per output
-    /// dimension) and `ledger` (`epsilon_requested`/`epsilon_charged`/
-    /// `remaining_budget`). Non-finite floats render as `null`.
+    /// dimension), `ledger` (`epsilon_requested`/`epsilon_charged`/
+    /// `remaining_budget`) and `cache` (`hits`/`misses`/`epsilon_saved`/
+    /// `evictions`/`recovered_entries`/`entries`/`capacity`). Non-finite
+    /// floats render as `null`.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push_str(&format!(
@@ -203,10 +212,22 @@ impl TelemetryReport {
         }
         out.push_str(&format!(
             "],\"ledger\":{{\"epsilon_requested\":{},\"epsilon_charged\":{},\
-             \"remaining_budget\":{}}}}}",
+             \"remaining_budget\":{}}}",
             json_f64(self.ledger.epsilon_requested),
             json_f64(self.ledger.epsilon_charged),
             json_f64(self.ledger.remaining_budget)
+        ));
+        out.push_str(&format!(
+            ",\"cache\":{{\"hits\":{},\"misses\":{},\"epsilon_saved\":{},\
+             \"evictions\":{},\"recovered_entries\":{},\"entries\":{},\
+             \"capacity\":{}}}}}",
+            self.cache.hits,
+            self.cache.misses,
+            json_f64(self.cache.epsilon_saved),
+            self.cache.evictions,
+            self.cache.recovered_entries,
+            self.cache.entries,
+            self.cache.capacity
         ));
         out
     }
@@ -241,6 +262,18 @@ impl fmt::Display for TelemetryReport {
             self.ledger.epsilon_requested,
             self.ledger.epsilon_charged,
             self.ledger.remaining_budget
+        )?;
+        writeln!(
+            f,
+            "  cache: {} hits / {} misses, ε saved {:.4}, {} evictions, \
+             {} recovered, {}/{} entries",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.epsilon_saved,
+            self.cache.evictions,
+            self.cache.recovered_entries,
+            self.cache.entries,
+            self.cache.capacity
         )
     }
 }
@@ -278,6 +311,7 @@ pub struct QueryTelemetry {
     blocks: BlockCounters,
     clamp_hits: Vec<usize>,
     ledger: LedgerEvent,
+    cache: CacheStats,
 }
 
 impl QueryTelemetry {
@@ -290,6 +324,7 @@ impl QueryTelemetry {
             blocks: BlockCounters::default(),
             clamp_hits: Vec::new(),
             ledger: LedgerEvent::default(),
+            cache: CacheStats::default(),
         }
     }
 
@@ -302,6 +337,7 @@ impl QueryTelemetry {
             blocks: BlockCounters::default(),
             clamp_hits: Vec::new(),
             ledger: LedgerEvent::default(),
+            cache: CacheStats::default(),
         }
     }
 
@@ -378,6 +414,14 @@ impl QueryTelemetry {
         self.ledger = event;
     }
 
+    /// Records the runtime-wide answer-cache counters.
+    pub fn record_cache(&mut self, stats: CacheStats) {
+        if !self.enabled {
+            return;
+        }
+        self.cache = stats;
+    }
+
     /// Seals the collector. Returns `None` when disabled.
     pub fn finish(self, total: Duration) -> Option<TelemetryReport> {
         if !self.enabled {
@@ -396,6 +440,7 @@ impl QueryTelemetry {
             blocks: self.blocks,
             clamp_hits: self.clamp_hits,
             ledger: self.ledger,
+            cache: self.cache,
             total,
         })
     }
@@ -428,6 +473,15 @@ mod tests {
             epsilon_requested: 2.0,
             epsilon_charged: 2.0,
             remaining_budget: 8.0,
+        });
+        tel.record_cache(CacheStats {
+            hits: 3,
+            misses: 5,
+            epsilon_saved: 1.5,
+            evictions: 1,
+            recovered_entries: 2,
+            entries: 4,
+            capacity: 256,
         });
         tel.finish(Duration::from_millis(25)).unwrap()
     }
@@ -499,7 +553,7 @@ mod tests {
         let json = sample_report().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         for key in [
-            "\"schema_version\":2",
+            "\"schema_version\":3",
             "\"total_ms\":",
             "\"stages\":{",
             "\"blocks\":{",
@@ -512,6 +566,14 @@ mod tests {
             "\"worker_utilization\":0.7999999999999999",
             "\"views_served\":10",
             "\"bytes_materialized\":800",
+            "\"cache\":{",
+            "\"hits\":3",
+            "\"misses\":5",
+            "\"epsilon_saved\":1.5",
+            "\"evictions\":1",
+            "\"recovered_entries\":2",
+            "\"entries\":4",
+            "\"capacity\":256",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -550,5 +612,16 @@ mod tests {
         assert!(text.contains("chamber_execution"), "{text}");
         assert!(text.contains("clamp hits/dim"), "{text}");
         assert!(text.contains("views served"), "{text}");
+        assert!(text.contains("cache: 3 hits / 5 misses"), "{text}");
+    }
+
+    #[test]
+    fn disabled_collector_ignores_cache() {
+        let mut tel = QueryTelemetry::disabled();
+        tel.record_cache(CacheStats {
+            hits: 1,
+            ..CacheStats::default()
+        });
+        assert!(tel.finish(Duration::ZERO).is_none());
     }
 }

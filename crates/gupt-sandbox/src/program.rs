@@ -104,7 +104,10 @@ where
 /// slice-based programs keep running unmodified; it deep-copies every
 /// block it executes. Prefer [`ClosureProgram`] and the [`BlockView`]
 /// API, which share the registration-time row store instead of copying
-/// it.
+/// it — and build the spec through the named-program path
+/// (`QuerySpec::named_program` in `gupt-core`), which additionally
+/// gives the query a stable fingerprintable identity so repeated
+/// releases can be served from the answer cache without spending ε.
 pub struct RowSliceProgram<F> {
     f: F,
     output_dimension: usize,

@@ -1,0 +1,64 @@
+//! Answer cache: ask the same question twice, pay for it once.
+//!
+//! A differentially private answer, once released, is post-processing —
+//! serving the *same* noisy value again leaks nothing new and costs
+//! zero additional ε. Naming a program gives the query a stable
+//! fingerprint (dataset content, program identity, ε, ranges, block
+//! plan), so a repeat ask replays the stored answer before the ledger
+//! or the execution chambers are ever touched.
+//!
+//! Run: `cargo run --example answer_cache`
+
+use gupt::core::prelude::*;
+
+fn main() {
+    let salaries: Vec<Vec<f64>> = (0..10_000)
+        .map(|i| vec![30_000.0 + (i % 70) as f64 * 1_000.0])
+        .collect();
+
+    let runtime = GuptRuntimeBuilder::new()
+        .register_dataset("salaries", salaries, Epsilon::new(5.0).unwrap())
+        .expect("dataset is valid")
+        .seed(42)
+        .build();
+
+    // Same analyst function as the quickstart — but *named*, so the
+    // runtime can recognise the question when it is asked again.
+    let spec = || {
+        QuerySpec::named_program("average-salary", 1, |block: &BlockView| {
+            vec![block.iter().map(|r| r[0]).sum::<f64>() / block.len().max(1) as f64]
+        })
+        .epsilon(Epsilon::new(1.0).unwrap())
+        .range_estimation(RangeEstimation::Loose(vec![OutputRange::new(
+            0.0, 500_000.0,
+        )
+        .unwrap()]))
+    };
+
+    // First ask: real execution — chambers run, the ledger is charged.
+    let first = runtime.run("salaries", spec()).expect("query succeeds");
+    let after_first = runtime.remaining_budget("salaries").unwrap();
+    println!(
+        "first ask : ≈ {:.0}  (budget left {after_first:.2})",
+        first.values[0]
+    );
+
+    // Second ask: served from the cache — same bits, zero new ε.
+    let second = runtime.run("salaries", spec()).expect("replay succeeds");
+    let after_second = runtime.remaining_budget("salaries").unwrap();
+    println!(
+        "second ask: ≈ {:.0}  (budget left {after_second:.2})",
+        second.values[0]
+    );
+
+    assert_eq!(first.values, second.values, "replay is bit-identical");
+    assert_eq!(after_first, after_second, "replay is free");
+
+    let stats: CacheStats = runtime.cache_stats();
+    println!(
+        "cache     : {} hits / {} misses, ε saved {:.2}, {}/{} entries",
+        stats.hits, stats.misses, stats.epsilon_saved, stats.entries, stats.capacity
+    );
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.epsilon_saved, 1.0);
+}

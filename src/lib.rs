@@ -17,7 +17,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+//! use gupt::core::{BlockView, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
 //! use gupt::dp::{Epsilon, OutputRange};
 //!
 //! // The data owner registers a dataset with a lifetime privacy budget.
@@ -29,7 +29,9 @@
 //!     .build();
 //!
 //! // The analyst submits an arbitrary program; GUPT makes it private.
-//! let spec = QuerySpec::program(|block: &[Vec<f64>]| {
+//! // Naming it gives the query a stable identity, so asking the same
+//! // question again replays the released answer at zero additional ε.
+//! let spec = QuerySpec::named_program("mean-age", 1, |block: &BlockView| {
 //!     let sum: f64 = block.iter().map(|row| row[0]).sum();
 //!     vec![sum / block.len() as f64]
 //! })

@@ -1,0 +1,248 @@
+//! The budget-recycling answer cache, end to end.
+//!
+//! A released DP answer is post-processing: replaying it verbatim is
+//! free. These tests pin the contract from the outside — a cache hit
+//! returns the stored answer **bit for bit** with **zero** ledger
+//! debit, unidentifiable queries bypass the cache entirely, a durable
+//! runtime recovers its warm cache from the WAL after a restart, and
+//! re-registering a dataset with different content invalidates the
+//! persisted entries through the epoch fingerprint field.
+
+use gupt::core::{
+    BlockView, Dataset, Durability, FsyncPolicy, GuptRuntime, GuptRuntimeBuilder, QuerySpec,
+    RangeEstimation, StorageConfig,
+};
+use gupt::dp::{Epsilon, OutputRange};
+use std::path::PathBuf;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn rows(n: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|i| vec![(i % 100) as f64]).collect()
+}
+
+fn named_mean() -> QuerySpec {
+    QuerySpec::named_program("mean-age", 1, |b: &BlockView| {
+        vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+    })
+    .epsilon(eps(0.5))
+    .range_estimation(RangeEstimation::Tight(vec![
+        OutputRange::new(0.0, 100.0).unwrap()
+    ]))
+}
+
+fn runtime() -> GuptRuntime {
+    GuptRuntimeBuilder::new()
+        .register_dataset("ages", rows(2000), eps(10.0))
+        .unwrap()
+        .seed(11)
+        .build()
+}
+
+fn state_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("gupt_cache_tests")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_runtime(dir: &PathBuf, data: Vec<Vec<f64>>) -> GuptRuntime {
+    let registration = Dataset::new(data)
+        .unwrap()
+        .builder()
+        .budget(eps(10.0))
+        .durability(Durability::Durable(
+            StorageConfig::new(dir).fsync(FsyncPolicy::Always),
+        ));
+    GuptRuntimeBuilder::new()
+        .dataset("ages", registration)
+        .unwrap()
+        .seed(11)
+        .build()
+}
+
+#[test]
+fn cache_hit_is_bit_identical_with_zero_ledger_debit() {
+    let rt = runtime();
+    let first = rt.run("ages", named_mean()).unwrap();
+    let books = rt.ledger_state("ages").unwrap();
+
+    let second = rt.run("ages", named_mean()).unwrap();
+    // Bit-identical replay: same noisy values, same accounting metadata.
+    assert_eq!(second.values, first.values);
+    assert_eq!(second.epsilon_spent, first.epsilon_spent);
+    assert_eq!(second.num_blocks, first.num_blocks);
+    // Zero debit: the ledger did not move at all.
+    let after = rt.ledger_state("ages").unwrap();
+    assert_eq!(after.spent, books.spent);
+    assert_eq!(after.queries, books.queries);
+    assert_eq!(after.remaining, books.remaining);
+
+    let stats = rt.cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.epsilon_saved, 0.5);
+}
+
+#[test]
+fn hit_comes_before_any_charge_even_on_exhausted_budget() {
+    let rt = GuptRuntimeBuilder::new()
+        .register_dataset("ages", rows(2000), eps(0.5))
+        .unwrap()
+        .seed(11)
+        .build();
+    let first = rt.run("ages", named_mean()).unwrap();
+    assert_eq!(rt.ledger_state("ages").unwrap().remaining, 0.0);
+    // The budget is gone, but the released answer replays anyway: the
+    // cache check happens before the ledger is consulted.
+    let second = rt.run("ages", named_mean()).unwrap();
+    assert_eq!(second.values, first.values);
+}
+
+#[test]
+fn anonymous_queries_bypass_the_cache() {
+    let rt = runtime();
+    let spec = || {
+        QuerySpec::view_program(|b: &BlockView| {
+            vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+        })
+        .epsilon(eps(0.5))
+        .range_estimation(RangeEstimation::Tight(vec![
+            OutputRange::new(0.0, 100.0).unwrap()
+        ]))
+    };
+    let first = rt.run("ages", spec()).unwrap();
+    let second = rt.run("ages", spec()).unwrap();
+    // No identity, no fingerprint: both executions charge and draw
+    // fresh noise.
+    assert_ne!(first.values, second.values);
+    let books = rt.ledger_state("ages").unwrap();
+    assert_eq!(books.queries, 2);
+    assert!((books.spent - 1.0).abs() < 1e-12);
+    let stats = rt.cache_stats();
+    assert_eq!(stats.hits + stats.misses, 0);
+    assert_eq!(stats.entries, 0);
+}
+
+#[test]
+fn version_bump_invalidates_the_identity() {
+    let rt = runtime();
+    let v1 = |version: u32| {
+        QuerySpec::named_program("mean-age", version, |b: &BlockView| {
+            vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+        })
+        .epsilon(eps(0.5))
+        .range_estimation(RangeEstimation::Tight(vec![
+            OutputRange::new(0.0, 100.0).unwrap()
+        ]))
+    };
+    rt.run("ages", v1(1)).unwrap();
+    rt.run("ages", v1(2)).unwrap();
+    // Different version, different fingerprint: two real executions.
+    assert_eq!(rt.ledger_state("ages").unwrap().queries, 2);
+    assert_eq!(rt.cache_stats().entries, 2);
+}
+
+#[test]
+fn warm_cache_survives_a_restart_via_the_wal() {
+    let dir = state_dir("warm_restart");
+    let first_answer;
+    {
+        let rt = durable_runtime(&dir, rows(2000));
+        first_answer = rt.run("ages", named_mean()).unwrap();
+        assert_eq!(rt.ledger_state("ages").unwrap().queries, 1);
+    }
+    // "Kill" the process (drop the runtime) and recover from disk.
+    let rt = durable_runtime(&dir, rows(2000));
+    let stats = rt.cache_stats();
+    assert_eq!(stats.recovered_entries, 1, "cache did not warm from WAL");
+
+    let books = rt.ledger_state("ages").unwrap();
+    let replayed = rt.run("ages", named_mean()).unwrap();
+    assert_eq!(replayed.values, first_answer.values);
+    assert_eq!(replayed.epsilon_spent, first_answer.epsilon_spent);
+    // The replay from the recovered cache debits nothing.
+    let after = rt.ledger_state("ages").unwrap();
+    assert_eq!(after.spent, books.spent);
+    assert_eq!(after.queries, books.queries);
+    assert_eq!(rt.cache_stats().hits, 1);
+}
+
+#[test]
+fn re_registration_with_new_content_invalidates_persisted_entries() {
+    let dir = state_dir("epoch_invalidation");
+    {
+        let rt = durable_runtime(&dir, rows(2000));
+        rt.run("ages", named_mean()).unwrap();
+    }
+    // Same name, same state dir, *different rows*: the registration
+    // epoch changes, so the journaled answer must not resurface.
+    let mut changed = rows(2000);
+    changed[0][0] += 1.0;
+    let rt = durable_runtime(&dir, changed);
+    assert_eq!(
+        rt.cache_stats().recovered_entries,
+        0,
+        "stale answer recovered across a content change"
+    );
+    // The debit, by contrast, *is* recovered — budget is never forgotten.
+    assert_eq!(rt.ledger_state("ages").unwrap().queries, 1);
+    // Asking again executes for real (a miss), at a fresh charge.
+    rt.run("ages", named_mean()).unwrap();
+    assert_eq!(rt.ledger_state("ages").unwrap().queries, 2);
+    assert_eq!(rt.cache_stats().misses, 1);
+}
+
+#[test]
+fn disabled_cache_never_replays() {
+    let rt = GuptRuntimeBuilder::new()
+        .register_dataset("ages", rows(2000), eps(10.0))
+        .unwrap()
+        .seed(11)
+        .cache_capacity(0)
+        .build();
+    let first = rt.run("ages", named_mean()).unwrap();
+    let second = rt.run("ages", named_mean()).unwrap();
+    assert_ne!(first.values, second.values);
+    assert_eq!(rt.ledger_state("ages").unwrap().queries, 2);
+    assert_eq!(rt.cache_stats().capacity, 0);
+    assert_eq!(rt.cache_stats().entries, 0);
+}
+
+#[test]
+fn batch_splits_hits_from_misses() {
+    let rt = runtime();
+    let batch_specs = || {
+        vec![
+            QuerySpec::named_program("mean-age", 1, |b: &BlockView| {
+                vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+            })
+            .fixed_block_size(10)
+            .range_estimation(RangeEstimation::Tight(vec![
+                OutputRange::new(0.0, 100.0).unwrap()
+            ])),
+            QuerySpec::named_program("max-age", 1, |b: &BlockView| {
+                vec![b.iter().map(|r| r[0]).fold(0.0, f64::max)]
+            })
+            .fixed_block_size(10)
+            .range_estimation(RangeEstimation::Tight(vec![
+                OutputRange::new(0.0, 100.0).unwrap()
+            ])),
+        ]
+    };
+    let first = rt.run_batch("ages", batch_specs(), eps(1.0)).unwrap();
+    let books = rt.ledger_state("ages").unwrap();
+    let second = rt.run_batch("ages", batch_specs(), eps(1.0)).unwrap();
+    // Both members hit: identical answers, zero allocations, no debit.
+    assert_eq!(second.allocations, vec![0.0, 0.0]);
+    for (a, b) in first.answers.iter().zip(&second.answers) {
+        assert_eq!(a.values, b.values);
+    }
+    let after = rt.ledger_state("ages").unwrap();
+    assert_eq!(after.spent, books.spent);
+    assert_eq!(after.queries, books.queries);
+}
