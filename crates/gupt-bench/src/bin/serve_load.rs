@@ -1,0 +1,325 @@
+//! Load test for the network serve plane — and the CI gate over it.
+//!
+//! Stands up a real [`GuptServer`] on a loopback port, warms a set of
+//! distinct queries through the wire, then drives `GUPT_LOAD_QUERIES`
+//! pipelined requests (default 10 000 — thousands in flight at once)
+//! across `GUPT_LOAD_CONNECTIONS` sockets with per-connection
+//! writer/reader thread pairs. Every load request replays a warmed
+//! query from the answer cache, so the run checks three invariants the
+//! serve plane must keep under concurrency:
+//!
+//! 1. **Bit-identical answers**: every served value equals, bit for
+//!    bit, the answer the same runtime produces when called directly —
+//!    the network layer adds no nondeterminism.
+//! 2. **Zero ledger drift**: the dataset ledger equals the sum of the
+//!    per-principal books exactly, and the load phase (all cache hits)
+//!    charges exactly zero additional ε.
+//! 3. **Latency**: with `GUPT_MAX_P99_MS` set, the run fails when the
+//!    serve-plane p99 exceeds it.
+//!
+//! Emits a `serve_load` run-report whose telemetry carries the
+//! schema-v4 `serve` object.
+
+use gupt_bench::report::{banner, RunReport};
+use gupt_core::{
+    Dataset, ExhaustedPolicy, GuptRuntime, GuptRuntimeBuilder, QueryService, QuerySpec,
+    RangeEstimation, ServiceConfig,
+};
+use gupt_dp::Epsilon;
+use gupt_serve::json::Value;
+use gupt_serve::{catalog, GuptServer, QueryPayload, ServeClient, ServeConfig};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// ε per warm query: an exact binary fraction (1/16), so the ledger and
+/// the principal books sum to bit-equal totals regardless of order.
+const EPS_EACH: f64 = 0.0625;
+const TENANTS: usize = 8;
+const DATASET: &str = "load";
+const SEED: u64 = 7;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// The distinct query shapes to warm: (program spec, [lo, hi] ranges).
+fn warm_set(k: usize) -> Vec<(String, Vec<(f64, f64)>)> {
+    let mut specs = vec![
+        ("mean:0".to_string(), vec![(0.0, 49.0)]),
+        ("median:0".to_string(), vec![(0.0, 49.0)]),
+        ("variance:0".to_string(), vec![(0.0, 400.0)]),
+        ("count".to_string(), vec![(0.0, 1e6)]),
+    ];
+    let mut bins = 2;
+    while specs.len() < k {
+        specs.push((format!("histogram:0:{bins}"), vec![(0.0, 49.0)]));
+        bins += 1;
+    }
+    specs.truncate(k);
+    specs
+}
+
+fn tenant(i: usize) -> String {
+    format!("tenant{}", i % TENANTS)
+}
+
+/// Builds a runtime identical to the served one (same rows, same seed,
+/// same registration), so direct calls are the determinism baseline.
+fn build_runtime(rows: &[Vec<f64>], warm: usize) -> GuptRuntime {
+    let total = warm as f64 * EPS_EACH;
+    let mut registration = Dataset::new(rows.to_vec())
+        .expect("non-empty dataset")
+        .builder()
+        .budget(Epsilon::new(2.0 * total).expect("positive budget"))
+        .exhausted_policy(ExhaustedPolicy::HardStop);
+    for t in 0..TENANTS {
+        registration = registration.principal(tenant(t), total);
+    }
+    GuptRuntimeBuilder::new()
+        .dataset(DATASET, registration)
+        .expect("valid registration")
+        .seed(SEED)
+        .cache_capacity(warm.max(64))
+        .build()
+}
+
+/// Replicates the server's spec construction for a wire query, so the
+/// direct baseline fingerprints and executes identically.
+fn direct_spec(program: &str, ranges: &[(f64, f64)]) -> QuerySpec {
+    let wire = catalog::resolve(program, ranges).expect("warm spec resolves");
+    let identity = wire.program.name().to_string();
+    QuerySpec::from_program(wire.program)
+        .with_identity(identity, 1)
+        .epsilon(Epsilon::new(EPS_EACH).expect("valid eps"))
+        .range_estimation(RangeEstimation::Tight(wire.ranges))
+}
+
+fn answer_bits(v: &Value) -> Vec<u64> {
+    v.get("answer")
+        .and_then(|a| a.get("values"))
+        .and_then(Value::as_array)
+        .expect("answer.values")
+        .iter()
+        .map(|x| x.as_number().expect("numeric value").to_bits())
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let queries = env_usize("GUPT_LOAD_QUERIES", 10_000);
+    let connections = env_usize("GUPT_LOAD_CONNECTIONS", 16);
+    let warm = env_usize("GUPT_LOAD_WARM", 32);
+    let rows_n = gupt_bench::rows(20_000);
+    let max_p99_ms: Option<f64> = std::env::var("GUPT_MAX_P99_MS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    banner("serve_load — network serve plane under pipelined load");
+    println!(
+        "{queries} queries over {connections} connections, {warm} warm shapes, {rows_n} rows\n"
+    );
+
+    let rows: Vec<Vec<f64>> = (0..rows_n).map(|i| vec![(i % 50) as f64]).collect();
+    let shapes = warm_set(warm);
+
+    // ---- Direct baseline: the same runtime answers the warm set
+    // in-process, in the same submission order the server will see.
+    let direct = QueryService::new(build_runtime(&rows, warm), ServiceConfig::new(8, 64));
+    let mut baseline: Vec<Vec<u64>> = Vec::with_capacity(warm);
+    let mut last_telemetry = None;
+    for (i, (program, ranges)) in shapes.iter().enumerate() {
+        let answer = direct
+            .run_as(DATASET, &tenant(i), direct_spec(program, ranges))
+            .expect("direct warm query");
+        baseline.push(answer.values.iter().map(|v| v.to_bits()).collect());
+        last_telemetry = Some(answer.telemetry);
+    }
+
+    // ---- Served plane: identical runtime behind real TCP.
+    let service = QueryService::new(
+        build_runtime(&rows, warm),
+        ServiceConfig::new(8, 4 * connections.max(16)),
+    );
+    let observer = service.clone();
+    let handle = GuptServer::bind(
+        service,
+        "127.0.0.1:0",
+        // Workers hold a connection each; size for every socket plus
+        // the warm/stats connection.
+        ServeConfig::new(connections + 1),
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    // Warm sequentially over the wire: cache misses execute in the same
+    // order as the direct baseline, so answers must be bit-identical.
+    let mut warm_client = ServeClient::connect(addr).expect("connect");
+    let mut warm_mismatches = 0usize;
+    for (i, (program, ranges)) in shapes.iter().enumerate() {
+        let payload = QueryPayload::new(DATASET, program.as_str(), ranges)
+            .epsilon(EPS_EACH)
+            .principal(tenant(i))
+            .to_json();
+        let resp = warm_client.request(&payload).expect("warm query");
+        let status = resp.get("status").and_then(Value::as_str);
+        assert_eq!(status, Some("ok"), "warm {program}: {resp:?}");
+        if answer_bits(&resp) != baseline[i] {
+            warm_mismatches += 1;
+            eprintln!("MISMATCH: warm {program} diverged from the direct baseline");
+        }
+    }
+    let spent_after_warm = observer
+        .runtime()
+        .ledger_state(DATASET)
+        .expect("ledger")
+        .spent;
+
+    // ---- Pipelined load: every request replays a warmed shape.
+    let started = Instant::now();
+    let per_conn = queries / connections;
+    let remainder = queries % connections;
+    let load_mismatches: usize = std::thread::scope(|s| {
+        let shapes = &shapes;
+        let baseline = &baseline;
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let count = per_conn + usize::from(c < remainder);
+                s.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect load socket");
+                    // One payload per request, warm shape picked
+                    // deterministically per (connection, index).
+                    let payloads: Vec<(usize, String)> = (0..count)
+                        .map(|i| {
+                            let k = (c + i).wrapping_mul(2654435761) % shapes.len();
+                            let (program, ranges) = &shapes[k];
+                            let p = QueryPayload::new(DATASET, program.as_str(), ranges)
+                                .epsilon(EPS_EACH)
+                                .principal(tenant(k))
+                                .to_json();
+                            (k, p)
+                        })
+                        .collect();
+                    // Windowed pipelining: keep a deep window of frames
+                    // in flight on this socket while draining responses,
+                    // so neither side's socket buffer can deadlock.
+                    const WINDOW: usize = 512;
+                    let mut mismatches = 0usize;
+                    let mut sent = 0usize;
+                    let mut received = 0usize;
+                    while received < payloads.len() {
+                        while sent < payloads.len() && sent - received < WINDOW {
+                            client.send(&payloads[sent].1).expect("send");
+                            sent += 1;
+                        }
+                        let resp = client.recv().expect("recv");
+                        let k = payloads[received].0;
+                        let status = resp.get("status").and_then(Value::as_str);
+                        assert_eq!(status, Some("ok"), "load query: {resp:?}");
+                        if answer_bits(&resp) != baseline[k] {
+                            mismatches += 1;
+                        }
+                        received += 1;
+                    }
+                    mismatches
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("conn")).sum()
+    });
+    let elapsed = started.elapsed();
+
+    // ---- Invariants.
+    let serve = handle.serve_telemetry();
+    let ledger = observer.runtime().ledger_state(DATASET).expect("ledger");
+    let states = observer
+        .runtime()
+        .principal_states(DATASET)
+        .expect("principals");
+    let books_sum: f64 = states.iter().map(|p| p.spent).sum();
+    let drift = (ledger.spent - books_sum).abs();
+    let load_charged = ledger.spent - spent_after_warm;
+    let throughput = queries as f64 / elapsed.as_secs_f64().max(1e-9);
+    handle.shutdown();
+
+    println!("accepted     : {}", serve.accepted);
+    println!("refused      : {}", serve.refused);
+    println!("p50 latency  : {:.3} ms", serve.p50_ms);
+    println!("p99 latency  : {:.3} ms", serve.p99_ms);
+    println!("throughput   : {throughput:.0} queries/s (load phase)");
+    println!(
+        "ledger spent : ε = {:.6} ({} queries)",
+        ledger.spent, ledger.queries
+    );
+    println!(
+        "books sum    : ε = {books_sum:.6} across {} principals",
+        states.len()
+    );
+    println!("ledger drift : {drift:e}");
+    println!("load ε cost  : {load_charged:e} (must be 0 — all cache hits)");
+
+    let mut failures = Vec::new();
+    if warm_mismatches + load_mismatches > 0 {
+        failures.push(format!(
+            "{} answers diverged from the direct baseline",
+            warm_mismatches + load_mismatches
+        ));
+    }
+    if drift != 0.0 {
+        failures.push(format!("ledger drift {drift:e} (expected exactly 0)"));
+    }
+    if load_charged != 0.0 {
+        failures.push(format!("load phase charged ε {load_charged:e}"));
+    }
+    if serve.refused != 0 {
+        failures.push(format!("{} requests refused", serve.refused));
+    }
+    let expected = (warm + queries) as u64;
+    if serve.accepted != expected {
+        failures.push(format!(
+            "accepted {} != expected {expected}",
+            serve.accepted
+        ));
+    }
+    if let Some(limit) = max_p99_ms {
+        if serve.p99_ms > limit {
+            failures.push(format!(
+                "p99 {:.3} ms exceeds limit {limit} ms",
+                serve.p99_ms
+            ));
+        }
+    }
+
+    let mut telemetry = last_telemetry.flatten().unwrap_or_default();
+    telemetry.serve = Some(serve.clone());
+    RunReport::new("serve_load")
+        .setting("queries", queries as f64)
+        .setting("connections", connections as f64)
+        .setting("warm_shapes", warm as f64)
+        .setting("rows", rows_n as f64)
+        .metric("accepted", serve.accepted as f64)
+        .metric("refused", serve.refused as f64)
+        .metric("p50_ms", serve.p50_ms)
+        .metric("p99_ms", serve.p99_ms)
+        .metric("throughput_qps", throughput)
+        .metric("ledger_drift", drift)
+        .metric("load_epsilon_charged", load_charged)
+        .metric(
+            "answer_mismatches",
+            (warm_mismatches + load_mismatches) as f64,
+        )
+        .telemetry(telemetry)
+        .emit();
+
+    if failures.is_empty() {
+        println!("\nserve_load: all invariants held");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("serve_load FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

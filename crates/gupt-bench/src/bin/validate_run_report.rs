@@ -49,7 +49,11 @@ fn validate_file(path: &str) -> Result<String, String> {
 fn validate_run_report(doc: &Value) -> Result<String, String> {
     let version = require_number(doc, "run_report_version")?;
     if version != f64::from(gupt_bench::report::RUN_REPORT_VERSION) {
-        return Err(format!("unsupported run_report_version {version}"));
+        return Err(format!(
+            "unknown run_report_version {version}: this validator understands version {} — \
+             regenerate the report with matching tools or update the validator",
+            gupt_bench::report::RUN_REPORT_VERSION
+        ));
     }
     let bench = doc
         .get("bench")
@@ -152,6 +156,44 @@ fn validate_telemetry(t: &Value) -> Result<(), String> {
         }
     }
     require_number_or_null(cache, "epsilon_saved").map_err(|e| format!("telemetry.cache: {e}"))?;
+
+    // The schema-v4 `serve` object is attached only by a network front
+    // door; when present it must be complete and well-typed.
+    if let Some(serve) = t.get("serve") {
+        validate_serve(serve)?;
+    }
+    Ok(())
+}
+
+fn validate_serve(serve: &Value) -> Result<(), String> {
+    for key in ["accepted", "refused", "in_flight"] {
+        let n = require_number(serve, key).map_err(|e| format!("telemetry.serve: {e}"))?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!(
+                "telemetry.serve.{key} must be a non-negative integer"
+            ));
+        }
+    }
+    let principals = serve
+        .get("principals")
+        .and_then(Value::as_object)
+        .ok_or("telemetry.serve.principals must be an object")?;
+    for (name, spent) in principals {
+        match spent {
+            Value::Number(n) if *n >= 0.0 => {}
+            _ => {
+                return Err(format!(
+                    "telemetry.serve.principals.{name} must be a non-negative ε total"
+                ))
+            }
+        }
+    }
+    for key in ["p50_ms", "p99_ms"] {
+        let n = require_number(serve, key).map_err(|e| format!("telemetry.serve: {e}"))?;
+        if n < 0.0 {
+            return Err(format!("telemetry.serve.{key} must be non-negative"));
+        }
+    }
     Ok(())
 }
 
@@ -203,12 +245,68 @@ mod tests {
     }
 
     #[test]
-    fn rejects_wrong_version() {
+    fn rejects_unknown_version_with_clear_error() {
         let doc = parse(
             r#"{"run_report_version":99,"bench":"b","settings":{},"metrics":{},"telemetry":null}"#,
         )
         .unwrap();
-        assert!(validate_run_report(&doc).is_err());
+        let err = validate_run_report(&doc).unwrap_err();
+        assert!(err.contains("unknown run_report_version 99"), "{err}");
+        assert!(
+            err.contains(&format!(
+                "understands version {}",
+                gupt_bench::report::RUN_REPORT_VERSION
+            )),
+            "{err}"
+        );
+    }
+
+    fn report_with_serve() -> String {
+        let tel = TelemetryReport {
+            serve: Some(gupt_core::ServeTelemetry {
+                accepted: 12,
+                refused: 1,
+                in_flight: 3,
+                principals: vec![("alice".to_string(), 1.25)],
+                p50_ms: 0.4,
+                p99_ms: 9.5,
+            }),
+            ..Default::default()
+        };
+        RunReport::new("serve_load").telemetry(tel).to_json()
+    }
+
+    #[test]
+    fn accepts_schema_v4_serve_object() {
+        let doc = parse(&report_with_serve()).unwrap();
+        validate_run_report(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_serve_object_missing_counters() {
+        let json = report_with_serve().replace("\"refused\"", "\"refusedX\"");
+        let doc = parse(&json).unwrap();
+        let err = validate_run_report(&doc).unwrap_err();
+        assert!(
+            err.contains("telemetry.serve") && err.contains("refused"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_serve_object_with_bad_principal_spend() {
+        let json = report_with_serve().replace("\"alice\":1.25", "\"alice\":\"lots\"");
+        let doc = parse(&json).unwrap();
+        let err = validate_run_report(&doc).unwrap_err();
+        assert!(err.contains("principals.alice"), "{err}");
+    }
+
+    #[test]
+    fn rejects_fractional_serve_counter() {
+        let json = report_with_serve().replace("\"accepted\":12", "\"accepted\":12.5");
+        let doc = parse(&json).unwrap();
+        let err = validate_run_report(&doc).unwrap_err();
+        assert!(err.contains("accepted"), "{err}");
     }
 
     #[test]

@@ -9,9 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
 pub mod programs;
 pub mod report;
+
+/// Minimal offline JSON reader, now hosted by the serve plane (the wire
+/// protocol parses with it too); re-exported so existing
+/// `gupt_bench::json::parse` callers keep compiling.
+pub use gupt_serve::json;
 
 /// Reads an experiment-scale factor from `GUPT_TRIALS` (default
 /// `default_trials`), so CI can shrink runs and a full reproduction can

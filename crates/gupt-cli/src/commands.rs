@@ -28,7 +28,12 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             ("generate", [which]) => generate(which, &args),
             ("ledger", [sub]) => ledger_cmd(sub, &args),
             ("query", []) => query(&args),
+            // `serve --bind` is the network server; without it the
+            // original multi-analyst load driver runs unchanged.
+            ("serve", []) if args.get("bind").is_some() => serve_bind(&args),
             ("serve", []) => serve(&args),
+            ("continue", []) => continue_cmd(&args),
+            ("client", []) => client_cmd(&args),
             ("recover", []) => recover_cmd(&args),
             _ => Err(format!(
                 "unknown command {:?}; run `gupt-cli help`",
@@ -67,6 +72,27 @@ USAGE:
                   --cache-capacity C > 0 turns on the answer cache, so
                   repeated queries replay their released answer at zero ε —
                   with --state-dir the warm cache survives restarts too)
+  gupt-cli serve --bind ADDR --data FILE.csv --budget EPS
+                 [--dataset NAME] [--header yes] [--seed S]
+                 [--principals a=EPS,b=EPS] [--exhausted-policy hard_stop|pause_approval]
+                 [--max-in-flight M] [--max-queued Q] [--deadline-ms D]
+                 [--workers W] [--state-dir DIR] [--fsync always|never|N]
+                 [--cache-capacity C]
+                 (network server: speaks the length-prefixed JSON protocol
+                  on ADDR — query/batch/stats/recover/continue/shutdown —
+                  over one admission-controlled service; --principals carves
+                  per-analyst ε quotas from the dataset ledger, and with
+                  --exhausted-policy pause_approval an exhausted principal
+                  pauses until an operator `continue`; runs until a
+                  shutdown request arrives)
+  gupt-cli client --addr ADDR [--op query|stats|recover|continue|shutdown]
+                 [--dataset NAME] [--program SPEC] [--range LO,HI]
+                 [--epsilon E] [--principal P] [--block-size B]
+                 [--deadline-ms D] [--grant EPS]
+                 (one-shot protocol client; prints the raw response JSON)
+  gupt-cli continue --addr ADDR --dataset NAME --principal P [--grant EPS]
+                 (operator approval: unpauses P, optionally raising its
+                  quota by EPS)
   gupt-cli recover --state-dir DIR --dataset NAME
                  (replays NAME's snapshot + WAL and reports the recovered
                   books without charging or serving anything)
@@ -552,6 +578,222 @@ fn serve(args: &Args) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// Parses `--principals alice=2.0,bob=1.5` into name/quota pairs.
+fn parse_principals(raw: Option<&str>) -> Result<Vec<(String, f64)>, CliError> {
+    let Some(raw) = raw else {
+        return Ok(Vec::new());
+    };
+    raw.split(',')
+        .map(|entry| {
+            let (name, quota) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("--principals entry {entry:?}: expected NAME=EPS"))?;
+            let quota: f64 = quota
+                .trim()
+                .parse()
+                .map_err(|_| format!("--principals entry {entry:?}: quota must be a number"))?;
+            Ok((name.trim().to_string(), quota))
+        })
+        .collect()
+}
+
+/// The network server: binds `--bind ADDR` and speaks the gupt-serve
+/// wire protocol until a `shutdown` request arrives, then prints a
+/// summary of what it served.
+fn serve_bind(args: &Args) -> Result<String, CliError> {
+    use gupt_core::ExhaustedPolicy;
+    use gupt_serve::{GuptServer, ServeConfig};
+
+    let bind = args.require("bind")?;
+    let data_path = args.require("data")?;
+    let has_header = matches!(args.get("header"), Some("yes" | "true" | "1"));
+    let rows = csv::read_csv(data_path, has_header)?;
+    if rows.is_empty() {
+        return Err("dataset is empty".into());
+    }
+    let dataset_name = args.get("dataset").unwrap_or("data").to_string();
+    let budget: f64 = args.require_parsed("budget", "positive number")?;
+    let max_in_flight: usize = args.get_parsed("max-in-flight", "integer")?.unwrap_or(8);
+    let max_queued: usize = args.get_parsed("max-queued", "integer")?.unwrap_or(64);
+    let deadline_ms: Option<u64> = args.get_parsed("deadline-ms", "integer")?;
+    let workers: usize = args
+        .get_parsed("workers", "integer")?
+        .unwrap_or(8)
+        .clamp(1, 64);
+    let seed: u64 = args.get_parsed("seed", "integer")?.unwrap_or(0);
+    let cache_capacity: usize = args.get_parsed("cache-capacity", "integer")?.unwrap_or(0);
+    let principals = parse_principals(args.get("principals"))?;
+    let policy = match args.get("exhausted-policy") {
+        None | Some("hard_stop") => ExhaustedPolicy::HardStop,
+        Some("pause_approval") => ExhaustedPolicy::PauseApproval,
+        Some(other) => {
+            return Err(format!(
+                "--exhausted-policy takes hard_stop or pause_approval, not {other:?}"
+            )
+            .into())
+        }
+    };
+    let state_dir = args.get("state-dir");
+    let durability = match state_dir {
+        None => Durability::Ephemeral,
+        Some(dir) => {
+            let mut config = StorageConfig::new(dir);
+            if let Some(mode) = args.get("fsync") {
+                config = config.fsync(parse_fsync(mode)?);
+            }
+            Durability::Durable(config)
+        }
+    };
+
+    let mut registration = Dataset::new(rows)?
+        .builder()
+        .budget(Epsilon::new(budget)?)
+        .durability(durability)
+        .exhausted_policy(policy);
+    for (name, quota) in &principals {
+        registration = registration.principal(name.clone(), *quota);
+    }
+    let runtime = match GuptRuntimeBuilder::new().dataset(dataset_name.clone(), registration) {
+        Ok(builder) => builder.seed(seed).cache_capacity(cache_capacity).build(),
+        Err(err) => return Err(render_runtime_error(err)),
+    };
+    let mut config = ServiceConfig::new(max_in_flight, max_queued);
+    if let Some(ms) = deadline_ms {
+        config = config.default_deadline(std::time::Duration::from_millis(ms));
+    }
+    let service = QueryService::new(runtime, config);
+    let observer = service.clone();
+    let handle = GuptServer::bind(service, bind, ServeConfig::new(workers))
+        .map_err(|e| format!("cannot bind {bind}: {e}"))?;
+
+    // Announce the bound address immediately (and flushed, since stdout
+    // is block-buffered under a pipe) so wrappers can discover the real
+    // port behind `--bind 127.0.0.1:0`.
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        writeln!(stdout, "listening on {}", handle.addr())?;
+        stdout.flush()?;
+    }
+
+    while !handle.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let serve = handle.serve_telemetry();
+    handle.shutdown();
+
+    let ledger = observer.runtime().ledger_state(&dataset_name)?;
+    let states = observer.runtime().principal_states(&dataset_name)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "server stopped");
+    let _ = writeln!(
+        out,
+        "requests    : {} accepted, {} refused (p50 {:.3} ms, p99 {:.3} ms)",
+        serve.accepted, serve.refused, serve.p50_ms, serve.p99_ms
+    );
+    let _ = writeln!(
+        out,
+        "ledger      : ε = {:.6} spent of {:.6} over {} queries",
+        ledger.spent, ledger.total, ledger.queries
+    );
+    for p in states {
+        let _ = writeln!(
+            out,
+            "principal   : {} ε = {:.6} of {:.6} over {} queries{}",
+            p.name,
+            p.spent,
+            p.quota,
+            p.queries,
+            if p.paused { " (paused)" } else { "" }
+        );
+    }
+    Ok(out)
+}
+
+/// One-shot protocol client: builds the request from flags, prints the
+/// raw response JSON.
+fn client_cmd(args: &Args) -> Result<String, CliError> {
+    use gupt_serve::{
+        continue_payload, recover_payload, shutdown_payload, stats_payload, QueryPayload,
+        ServeClient,
+    };
+    let addr = args.require("addr")?;
+    let op = args.get("op").unwrap_or("query");
+    let payload = match op {
+        "query" => {
+            let dataset = args.get("dataset").unwrap_or("data");
+            let program = args.require("program")?;
+            let range = args
+                .range("range")?
+                .ok_or("--range LO,HI is required for queries")?;
+            let mut q = QueryPayload::new(dataset, program, &[range]);
+            if let Some(eps) = args.get_parsed::<f64>("epsilon", "number")? {
+                q = q.epsilon(eps);
+            }
+            if let Some(p) = args.get("principal") {
+                q = q.principal(p);
+            }
+            if let Some(b) = args.get_parsed::<usize>("block-size", "integer")? {
+                q = q.block_size(b);
+            }
+            if let Some(ms) = args.get_parsed::<u64>("deadline-ms", "integer")? {
+                q = q.deadline_ms(ms);
+            }
+            q.to_json()
+        }
+        "stats" => stats_payload(args.get("dataset")),
+        "recover" => recover_payload(args.get("dataset").unwrap_or("data")),
+        "continue" => continue_payload(
+            args.get("dataset").unwrap_or("data"),
+            args.require("principal")?,
+            args.get_parsed::<f64>("grant", "number")?,
+        ),
+        "shutdown" => shutdown_payload(),
+        other => {
+            return Err(
+                format!("unknown --op {other:?} (query|stats|recover|continue|shutdown)").into(),
+            )
+        }
+    };
+    let mut client =
+        ServeClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = client.request_text(&payload)?;
+    Ok(format!("{response}\n"))
+}
+
+/// Operator approval: unpauses a principal over the wire, optionally
+/// raising its quota.
+fn continue_cmd(args: &Args) -> Result<String, CliError> {
+    use gupt_serve::{continue_payload, ServeClient};
+    let addr = args.require("addr")?;
+    let dataset = args.require("dataset")?;
+    let principal = args.require("principal")?;
+    let grant = args.get_parsed::<f64>("grant", "number")?;
+    let mut client =
+        ServeClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = client.request(&continue_payload(dataset, principal, grant))?;
+    let status = response
+        .get("status")
+        .and_then(gupt_serve::json::Value::as_str)
+        .unwrap_or("?");
+    if status != "ok" {
+        let detail = response
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(gupt_serve::json::Value::as_str)
+            .unwrap_or("unknown error");
+        return Err(format!("continue refused ({status}): {detail}").into());
+    }
+    let state = response.get("principal").ok_or("malformed response")?;
+    let field = |k: &str| state.get(k).and_then(gupt_serve::json::Value::as_number);
+    Ok(format!(
+        "principal {principal} resumed on {dataset}: quota ε = {}, spent ε = {}, remaining ε = {}\n",
+        field("quota").unwrap_or(f64::NAN),
+        field("spent").unwrap_or(f64::NAN),
+        field("remaining").unwrap_or(f64::NAN),
+    ))
 }
 
 /// Replays a durable dataset's snapshot + WAL and reports the books

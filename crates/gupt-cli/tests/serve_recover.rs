@@ -1,0 +1,241 @@
+//! Kill-and-recover test for the network serve plane.
+//!
+//! Drives the real `gupt-cli serve --bind` binary: charges attributed
+//! queries, SIGKILLs the server mid-load with a pipelined burst in
+//! flight, restarts it over the same `--state-dir`, and asserts the
+//! recovered books never under-report — per-principal spends survive,
+//! the dataset ledger equals the sum of the principal books (zero
+//! drift), and the warm answer cache replays the pre-kill answer
+//! bit-identically at zero additional ε.
+
+use gupt_serve::json::Value;
+use gupt_serve::{stats_payload, QueryPayload, ServeClient};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_gupt-cli")
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+fn start_server(data: &str, state: &str) -> Server {
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "--bind",
+            "127.0.0.1:0",
+            "--data",
+            data,
+            "--budget",
+            "40.0",
+            "--state-dir",
+            state,
+            "--fsync",
+            "always",
+            "--cache-capacity",
+            "64",
+            "--principals",
+            "alice=15.0,bob=15.0,carol=0.4",
+            "--exhausted-policy",
+            "pause_approval",
+            "--seed",
+            "7",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gupt-cli serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .trim()
+        .to_string();
+    Server {
+        child,
+        addr,
+        stdout,
+    }
+}
+
+fn num(v: &Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing {key:?} in {path:?}"));
+    }
+    cur.as_number()
+        .unwrap_or_else(|| panic!("{path:?} not a number"))
+}
+
+fn status(v: &Value) -> &str {
+    v.get("status").and_then(Value::as_str).unwrap_or("?")
+}
+
+fn query(program: &str, eps: f64, principal: &str) -> String {
+    QueryPayload::new("data", program, &[(0.0, 49.0)])
+        .epsilon(eps)
+        .principal(principal)
+        .to_json()
+}
+
+fn answer_values(v: &Value) -> Vec<f64> {
+    v.get("answer")
+        .and_then(|a| a.get("values"))
+        .and_then(Value::as_array)
+        .expect("answer.values")
+        .iter()
+        .map(|x| x.as_number().expect("numeric value"))
+        .collect()
+}
+
+#[test]
+fn serve_plane_survives_sigkill_without_under_reporting() {
+    let dir = std::env::temp_dir().join(format!("gupt_serve_recover_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.csv");
+    let state = dir.join("state");
+    let rows: String = (0..400).map(|i| format!("{}\n", i % 50)).collect();
+    std::fs::write(&data, rows).unwrap();
+    let data = data.to_string_lossy().into_owned();
+    let state = state.to_string_lossy().into_owned();
+
+    // ---- Server #1: charge attributed queries, then SIGKILL mid-load.
+    let mut server = start_server(&data, &state);
+    let mut client = ServeClient::connect(&server.addr).expect("connect");
+
+    // alice: three fresh programs at ε 0.5 each.
+    for program in ["mean:0", "variance:0", "median:0"] {
+        let resp = client.request(&query(program, 0.5, "alice")).unwrap();
+        assert_eq!(status(&resp), "ok", "{resp:?}");
+    }
+    // A repeat replays from the answer cache at zero ε; remember the
+    // released values to compare after the restart.
+    let cached = client.request(&query("mean:0", 0.5, "alice")).unwrap();
+    assert_eq!(status(&cached), "ok");
+    let cached_values = answer_values(&cached);
+
+    // bob and carol spend on their own (distinct) queries.
+    let resp = client.request(&query("mean:0", 0.25, "bob")).unwrap();
+    assert_eq!(status(&resp), "ok");
+    let resp = client.request(&query("variance:0", 0.25, "carol")).unwrap();
+    assert_eq!(status(&resp), "ok");
+
+    // carol overruns her 0.4 quota → 429 and paused (pause_approval).
+    let refused = client.request(&query("median:0", 0.3, "carol")).unwrap();
+    assert_eq!(status(&refused), "quota_exhausted", "{refused:?}");
+    assert_eq!(refused.get("code").unwrap().as_number(), Some(429.0));
+    assert_eq!(
+        refused.get("error").unwrap().get("paused"),
+        Some(&Value::Bool(true))
+    );
+
+    // Operator approval over the wire via the real binary.
+    let cont = Command::new(bin())
+        .args([
+            "continue",
+            "--addr",
+            &server.addr,
+            "--dataset",
+            "data",
+            "--principal",
+            "carol",
+            "--grant",
+            "0.6",
+        ])
+        .output()
+        .expect("run continue");
+    assert!(
+        cont.status.success(),
+        "continue failed: {}",
+        String::from_utf8_lossy(&cont.stderr)
+    );
+    let resumed = client.request(&query("median:0", 0.3, "carol")).unwrap();
+    assert_eq!(status(&resumed), "ok", "{resumed:?}");
+
+    // Point-in-time books before the kill.
+    let stats = client.request(&stats_payload(Some("data"))).unwrap();
+    let alice_before = num(&stats, &["principals", "alice", "spent"]);
+    let bob_before = num(&stats, &["principals", "bob", "spent"]);
+    let carol_before = num(&stats, &["principals", "carol", "spent"]);
+    assert!((alice_before - 1.5).abs() < 1e-12, "{alice_before}");
+    assert!((bob_before - 0.25).abs() < 1e-12);
+    assert!((carol_before - 0.55).abs() < 1e-12);
+
+    // Pipelined burst: 30 fresh alice queries in flight, only 5 acked,
+    // then SIGKILL. Everything acked is durable (fsync always); the
+    // rest may or may not have landed — recovery must never report
+    // *less* than the acked floor.
+    let burst_eps: Vec<f64> = (1..=30).map(|i| i as f64 * 0.001).collect();
+    for eps in &burst_eps {
+        client.send(&query("mean:0", *eps, "alice")).unwrap();
+    }
+    let mut acked_eps = 0.0;
+    for _ in 0..5 {
+        let resp = client.recv().unwrap();
+        assert_eq!(status(&resp), "ok");
+        acked_eps += num(&resp, &["answer", "epsilon_spent"]);
+    }
+    server.child.kill().expect("SIGKILL server");
+    server.child.wait().expect("reap server");
+
+    // ---- Server #2 over the same state dir.
+    let mut server = start_server(&data, &state);
+    let mut client = ServeClient::connect(&server.addr).expect("reconnect");
+
+    let stats = client.request(&stats_payload(Some("data"))).unwrap();
+    let alice = num(&stats, &["principals", "alice", "spent"]);
+    let bob = num(&stats, &["principals", "bob", "spent"]);
+    let carol = num(&stats, &["principals", "carol", "spent"]);
+    let ledger_spent = num(&stats, &["ledger", "spent"]);
+    // Never under-report: at least everything acked before the kill.
+    assert!(
+        alice >= alice_before + acked_eps - 1e-9,
+        "alice recovered {alice}, acked floor {}",
+        alice_before + acked_eps
+    );
+    assert!((bob - bob_before).abs() < 1e-12, "bob {bob}");
+    assert!((carol - carol_before).abs() < 1e-12, "carol {carol}");
+    // Zero drift: the dataset ledger is exactly the sum of the books —
+    // every debit and its attribution are one atomic WAL record.
+    assert!(
+        (ledger_spent - (alice + bob + carol)).abs() < 1e-9,
+        "drift: ledger {ledger_spent} vs books {}",
+        alice + bob + carol
+    );
+
+    // The warm answer cache survived: the same query replays the same
+    // released values, bit for bit, at zero additional ε.
+    let replay = client.request(&query("mean:0", 0.5, "alice")).unwrap();
+    assert_eq!(status(&replay), "ok");
+    assert_eq!(answer_values(&replay), cached_values);
+    let stats = client.request(&stats_payload(Some("data"))).unwrap();
+    assert_eq!(num(&stats, &["principals", "alice", "spent"]), alice);
+
+    // carol's recovered spend (0.55) still exceeds her declared quota
+    // (0.4): operator grants are operational state, not durable — a
+    // fresh query is refused until a new approval.
+    let refused = client.request(&query("count", 0.1, "carol")).unwrap();
+    assert_eq!(status(&refused), "quota_exhausted", "{refused:?}");
+
+    // Clean shutdown path: the summary reaches stdout.
+    let resp = client.request("{\"v\":1,\"op\":\"shutdown\"}").unwrap();
+    assert_eq!(status(&resp), "ok");
+    let exit = server.child.wait().expect("reap server");
+    assert!(exit.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut server.stdout, &mut rest).unwrap();
+    assert!(rest.contains("server stopped"), "{rest}");
+    assert!(rest.contains("principal   : alice"), "{rest}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

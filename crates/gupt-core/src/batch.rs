@@ -54,6 +54,18 @@ impl GuptRuntime {
         queries: Vec<QuerySpec>,
         total_budget: Epsilon,
     ) -> Result<BatchAnswer, GuptError> {
+        self.run_batch_as(dataset, None, queries, total_budget)
+    }
+
+    /// Like [`GuptRuntime::run_batch`], attributing the batch's single
+    /// atomic debit to a registered principal's quota.
+    pub fn run_batch_as(
+        &self,
+        dataset: &str,
+        principal: Option<&str>,
+        queries: Vec<QuerySpec>,
+        total_budget: Epsilon,
+    ) -> Result<BatchAnswer, GuptError> {
         if queries.is_empty() {
             return Err(GuptError::InvalidSpec("empty query batch".into()));
         }
@@ -111,9 +123,13 @@ impl GuptRuntime {
         // behaviour), the sum of miss shares on a partial hit, and
         // nothing at all when every member replays from the cache.
         if misses == queries.len() {
-            self.charge_dataset(dataset, total_budget)?;
+            self.charge_dataset_as(dataset, principal, total_budget)?;
         } else if miss_total > 0.0 {
-            self.charge_dataset(dataset, Epsilon::new(miss_total).map_err(GuptError::Dp)?)?;
+            self.charge_dataset_as(
+                dataset,
+                principal,
+                Epsilon::new(miss_total).map_err(GuptError::Dp)?,
+            )?;
         }
         let mut answers = Vec::with_capacity(queries.len());
         let mut allocations = Vec::with_capacity(queries.len());
@@ -127,6 +143,7 @@ impl GuptRuntime {
                     allocations.push(share.value());
                     answers.push(self.run_with_charge(
                         dataset,
+                        None,
                         spec.epsilon(share),
                         ChargeMode::Precharged,
                         None,

@@ -28,12 +28,16 @@
 
 use crate::dataset::Dataset;
 use crate::error::GuptError;
-use crate::storage::{CacheRecord, Durability, LedgerStore, RecoveredLedger, StorageStats};
+use crate::principal::{ExhaustedPolicy, PrincipalState, PrincipalTable};
+use crate::storage::{
+    CacheRecord, Durability, LedgerStore, PrincipalBooks, RecoveredLedger, StorageStats,
+};
 use gupt_dp::{DpError, Epsilon, PrivacyLedger};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-/// A pending registration: dataset + lifetime budget + durability.
+/// A pending registration: dataset + lifetime budget + durability +
+/// principal quotas.
 ///
 /// Built with [`Dataset::builder`] and consumed by
 /// [`DatasetManager::add`] (or [`crate::GuptRuntimeBuilder::dataset`]).
@@ -42,6 +46,8 @@ pub struct DatasetRegistration {
     dataset: Dataset,
     budget: Option<Epsilon>,
     durability: Durability,
+    principals: Vec<(String, f64)>,
+    exhausted_policy: ExhaustedPolicy,
 }
 
 impl DatasetRegistration {
@@ -51,6 +57,8 @@ impl DatasetRegistration {
             dataset,
             budget: None,
             durability: Durability::Ephemeral,
+            principals: Vec::new(),
+            exhausted_policy: ExhaustedPolicy::default(),
         }
     }
 
@@ -63,6 +71,21 @@ impl DatasetRegistration {
     /// Sets how the ledger is persisted (default: ephemeral).
     pub fn durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Declares a principal with an ε quota carved from the dataset
+    /// budget. Call once per tenant; quotas are admission bookkeeping on
+    /// top of the lifetime ledger (see [`crate::principal`]).
+    pub fn principal(mut self, name: impl Into<String>, quota: f64) -> Self {
+        self.principals.push((name.into(), quota));
+        self
+    }
+
+    /// Sets the policy applied when a principal exhausts its quota
+    /// (default: [`ExhaustedPolicy::HardStop`]).
+    pub fn exhausted_policy(mut self, policy: ExhaustedPolicy) -> Self {
+        self.exhausted_policy = policy;
         self
     }
 }
@@ -107,6 +130,10 @@ pub struct DatasetEntry {
     /// recovery instead of replaying answers about data that no longer
     /// exists.
     epoch: u64,
+    /// Per-principal quota books. Always present; empty when the
+    /// registration declared no principals (then only unattributed
+    /// charges are possible).
+    principals: PrincipalTable,
 }
 
 impl DatasetEntry {
@@ -166,6 +193,18 @@ impl DatasetEntry {
         }
     }
 
+    /// The per-principal quota table (empty for datasets registered
+    /// without principals).
+    pub fn principals(&self) -> &PrincipalTable {
+        &self.principals
+    }
+
+    /// Point-in-time view of every principal's quota books, sorted by
+    /// name.
+    pub fn principal_states(&self) -> Vec<PrincipalState> {
+        self.principals.states()
+    }
+
     /// Atomically debits `eps`, writing ahead to the WAL first when the
     /// entry is durable.
     ///
@@ -176,6 +215,72 @@ impl DatasetEntry {
     /// before the in-memory debit (process death) is replayed at
     /// recovery — the books only ever err toward *more* spent.
     pub fn charge(&self, eps: Epsilon) -> Result<(), GuptError> {
+        self.charge_as(None, eps)
+    }
+
+    /// Like [`DatasetEntry::charge`], but optionally attributes the debit
+    /// to a registered principal.
+    ///
+    /// With a principal, the quota check and the dataset debit happen
+    /// under the principal-books lock, so a refused quota never touches
+    /// the dataset ledger and a granted charge commits to both books or
+    /// neither. Lock order is always principal books → store; the
+    /// unattributed path reads a books snapshot *before* taking the store
+    /// lock for the same reason.
+    pub fn charge_as(&self, principal: Option<&str>, eps: Epsilon) -> Result<(), GuptError> {
+        match principal {
+            Some(name) => self.principals.charge_with(name, eps.value(), |books| {
+                self.debit_dataset(name, eps, books)
+            }),
+            None => {
+                let books = self.principals.spent_books();
+                self.debit_dataset_unattributed(eps, &books)
+            }
+        }
+    }
+
+    /// Debits the dataset ledger for a principal-attributed charge. The
+    /// WAL record carries the attribution (tag `0x03`), so dataset debit
+    /// and principal debit are one physical record that recovery replays
+    /// into both books. `books` already includes the in-flight charge
+    /// (see [`PrincipalTable::charge_with`]) — by compaction time the
+    /// record is in the WAL, so the snapshot must count it.
+    fn debit_dataset(
+        &self,
+        principal: &str,
+        eps: Epsilon,
+        books: &BTreeMap<String, PrincipalBooks>,
+    ) -> Result<(), GuptError> {
+        match &self.store {
+            None => self.ledger.charge(eps).map_err(GuptError::Dp),
+            Some(store) => {
+                let mut store = store.lock().unwrap_or_else(|p| p.into_inner());
+                if !self.ledger.can_afford(eps) {
+                    return Err(GuptError::Dp(DpError::BudgetExhausted {
+                        requested: eps.value(),
+                        remaining: self.ledger.remaining(),
+                    }));
+                }
+                store.append_principal_charge(principal, eps.value())?;
+                self.ledger.charge(eps).map_err(GuptError::Dp)?;
+                store.maybe_compact(
+                    self.ledger.total(),
+                    self.ledger.spent(),
+                    self.ledger.query_count() as u64,
+                    books,
+                )
+            }
+        }
+    }
+
+    /// Debits the dataset ledger without attribution (plain tag `0x01`
+    /// WAL record). `books` is a pre-lock snapshot used only if this
+    /// charge triggers compaction.
+    fn debit_dataset_unattributed(
+        &self,
+        eps: Epsilon,
+        books: &BTreeMap<String, PrincipalBooks>,
+    ) -> Result<(), GuptError> {
         match &self.store {
             None => self.ledger.charge(eps).map_err(GuptError::Dp),
             Some(store) => {
@@ -192,6 +297,7 @@ impl DatasetEntry {
                     self.ledger.total(),
                     self.ledger.spent(),
                     self.ledger.query_count() as u64,
+                    books,
                 )
             }
         }
@@ -269,6 +375,24 @@ impl DatasetManager {
                 (ledger, Some(Mutex::new(store)), Some(recovered))
             }
         };
+        let principals = PrincipalTable::new(registration.exhausted_policy);
+        let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for (pname, quota) in &registration.principals {
+            if !seen.insert(pname.as_str()) {
+                return Err(GuptError::InvalidSpec(format!(
+                    "principal {pname:?} declared twice for dataset {name:?}"
+                )));
+            }
+            principals.register(pname, *quota)?;
+        }
+        // Recovered spend re-attaches to its principal even if the new
+        // registration no longer declares it: the history must never
+        // under-report, so undeclared recovered principals keep quota 0.
+        if let Some(rec) = &recovered {
+            for (pname, books) in &rec.principals {
+                principals.absorb_recovered(pname, books.spent, books.queries);
+            }
+        }
         let epoch = dataset_epoch(&registration.dataset);
         self.entries.insert(
             name,
@@ -278,6 +402,7 @@ impl DatasetManager {
                 store,
                 recovered,
                 epoch,
+                principals,
             },
         );
         Ok(())
@@ -499,5 +624,168 @@ mod tests {
         let entry = m.get("e").unwrap();
         assert!(entry.storage_stats().is_none());
         assert!(entry.recovery().is_none());
+    }
+
+    #[test]
+    fn principal_charges_debit_both_books() {
+        let mut m = DatasetManager::new();
+        m.add(
+            "d",
+            dataset(5)
+                .builder()
+                .budget(eps(2.0))
+                .principal("alice", 1.5)
+                .principal("bob", 0.5),
+        )
+        .unwrap();
+        let entry = m.get("d").unwrap();
+        entry.charge_as(Some("alice"), eps(0.5)).unwrap();
+        entry.charge_as(Some("bob"), eps(0.25)).unwrap();
+        let alice = entry.principals().state("alice").unwrap();
+        assert!((alice.spent - 0.5).abs() < 1e-12);
+        assert_eq!(alice.queries, 1);
+        assert!((entry.ledger().spent() - 0.75).abs() < 1e-12);
+        // Ledger spent equals the sum of principal debits: zero drift.
+        let total: f64 = entry.principal_states().iter().map(|s| s.spent).sum();
+        assert!((total - entry.ledger().spent()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quota_refusal_leaves_ledger_untouched() {
+        let mut m = DatasetManager::new();
+        m.add(
+            "d",
+            dataset(5)
+                .builder()
+                .budget(eps(10.0))
+                .principal("alice", 0.5),
+        )
+        .unwrap();
+        let entry = m.get("d").unwrap();
+        let err = entry.charge_as(Some("alice"), eps(1.0)).unwrap_err();
+        assert!(matches!(err, GuptError::QuotaExhausted { .. }));
+        assert_eq!(entry.ledger().spent(), 0.0);
+        let err = entry.charge_as(Some("mallory"), eps(0.1)).unwrap_err();
+        assert!(matches!(err, GuptError::UnknownPrincipal(_)));
+        assert_eq!(entry.ledger().spent(), 0.0);
+    }
+
+    #[test]
+    fn ledger_exhaustion_leaves_principal_books_untouched() {
+        let mut m = DatasetManager::new();
+        m.add(
+            "d",
+            dataset(5)
+                .builder()
+                .budget(eps(0.5))
+                .principal("alice", 5.0),
+        )
+        .unwrap();
+        let entry = m.get("d").unwrap();
+        // Quota admits it, but the dataset ledger cannot afford it: the
+        // failed dataset debit must not attribute to alice either.
+        let err = entry.charge_as(Some("alice"), eps(1.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            GuptError::Dp(DpError::BudgetExhausted { .. })
+        ));
+        let alice = entry.principals().state("alice").unwrap();
+        assert_eq!(alice.spent, 0.0);
+        assert_eq!(alice.queries, 0);
+    }
+
+    #[test]
+    fn duplicate_principal_declaration_rejected() {
+        let mut m = DatasetManager::new();
+        let err = m
+            .add(
+                "d",
+                dataset(5)
+                    .builder()
+                    .budget(eps(1.0))
+                    .principal("alice", 0.5)
+                    .principal("alice", 0.25),
+            )
+            .unwrap_err();
+        assert!(matches!(err, GuptError::InvalidSpec(_)));
+        assert!(err.to_string().contains("alice"));
+    }
+
+    #[test]
+    fn durable_principal_books_survive_restart() {
+        let dir = tmp_dir("principal_survive");
+        let durable = || Durability::Durable(StorageConfig::new(&dir).fsync(FsyncPolicy::Always));
+        let registration = |quota_bob: f64| {
+            dataset(5)
+                .builder()
+                .budget(eps(4.0))
+                .durability(durable())
+                .principal("alice", 2.0)
+                .principal("bob", quota_bob)
+        };
+        {
+            let mut m = DatasetManager::new();
+            m.add("d", registration(1.0)).unwrap();
+            let entry = m.get("d").unwrap();
+            entry.charge_as(Some("alice"), eps(0.5)).unwrap();
+            entry.charge_as(Some("alice"), eps(0.25)).unwrap();
+            entry.charge_as(Some("bob"), eps(0.125)).unwrap();
+            entry.charge(eps(0.0625)).unwrap(); // unattributed
+        }
+        let mut m = DatasetManager::new();
+        m.add("d", registration(1.0)).unwrap();
+        let entry = m.get("d").unwrap();
+        let state = entry.ledger_state();
+        assert!((state.spent - 0.9375).abs() < 1e-12);
+        assert_eq!(state.queries, 4);
+        let alice = entry.principals().state("alice").unwrap();
+        assert!((alice.spent - 0.75).abs() < 1e-12);
+        assert_eq!(alice.queries, 2);
+        assert_eq!(alice.quota, 2.0);
+        let bob = entry.principals().state("bob").unwrap();
+        assert!((bob.spent - 0.125).abs() < 1e-12);
+        // Recovered spend keeps counting against the quota after restart.
+        assert!(matches!(
+            entry.charge_as(Some("bob"), eps(0.9)).unwrap_err(),
+            GuptError::QuotaExhausted { .. }
+        ));
+    }
+
+    #[test]
+    fn recovered_principal_without_declaration_keeps_history() {
+        let dir = tmp_dir("principal_undeclared");
+        let durable = || Durability::Durable(StorageConfig::new(&dir).fsync(FsyncPolicy::Always));
+        {
+            let mut m = DatasetManager::new();
+            m.add(
+                "d",
+                dataset(5)
+                    .builder()
+                    .budget(eps(2.0))
+                    .durability(durable())
+                    .principal("alice", 1.0),
+            )
+            .unwrap();
+            m.get("d")
+                .unwrap()
+                .charge_as(Some("alice"), eps(0.5))
+                .unwrap();
+        }
+        // Restart without declaring alice: her spend survives with quota
+        // 0, so further charges are refused but history is intact.
+        let mut m = DatasetManager::new();
+        m.add(
+            "d",
+            dataset(5).builder().budget(eps(2.0)).durability(durable()),
+        )
+        .unwrap();
+        let entry = m.get("d").unwrap();
+        let alice = entry.principals().state("alice").unwrap();
+        assert!((alice.spent - 0.5).abs() < 1e-12);
+        assert_eq!(alice.quota, 0.0);
+        assert!(matches!(
+            entry.charge_as(Some("alice"), eps(0.1)).unwrap_err(),
+            GuptError::QuotaExhausted { .. }
+        ));
     }
 }

@@ -73,6 +73,24 @@ pub enum GuptError {
         /// What failed to validate.
         detail: String,
     },
+    /// A principal's per-tenant ε quota cannot cover the charge (or the
+    /// principal is paused awaiting an operator `continue`). The dataset
+    /// ledger was **not** debited.
+    QuotaExhausted {
+        /// The refused principal.
+        principal: String,
+        /// ε the charge asked for.
+        requested: f64,
+        /// Quota ε left for this principal (clamped at zero).
+        remaining: f64,
+        /// Whether the principal is now paused and needs an operator
+        /// `continue` before any further charge can succeed
+        /// ([`crate::principal::ExhaustedPolicy::PauseApproval`]).
+        paused: bool,
+    },
+    /// A charge was attributed to a principal the dataset has never
+    /// registered or recovered.
+    UnknownPrincipal(String),
 }
 
 impl fmt::Display for GuptError {
@@ -126,6 +144,25 @@ impl fmt::Display for GuptError {
                      inspect or remove the file to recover",
                     path.display()
                 )
+            }
+            GuptError::QuotaExhausted {
+                principal,
+                requested,
+                remaining,
+                paused,
+            } => {
+                write!(
+                    f,
+                    "principal {principal:?} quota exhausted: requested ε {requested}, \
+                     remaining ε {remaining}"
+                )?;
+                if *paused {
+                    write!(f, "; paused awaiting operator continue")?;
+                }
+                Ok(())
+            }
+            GuptError::UnknownPrincipal(name) => {
+                write!(f, "principal {name:?} is not registered for this dataset")
             }
         }
     }
@@ -195,6 +232,28 @@ mod tests {
                     detail: "checksum mismatch".into(),
                 },
                 "checksum",
+            ),
+            (
+                GuptError::QuotaExhausted {
+                    principal: "alice".into(),
+                    requested: 0.5,
+                    remaining: 0.25,
+                    paused: false,
+                },
+                "quota exhausted",
+            ),
+            (
+                GuptError::QuotaExhausted {
+                    principal: "alice".into(),
+                    requested: 0.5,
+                    remaining: 0.0,
+                    paused: true,
+                },
+                "awaiting operator continue",
+            ),
+            (
+                GuptError::UnknownPrincipal("mallory".into()),
+                "not registered",
             ),
         ];
         for (err, needle) in cases {

@@ -60,6 +60,7 @@ pub mod error;
 pub mod explain;
 pub mod output_range;
 pub mod prelude;
+pub mod principal;
 pub mod query;
 pub mod runtime;
 pub mod saf;
@@ -84,15 +85,16 @@ pub use error::GuptError;
 pub use explain::{BudgetSplit, QueryPlan};
 pub use gupt_sandbox::view::{BlockRows, BlockView, RowStore};
 pub use output_range::{RangeEstimation, RangeTranslator};
+pub use principal::{validate_principal_name, ExhaustedPolicy, PrincipalState, PrincipalTable};
 pub use query::{BlockSizeSpec, BudgetSpec, QuerySpec};
 pub use runtime::{GuptRuntime, GuptRuntimeBuilder, PrivateAnswer};
 pub use saf::{clamped_block_means, sample_and_aggregate};
 pub use service::{QueryService, ServiceConfig, ServiceStats};
 pub use storage::{
-    CacheRecord, Durability, FailingStore, FailureMode, FsyncPolicy, LedgerStore, RecoveredLedger,
-    StorageConfig, StorageStats,
+    CacheRecord, Durability, FailingStore, FailureMode, FsyncPolicy, LedgerStore, PrincipalBooks,
+    RecoveredLedger, StorageConfig, StorageStats,
 };
 pub use telemetry::{
-    BlockCounters, LedgerEvent, QueryTelemetry, Stage, StageTiming, TelemetryReport,
-    TELEMETRY_SCHEMA_VERSION,
+    BlockCounters, LedgerEvent, QueryTelemetry, ServeTelemetry, Stage, StageTiming,
+    TelemetryReport, TELEMETRY_SCHEMA_VERSION,
 };

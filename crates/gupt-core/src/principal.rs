@@ -1,0 +1,468 @@
+//! Multi-tenant principals: per-principal ε quotas carved from one
+//! dataset's lifetime ledger.
+//!
+//! The paper treats the privacy budget as a single per-dataset resource
+//! (§3.1, §5.2). A real deployment fronts that dataset for *many*
+//! analysts — tenants, teams, service accounts — and wants each one
+//! held to its own slice of the lifetime ε. A **principal** is such a
+//! tenant: a named account with a quota carved from the dataset ledger.
+//!
+//! Quotas are **admission bookkeeping layered on top of the privacy
+//! guarantee, never a substitute for it**: every attributed charge still
+//! debits the dataset's [`gupt_dp::PrivacyLedger`] first (fail-closed,
+//! WAL-journaled when durable), so the lifetime ε bound holds no matter
+//! what the quota table says. What the table adds is *attribution* —
+//! which principal spent what — and *refusal* once a principal's slice
+//! is gone, governed by an [`ExhaustedPolicy`]:
+//!
+//! - [`ExhaustedPolicy::HardStop`] refuses over-quota charges outright;
+//!   the principal can resume only if an operator grants more quota.
+//! - [`ExhaustedPolicy::PauseApproval`] additionally marks the principal
+//!   **paused**: every further charge is refused until an operator
+//!   explicitly continues it (optionally granting more quota) through
+//!   [`PrincipalTable::continue_principal`] — the serve plane exposes
+//!   this as its admin `continue` endpoint.
+//!
+//! Continuing a paused principal never resets its `spent` — ε already
+//! released is released forever; the operator can only raise the quota
+//! going forward. Attributed debits are journaled through the dataset's
+//! WAL (see [`crate::storage`]), so a killed server recovers every
+//! principal's books together with the dataset ledger, erring — like all
+//! recovery here — toward *more* spent, never less.
+
+use crate::error::GuptError;
+use crate::storage::PrincipalBooks;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// What happens when a charge would push a principal past its quota.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExhaustedPolicy {
+    /// Refuse the charge with [`GuptError::QuotaExhausted`]; later
+    /// charges that fit a raised quota succeed again without operator
+    /// action.
+    #[default]
+    HardStop,
+    /// Refuse the charge *and* pause the principal: every subsequent
+    /// charge is refused until an operator continues it (see
+    /// [`PrincipalTable::continue_principal`]).
+    PauseApproval,
+}
+
+/// Point-in-time books for one principal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrincipalState {
+    /// The principal's name.
+    pub name: String,
+    /// Quota carved from the dataset ledger (ε this principal may
+    /// spend).
+    pub quota: f64,
+    /// ε this principal has spent, including recovered spend. May
+    /// exceed `quota` after a conservative recovery or a quota
+    /// reduction — never reset.
+    pub spent: f64,
+    /// Successful attributed charges, including recovered ones.
+    pub queries: u64,
+    /// Whether the principal is paused awaiting an operator `continue`
+    /// (only set under [`ExhaustedPolicy::PauseApproval`]).
+    pub paused: bool,
+}
+
+impl PrincipalState {
+    /// Quota left (clamped at zero).
+    pub fn remaining(&self) -> f64 {
+        (self.quota - self.spent).max(0.0)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Books {
+    quota: f64,
+    spent: f64,
+    queries: u64,
+    paused: bool,
+}
+
+/// Validates a principal name: the name travels through the WAL and the
+/// wire protocol, so it is held to the same conservative alphabet as
+/// dataset file stems, plus `@` for service-account style names.
+pub fn validate_principal_name(name: &str) -> Result<(), GuptError> {
+    let ok = !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | '@'));
+    if ok {
+        Ok(())
+    } else {
+        Err(GuptError::InvalidSpec(format!(
+            "principal name {name:?} is invalid (1-128 ASCII letters, digits, '-', '_', '.', '@')"
+        )))
+    }
+}
+
+/// The per-dataset principal ledger: quotas, attributed spend and the
+/// pause flags, behind one mutex so a quota check and its debit are
+/// atomic against concurrent analysts.
+#[derive(Debug)]
+pub struct PrincipalTable {
+    policy: ExhaustedPolicy,
+    books: Mutex<BTreeMap<String, Books>>,
+}
+
+fn lock_books(
+    books: &Mutex<BTreeMap<String, Books>>,
+) -> std::sync::MutexGuard<'_, BTreeMap<String, Books>> {
+    books.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl PrincipalTable {
+    /// An empty table under `policy`.
+    pub fn new(policy: ExhaustedPolicy) -> Self {
+        PrincipalTable {
+            policy,
+            books: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The exhausted-budget policy in force.
+    pub fn policy(&self) -> ExhaustedPolicy {
+        self.policy
+    }
+
+    /// Registers `name` with `quota`. Re-registering a name already
+    /// present (e.g. one recovery seeded from the WAL) sets its quota;
+    /// spend and query counts are preserved.
+    pub fn register(&self, name: &str, quota: f64) -> Result<(), GuptError> {
+        validate_principal_name(name)?;
+        if !quota.is_finite() || quota < 0.0 {
+            return Err(GuptError::InvalidSpec(format!(
+                "principal {name:?} quota {quota} must be finite and non-negative"
+            )));
+        }
+        let mut books = lock_books(&self.books);
+        books.entry(name.to_string()).or_default().quota = quota;
+        Ok(())
+    }
+
+    /// Merges recovered spend into the table. Principals found in the
+    /// WAL but never (re-)registered keep a zero quota: their history is
+    /// preserved and every new charge is refused until an operator
+    /// grants quota — the never-under-report rule applied to tenants.
+    pub fn absorb_recovered(&self, name: &str, spent: f64, queries: u64) {
+        let mut books = lock_books(&self.books);
+        let entry = books.entry(name.to_string()).or_default();
+        entry.spent += spent.max(0.0);
+        entry.queries += queries;
+    }
+
+    /// Whether any principal is registered or recovered.
+    pub fn is_empty(&self) -> bool {
+        lock_books(&self.books).is_empty()
+    }
+
+    /// Snapshot of every principal's books, sorted by name.
+    pub fn states(&self) -> Vec<PrincipalState> {
+        lock_books(&self.books)
+            .iter()
+            .map(|(name, b)| PrincipalState {
+                name: name.clone(),
+                quota: b.quota,
+                spent: b.spent,
+                queries: b.queries,
+                paused: b.paused,
+            })
+            .collect()
+    }
+
+    /// One principal's books.
+    pub fn state(&self, name: &str) -> Result<PrincipalState, GuptError> {
+        lock_books(&self.books)
+            .get(name)
+            .map(|b| PrincipalState {
+                name: name.to_string(),
+                quota: b.quota,
+                spent: b.spent,
+                queries: b.queries,
+                paused: b.paused,
+            })
+            .ok_or_else(|| GuptError::UnknownPrincipal(name.to_string()))
+    }
+
+    /// Per-principal compacted books, for snapshot compaction during an
+    /// *unattributed* charge (never call while holding the books lock —
+    /// attributed charges get their books through
+    /// [`PrincipalTable::charge_with`]'s closure instead).
+    pub(crate) fn spent_books(&self) -> BTreeMap<String, PrincipalBooks> {
+        lock_books(&self.books)
+            .iter()
+            .map(|(name, b)| {
+                (
+                    name.clone(),
+                    PrincipalBooks {
+                        spent: b.spent,
+                        queries: b.queries,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Atomically: check `name`'s quota covers `eps`, run `debit` (the
+    /// dataset-ledger charge, WAL append included), and on its success
+    /// record the attributed spend. The books lock is held throughout so
+    /// two concurrent charges cannot both pass the same quota check.
+    ///
+    /// `debit` receives the books *as they will read once this charge
+    /// lands* — exactly what a WAL compaction triggered inside the debit
+    /// must persist, because the attributed record being compacted away
+    /// is already in the log by then. Lock order is books → store,
+    /// always.
+    ///
+    /// Refusals are typed: an unknown name is
+    /// [`GuptError::UnknownPrincipal`]; a paused or over-quota principal
+    /// is [`GuptError::QuotaExhausted`] (with `paused` reporting whether
+    /// an operator `continue` is now required). The quota check uses the
+    /// same one-ulp slop as [`gupt_dp::PrivacyLedger`] so a quota split
+    /// into equal shares can be fully consumed.
+    pub(crate) fn charge_with<F>(&self, name: &str, eps: f64, debit: F) -> Result<(), GuptError>
+    where
+        F: FnOnce(&BTreeMap<String, PrincipalBooks>) -> Result<(), GuptError>,
+    {
+        let mut books = lock_books(&self.books);
+        {
+            let entry = books
+                .get_mut(name)
+                .ok_or_else(|| GuptError::UnknownPrincipal(name.to_string()))?;
+            let remaining = (entry.quota - entry.spent).max(0.0);
+            if entry.paused {
+                return Err(GuptError::QuotaExhausted {
+                    principal: name.to_string(),
+                    requested: eps,
+                    remaining,
+                    paused: true,
+                });
+            }
+            if entry.spent + eps > entry.quota * (1.0 + 1e-12) {
+                let paused = self.policy == ExhaustedPolicy::PauseApproval;
+                entry.paused = paused;
+                return Err(GuptError::QuotaExhausted {
+                    principal: name.to_string(),
+                    requested: eps,
+                    remaining,
+                    paused,
+                });
+            }
+        }
+        let mut books_after: BTreeMap<String, PrincipalBooks> = books
+            .iter()
+            .map(|(n, b)| {
+                (
+                    n.clone(),
+                    PrincipalBooks {
+                        spent: b.spent,
+                        queries: b.queries,
+                    },
+                )
+            })
+            .collect();
+        {
+            let pending = books_after.get_mut(name).expect("checked above");
+            pending.spent += eps;
+            pending.queries += 1;
+        }
+        debit(&books_after)?;
+        let entry = books.get_mut(name).expect("checked above");
+        entry.spent += eps;
+        entry.queries += 1;
+        Ok(())
+    }
+
+    /// Operator `continue`: unpauses `name` and, when `grant` is given,
+    /// raises its quota by that much. Spend is never reset — released ε
+    /// is released forever; the grant only extends the forward
+    /// allowance. Returns the resulting books.
+    pub fn continue_principal(
+        &self,
+        name: &str,
+        grant: Option<f64>,
+    ) -> Result<PrincipalState, GuptError> {
+        if let Some(g) = grant {
+            if !g.is_finite() || g < 0.0 {
+                return Err(GuptError::InvalidSpec(format!(
+                    "continue grant {g} must be finite and non-negative"
+                )));
+            }
+        }
+        let mut books = lock_books(&self.books);
+        let entry = books
+            .get_mut(name)
+            .ok_or_else(|| GuptError::UnknownPrincipal(name.to_string()))?;
+        entry.paused = false;
+        if let Some(g) = grant {
+            entry.quota += g;
+        }
+        Ok(PrincipalState {
+            name: name.to_string(),
+            quota: entry.quota,
+            spent: entry.spent,
+            queries: entry.queries,
+            paused: entry.paused,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(policy: ExhaustedPolicy) -> PrincipalTable {
+        let t = PrincipalTable::new(policy);
+        t.register("alice", 1.0).unwrap();
+        t.register("bob", 0.5).unwrap();
+        t
+    }
+
+    #[test]
+    fn register_and_inspect() {
+        let t = table(ExhaustedPolicy::HardStop);
+        assert!(!t.is_empty());
+        let states = t.states();
+        assert_eq!(states.len(), 2);
+        assert_eq!(states[0].name, "alice");
+        assert_eq!(states[0].quota, 1.0);
+        assert_eq!(states[0].remaining(), 1.0);
+        assert!(!states[0].paused);
+        assert!(matches!(
+            t.state("mallory").unwrap_err(),
+            GuptError::UnknownPrincipal(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_names_and_quotas_rejected() {
+        let t = PrincipalTable::new(ExhaustedPolicy::HardStop);
+        for bad in ["", "a b", "ü", "a/b", &"x".repeat(129)] {
+            assert!(t.register(bad, 1.0).is_err(), "{bad:?} accepted");
+        }
+        assert!(t.register("ok", f64::NAN).is_err());
+        assert!(t.register("ok", -1.0).is_err());
+        assert!(t.register("svc@team.prod-1", 1.0).is_ok());
+    }
+
+    #[test]
+    fn charge_attributes_and_enforces_quota() {
+        let t = table(ExhaustedPolicy::HardStop);
+        t.charge_with("alice", 0.6, |_| Ok(())).unwrap();
+        let err = t.charge_with("alice", 0.6, |_| Ok(())).unwrap_err();
+        let GuptError::QuotaExhausted {
+            principal,
+            requested,
+            remaining,
+            paused,
+        } = err
+        else {
+            panic!("expected QuotaExhausted");
+        };
+        assert_eq!(principal, "alice");
+        assert_eq!(requested, 0.6);
+        assert!((remaining - 0.4).abs() < 1e-12);
+        assert!(!paused, "hard_stop never pauses");
+        // A charge that fits still succeeds after the refusal.
+        t.charge_with("alice", 0.4, |_| Ok(())).unwrap();
+        let state = t.state("alice").unwrap();
+        assert!((state.spent - 1.0).abs() < 1e-12);
+        assert_eq!(state.queries, 2);
+    }
+
+    #[test]
+    fn failed_debit_does_not_attribute() {
+        let t = table(ExhaustedPolicy::HardStop);
+        let err = t
+            .charge_with("bob", 0.1, |_| {
+                Err(GuptError::InvalidSpec("dataset said no".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, GuptError::InvalidSpec(_)));
+        let state = t.state("bob").unwrap();
+        assert_eq!(state.spent, 0.0);
+        assert_eq!(state.queries, 0);
+    }
+
+    #[test]
+    fn unknown_principal_refused() {
+        let t = table(ExhaustedPolicy::HardStop);
+        assert!(matches!(
+            t.charge_with("mallory", 0.1, |_| Ok(())).unwrap_err(),
+            GuptError::UnknownPrincipal(_)
+        ));
+    }
+
+    #[test]
+    fn pause_approval_pauses_until_continue() {
+        let t = table(ExhaustedPolicy::PauseApproval);
+        let err = t.charge_with("bob", 0.6, |_| Ok(())).unwrap_err();
+        assert!(matches!(
+            err,
+            GuptError::QuotaExhausted { paused: true, .. }
+        ));
+        // Even an affordable charge is refused while paused.
+        let err = t.charge_with("bob", 0.1, |_| Ok(())).unwrap_err();
+        assert!(matches!(
+            err,
+            GuptError::QuotaExhausted { paused: true, .. }
+        ));
+
+        let state = t.continue_principal("bob", Some(1.0)).unwrap();
+        assert!(!state.paused);
+        assert!((state.quota - 1.5).abs() < 1e-12);
+        t.charge_with("bob", 0.6, |_| Ok(())).unwrap();
+    }
+
+    #[test]
+    fn continue_never_resets_spend() {
+        let t = table(ExhaustedPolicy::PauseApproval);
+        t.charge_with("alice", 1.0, |_| Ok(())).unwrap();
+        let _ = t.charge_with("alice", 0.1, |_| Ok(())).unwrap_err();
+        let state = t.continue_principal("alice", None).unwrap();
+        assert_eq!(state.spent, 1.0, "spend survives continue");
+        // No grant: the next over-quota charge pauses again.
+        let err = t.charge_with("alice", 0.1, |_| Ok(())).unwrap_err();
+        assert!(matches!(
+            err,
+            GuptError::QuotaExhausted { paused: true, .. }
+        ));
+        assert!(t.continue_principal("alice", Some(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn recovered_spend_counts_against_quota() {
+        let t = PrincipalTable::new(ExhaustedPolicy::HardStop);
+        t.absorb_recovered("carol", 0.75, 3);
+        // Unregistered survivor: zero quota, history preserved.
+        let state = t.state("carol").unwrap();
+        assert_eq!(state.quota, 0.0);
+        assert_eq!(state.queries, 3);
+        assert!(matches!(
+            t.charge_with("carol", 0.1, |_| Ok(())).unwrap_err(),
+            GuptError::QuotaExhausted { .. }
+        ));
+        // Registration restores the quota without erasing the spend.
+        t.register("carol", 1.0).unwrap();
+        let state = t.state("carol").unwrap();
+        assert!((state.remaining() - 0.25).abs() < 1e-12);
+        t.charge_with("carol", 0.25, |_| Ok(())).unwrap();
+        assert!(t.charge_with("carol", 0.1, |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn split_quota_fully_consumable() {
+        let t = PrincipalTable::new(ExhaustedPolicy::HardStop);
+        t.register("d", 0.7).unwrap();
+        let share = 0.7 / 7.0;
+        for _ in 0..7 {
+            t.charge_with("d", share, |_| Ok(())).unwrap();
+        }
+        assert!(t.state("d").unwrap().remaining() < 1e-9);
+    }
+}

@@ -213,7 +213,8 @@ impl Default for GuptRuntimeBuilder {
 /// All query entry points take `&self`, so one runtime (or one
 /// `Arc<GuptRuntime>`) can serve many analysts concurrently; the
 /// per-dataset ledgers are the only serialization point. Randomness is
-/// derived per query — see [`GuptRuntime::next_query_rng`].
+/// derived per query from the base seed plus an atomic sequence
+/// counter (`next_query_rng`).
 pub struct GuptRuntime {
     manager: DatasetManager,
     computation: ComputationManager,
@@ -304,8 +305,48 @@ impl GuptRuntime {
     /// Atomically debits `eps` from a dataset's lifetime budget (used by
     /// batches to reserve their whole allocation in one charge). Durable
     /// datasets log the debit to their WAL before it is granted.
-    pub(crate) fn charge_dataset(&self, dataset: &str, eps: Epsilon) -> Result<(), GuptError> {
-        self.manager.get(dataset)?.charge(eps)
+    pub(crate) fn charge_dataset_as(
+        &self,
+        dataset: &str,
+        principal: Option<&str>,
+        eps: Epsilon,
+    ) -> Result<(), GuptError> {
+        self.manager.get(dataset)?.charge_as(principal, eps)
+    }
+
+    /// Per-principal quota books of a dataset, sorted by name. Empty for
+    /// datasets registered without principals.
+    pub fn principal_states(
+        &self,
+        dataset: &str,
+    ) -> Result<Vec<crate::principal::PrincipalState>, GuptError> {
+        Ok(self.manager.get(dataset)?.principal_states())
+    }
+
+    /// One principal's quota books on a dataset.
+    pub fn principal_state(
+        &self,
+        dataset: &str,
+        principal: &str,
+    ) -> Result<crate::principal::PrincipalState, GuptError> {
+        self.manager.get(dataset)?.principals().state(principal)
+    }
+
+    /// Operator override: un-pauses a principal stopped under
+    /// [`crate::principal::ExhaustedPolicy::PauseApproval`] and
+    /// optionally grants additional quota ε. Spent ε is never reset —
+    /// the privacy history is append-only; `continue` only raises the
+    /// admission ceiling.
+    pub fn continue_principal(
+        &self,
+        dataset: &str,
+        principal: &str,
+        grant: Option<f64>,
+    ) -> Result<crate::principal::PrincipalState, GuptError> {
+        self.manager
+            .get(dataset)?
+            .principals()
+            .continue_principal(principal, grant)
     }
 
     /// Point-in-time ledger state of a dataset (total, spent, remaining,
@@ -465,7 +506,20 @@ impl GuptRuntime {
     /// the shared chamber pool, with the dataset ledger as the only
     /// serialization point.
     pub fn run(&self, dataset: &str, spec: QuerySpec) -> Result<PrivateAnswer, GuptError> {
-        self.run_with_charge(dataset, spec, ChargeMode::Charge, None)
+        self.run_with_charge(dataset, None, spec, ChargeMode::Charge, None)
+    }
+
+    /// Like [`GuptRuntime::run`], attributing the ε debit to a
+    /// registered principal's quota. The quota check happens before the
+    /// ledger debit and fails closed without spending anything (see
+    /// [`crate::principal`]).
+    pub fn run_as(
+        &self,
+        dataset: &str,
+        principal: &str,
+        spec: QuerySpec,
+    ) -> Result<PrivateAnswer, GuptError> {
+        self.run_with_charge(dataset, Some(principal), spec, ChargeMode::Charge, None)
     }
 
     /// Like [`GuptRuntime::run`], with an optional execution cap the
@@ -474,15 +528,17 @@ impl GuptRuntime {
     pub(crate) fn run_capped(
         &self,
         dataset: &str,
+        principal: Option<&str>,
         spec: QuerySpec,
         exec_cap: Option<Duration>,
     ) -> Result<PrivateAnswer, GuptError> {
-        self.run_with_charge(dataset, spec, ChargeMode::Charge, exec_cap)
+        self.run_with_charge(dataset, principal, spec, ChargeMode::Charge, exec_cap)
     }
 
     pub(crate) fn run_with_charge(
         &self,
         dataset: &str,
+        principal: Option<&str>,
         spec: QuerySpec,
         charge: ChargeMode,
         exec_cap: Option<Duration>,
@@ -606,8 +662,9 @@ impl GuptRuntime {
         let stage_start = Instant::now();
         if charge == ChargeMode::Charge {
             // Durable datasets write the debit ahead to the WAL here,
-            // before any private row is read.
-            entry.charge(eps_total)?;
+            // before any private row is read. A principal-attributed
+            // charge also passes its quota gate first, or fails closed.
+            entry.charge_as(principal, eps_total)?;
         }
         tel.record_stage(Stage::LedgerCharge, stage_start.elapsed());
         tel.record_ledger(LedgerEvent {

@@ -182,7 +182,36 @@ impl QueryService {
     /// Runs one query under admission control with the config's default
     /// deadline. See [`GuptRuntime::run`] for query semantics.
     pub fn run(&self, dataset: &str, spec: QuerySpec) -> Result<PrivateAnswer, GuptError> {
-        self.run_deadline(dataset, spec, self.inner.config.default_deadline)
+        self.run_deadline(dataset, None, spec, self.inner.config.default_deadline)
+    }
+
+    /// Like [`QueryService::run`], attributing the ε debit to a
+    /// registered principal's quota (see [`crate::principal`]). The
+    /// quota gate sits *after* admission and *before* the ledger debit,
+    /// so a refused quota frees its slot without spending anything.
+    pub fn run_as(
+        &self,
+        dataset: &str,
+        principal: &str,
+        spec: QuerySpec,
+    ) -> Result<PrivateAnswer, GuptError> {
+        self.run_deadline(
+            dataset,
+            Some(principal),
+            spec,
+            self.inner.config.default_deadline,
+        )
+    }
+
+    /// [`QueryService::run_as`] with an explicit admission deadline.
+    pub fn run_as_with_deadline(
+        &self,
+        dataset: &str,
+        principal: &str,
+        spec: QuerySpec,
+        deadline: Duration,
+    ) -> Result<PrivateAnswer, GuptError> {
+        self.run_deadline(dataset, Some(principal), spec, Some(deadline))
     }
 
     /// Runs one query, waiting at most `deadline` for admission. The
@@ -200,12 +229,13 @@ impl QueryService {
         spec: QuerySpec,
         deadline: Duration,
     ) -> Result<PrivateAnswer, GuptError> {
-        self.run_deadline(dataset, spec, Some(deadline))
+        self.run_deadline(dataset, None, spec, Some(deadline))
     }
 
     fn run_deadline(
         &self,
         dataset: &str,
+        principal: Option<&str>,
         spec: QuerySpec,
         deadline: Option<Duration>,
     ) -> Result<PrivateAnswer, GuptError> {
@@ -220,7 +250,9 @@ impl QueryService {
                 .saturating_sub(start.elapsed())
                 .max(Duration::from_millis(1))
         });
-        self.inner.runtime.run_capped(dataset, spec, exec_cap)
+        self.inner
+            .runtime
+            .run_capped(dataset, principal, spec, exec_cap)
     }
 
     /// Runs a §5.2 budget-distributed batch as **one** admission unit:
@@ -234,6 +266,21 @@ impl QueryService {
     ) -> Result<BatchAnswer, GuptError> {
         let _permit = self.admit(self.inner.config.default_deadline)?;
         self.inner.runtime.run_batch(dataset, queries, total_budget)
+    }
+
+    /// [`QueryService::run_batch`] with the single atomic debit
+    /// attributed to a registered principal's quota.
+    pub fn run_batch_as(
+        &self,
+        dataset: &str,
+        principal: &str,
+        queries: Vec<QuerySpec>,
+        total_budget: Epsilon,
+    ) -> Result<BatchAnswer, GuptError> {
+        let _permit = self.admit(self.inner.config.default_deadline)?;
+        self.inner
+            .runtime
+            .run_batch_as(dataset, Some(principal), queries, total_budget)
     }
 
     /// Admission: take a slot now, wait bounded by queue capacity and

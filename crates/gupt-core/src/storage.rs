@@ -37,22 +37,31 @@
 //!   first byte is a tag. Tag `0x01` is a budget debit
 //!   (`[0x01][ε: f64 LE]`); tag `0x02` is a released-answer cache record
 //!   (see [`CacheRecord`]) journaled so a restarted process recovers its
-//!   warm answer cache together with the ledger.
-//! - `name.snap` — magic ‖ version ‖ total ‖ spent ‖ queries ‖ crc32,
-//!   written atomically (tmp + rename + fsync). Compaction folds only
-//!   *debits* into the snapshot and truncates the WAL, so cache records
-//!   older than the last compaction are dropped: the persisted cache
-//!   cold-starts, which costs latency on the next repeat query but never
-//!   privacy.
+//!   warm answer cache together with the ledger; tag `0x03` is a
+//!   **principal-attributed** debit
+//!   (`[0x03][ε: f64 LE][name_len: u16 LE][name]`) — one physical record
+//!   that is both a dataset debit *and* a per-tenant attribution, so a
+//!   charge and its attribution can never tear apart across a crash.
+//! - `name.snap` — magic ‖ version ‖ total ‖ spent ‖ queries ‖
+//!   per-principal books ‖ crc32, written atomically (tmp + rename +
+//!   fsync). Compaction folds *debits* (including attributed ones) into
+//!   the snapshot and truncates the WAL, so cache records older than the
+//!   last compaction are dropped: the persisted cache cold-starts, which
+//!   costs latency on the next repeat query but never privacy. Version-1
+//!   snapshots (no principal section) still decode, as an empty
+//!   principal table.
 
 use crate::error::GuptError;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-/// Schema version written into snapshot headers.
-pub const STORAGE_VERSION: u32 = 1;
+/// Schema version written into snapshot headers. v2 appended the
+/// per-principal books section; v1 snapshots (written before principals
+/// existed) are still accepted on read.
+pub const STORAGE_VERSION: u32 = 2;
 
 /// Magic prefix of snapshot files.
 const SNAP_MAGIC: &[u8; 8] = b"GUPTSNP1";
@@ -63,11 +72,17 @@ const TAG_DEBIT: u8 = 0x01;
 /// Record payload tag: a released answer journaled for the warm cache.
 const TAG_CACHE: u8 = 0x02;
 
+/// Record payload tag: a debit attributed to a named principal.
+const TAG_PRINCIPAL: u8 = 0x03;
+
 /// Frame header size: length (u32) + CRC (u32).
 const FRAME_HEADER: usize = 8;
 
 /// Debit payload size: tag + f64.
 const DEBIT_PAYLOAD: usize = 9;
+
+/// Fixed head of a principal-debit payload: tag ‖ ε ‖ name_len.
+const PRINCIPAL_PAYLOAD_HEAD: usize = 1 + 8 + 2;
 
 /// Fixed head of a cache payload: tag ‖ epoch ‖ fingerprint ‖ ε ‖
 /// block_size ‖ num_blocks ‖ γ ‖ completed ‖ timed_out ‖ panicked ‖
@@ -210,6 +225,39 @@ pub fn encode_record(eps: f64) -> Vec<u8> {
     frame(&payload)
 }
 
+/// Encodes one debit of `eps` attributed to `principal` as a framed WAL
+/// record. The single record carries both the dataset debit and its
+/// attribution, so recovery can never see one without the other.
+pub fn encode_principal_record(principal: &str, eps: f64) -> Vec<u8> {
+    let name = principal.as_bytes();
+    debug_assert!(name.len() <= u16::MAX as usize);
+    let mut payload = Vec::with_capacity(PRINCIPAL_PAYLOAD_HEAD + name.len());
+    payload.push(TAG_PRINCIPAL);
+    payload.extend_from_slice(&eps.to_le_bytes());
+    payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    payload.extend_from_slice(name);
+    frame(&payload)
+}
+
+/// Decodes a principal-debit payload (past the tag check). `None` means
+/// structurally malformed despite a valid CRC; the scanner stops, like
+/// any other corruption.
+fn decode_principal_payload(payload: &[u8]) -> Option<(String, f64)> {
+    if payload.len() < PRINCIPAL_PAYLOAD_HEAD {
+        return None;
+    }
+    let eps = f64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+    let name_len = u16::from_le_bytes(payload[9..11].try_into().expect("2 bytes")) as usize;
+    if payload.len() != PRINCIPAL_PAYLOAD_HEAD + name_len || name_len == 0 {
+        return None;
+    }
+    if !eps.is_finite() || eps < 0.0 {
+        return None;
+    }
+    let name = std::str::from_utf8(&payload[PRINCIPAL_PAYLOAD_HEAD..]).ok()?;
+    Some((name.to_string(), eps))
+}
+
 /// One released answer journaled to the WAL so the answer cache survives
 /// a restart. Everything [`crate::runtime::PrivateAnswer`] carries
 /// except telemetry (a replayed answer gets fresh hit-path telemetry),
@@ -323,8 +371,12 @@ fn decode_cache_payload(payload: &[u8]) -> Option<CacheRecord> {
 /// Result of scanning a WAL byte stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalScan {
-    /// Decoded debit values, in append order.
+    /// Decoded debit values, in append order. Principal-attributed
+    /// debits appear here **and** in `principal_debits`: every `0x03`
+    /// record is a dataset debit first.
     pub debits: Vec<f64>,
+    /// Decoded (principal, ε) attributions, in append order.
+    pub principal_debits: Vec<(String, f64)>,
     /// Decoded cache records, in append order.
     pub cache_records: Vec<CacheRecord>,
     /// Bytes of the longest valid record prefix.
@@ -346,6 +398,7 @@ pub struct WalScan {
 /// implementation wrote, and guessing past it could mask damage.
 pub fn scan_wal(bytes: &[u8]) -> WalScan {
     let mut debits = Vec::new();
+    let mut principal_debits = Vec::new();
     let mut cache_records = Vec::new();
     let mut pos = 0usize;
     while bytes.len() - pos >= FRAME_HEADER {
@@ -378,12 +431,20 @@ pub fn scan_wal(bytes: &[u8]) -> WalScan {
                 Some(rec) => cache_records.push(rec),
                 None => break,
             },
+            TAG_PRINCIPAL => match decode_principal_payload(payload) {
+                Some((name, eps)) => {
+                    debits.push(eps);
+                    principal_debits.push((name, eps));
+                }
+                None => break,
+            },
             _ => break,
         }
         pos += FRAME_HEADER + len;
     }
     WalScan {
         debits,
+        principal_debits,
         cache_records,
         valid_len: pos,
         truncated: pos < bytes.len(),
@@ -394,8 +455,17 @@ pub fn scan_wal(bytes: &[u8]) -> WalScan {
 // Snapshot.
 // ---------------------------------------------------------------------
 
+/// One principal's compacted books: attributed spend and charge count.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PrincipalBooks {
+    /// ε attributed to this principal.
+    pub spent: f64,
+    /// Attributed charges.
+    pub queries: u64,
+}
+
 /// Compacted ledger state: everything the WAL said up to the snapshot.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     /// Lifetime budget ε.
     pub total: f64,
@@ -403,50 +473,111 @@ pub struct Snapshot {
     pub spent: f64,
     /// Successful charges at snapshot time.
     pub queries: u64,
+    /// Per-principal books at snapshot time (v2; empty for v1 files).
+    /// Compaction must carry these or truncating the WAL would
+    /// under-report tenant spend.
+    pub principals: BTreeMap<String, PrincipalBooks>,
 }
 
 fn encode_snapshot(snap: &Snapshot) -> Vec<u8> {
-    let mut body = Vec::with_capacity(8 + 4 + 8 + 8 + 8 + 4);
+    let mut body = Vec::with_capacity(8 + 4 + 8 + 8 + 8 + 4 + 4);
     body.extend_from_slice(SNAP_MAGIC);
     body.extend_from_slice(&STORAGE_VERSION.to_le_bytes());
     body.extend_from_slice(&snap.total.to_le_bytes());
     body.extend_from_slice(&snap.spent.to_le_bytes());
     body.extend_from_slice(&snap.queries.to_le_bytes());
+    body.extend_from_slice(&(snap.principals.len() as u32).to_le_bytes());
+    for (name, books) in &snap.principals {
+        let bytes = name.as_bytes();
+        body.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        body.extend_from_slice(bytes);
+        body.extend_from_slice(&books.spent.to_le_bytes());
+        body.extend_from_slice(&books.queries.to_le_bytes());
+    }
     let crc = crc32(&body);
     body.extend_from_slice(&crc.to_le_bytes());
     body
 }
 
+/// Fixed prefix shared by both snapshot versions: magic ‖ version ‖
+/// total ‖ spent ‖ queries.
+const SNAP_HEAD: usize = 8 + 4 + 8 + 8 + 8;
+
 fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<Snapshot, GuptError> {
-    let corrupt = |detail: &str| GuptError::Corrupt {
+    let corrupt = |detail: String| GuptError::Corrupt {
         path: path.to_path_buf(),
-        detail: detail.to_string(),
+        detail,
     };
-    if bytes.len() != 8 + 4 + 8 + 8 + 8 + 4 {
-        return Err(corrupt("wrong snapshot length"));
+    if bytes.len() < SNAP_HEAD + 4 {
+        return Err(corrupt("wrong snapshot length".into()));
     }
     let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
     let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
     if crc32(body) != crc {
-        return Err(corrupt("snapshot checksum mismatch"));
+        return Err(corrupt("snapshot checksum mismatch".into()));
     }
     if &body[..8] != SNAP_MAGIC {
-        return Err(corrupt("bad snapshot magic"));
+        return Err(corrupt("bad snapshot magic".into()));
     }
     let version = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
-    if version != STORAGE_VERSION {
-        return Err(corrupt("unsupported snapshot version"));
+    if version != 1 && version != STORAGE_VERSION {
+        return Err(corrupt(format!("unsupported snapshot version {version}")));
     }
     let total = f64::from_le_bytes(body[12..20].try_into().expect("8 bytes"));
     let spent = f64::from_le_bytes(body[20..28].try_into().expect("8 bytes"));
     let queries = u64::from_le_bytes(body[28..36].try_into().expect("8 bytes"));
     if !total.is_finite() || !spent.is_finite() || spent < 0.0 {
-        return Err(corrupt("snapshot values out of range"));
+        return Err(corrupt("snapshot values out of range".into()));
+    }
+    let mut principals = BTreeMap::new();
+    if version == 1 {
+        if body.len() != SNAP_HEAD {
+            return Err(corrupt("wrong snapshot length".into()));
+        }
+    } else {
+        if body.len() < SNAP_HEAD + 4 {
+            return Err(corrupt("wrong snapshot length".into()));
+        }
+        let count = u32::from_le_bytes(body[SNAP_HEAD..SNAP_HEAD + 4].try_into().expect("4 bytes"));
+        let mut pos = SNAP_HEAD + 4;
+        for _ in 0..count {
+            if body.len() - pos < 2 {
+                return Err(corrupt("truncated principal section".into()));
+            }
+            let name_len =
+                u16::from_le_bytes(body[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+            pos += 2;
+            if body.len() - pos < name_len + 16 {
+                return Err(corrupt("truncated principal section".into()));
+            }
+            let name = std::str::from_utf8(&body[pos..pos + name_len])
+                .map_err(|_| corrupt("principal name is not UTF-8".into()))?
+                .to_string();
+            pos += name_len;
+            let p_spent = f64::from_le_bytes(body[pos..pos + 8].try_into().expect("8 bytes"));
+            let p_queries =
+                u64::from_le_bytes(body[pos + 8..pos + 16].try_into().expect("8 bytes"));
+            pos += 16;
+            if !p_spent.is_finite() || p_spent < 0.0 {
+                return Err(corrupt("principal spend out of range".into()));
+            }
+            principals.insert(
+                name,
+                PrincipalBooks {
+                    spent: p_spent,
+                    queries: p_queries,
+                },
+            );
+        }
+        if pos != body.len() {
+            return Err(corrupt("trailing bytes after principal section".into()));
+        }
     }
     Ok(Snapshot {
         total,
         spent,
         queries,
+        principals,
     })
 }
 
@@ -577,6 +708,11 @@ pub struct RecoveredLedger {
     /// cache. The runtime re-inserts only those whose `epoch` matches
     /// the dataset's current registration epoch.
     pub cache_records: Vec<CacheRecord>,
+    /// Per-principal books: snapshot section merged with every valid WAL
+    /// attribution. A principal appearing here but not in the new
+    /// registration keeps its spend (quota zero) — tenant books are
+    /// never under-reported either.
+    pub principals: BTreeMap<String, PrincipalBooks>,
     /// Wall-clock time the replay took.
     pub replay: Duration,
 }
@@ -638,19 +774,28 @@ pub fn recover(name: &str, config: &StorageConfig) -> Result<RecoveredLedger, Gu
     };
     let scan = scan_wal(&wal_bytes);
 
+    let had_snapshot = snapshot.is_some();
     let base = snapshot.unwrap_or(Snapshot {
         total: 0.0,
         spent: 0.0,
         queries: 0,
+        principals: BTreeMap::new(),
     });
+    let mut principals = base.principals;
+    for (name, eps) in &scan.principal_debits {
+        let books = principals.entry(name.clone()).or_default();
+        books.spent += eps;
+        books.queries += 1;
+    }
     Ok(RecoveredLedger {
         total: base.total,
         spent: base.spent + scan.debits.iter().sum::<f64>(),
         queries: base.queries + scan.debits.len() as u64,
         wal_records: (scan.debits.len() + scan.cache_records.len()) as u64,
         truncated_bytes: (wal_bytes.len() - scan.valid_len) as u64,
-        had_snapshot: snapshot.is_some(),
+        had_snapshot,
         cache_records: scan.cache_records,
+        principals,
         replay: start.elapsed(),
     })
 }
@@ -776,6 +921,15 @@ impl LedgerStore {
         self.append_framed(encode_record(eps))
     }
 
+    /// Durably logs one debit of `eps` attributed to `principal`, under
+    /// the same write protocol (and poisoning rules) as
+    /// [`LedgerStore::append_charge`]. One record carries both the
+    /// dataset debit and the attribution, so neither can survive a crash
+    /// without the other.
+    pub fn append_principal_charge(&mut self, principal: &str, eps: f64) -> Result<(), GuptError> {
+        self.append_framed(encode_principal_record(principal, eps))
+    }
+
     /// Durably journals one released answer for the warm cache, under
     /// the same write protocol as [`LedgerStore::append_charge`]: any
     /// failure poisons the store, because bytes of unknown extent at the
@@ -815,12 +969,21 @@ impl LedgerStore {
     /// Compacts WAL → snapshot once the log is long enough.
     ///
     /// `total` / `spent` / `queries` are the ledger's books *including*
-    /// every debit already appended. The snapshot is written atomically
-    /// (tmp + rename + fsync) before the WAL is truncated; a crash
-    /// between the two leaves the WAL records double-counted on recovery
-    /// — a bounded over-report, never an under-report. Compaction
-    /// failures poison the store (fail closed) like append failures.
-    pub fn maybe_compact(&mut self, total: f64, spent: f64, queries: u64) -> Result<(), GuptError> {
+    /// every debit already appended, and `principals` the per-tenant
+    /// books at the same point — the snapshot must carry them because
+    /// truncating the WAL drops the `0x03` attribution records. The
+    /// snapshot is written atomically (tmp + rename + fsync) before the
+    /// WAL is truncated; a crash between the two leaves the WAL records
+    /// double-counted on recovery — a bounded over-report, never an
+    /// under-report. Compaction failures poison the store (fail closed)
+    /// like append failures.
+    pub fn maybe_compact(
+        &mut self,
+        total: f64,
+        spent: f64,
+        queries: u64,
+        principals: &BTreeMap<String, PrincipalBooks>,
+    ) -> Result<(), GuptError> {
         if self.stats.poisoned || self.wal_records < self.compact_after {
             return Ok(());
         }
@@ -828,6 +991,7 @@ impl LedgerStore {
             total,
             spent,
             queries,
+            principals: principals.clone(),
         }) {
             self.stats.poisoned = true;
             return Err(e);
@@ -961,6 +1125,7 @@ mod tests {
             total: 5.0,
             spent: 3.25,
             queries: 17,
+            principals: BTreeMap::new(),
         };
         let mut bytes = encode_snapshot(&snap);
         let p = Path::new("x.snap");
@@ -970,6 +1135,66 @@ mod tests {
             decode_snapshot(&bytes, p).unwrap_err(),
             GuptError::Corrupt { .. }
         ));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_principal_books() {
+        let mut principals = BTreeMap::new();
+        principals.insert(
+            "alice".to_string(),
+            PrincipalBooks {
+                spent: 1.25,
+                queries: 5,
+            },
+        );
+        principals.insert(
+            "svc@batch".to_string(),
+            PrincipalBooks {
+                spent: 0.0,
+                queries: 0,
+            },
+        );
+        let snap = Snapshot {
+            total: 5.0,
+            spent: 3.25,
+            queries: 17,
+            principals,
+        };
+        let bytes = encode_snapshot(&snap);
+        assert_eq!(decode_snapshot(&bytes, Path::new("x.snap")).unwrap(), snap);
+    }
+
+    #[test]
+    fn v1_snapshot_still_decodes() {
+        // Hand-build the 40-byte v1 layout a pre-principal release wrote.
+        let mut body = Vec::new();
+        body.extend_from_slice(SNAP_MAGIC);
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&5.0f64.to_le_bytes());
+        body.extend_from_slice(&2.5f64.to_le_bytes());
+        body.extend_from_slice(&9u64.to_le_bytes());
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        let snap = decode_snapshot(&body, Path::new("x.snap")).unwrap();
+        assert_eq!((snap.total, snap.spent, snap.queries), (5.0, 2.5, 9));
+        assert!(snap.principals.is_empty());
+    }
+
+    #[test]
+    fn unknown_snapshot_version_rejected_with_detail() {
+        let mut body = Vec::new();
+        body.extend_from_slice(SNAP_MAGIC);
+        body.extend_from_slice(&7u32.to_le_bytes());
+        body.extend_from_slice(&5.0f64.to_le_bytes());
+        body.extend_from_slice(&2.5f64.to_le_bytes());
+        body.extend_from_slice(&9u64.to_le_bytes());
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        let err = decode_snapshot(&body, Path::new("x.snap")).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported snapshot version 7"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -984,7 +1209,9 @@ mod tests {
         for i in 0..5u64 {
             store.append_charge(0.5).unwrap();
             spent += 0.5;
-            store.maybe_compact(10.0, spent, i + 1).unwrap();
+            store
+                .maybe_compact(10.0, spent, i + 1, &BTreeMap::new())
+                .unwrap();
         }
         let stats = store.stats();
         assert_eq!(stats.records_written, 5);
@@ -1179,12 +1406,116 @@ mod tests {
         store.append_cache_record(&sample_cache_record(5)).unwrap();
         // 2 physical records reach the threshold; compaction folds the
         // debit into the snapshot and truncates the cache record away.
-        store.maybe_compact(10.0, 0.5, 1).unwrap();
+        store.maybe_compact(10.0, 0.5, 1, &BTreeMap::new()).unwrap();
         drop(store);
         let recovered = recover("d", &config).unwrap();
         assert!((recovered.spent - 0.5).abs() < 1e-12);
         assert_eq!(recovered.queries, 1);
         assert!(recovered.cache_records.is_empty(), "cache cold-starts");
+    }
+
+    #[test]
+    fn principal_record_roundtrip() {
+        let mut image = encode_principal_record("alice", 0.5);
+        image.extend_from_slice(&encode_record(0.25));
+        image.extend_from_slice(&encode_principal_record("svc@batch", 0.125));
+        let scan = scan_wal(&image);
+        // Principal debits are dataset debits too.
+        assert_eq!(scan.debits, vec![0.5, 0.25, 0.125]);
+        assert_eq!(
+            scan.principal_debits,
+            vec![("alice".to_string(), 0.5), ("svc@batch".to_string(), 0.125)]
+        );
+        assert!(!scan.truncated);
+    }
+
+    #[test]
+    fn malformed_principal_record_stops_scan() {
+        // CRC-valid payload whose name_len disagrees with the byte count.
+        let good = encode_principal_record("alice", 0.5);
+        let mut payload = good[FRAME_HEADER..].to_vec();
+        payload[9] = payload[9].wrapping_add(1); // name_len += 1
+        let mut image = encode_record(0.25);
+        image.extend_from_slice(&frame(&payload));
+        image.extend_from_slice(&encode_record(0.125));
+        let scan = scan_wal(&image);
+        assert_eq!(scan.debits, vec![0.25]);
+        assert!(scan.principal_debits.is_empty());
+        assert!(scan.truncated);
+
+        // Empty names and non-UTF-8 names are likewise malformed.
+        let empty = {
+            let mut p = vec![TAG_PRINCIPAL];
+            p.extend_from_slice(&0.5f64.to_le_bytes());
+            p.extend_from_slice(&0u16.to_le_bytes());
+            frame(&p)
+        };
+        assert!(scan_wal(&empty).truncated);
+        let bad_utf8 = {
+            let mut p = vec![TAG_PRINCIPAL];
+            p.extend_from_slice(&0.5f64.to_le_bytes());
+            p.extend_from_slice(&2u16.to_le_bytes());
+            p.extend_from_slice(&[0xFF, 0xFE]);
+            frame(&p)
+        };
+        assert!(scan_wal(&bad_utf8).truncated);
+    }
+
+    #[test]
+    fn store_appends_principal_charges_and_recovers_books() {
+        let dir = tmp_dir("principal_records");
+        let config = StorageConfig::new(&dir).fsync(FsyncPolicy::Always);
+        let (mut store, _) = LedgerStore::open("d", &config).unwrap();
+        store.append_principal_charge("alice", 0.5).unwrap();
+        store.append_charge(0.25).unwrap();
+        store.append_principal_charge("alice", 0.125).unwrap();
+        store.append_principal_charge("bob", 0.0625).unwrap();
+        drop(store);
+        let recovered = recover("d", &config).unwrap();
+        assert!((recovered.spent - 0.9375).abs() < 1e-12);
+        assert_eq!(recovered.queries, 4);
+        let alice = recovered.principals.get("alice").unwrap();
+        assert!((alice.spent - 0.625).abs() < 1e-12);
+        assert_eq!(alice.queries, 2);
+        assert_eq!(recovered.principals.get("bob").unwrap().queries, 1);
+    }
+
+    #[test]
+    fn compaction_preserves_principal_books() {
+        let dir = tmp_dir("principal_compaction");
+        let config = StorageConfig::new(&dir)
+            .fsync(FsyncPolicy::Always)
+            .compact_after(2);
+        let (mut store, _) = LedgerStore::open("d", &config).unwrap();
+        store.append_principal_charge("alice", 0.5).unwrap();
+        store.append_principal_charge("bob", 0.25).unwrap();
+        let mut books = BTreeMap::new();
+        books.insert(
+            "alice".to_string(),
+            PrincipalBooks {
+                spent: 0.5,
+                queries: 1,
+            },
+        );
+        books.insert(
+            "bob".to_string(),
+            PrincipalBooks {
+                spent: 0.25,
+                queries: 1,
+            },
+        );
+        store.maybe_compact(10.0, 0.75, 2, &books).unwrap();
+        // Post-compaction, more attributed spend lands in the WAL.
+        store.append_principal_charge("alice", 0.125).unwrap();
+        drop(store);
+        let recovered = recover("d", &config).unwrap();
+        assert!(recovered.had_snapshot);
+        assert!((recovered.spent - 0.875).abs() < 1e-12);
+        assert_eq!(recovered.queries, 3);
+        let alice = recovered.principals.get("alice").unwrap();
+        assert!((alice.spent - 0.625).abs() < 1e-12, "snapshot + WAL merge");
+        assert_eq!(alice.queries, 2);
+        assert!((recovered.principals.get("bob").unwrap().spent - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -33,8 +33,11 @@ use crate::computation_manager::ExecutionSummary;
 /// v2 added the zero-copy data-plane counters `views_served` and
 /// `bytes_materialized` to the `blocks` object. v3 added the `cache`
 /// object (answer-cache hits / misses / ε recycled / evictions /
-/// recovered entries / occupancy).
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 3;
+/// recovered entries / occupancy). v4 added the optional `serve` object
+/// (network serve-plane counters: accepted / refused / in-flight,
+/// per-principal ε spent, p50/p99 latency) — present only on reports
+/// emitted by a serve plane.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 4;
 
 /// The six pipeline stages of one GUPT query (Algorithm 1, §3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -134,6 +137,50 @@ pub struct LedgerEvent {
     pub remaining_budget: f64,
 }
 
+/// Serve-plane counters attached to telemetry emitted by a network
+/// front door (schema v4 `serve` object). Per-query reports from a bare
+/// runtime never carry one.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeTelemetry {
+    /// Requests the serve plane accepted for execution.
+    pub accepted: u64,
+    /// Requests refused (overload, deadline, quota, bad request…).
+    pub refused: u64,
+    /// Requests executing at snapshot time.
+    pub in_flight: usize,
+    /// ε spent per principal, sorted by name. Principal names are
+    /// validated ASCII (`[A-Za-z0-9._@-]`), so they embed in JSON
+    /// without escaping.
+    pub principals: Vec<(String, f64)>,
+    /// Median end-to-end request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end request latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+impl ServeTelemetry {
+    /// Renders the schema-v4 `serve` object (the value only, no key).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str(&format!(
+            "{{\"accepted\":{},\"refused\":{},\"in_flight\":{},\"principals\":{{",
+            self.accepted, self.refused, self.in_flight
+        ));
+        for (i, (name, spent)) in self.principals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{}", json_f64(*spent)));
+        }
+        out.push_str(&format!(
+            "}},\"p50_ms\":{},\"p99_ms\":{}}}",
+            json_f64(self.p50_ms),
+            json_f64(self.p99_ms)
+        ));
+        out
+    }
+}
+
 /// The finished, immutable telemetry of one query.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TelemetryReport {
@@ -150,6 +197,9 @@ pub struct TelemetryReport {
     /// finished (a cache *hit* reports with empty `stages` — nothing but
     /// the lookup ran).
     pub cache: CacheStats,
+    /// Serve-plane counters, attached only by a network front door
+    /// (`None` on reports from a bare runtime).
+    pub serve: Option<ServeTelemetry>,
     /// End-to-end wall clock of the query.
     pub total: Duration,
 }
@@ -172,8 +222,10 @@ impl TelemetryReport {
     /// `worker_utilization`/`views_served`/`bytes_materialized`),
     /// `clamp_hits` (array, one count per output
     /// dimension), `ledger` (`epsilon_requested`/`epsilon_charged`/
-    /// `remaining_budget`) and `cache` (`hits`/`misses`/`epsilon_saved`/
-    /// `evictions`/`recovered_entries`/`entries`/`capacity`). Non-finite
+    /// `remaining_budget`), `cache` (`hits`/`misses`/`epsilon_saved`/
+    /// `evictions`/`recovered_entries`/`entries`/`capacity`) and — when
+    /// the report came from a serve plane — `serve` (`accepted`/
+    /// `refused`/`in_flight`/`principals`/`p50_ms`/`p99_ms`). Non-finite
     /// floats render as `null`.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
@@ -220,7 +272,7 @@ impl TelemetryReport {
         out.push_str(&format!(
             ",\"cache\":{{\"hits\":{},\"misses\":{},\"epsilon_saved\":{},\
              \"evictions\":{},\"recovered_entries\":{},\"entries\":{},\
-             \"capacity\":{}}}}}",
+             \"capacity\":{}}}",
             self.cache.hits,
             self.cache.misses,
             json_f64(self.cache.epsilon_saved),
@@ -229,6 +281,11 @@ impl TelemetryReport {
             self.cache.entries,
             self.cache.capacity
         ));
+        if let Some(serve) = &self.serve {
+            out.push_str(",\"serve\":");
+            out.push_str(&serve.to_json());
+        }
+        out.push('}');
         out
     }
 }
@@ -441,6 +498,7 @@ impl QueryTelemetry {
             clamp_hits: self.clamp_hits,
             ledger: self.ledger,
             cache: self.cache,
+            serve: None,
             total,
         })
     }
@@ -553,7 +611,7 @@ mod tests {
         let json = sample_report().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         for key in [
-            "\"schema_version\":3",
+            "\"schema_version\":4",
             "\"total_ms\":",
             "\"stages\":{",
             "\"blocks\":{",
@@ -580,6 +638,39 @@ mod tests {
         for s in Stage::ALL {
             assert!(json.contains(&format!("\"{}_ms\":", s.key())), "{json}");
         }
+    }
+
+    #[test]
+    fn serve_object_absent_on_bare_runtime_reports() {
+        let json = sample_report().to_json();
+        assert!(!json.contains("\"serve\""), "{json}");
+    }
+
+    #[test]
+    fn serve_object_renders_when_attached() {
+        let mut report = sample_report();
+        report.serve = Some(ServeTelemetry {
+            accepted: 1900,
+            refused: 100,
+            in_flight: 7,
+            principals: vec![("alice".into(), 1.25), ("svc@batch".into(), 0.5)],
+            p50_ms: 3.5,
+            p99_ms: 42.0,
+        });
+        let json = report.to_json();
+        for key in [
+            "\"serve\":{",
+            "\"accepted\":1900",
+            "\"refused\":100",
+            "\"in_flight\":7",
+            "\"principals\":{\"alice\":1.25,\"svc@batch\":0.5}",
+            "\"p50_ms\":3.5",
+            "\"p99_ms\":42",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The serve object nests inside the report's closing brace.
+        assert!(json.ends_with("}}"), "{json}");
     }
 
     #[test]

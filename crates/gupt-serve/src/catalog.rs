@@ -1,0 +1,202 @@
+//! The serve plane's analyst-program registry.
+//!
+//! Network clients cannot ship closures, so — exactly as the paper's
+//! computation manager runs *registered* binaries — the serve plane
+//! resolves a program *spec string* (`mean:0`, `median:2`,
+//! `variance:0`, `count`, `histogram:0:10`) into an executable
+//! [`BlockProgram`] with a stable identity. Stable identities make
+//! every wire query fingerprintable, so repeated requests replay from
+//! the answer cache at zero additional ε.
+
+use gupt_dp::OutputRange;
+use gupt_ml::histogram::Histogram;
+use gupt_ml::stats;
+use gupt_sandbox::{BlockProgram, BlockView, ClosureProgram};
+use std::sync::Arc;
+
+/// A wire query's program resolved against its declared ranges: the
+/// executable program plus the per-dimension clamp ranges Algorithm 1
+/// uses.
+pub struct WireProgram {
+    /// The executable block program (named, hence cacheable).
+    pub program: Arc<dyn BlockProgram>,
+    /// Clamp range per output dimension.
+    pub ranges: Vec<OutputRange>,
+}
+
+/// Resolves a program spec against the request's `[lo, hi]` ranges.
+///
+/// Scalar programs take one range per output dimension (or a single
+/// range broadcast across all dimensions). `histogram:COL:BINS` takes
+/// exactly one range — the *value* range to bucket over — and clamps
+/// each released bucket fraction to `[0, 1]`.
+pub fn resolve(spec: &str, ranges: &[(f64, f64)]) -> Result<WireProgram, String> {
+    if ranges.is_empty() {
+        return Err("at least one [lo, hi] range is required".to_string());
+    }
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or_default();
+    let params: Vec<&str> = parts.collect();
+    match name {
+        "mean" | "median" | "variance" => {
+            let col = one_column(spec, &params)?;
+            let program: Arc<dyn BlockProgram> = match name {
+                "mean" => Arc::new(
+                    ClosureProgram::new(1, move |b: &BlockView| vec![stats::mean(&column(b, col))])
+                        .named(format!("mean:{col}")),
+                ),
+                "median" => Arc::new(
+                    ClosureProgram::new(1, move |b: &BlockView| {
+                        vec![stats::median(&column(b, col))]
+                    })
+                    .named(format!("median:{col}")),
+                ),
+                _ => Arc::new(
+                    ClosureProgram::new(1, move |b: &BlockView| {
+                        vec![stats::variance(&column(b, col))]
+                    })
+                    .named(format!("variance:{col}")),
+                ),
+            };
+            Ok(WireProgram {
+                program,
+                ranges: output_ranges(ranges, 1)?,
+            })
+        }
+        "count" => {
+            if !params.is_empty() {
+                return Err(format!("bad program spec {spec:?}; usage: count"));
+            }
+            Ok(WireProgram {
+                program: Arc::new(
+                    ClosureProgram::new(1, |b: &BlockView| vec![b.len() as f64]).named("count"),
+                ),
+                ranges: output_ranges(ranges, 1)?,
+            })
+        }
+        "histogram" => {
+            let usage = "histogram:COL:BINS with one [lo, hi] value range";
+            if params.len() != 2 {
+                return Err(format!("bad program spec {spec:?}; usage: {usage}"));
+            }
+            let col: usize = params[0]
+                .parse()
+                .map_err(|_| format!("bad program spec {spec:?}; usage: {usage}"))?;
+            let bins: usize = params[1]
+                .parse()
+                .map_err(|_| format!("bad program spec {spec:?}; usage: {usage}"))?;
+            if bins == 0 {
+                return Err(format!("bad program spec {spec:?}; usage: {usage}"));
+            }
+            if ranges.len() != 1 {
+                return Err(format!(
+                    "histogram takes exactly one [lo, hi] value range, got {}",
+                    ranges.len()
+                ));
+            }
+            let (lo, hi) = ranges[0];
+            let unit = OutputRange::new(0.0, 1.0).expect("unit range is valid");
+            Ok(WireProgram {
+                program: Arc::new(
+                    ClosureProgram::new(bins, move |b: &BlockView| {
+                        Histogram::build(&column(b, col), lo, hi, bins).fractions()
+                    })
+                    .named(format!("histogram:{col}:{bins}:{lo}:{hi}")),
+                ),
+                ranges: vec![unit; bins],
+            })
+        }
+        other => Err(format!(
+            "unknown program {other:?}; available: mean:COL, median:COL, \
+             variance:COL, count, histogram:COL:BINS"
+        )),
+    }
+}
+
+fn output_ranges(ranges: &[(f64, f64)], dim: usize) -> Result<Vec<OutputRange>, String> {
+    let build = |&(lo, hi): &(f64, f64)| {
+        OutputRange::new(lo, hi).map_err(|e| format!("invalid range [{lo}, {hi}]: {e}"))
+    };
+    if ranges.len() == dim {
+        ranges.iter().map(build).collect()
+    } else if ranges.len() == 1 {
+        let r = build(&ranges[0])?;
+        Ok(vec![r; dim])
+    } else {
+        Err(format!(
+            "expected {dim} ranges (or 1 to broadcast), got {}",
+            ranges.len()
+        ))
+    }
+}
+
+fn one_column(spec: &str, params: &[&str]) -> Result<usize, String> {
+    if params.len() != 1 {
+        return Err(format!("bad program spec {spec:?}; usage: {spec}:COL"));
+    }
+    params[0]
+        .parse()
+        .map_err(|_| format!("bad program spec {spec:?}: column must be an integer"))
+}
+
+fn column(block: &BlockView, col: usize) -> Vec<f64> {
+    block
+        .iter()
+        .map(|r| r.get(col).copied().unwrap_or(0.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupt_sandbox::Scratch;
+
+    fn rows() -> BlockView {
+        BlockView::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]])
+    }
+
+    #[test]
+    fn scalar_programs_resolve_and_run() {
+        let mut s = Scratch::new();
+        let wp = resolve("mean:1", &[(0.0, 50.0)]).unwrap();
+        assert_eq!(wp.program.run(&rows(), &mut s), vec![20.0]);
+        assert_eq!(wp.ranges.len(), 1);
+        let wp = resolve("count", &[(0.0, 10.0)]).unwrap();
+        assert_eq!(wp.program.run(&rows(), &mut s), vec![3.0]);
+    }
+
+    #[test]
+    fn histogram_buckets_value_range_and_clamps_unit() {
+        let wp = resolve("histogram:0:3", &[(0.0, 3.0)]).unwrap();
+        let mut s = Scratch::new();
+        let fr = wp.program.run(&rows(), &mut s);
+        assert_eq!(fr, vec![0.0, 1.0 / 3.0, 2.0 / 3.0]);
+        assert_eq!(wp.ranges.len(), 3);
+        assert_eq!(wp.ranges[0].lo(), 0.0);
+        assert_eq!(wp.ranges[0].hi(), 1.0);
+    }
+
+    #[test]
+    fn identity_distinguishes_histogram_value_ranges() {
+        // Same col/bins over different value ranges must not share a
+        // cache identity — the released buckets mean different things.
+        let a = resolve("histogram:0:3", &[(0.0, 3.0)]).unwrap();
+        let b = resolve("histogram:0:3", &[(0.0, 30.0)]).unwrap();
+        assert_ne!(a.program.name(), b.program.name());
+    }
+
+    #[test]
+    fn bad_specs_rejected_with_detail() {
+        assert!(resolve("mean", &[(0.0, 1.0)]).is_err());
+        assert!(resolve("mean:x", &[(0.0, 1.0)]).is_err());
+        assert!(resolve("histogram:0:0", &[(0.0, 1.0)]).is_err());
+        assert!(resolve("nope:1", &[(0.0, 1.0)]).is_err());
+        assert!(resolve("mean:0", &[]).is_err());
+        // Two ranges for a one-dimensional program.
+        assert!(resolve("mean:0", &[(0.0, 1.0), (0.0, 2.0)]).is_err());
+        let err = resolve("histogram:0:2", &[(0.0, 1.0), (0.0, 2.0)])
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+    }
+}

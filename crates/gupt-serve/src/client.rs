@@ -1,0 +1,224 @@
+//! Blocking client for the GUPT wire protocol.
+//!
+//! [`ServeClient`] owns one TCP connection and speaks
+//! [`crate::protocol`] frames. `send`/`recv` are split so callers can
+//! *pipeline*: write many request frames back-to-back, then drain the
+//! responses in order — the load bench uses this to keep thousands of
+//! queries in flight over a handful of sockets. [`QueryPayload`] builds
+//! well-formed request JSON so callers don't hand-assemble strings.
+
+use crate::json::{self, Value};
+use crate::protocol::{json_f64, json_string, read_frame, write_frame, PROTOCOL_VERSION};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One blocking connection to a GUPT server.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient { stream })
+    }
+
+    /// Writes one request frame without waiting for the response
+    /// (pipelining). Pair with an equal number of [`recv`](Self::recv)
+    /// calls — responses come back in request order.
+    pub fn send(&mut self, payload: &str) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Reads and parses the next response frame.
+    pub fn recv(&mut self) -> io::Result<Value> {
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        json::parse(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, payload: &str) -> io::Result<Value> {
+        self.send(payload)?;
+        self.recv()
+    }
+
+    /// Sends one request and returns the raw response JSON text.
+    pub fn request_text(&mut self, payload: &str) -> io::Result<String> {
+        self.send(payload)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+}
+
+/// Builder for a `query` request payload.
+#[derive(Debug, Clone)]
+pub struct QueryPayload {
+    dataset: String,
+    program: String,
+    ranges: Vec<(f64, f64)>,
+    epsilon: Option<f64>,
+    principal: Option<String>,
+    block_size: Option<usize>,
+    deadline_ms: Option<u64>,
+}
+
+impl QueryPayload {
+    /// A query for `program` over `dataset` with the given output
+    /// ranges (`[lo, hi]` per dimension; one range broadcasts).
+    pub fn new(
+        dataset: impl Into<String>,
+        program: impl Into<String>,
+        ranges: &[(f64, f64)],
+    ) -> Self {
+        QueryPayload {
+            dataset: dataset.into(),
+            program: program.into(),
+            ranges: ranges.to_vec(),
+            epsilon: None,
+            principal: None,
+            block_size: None,
+            deadline_ms: None,
+        }
+    }
+
+    /// Per-query ε (server defaults to 1.0 when omitted).
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        self.epsilon = Some(eps);
+        self
+    }
+
+    /// Attributes the query to a registered principal.
+    pub fn principal(mut self, name: impl Into<String>) -> Self {
+        self.principal = Some(name.into());
+        self
+    }
+
+    /// Fixed block size override.
+    pub fn block_size(mut self, rows: usize) -> Self {
+        self.block_size = Some(rows);
+        self
+    }
+
+    /// Queueing deadline in milliseconds.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Renders the request JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"op\":\"query\",\"dataset\":{},\"program\":{}",
+            json_string(&self.dataset),
+            json_string(&self.program)
+        );
+        out.push_str(",\"ranges\":[");
+        for (i, (lo, hi)) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", json_f64(*lo), json_f64(*hi)));
+        }
+        out.push(']');
+        if let Some(eps) = self.epsilon {
+            out.push_str(&format!(",\"epsilon\":{}", json_f64(eps)));
+        }
+        if let Some(p) = &self.principal {
+            out.push_str(&format!(",\"principal\":{}", json_string(p)));
+        }
+        if let Some(b) = self.block_size {
+            out.push_str(&format!(",\"block_size\":{b}"));
+        }
+        if let Some(ms) = self.deadline_ms {
+            out.push_str(&format!(",\"deadline_ms\":{ms}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// `stats` request payload, optionally scoped to one dataset.
+pub fn stats_payload(dataset: Option<&str>) -> String {
+    match dataset {
+        Some(d) => format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"op\":\"stats\",\"dataset\":{}}}",
+            json_string(d)
+        ),
+        None => format!("{{\"v\":{PROTOCOL_VERSION},\"op\":\"stats\"}}"),
+    }
+}
+
+/// `recover` request payload.
+pub fn recover_payload(dataset: &str) -> String {
+    format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"op\":\"recover\",\"dataset\":{}}}",
+        json_string(dataset)
+    )
+}
+
+/// `continue` request payload: unpauses `principal` on `dataset`,
+/// optionally raising its quota by `grant` ε.
+pub fn continue_payload(dataset: &str, principal: &str, grant: Option<f64>) -> String {
+    let mut out = format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"op\":\"continue\",\"dataset\":{},\"principal\":{}",
+        json_string(dataset),
+        json_string(principal)
+    );
+    if let Some(g) = grant {
+        out.push_str(&format!(",\"grant\":{}", json_f64(g)));
+    }
+    out.push('}');
+    out
+}
+
+/// `shutdown` request payload.
+pub fn shutdown_payload() -> String {
+    format!("{{\"v\":{PROTOCOL_VERSION},\"op\":\"shutdown\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_payload_renders_every_field() {
+        let p = QueryPayload::new("census", "histogram:2:4", &[(0.0, 100.0)])
+            .epsilon(0.25)
+            .principal("alice")
+            .block_size(64)
+            .deadline_ms(500)
+            .to_json();
+        let doc = json::parse(&p).unwrap();
+        assert_eq!(doc.get("v").unwrap().as_number(), Some(1.0));
+        assert_eq!(doc.get("op").unwrap().as_str(), Some("query"));
+        assert_eq!(doc.get("dataset").unwrap().as_str(), Some("census"));
+        assert_eq!(doc.get("program").unwrap().as_str(), Some("histogram:2:4"));
+        assert_eq!(doc.get("epsilon").unwrap().as_number(), Some(0.25));
+        assert_eq!(doc.get("principal").unwrap().as_str(), Some("alice"));
+        assert_eq!(doc.get("block_size").unwrap().as_number(), Some(64.0));
+        assert_eq!(doc.get("deadline_ms").unwrap().as_number(), Some(500.0));
+        let ranges = doc.get("ranges").unwrap().as_array().unwrap();
+        assert_eq!(ranges.len(), 1);
+    }
+
+    #[test]
+    fn minimal_payloads_parse() {
+        for p in [
+            QueryPayload::new("d", "count", &[(0.0, 1.0)]).to_json(),
+            stats_payload(None),
+            stats_payload(Some("d")),
+            recover_payload("d"),
+            continue_payload("d", "alice", None),
+            continue_payload("d", "alice", Some(0.5)),
+            shutdown_payload(),
+        ] {
+            json::parse(&p).unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+}

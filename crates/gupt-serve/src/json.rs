@@ -1,12 +1,13 @@
-//! A minimal JSON reader for run-report validation.
+//! A minimal JSON reader shared by the wire protocol and the bench
+//! harness.
 //!
-//! The bench harness emits run-reports as JSON (see
-//! [`crate::report::RunReport`]) and CI validates them with
-//! `validate_run_report` — which must parse JSON without external
-//! crates, since the build environment is offline. This is a small
-//! recursive-descent parser covering exactly the JSON the harness
-//! writes: objects, arrays, strings with the standard escapes, finite
-//! numbers, booleans and null.
+//! The serve plane speaks JSON over length-prefixed frames (see
+//! [`crate::protocol`]) and the bench harness validates its JSON
+//! run-reports with `validate_run_report` — both must parse JSON
+//! without external crates, since the build environment is offline.
+//! This is a small recursive-descent parser covering exactly the JSON
+//! those producers write: objects, arrays, strings with the standard
+//! escapes, finite numbers, booleans and null.
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -1,0 +1,44 @@
+//! The GUPT network serve plane.
+//!
+//! The paper positions GUPT as a hosted service (§3.1): analysts submit
+//! programs to a computation manager that owns the data, the privacy
+//! budget and the sandbox. Everything below this crate enforces that
+//! story in-process; this crate is the *front door* — a threaded TCP
+//! server speaking a versioned, length-prefixed JSON protocol over the
+//! admission-controlled [`gupt_core::QueryService`].
+//!
+//! Layout:
+//!
+//! - [`protocol`] — frame format, request/response schema, and the
+//!   mapping from typed [`gupt_core::GuptError`]s to wire status codes
+//!   (`503 overloaded` with a retry hint, `408 deadline_exceeded`,
+//!   `429 quota_exhausted`, …).
+//! - [`catalog`] — resolves wire program specs (`mean:0`,
+//!   `histogram:2:10`, …) into sandboxed block programs with stable
+//!   cache identities.
+//! - [`server`] — the listener, worker pool and request dispatch.
+//! - [`client`] — a blocking, pipelining-capable client plus request
+//!   payload builders.
+//! - [`json`] — the dependency-free JSON reader shared with the bench
+//!   harness.
+//!
+//! Multi-tenancy: datasets register named *principals* with ε quotas
+//! carved from the dataset ledger ([`gupt_core::principal`]); the wire
+//! `principal` field attributes each query, quota refusals surface as
+//! `429`, and — under the `pause_approval` policy — an operator
+//! `continue` request resumes a paused principal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{
+    continue_payload, recover_payload, shutdown_payload, stats_payload, QueryPayload, ServeClient,
+};
+pub use protocol::{Status, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use server::{GuptServer, ServeConfig, ServeStats, ServerHandle};

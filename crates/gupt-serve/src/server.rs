@@ -1,0 +1,808 @@
+//! The threaded TCP front door over [`QueryService`].
+//!
+//! GUPT is a *service* (paper §3.1): analysts hand programs to a
+//! computation manager that enforces the privacy budget for them. This
+//! module is that network boundary — a [`GuptServer`] owns a TCP
+//! listener, a bounded connection queue and a pool of worker threads;
+//! every worker speaks the [`crate::protocol`] frame format and
+//! dispatches into the shared [`QueryService`], so the admission
+//! controller, the privacy ledger and the per-principal quota books
+//! remain the single source of truth no matter how many sockets are
+//! open.
+//!
+//! Shutdown is cooperative: the handle (or a `shutdown` request) sets a
+//! flag, wakes the acceptor with a loopback connection and severs every
+//! active socket, so no thread is ever blocked past shutdown.
+
+use crate::catalog;
+use crate::json::{self, Value};
+use crate::protocol::{
+    bad_request, error_response, json_f64, json_string, read_frame, write_frame, PROTOCOL_VERSION,
+};
+use gupt_core::telemetry::ServeTelemetry;
+use gupt_core::{PrivateAnswer, QueryService, QuerySpec, RangeEstimation};
+use gupt_dp::Epsilon;
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads handling connections. Each worker owns one
+    /// connection at a time; concurrency *inside* a connection is
+    /// bounded by the service's admission controller, not by this.
+    pub workers: usize,
+}
+
+impl ServeConfig {
+    /// `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        ServeConfig {
+            workers: workers.max(1),
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    /// Eight connection workers.
+    fn default() -> Self {
+        ServeConfig::new(8)
+    }
+}
+
+/// Shared state between the acceptor, the workers and the handle.
+struct ServeState {
+    service: QueryService,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    in_flight: AtomicUsize,
+    latencies_us: Mutex<Vec<u64>>,
+    active: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn_id: AtomicU64,
+}
+
+/// Point-in-time serve-plane counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered with status `ok`.
+    pub accepted: u64,
+    /// Requests answered with any error status.
+    pub refused: u64,
+    /// Requests being processed right now.
+    pub in_flight: usize,
+}
+
+/// The serve plane: a running listener plus its worker pool.
+pub struct GuptServer;
+
+/// Handle to a running server: address, observability, shutdown.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    state: Arc<ServeState>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl GuptServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the acceptor and worker threads over `service`.
+    pub fn bind(
+        service: QueryService,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(ServeState {
+            service,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            accepted: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+            active: Mutex::new(Vec::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = thread::spawn(move || {
+            for stream in listener.incoming() {
+                if acceptor_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let mut queue = lock(&acceptor_state.queue);
+                queue.push_back(stream);
+                drop(queue);
+                acceptor_state.queue_cv.notify_one();
+            }
+        });
+
+        let workers = (0..config.workers)
+            .map(|_| {
+                let st = Arc::clone(&state);
+                thread::spawn(move || worker_loop(&st))
+            })
+            .collect();
+
+        Ok(ServerHandle {
+            addr: local,
+            state,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time serve counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            accepted: self.state.accepted.load(Ordering::Relaxed),
+            refused: self.state.refused.load(Ordering::Relaxed),
+            in_flight: self.state.in_flight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Builds the schema-v4 `serve` telemetry object: counters,
+    /// per-principal ε spent aggregated across datasets, and latency
+    /// percentiles over every request answered so far.
+    pub fn serve_telemetry(&self) -> ServeTelemetry {
+        serve_telemetry(&self.state)
+    }
+
+    /// Whether shutdown has been requested (by the handle or a
+    /// `shutdown` request on the wire).
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until shutdown is requested, then tears the server down.
+    pub fn wait(mut self) {
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(25));
+        }
+        self.teardown();
+    }
+
+    /// Requests shutdown and joins every thread.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue_cv.notify_all();
+        // Unblock the acceptor with a loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        // Sever active connections so no worker stays blocked in a read.
+        for (_, stream) in lock(&self.state.active).iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.teardown();
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn worker_loop(state: &Arc<ServeState>) {
+    loop {
+        let stream = {
+            let mut queue = lock(&state.queue);
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = state
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        match stream {
+            None => return,
+            Some(stream) => handle_connection(state, stream),
+        }
+    }
+}
+
+fn handle_connection(state: &Arc<ServeState>, mut stream: TcpStream) {
+    let conn_id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        lock(&state.active).push((conn_id, clone));
+    }
+    let _ = stream.set_nodelay(true);
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // clean EOF between frames
+            Err(_) => {
+                // Torn or oversized frame: tell the peer if it is still
+                // listening, then drop the connection — framing is lost.
+                let _ = write_frame(&mut stream, &bad_request("malformed frame"));
+                break;
+            }
+        };
+        state.in_flight.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let (response, ok, request_shutdown) = handle_request(state, &payload);
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        state.in_flight.fetch_sub(1, Ordering::Relaxed);
+        lock(&state.latencies_us).push(elapsed_us);
+        if ok {
+            state.accepted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.refused.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_frame(&mut stream, &response).is_err() {
+            break;
+        }
+        if request_shutdown {
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.queue_cv.notify_all();
+            break;
+        }
+    }
+    lock(&state.active).retain(|(id, _)| *id != conn_id);
+}
+
+/// Dispatches one request payload. Returns `(response, ok, shutdown)`.
+fn handle_request(state: &Arc<ServeState>, payload: &str) -> (String, bool, bool) {
+    let doc = match json::parse(payload) {
+        Ok(v) => v,
+        Err(e) => return (bad_request(&format!("invalid JSON: {e}")), false, false),
+    };
+    let version = doc.get("v").and_then(Value::as_number);
+    if version != Some(PROTOCOL_VERSION as f64) {
+        return (
+            bad_request(&format!(
+                "unsupported protocol version {:?}; this server speaks v{PROTOCOL_VERSION}",
+                version
+            )),
+            false,
+            false,
+        );
+    }
+    let Some(op) = doc.get("op").and_then(Value::as_str) else {
+        return (bad_request("missing \"op\""), false, false);
+    };
+    match op {
+        "query" => match op_query(state, &doc) {
+            Ok(body) => (body, true, false),
+            Err(resp) => (resp, false, false),
+        },
+        "batch" => match op_batch(state, &doc) {
+            Ok(body) => (body, true, false),
+            Err(resp) => (resp, false, false),
+        },
+        "stats" => match op_stats(state, &doc) {
+            Ok(body) => (body, true, false),
+            Err(resp) => (resp, false, false),
+        },
+        "recover" => match op_recover(state, &doc) {
+            Ok(body) => (body, true, false),
+            Err(resp) => (resp, false, false),
+        },
+        "continue" => match op_continue(state, &doc) {
+            Ok(body) => (body, true, false),
+            Err(resp) => (resp, false, false),
+        },
+        "shutdown" => (
+            format!("{{\"v\":{PROTOCOL_VERSION},\"status\":\"ok\",\"code\":200}}"),
+            true,
+            true,
+        ),
+        other => (bad_request(&format!("unknown op {other:?}")), false, false),
+    }
+}
+
+fn require_str<'a>(doc: &'a Value, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string \"{key}\""))
+}
+
+fn require_f64(doc: &Value, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Value::as_number)
+        .ok_or_else(|| format!("missing or non-numeric \"{key}\""))
+}
+
+/// Parses `"ranges": [[lo, hi], ...]`.
+fn parse_ranges(doc: &Value) -> Result<Vec<(f64, f64)>, String> {
+    let arr = doc
+        .get("ranges")
+        .and_then(Value::as_array)
+        .ok_or("missing \"ranges\" array of [lo, hi] pairs")?;
+    arr.iter()
+        .map(|pair| {
+            let pair = pair.as_array().ok_or("each range must be [lo, hi]")?;
+            if pair.len() != 2 {
+                return Err("each range must be [lo, hi]".to_string());
+            }
+            let lo = pair[0].as_number().ok_or("range bounds must be numbers")?;
+            let hi = pair[1].as_number().ok_or("range bounds must be numbers")?;
+            Ok((lo, hi))
+        })
+        .collect()
+}
+
+/// Builds the runnable spec for one wire query object.
+fn build_spec(doc: &Value) -> Result<QuerySpec, String> {
+    let program = require_str(doc, "program")?;
+    let ranges = parse_ranges(doc)?;
+    let wire = catalog::resolve(program, &ranges)?;
+    let identity = wire.program.name().to_string();
+    let mut spec = QuerySpec::from_program(wire.program)
+        .with_identity(identity, 1)
+        .range_estimation(RangeEstimation::Tight(wire.ranges));
+    if let Some(eps) = doc.get("epsilon").and_then(Value::as_number) {
+        spec = spec.epsilon(Epsilon::new(eps).map_err(|e| format!("invalid epsilon: {e}"))?);
+    }
+    if let Some(b) = doc.get("block_size").and_then(Value::as_number) {
+        if b < 1.0 || b.fract() != 0.0 {
+            return Err("block_size must be a positive integer".to_string());
+        }
+        spec = spec.fixed_block_size(b as usize);
+    }
+    Ok(spec)
+}
+
+fn op_query(state: &Arc<ServeState>, doc: &Value) -> Result<String, String> {
+    let dataset = require_str(doc, "dataset").map_err(|m| bad_request(&m))?;
+    let principal = doc.get("principal").and_then(Value::as_str);
+    let deadline = match doc.get("deadline_ms").and_then(Value::as_number) {
+        Some(ms) if ms >= 0.0 => Some(Duration::from_millis(ms as u64)),
+        Some(_) => return Err(bad_request("deadline_ms must be non-negative")),
+        None => None,
+    };
+    let spec = build_spec(doc).map_err(|m| bad_request(&m))?;
+    let service = &state.service;
+    let result = match (principal, deadline) {
+        (Some(p), Some(d)) => service.run_as_with_deadline(dataset, p, spec, d),
+        (Some(p), None) => service.run_as(dataset, p, spec),
+        (None, Some(d)) => service.run_with_deadline(dataset, spec, d),
+        (None, None) => service.run(dataset, spec),
+    };
+    match result {
+        Ok(answer) => Ok(format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"status\":\"ok\",\"code\":200,\"answer\":{}}}",
+            answer_json(&answer)
+        )),
+        Err(e) => Err(error_response(&e)),
+    }
+}
+
+fn op_batch(state: &Arc<ServeState>, doc: &Value) -> Result<String, String> {
+    let dataset = require_str(doc, "dataset").map_err(|m| bad_request(&m))?;
+    let principal = doc.get("principal").and_then(Value::as_str);
+    let total = require_f64(doc, "total_epsilon").map_err(|m| bad_request(&m))?;
+    let total =
+        Epsilon::new(total).map_err(|e| bad_request(&format!("invalid total_epsilon: {e}")))?;
+    let members = doc
+        .get("queries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad_request("missing \"queries\" array"))?;
+    if members.is_empty() {
+        return Err(bad_request("empty \"queries\" array"));
+    }
+    let mut specs = Vec::with_capacity(members.len());
+    for m in members {
+        specs.push(build_spec(m).map_err(|m| bad_request(&m))?);
+    }
+    let result = match principal {
+        Some(p) => state.service.run_batch_as(dataset, p, specs, total),
+        None => state.service.run_batch(dataset, specs, total),
+    };
+    match result {
+        Ok(batch) => {
+            let answers: Vec<String> = batch.answers.iter().map(answer_json).collect();
+            let allocations: Vec<String> = batch.allocations.iter().map(|a| json_f64(*a)).collect();
+            Ok(format!(
+                "{{\"v\":{PROTOCOL_VERSION},\"status\":\"ok\",\"code\":200,\
+                 \"answers\":[{}],\"allocations\":[{}]}}",
+                answers.join(","),
+                allocations.join(",")
+            ))
+        }
+        Err(e) => Err(error_response(&e)),
+    }
+}
+
+fn op_stats(state: &Arc<ServeState>, doc: &Value) -> Result<String, String> {
+    let runtime = state.service.runtime();
+    let service = state.service.stats();
+    let cache = state.service.cache_stats();
+    let serve = serve_telemetry(state);
+    let mut out = format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"status\":\"ok\",\"code\":200,\"serve\":{}",
+        serve.to_json()
+    );
+    out.push_str(&format!(
+        ",\"service\":{{\"in_flight\":{},\"queued\":{},\"admitted\":{},\
+         \"rejected_overloaded\":{},\"rejected_deadline\":{}}}",
+        service.in_flight,
+        service.queued,
+        service.admitted,
+        service.rejected_overloaded,
+        service.rejected_deadline
+    ));
+    out.push_str(&format!(
+        ",\"cache\":{{\"hits\":{},\"misses\":{},\"epsilon_saved\":{}}}",
+        cache.hits,
+        cache.misses,
+        json_f64(cache.epsilon_saved)
+    ));
+    if let Some(dataset) = doc.get("dataset").and_then(Value::as_str) {
+        let ledger = runtime
+            .ledger_state(dataset)
+            .map_err(|e| error_response(&e))?;
+        out.push_str(&format!(
+            ",\"ledger\":{{\"total\":{},\"spent\":{},\"remaining\":{},\
+             \"queries\":{},\"durable\":{}}}",
+            json_f64(ledger.total),
+            json_f64(ledger.spent),
+            json_f64(ledger.remaining),
+            ledger.queries,
+            ledger.durable
+        ));
+        let principals = runtime
+            .principal_states(dataset)
+            .map_err(|e| error_response(&e))?;
+        out.push_str(",\"principals\":{");
+        for (i, p) in principals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(&p.name), principal_json(p)));
+        }
+        out.push('}');
+    }
+    out.push('}');
+    Ok(out)
+}
+
+fn op_recover(state: &Arc<ServeState>, doc: &Value) -> Result<String, String> {
+    let dataset = require_str(doc, "dataset").map_err(|m| bad_request(&m))?;
+    let runtime = state.service.runtime();
+    let recovery = runtime
+        .recovery_info(dataset)
+        .map_err(|e| error_response(&e))?;
+    match recovery {
+        None => Ok(format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"status\":\"ok\",\"code\":200,\"recovery\":null}}"
+        )),
+        Some(rec) => {
+            let mut principals = String::new();
+            for (i, (name, books)) in rec.principals.iter().enumerate() {
+                if i > 0 {
+                    principals.push(',');
+                }
+                principals.push_str(&format!(
+                    "{}:{{\"spent\":{},\"queries\":{}}}",
+                    json_string(name),
+                    json_f64(books.spent),
+                    books.queries
+                ));
+            }
+            Ok(format!(
+                "{{\"v\":{PROTOCOL_VERSION},\"status\":\"ok\",\"code\":200,\"recovery\":{{\
+                 \"spent\":{},\"queries\":{},\"wal_records\":{},\"truncated_bytes\":{},\
+                 \"had_snapshot\":{},\"cache_records\":{},\"principals\":{{{principals}}}}}}}",
+                json_f64(rec.spent),
+                rec.queries,
+                rec.wal_records,
+                rec.truncated_bytes,
+                rec.had_snapshot,
+                rec.cache_records.len()
+            ))
+        }
+    }
+}
+
+fn op_continue(state: &Arc<ServeState>, doc: &Value) -> Result<String, String> {
+    let dataset = require_str(doc, "dataset").map_err(|m| bad_request(&m))?;
+    let principal = require_str(doc, "principal").map_err(|m| bad_request(&m))?;
+    let grant = doc.get("grant").and_then(Value::as_number);
+    let runtime = state.service.runtime();
+    let resumed = runtime
+        .continue_principal(dataset, principal, grant)
+        .map_err(|e| error_response(&e))?;
+    Ok(format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"status\":\"ok\",\"code\":200,\"principal\":{}}}",
+        principal_json(&resumed)
+    ))
+}
+
+fn principal_json(p: &gupt_core::principal::PrincipalState) -> String {
+    format!(
+        "{{\"quota\":{},\"spent\":{},\"remaining\":{},\"queries\":{},\"paused\":{}}}",
+        json_f64(p.quota),
+        json_f64(p.spent),
+        json_f64(p.remaining()),
+        p.queries,
+        p.paused
+    )
+}
+
+fn answer_json(a: &PrivateAnswer) -> String {
+    let values: Vec<String> = a.values.iter().map(|v| json_f64(*v)).collect();
+    format!(
+        "{{\"values\":[{}],\"epsilon_spent\":{},\"block_size\":{},\
+         \"num_blocks\":{},\"gamma\":{}}}",
+        values.join(","),
+        json_f64(a.epsilon_spent),
+        a.block_size,
+        a.num_blocks,
+        a.gamma
+    )
+}
+
+/// Builds the schema-v4 `serve` object from the live counters.
+fn serve_telemetry(state: &Arc<ServeState>) -> ServeTelemetry {
+    let runtime = state.service.runtime();
+    let mut spent: BTreeMap<String, f64> = BTreeMap::new();
+    for dataset in runtime.dataset_names() {
+        if let Ok(states) = runtime.principal_states(dataset) {
+            for p in states {
+                *spent.entry(p.name).or_insert(0.0) += p.spent;
+            }
+        }
+    }
+    let (p50_ms, p99_ms) = {
+        let lat = lock(&state.latencies_us);
+        (percentile_ms(&lat, 50.0), percentile_ms(&lat, 99.0))
+    };
+    ServeTelemetry {
+        accepted: state.accepted.load(Ordering::Relaxed),
+        refused: state.refused.load(Ordering::Relaxed),
+        in_flight: state.in_flight.load(Ordering::Relaxed),
+        principals: spent.into_iter().collect(),
+        p50_ms,
+        p99_ms,
+    }
+}
+
+/// Nearest-rank percentile over microsecond samples, in milliseconds.
+/// 0 when no requests have completed yet.
+fn percentile_ms(samples_us: &[u64], pct: f64) -> f64 {
+    if samples_us.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples_us.to_vec();
+    sorted.sort_unstable();
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1] as f64 / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ServeClient;
+    use gupt_core::{GuptRuntimeBuilder, ServiceConfig};
+
+    fn test_server(budget: f64, principals: &[(&str, f64)]) -> ServerHandle {
+        use gupt_core::storage::Durability;
+        use gupt_core::{Dataset, ExhaustedPolicy};
+        let rows: Vec<Vec<f64>> = (0..600).map(|i| vec![(i % 50) as f64]).collect();
+        let mut registration = Dataset::new(rows)
+            .unwrap()
+            .builder()
+            .budget(Epsilon::new(budget).unwrap())
+            .durability(Durability::Ephemeral)
+            .exhausted_policy(ExhaustedPolicy::PauseApproval);
+        for (name, quota) in principals {
+            registration = registration.principal(*name, *quota);
+        }
+        let runtime = GuptRuntimeBuilder::new()
+            .dataset("t", registration)
+            .unwrap()
+            .seed(42)
+            .build();
+        let service = QueryService::new(runtime, ServiceConfig::new(4, 16));
+        GuptServer::bind(service, "127.0.0.1:0", ServeConfig::new(2)).unwrap()
+    }
+
+    #[test]
+    fn query_roundtrip_over_tcp() {
+        let server = test_server(10.0, &[]);
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        let resp = client
+            .request(
+                "{\"v\":1,\"op\":\"query\",\"dataset\":\"t\",\"program\":\"mean:0\",\
+                 \"epsilon\":1.0,\"ranges\":[[0,49]]}",
+            )
+            .unwrap();
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"));
+        let answer = resp.get("answer").unwrap();
+        let v = answer.get("values").unwrap().as_array().unwrap()[0]
+            .as_number()
+            .unwrap();
+        assert!((v - 24.5).abs() < 15.0, "noisy mean way off: {v}");
+        assert_eq!(answer.get("epsilon_spent").unwrap().as_number(), Some(1.0));
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.refused, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn principal_quota_enforced_on_the_wire() {
+        let server = test_server(10.0, &[("alice", 1.0)]);
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        // Distinct programs: a repeated query would replay from the
+        // answer cache at zero ε and never touch the quota.
+        let q = |program: &str| {
+            format!(
+                "{{\"v\":1,\"op\":\"query\",\"dataset\":\"t\",\"principal\":\"alice\",\
+                 \"program\":\"{program}\",\"epsilon\":0.75,\"ranges\":[[0,49]]}}"
+            )
+        };
+        let ok = client.request(&q("mean:0")).unwrap();
+        assert_eq!(ok.get("status").unwrap().as_str(), Some("ok"));
+        // Second query overruns the quota → 429 with pause (policy is
+        // pause_approval) and the ledger is not debited further.
+        let refused = client.request(&q("variance:0")).unwrap();
+        assert_eq!(
+            refused.get("status").unwrap().as_str(),
+            Some("quota_exhausted")
+        );
+        assert_eq!(refused.get("code").unwrap().as_number(), Some(429.0));
+        assert_eq!(
+            refused.get("error").unwrap().get("paused").unwrap(),
+            &Value::Bool(true)
+        );
+        // Operator continue with a grant lets alice through again.
+        let resumed = client
+            .request(
+                "{\"v\":1,\"op\":\"continue\",\"dataset\":\"t\",\
+                 \"principal\":\"alice\",\"grant\":1.0}",
+            )
+            .unwrap();
+        assert_eq!(resumed.get("status").unwrap().as_str(), Some("ok"));
+        let ok = client.request(&q("variance:0")).unwrap();
+        assert_eq!(ok.get("status").unwrap().as_str(), Some("ok"));
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.refused, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_and_batch_ops() {
+        let server = test_server(10.0, &[("alice", 5.0)]);
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        let batch = client
+            .request(
+                "{\"v\":1,\"op\":\"batch\",\"dataset\":\"t\",\"principal\":\"alice\",\
+                 \"total_epsilon\":1.0,\"queries\":[\
+                 {\"program\":\"mean:0\",\"ranges\":[[0,49]]},\
+                 {\"program\":\"count\",\"ranges\":[[0,600]]}]}",
+            )
+            .unwrap();
+        assert_eq!(batch.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(batch.get("answers").unwrap().as_array().unwrap().len(), 2);
+        let total: f64 = batch
+            .get("allocations")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|a| a.as_number().unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+
+        let stats = client
+            .request("{\"v\":1,\"op\":\"stats\",\"dataset\":\"t\"}")
+            .unwrap();
+        assert_eq!(stats.get("status").unwrap().as_str(), Some("ok"));
+        let serve = stats.get("serve").unwrap();
+        assert_eq!(serve.get("accepted").unwrap().as_number(), Some(1.0));
+        let alice = serve.get("principals").unwrap().get("alice").unwrap();
+        assert!((alice.as_number().unwrap() - 1.0).abs() < 1e-9);
+        let ledger = stats.get("ledger").unwrap();
+        assert!((ledger.get("spent").unwrap().as_number().unwrap() - 1.0).abs() < 1e-9);
+        let p = stats.get("principals").unwrap().get("alice").unwrap();
+        assert_eq!(p.get("paused").unwrap(), &Value::Bool(false));
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_failures_map_to_bad_request() {
+        let server = test_server(10.0, &[]);
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        for (payload, needle) in [
+            ("not json", "invalid JSON"),
+            ("{\"v\":9,\"op\":\"query\"}", "unsupported protocol version"),
+            ("{\"v\":1}", "missing \"op\""),
+            ("{\"v\":1,\"op\":\"nope\"}", "unknown op"),
+            (
+                "{\"v\":1,\"op\":\"query\",\"dataset\":\"t\",\"program\":\"nope:0\",\
+                 \"ranges\":[[0,1]]}",
+                "unknown program",
+            ),
+        ] {
+            let resp = client.request(payload).unwrap();
+            assert_eq!(
+                resp.get("status").unwrap().as_str(),
+                Some("bad_request"),
+                "{payload}"
+            );
+            let msg = resp
+                .get("error")
+                .unwrap()
+                .get("message")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+        // Unknown dataset is 404, not bad_request.
+        let resp = client
+            .request(
+                "{\"v\":1,\"op\":\"query\",\"dataset\":\"ghost\",\"program\":\"mean:0\",\
+                 \"epsilon\":0.5,\"ranges\":[[0,1]]}",
+            )
+            .unwrap();
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("not_found"));
+        assert_eq!(resp.get("code").unwrap().as_number(), Some(404.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_op_stops_the_server() {
+        let server = test_server(1.0, &[]);
+        let addr = server.addr();
+        let mut client = ServeClient::connect(addr).unwrap();
+        let resp = client.request("{\"v\":1,\"op\":\"shutdown\"}").unwrap();
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"));
+        assert!(server.shutdown_requested());
+        server.wait();
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert_eq!(percentile_ms(&us, 50.0), 50.0);
+        assert_eq!(percentile_ms(&us, 99.0), 99.0);
+        assert_eq!(percentile_ms(&[], 99.0), 0.0);
+        assert_eq!(percentile_ms(&[7_000], 50.0), 7.0);
+    }
+}

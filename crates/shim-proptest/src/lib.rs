@@ -166,7 +166,7 @@ pub mod collection {
     use super::Strategy;
     use rand::{rngs::StdRng, RngExt};
 
-    /// Acceptable size arguments for [`vec`]: an exact size or a range.
+    /// Acceptable size arguments for [`vec()`]: an exact size or a range.
     pub trait IntoSizeRange {
         /// Lower and upper bound (inclusive) on the collection length.
         fn bounds(&self) -> (usize, usize);

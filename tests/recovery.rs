@@ -165,7 +165,14 @@ fn recovery_survives_compaction_crash_window_without_under_reporting() {
     for (i, eps) in CHARGES.iter().enumerate() {
         store.append_charge(*eps).unwrap();
         spent += eps;
-        store.maybe_compact(10.0, spent, i as u64 + 1).unwrap();
+        store
+            .maybe_compact(
+                10.0,
+                spent,
+                i as u64 + 1,
+                &std::collections::BTreeMap::new(),
+            )
+            .unwrap();
     }
     drop(store);
     let recovered = storage::recover("d", &cfg).unwrap();
