@@ -16,7 +16,9 @@
 //! Run: `cargo run -p gupt-bench --bin concurrent_throughput --release`
 
 use gupt_bench::report::{banner, RunReport};
-use gupt_core::{GuptRuntimeBuilder, QueryService, QuerySpec, RangeEstimation, ServiceConfig};
+use gupt_core::{
+    ExecutionPolicy, GuptRuntimeBuilder, QueryService, QuerySpec, RangeEstimation, ServiceConfig,
+};
 use gupt_dp::{Epsilon, OutputRange};
 use gupt_sandbox::{BlockView, ClosureProgram};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,11 +40,15 @@ fn service(seed: u64, max_in_flight: usize) -> QueryService {
         .register_dataset("t", rows, Epsilon::new(1e6).expect("valid"))
         .expect("registers")
         .seed(seed)
-        .workers(BLOCKS)
+        .execution(ExecutionPolicy::parallel(BLOCKS))
         .build();
+    // The sleep-based workload is scheduling-bound, not CPU-bound: give
+    // the service an explicit worker budget covering every in-flight
+    // query's BLOCKS sleepers so the oversubscription cap (sized for
+    // CPU-bound work) does not serialize the sleeps.
     QueryService::new(
         runtime,
-        ServiceConfig::new(max_in_flight, 4 * ANALYSTS * ANALYSTS),
+        ServiceConfig::new(max_in_flight, 4 * ANALYSTS * ANALYSTS).worker_budget(BLOCKS * ANALYSTS),
     )
 }
 

@@ -7,11 +7,18 @@
 //! *inputs*; GUPT-loose only runs percentiles over the ~n^0.4 block
 //! *outputs* and is much cheaper.
 //!
+//! A second section sweeps the chamber pool width (1/2/4/8 workers)
+//! over one seeded k-means shape: per-chamber RNG streams are split
+//! from the query seed *before* fan-out, so every width must produce
+//! bit-identical answers (always asserted), and on hosts with ≥ 4
+//! cores the 4-worker run must clear `GUPT_MIN_PARALLEL_SPEEDUP`
+//! (default 2×) over sequential — the CI acceptance gate.
+//!
 //! Run: `cargo run -p gupt-bench --bin fig6_scalability --release`
 
 use gupt_bench::programs::kmeans_program;
 use gupt_bench::report::{banner, RunReport, SeriesTable};
-use gupt_core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation, RangeTranslator};
+use gupt_core::{ExecutionPolicy, GuptRuntimeBuilder, QuerySpec, RangeEstimation, RangeTranslator};
 use gupt_datasets::life_sciences::{LifeSciencesConfig, LifeSciencesDataset};
 use gupt_dp::{Epsilon, OutputRange};
 use gupt_sandbox::{BlockView, Scratch};
@@ -119,13 +126,72 @@ fn main() {
             .metric(format!("gupt_loose_s_iters{iterations}"), loose_t);
     }
 
-    // One traced loose-mode query (cheapest configuration) so the
-    // run-report carries full lifecycle telemetry for CI to validate.
+    // ---- Cores vs throughput: the same seeded k-means shape across
+    // chamber pool widths. Fresh runtimes share the seed, so query k at
+    // width w replays query k's exact seed at width 1 — bit-identity is
+    // a hard assertion, not a statistical check.
+    let min_speedup: f64 = std::env::var("GUPT_MIN_PARALLEL_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let par_queries = trials.max(2);
+    let par_program = kmeans_program(K, dims, 40, 7);
+    println!("\nCores vs throughput: {par_queries} queries × 40 k-means iterations per pool width");
+    let mut par_table = SeriesTable::new("workers", &["qps", "speedup"]);
+    let mut sequential_answers: Option<Vec<Vec<u64>>> = None;
+    let (mut qps_w1, mut qps_w4) = (0.0f64, 0.0f64);
+    for workers in [1usize, 2, 4, 8] {
+        let runtime = GuptRuntimeBuilder::new()
+            .register_dataset("ds1.10", data.clone(), Epsilon::new(1e6).expect("valid"))
+            .expect("registers")
+            .seed(0xF166_3000)
+            .execution(ExecutionPolicy::parallel(workers))
+            .build();
+        let spec = QuerySpec::from_program(Arc::clone(&par_program))
+            .epsilon(Epsilon::new(2.0).expect("valid"))
+            .range_estimation(RangeEstimation::Loose(loose.clone()));
+        let start = Instant::now();
+        let answers: Vec<Vec<u64>> = (0..par_queries)
+            .map(|_| {
+                let answer = runtime.run("ds1.10", spec.clone()).expect("query runs");
+                answer.values.iter().map(|v| v.to_bits()).collect()
+            })
+            .collect();
+        let qps = par_queries as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        match &sequential_answers {
+            None => sequential_answers = Some(answers),
+            Some(baseline) => assert_eq!(
+                baseline, &answers,
+                "{workers}-worker answers diverged bit-for-bit from sequential execution"
+            ),
+        }
+        if workers == 1 {
+            qps_w1 = qps;
+        }
+        if workers == 4 {
+            qps_w4 = qps;
+        }
+        par_table.push(workers as f64, vec![qps, qps / qps_w1.max(1e-9)]);
+        run_report = run_report.metric(format!("parallel_qps_w{workers}"), qps);
+    }
+    let parallel_speedup = qps_w4 / qps_w1.max(1e-9);
+    run_report = run_report
+        .setting("min_parallel_speedup", min_speedup)
+        .setting("host_cores", cores as f64)
+        .metric("parallel_speedup_w4", parallel_speedup);
+    println!("{}", par_table.render());
+    println!("4-worker speedup: {parallel_speedup:.2}× (gate: ≥ {min_speedup}×, needs ≥ 4 cores)");
+
+    // One traced loose-mode query on a 4-worker pool so the run-report
+    // carries full lifecycle telemetry — including the schema-v5
+    // `parallel` object — for CI to validate.
     let traced_program = kmeans_program(K, dims, 20, 7);
     let runtime = GuptRuntimeBuilder::new()
         .register_dataset("ds1.10", data.clone(), Epsilon::new(1e6).expect("valid"))
         .expect("registers")
         .seed(0xF166_2000)
+        .execution(ExecutionPolicy::parallel(4))
         .build();
     let traced_spec = QuerySpec::from_program(traced_program)
         .epsilon(Epsilon::new(2.0).expect("valid"))
@@ -137,7 +203,6 @@ fn main() {
         .emit();
 
     println!("{}", table.render());
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     println!("Expected shape: non-private time grows ~linearly with iterations;");
     println!("both GUPT modes grow slowly (small parallel blocks), with GUPT-helper");
     println!("carrying a constant input-percentile overhead above GUPT-loose.");
@@ -146,4 +211,19 @@ fn main() {
          (and the paper's crossover,\nwhere the private runs undercut the non-private \
          one at high iteration counts) needs several workers to materialise."
     );
+
+    // The speedup gate is only physical on hosts with enough cores to
+    // run 4 chamber workers truly in parallel; bit-identity above was
+    // asserted unconditionally.
+    if cores >= 4 {
+        assert!(
+            parallel_speedup >= min_speedup,
+            "parallel scalability regression: {parallel_speedup:.2}× at 4 workers \
+             < required {min_speedup}× ({cores} cores available)"
+        );
+    } else {
+        println!(
+            "speedup gate SKIPPED: {cores} core(s) < 4 — CI enforces it on multi-core runners."
+        );
+    }
 }

@@ -22,8 +22,8 @@
 
 use gupt_bench::report::{banner, RunReport};
 use gupt_core::{
-    Dataset, ExhaustedPolicy, GuptRuntime, GuptRuntimeBuilder, QueryService, QuerySpec,
-    RangeEstimation, ServiceConfig,
+    Dataset, ExecutionPolicy, ExhaustedPolicy, GuptRuntime, GuptRuntimeBuilder, QueryService,
+    QuerySpec, RangeEstimation, ServiceConfig,
 };
 use gupt_dp::Epsilon;
 use gupt_serve::json::Value;
@@ -83,6 +83,10 @@ fn build_runtime(rows: &[Vec<f64>], warm: usize) -> GuptRuntime {
         .dataset(DATASET, registration)
         .expect("valid registration")
         .seed(SEED)
+        // Pin the chamber pool: the p99 gate must measure the serve
+        // plane, not how many cores the runner happens to have (an auto
+        // policy would size — and jitter — with the host).
+        .execution(ExecutionPolicy::sequential())
         .cache_capacity(warm.max(64))
         .build()
 }
@@ -127,7 +131,13 @@ fn main() -> ExitCode {
 
     // ---- Direct baseline: the same runtime answers the warm set
     // in-process, in the same submission order the server will see.
-    let direct = QueryService::new(build_runtime(&rows, warm), ServiceConfig::new(8, 64));
+    // Explicit worker budget on both services: the default derives from
+    // the host's core count, and the whole point here is a gate whose
+    // numbers do not move across runners.
+    let direct = QueryService::new(
+        build_runtime(&rows, warm),
+        ServiceConfig::new(8, 64).worker_budget(8),
+    );
     let mut baseline: Vec<Vec<u64>> = Vec::with_capacity(warm);
     let mut last_telemetry = None;
     for (i, (program, ranges)) in shapes.iter().enumerate() {
@@ -141,7 +151,7 @@ fn main() -> ExitCode {
     // ---- Served plane: identical runtime behind real TCP.
     let service = QueryService::new(
         build_runtime(&rows, warm),
-        ServiceConfig::new(8, 4 * connections.max(16)),
+        ServiceConfig::new(8, 4 * connections.max(16)).worker_budget(8),
     );
     let observer = service.clone();
     let handle = GuptServer::bind(

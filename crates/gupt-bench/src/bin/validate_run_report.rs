@@ -5,8 +5,9 @@
 //! Each file must be a `RunReport` document: the envelope fields,
 //! numeric `settings`/`metrics`, and — when present — a `telemetry`
 //! object at the current schema version carrying all six stage
-//! timings, the block counters, the ledger event and (since schema v3)
-//! the answer-cache counters, exactly as `gupt-cli --telemetry json`
+//! timings, the block counters, the ledger event, (since schema v3)
+//! the answer-cache counters and (since schema v5) the `parallel`
+//! execution object, exactly as `gupt-cli --telemetry json`
 //! emits them. Exits non-zero on the first malformed report so the
 //! bench-smoke CI job fails loudly instead of archiving garbage.
 
@@ -157,10 +158,35 @@ fn validate_telemetry(t: &Value) -> Result<(), String> {
     }
     require_number_or_null(cache, "epsilon_saved").map_err(|e| format!("telemetry.cache: {e}"))?;
 
+    // The schema-v5 `parallel` object is mandatory: every executed
+    // query reports its pool shape (all-zero on cache hits).
+    let parallel = t
+        .get("parallel")
+        .ok_or("telemetry.parallel must be an object (schema v5)")?;
+    validate_parallel(parallel)?;
+
     // The schema-v4 `serve` object is attached only by a network front
     // door; when present it must be complete and well-typed.
     if let Some(serve) = t.get("serve") {
         validate_serve(serve)?;
+    }
+    Ok(())
+}
+
+fn validate_parallel(parallel: &Value) -> Result<(), String> {
+    for key in ["workers", "steals"] {
+        let n = require_number(parallel, key).map_err(|e| format!("telemetry.parallel: {e}"))?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!(
+                "telemetry.parallel.{key} must be a non-negative integer"
+            ));
+        }
+    }
+    for key in ["wall_ms", "cpu_ms"] {
+        let n = require_number(parallel, key).map_err(|e| format!("telemetry.parallel: {e}"))?;
+        if n < 0.0 {
+            return Err(format!("telemetry.parallel.{key} must be non-negative"));
+        }
     }
     Ok(())
 }
@@ -307,6 +333,39 @@ mod tests {
         let doc = parse(&json).unwrap();
         let err = validate_run_report(&doc).unwrap_err();
         assert!(err.contains("accepted"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_parallel_object() {
+        let json = RunReport::new("b")
+            .telemetry(TelemetryReport::default())
+            .to_json()
+            .replace("\"parallel\":{", "\"parallelX\":{");
+        let doc = parse(&json).unwrap();
+        let err = validate_run_report(&doc).unwrap_err();
+        assert!(err.contains("telemetry.parallel"), "{err}");
+    }
+
+    #[test]
+    fn rejects_fractional_steal_count() {
+        let json = RunReport::new("b")
+            .telemetry(TelemetryReport::default())
+            .to_json()
+            .replace("\"steals\":0", "\"steals\":0.5");
+        let doc = parse(&json).unwrap();
+        let err = validate_run_report(&doc).unwrap_err();
+        assert!(err.contains("telemetry.parallel.steals"), "{err}");
+    }
+
+    #[test]
+    fn rejects_negative_parallel_wall_time() {
+        let json = RunReport::new("b")
+            .telemetry(TelemetryReport::default())
+            .to_json()
+            .replace("\"wall_ms\":0", "\"wall_ms\":-1");
+        let doc = parse(&json).unwrap();
+        let err = validate_run_report(&doc).unwrap_err();
+        assert!(err.contains("telemetry.parallel.wall_ms"), "{err}");
     }
 
     #[test]

@@ -5,8 +5,8 @@ use crate::ledger::FileLedger;
 use crate::programs;
 use gupt_core::storage;
 use gupt_core::{
-    AccuracyGoal, Aggregator, Dataset, Durability, FsyncPolicy, GuptError, GuptRuntimeBuilder,
-    QueryService, QuerySpec, RangeEstimation, ServiceConfig, StorageConfig,
+    AccuracyGoal, Aggregator, Dataset, Durability, ExecutionPolicy, FsyncPolicy, GuptError,
+    GuptRuntimeBuilder, QueryService, QuerySpec, RangeEstimation, ServiceConfig, StorageConfig,
 };
 use gupt_datasets::census::CensusDataset;
 use gupt_datasets::csv;
@@ -54,6 +54,7 @@ USAGE:
   gupt-cli query --data FILE.csv --program SPEC --range LO,HI
                  (--epsilon EPS | --accuracy RHO --confidence P --aged-fraction F)
                  [--ledger FILE] [--block-size B] [--gamma G] [--seed S]
+                 [--threads T]          (chamber workers; 0 = one per core)
                  [--header yes] [--range-mode tight|loose] [--aggregator mean|median]
                  [--group-column N]     (user-level privacy, §8.1)
                  [--telemetry json|text]  (stage timings + counters on stderr;
@@ -62,7 +63,7 @@ USAGE:
   gupt-cli serve --data FILE.csv --program SPEC --range LO,HI --budget EPS
                  --queries N --epsilon-each E [--analysts T]
                  [--max-in-flight M] [--max-queued Q] [--deadline-ms D]
-                 [--seed S] [--header yes]
+                 [--seed S] [--header yes] [--threads T]
                  [--state-dir DIR] [--fsync always|never|N]
                  [--cache-capacity C] [--cache-stats yes]
                  (multi-analyst driver: races N queries from T threads through
@@ -76,7 +77,8 @@ USAGE:
                  [--dataset NAME] [--header yes] [--seed S]
                  [--principals a=EPS,b=EPS] [--exhausted-policy hard_stop|pause_approval]
                  [--max-in-flight M] [--max-queued Q] [--deadline-ms D]
-                 [--workers W] [--state-dir DIR] [--fsync always|never|N]
+                 [--workers W] [--threads T]
+                 [--state-dir DIR] [--fsync always|never|N]
                  [--cache-capacity C]
                  (network server: speaks the length-prefixed JSON protocol
                   on ADDR — query/batch/stats/recover/continue/shutdown —
@@ -107,6 +109,16 @@ EXAMPLES:
       --program mean:0 --epsilon 0.5 --range 0,150
 "
     .to_string()
+}
+
+/// Maps the `--threads T` flag onto an [`ExecutionPolicy`]: `0` asks for
+/// one chamber worker per core, anything else pins the pool width.
+fn threads_policy(threads: usize) -> ExecutionPolicy {
+    if threads == 0 {
+        ExecutionPolicy::auto()
+    } else {
+        ExecutionPolicy::parallel(threads)
+    }
 }
 
 fn generate(which: &str, args: &Args) -> Result<String, CliError> {
@@ -219,6 +231,7 @@ fn query(args: &Args) -> Result<String, CliError> {
             .unwrap_or(0)
     });
     let gamma: usize = args.get_parsed("gamma", "integer")?.unwrap_or(1);
+    let threads: Option<usize> = args.get_parsed("threads", "integer")?;
     let block_size: Option<usize> = args.get_parsed("block-size", "integer")?;
     let aged_fraction: Option<f64> = args.get_parsed("aged-fraction", "fraction")?;
     let group_column: Option<usize> = args.get_parsed("group-column", "column index")?;
@@ -271,10 +284,13 @@ fn query(args: &Args) -> Result<String, CliError> {
     // Ephemeral runtime: the *persistent* accounting is the file ledger;
     // the in-process ledger only carries this one query's budget.
     let build_runtime = |budget: Epsilon, ds: Dataset| -> Result<_, CliError> {
-        Ok(GuptRuntimeBuilder::new()
+        let mut builder = GuptRuntimeBuilder::new()
             .dataset("data", ds.builder().budget(budget))?
-            .seed(seed)
-            .build())
+            .seed(seed);
+        if let Some(t) = threads {
+            builder = builder.execution(threads_policy(t));
+        }
+        Ok(builder.build())
     };
 
     let eps = match (epsilon_flag, accuracy) {
@@ -440,6 +456,7 @@ fn serve(args: &Args) -> Result<String, CliError> {
     let max_queued: usize = args.get_parsed("max-queued", "integer")?.unwrap_or(64);
     let deadline_ms: Option<u64> = args.get_parsed("deadline-ms", "integer")?;
     let seed: u64 = args.get_parsed("seed", "integer")?.unwrap_or(0);
+    let threads: Option<usize> = args.get_parsed("threads", "integer")?;
     let state_dir = args.get("state-dir");
     // Off by default: the serve driver exists to demonstrate budget
     // contention, and a warm cache makes every repeat free.
@@ -461,7 +478,13 @@ fn serve(args: &Args) -> Result<String, CliError> {
         .budget(Epsilon::new(budget)?)
         .durability(durability);
     let runtime = match GuptRuntimeBuilder::new().dataset("data", registration) {
-        Ok(builder) => builder.seed(seed).cache_capacity(cache_capacity).build(),
+        Ok(builder) => {
+            let mut builder = builder.seed(seed).cache_capacity(cache_capacity);
+            if let Some(t) = threads {
+                builder = builder.execution(threads_policy(t));
+            }
+            builder.build()
+        }
         Err(err) => return Err(render_runtime_error(err)),
     };
     let recovered = runtime.recovery_info("data")?.cloned();
@@ -623,6 +646,9 @@ fn serve_bind(args: &Args) -> Result<String, CliError> {
         .unwrap_or(8)
         .clamp(1, 64);
     let seed: u64 = args.get_parsed("seed", "integer")?.unwrap_or(0);
+    // `--workers` sizes the protocol thread pool; `--threads` sizes the
+    // chamber pool each accepted query executes on.
+    let threads: Option<usize> = args.get_parsed("threads", "integer")?;
     let cache_capacity: usize = args.get_parsed("cache-capacity", "integer")?.unwrap_or(0);
     let principals = parse_principals(args.get("principals"))?;
     let policy = match args.get("exhausted-policy") {
@@ -656,7 +682,13 @@ fn serve_bind(args: &Args) -> Result<String, CliError> {
         registration = registration.principal(name.clone(), *quota);
     }
     let runtime = match GuptRuntimeBuilder::new().dataset(dataset_name.clone(), registration) {
-        Ok(builder) => builder.seed(seed).cache_capacity(cache_capacity).build(),
+        Ok(builder) => {
+            let mut builder = builder.seed(seed).cache_capacity(cache_capacity);
+            if let Some(t) = threads {
+                builder = builder.execution(threads_policy(t));
+            }
+            builder.build()
+        }
         Err(err) => return Err(render_runtime_error(err)),
     };
     let mut config = ServiceConfig::new(max_in_flight, max_queued);

@@ -16,7 +16,8 @@
 
 use gupt_sandbox::view::{BlockView, RowStore};
 use gupt_sandbox::{
-    BlockProgram, ChamberOutcome, ChamberPolicy, ChamberPool, ChamberReport, PoolTrace,
+    BlockProgram, ChamberOutcome, ChamberPolicy, ChamberPool, ChamberReport, ExecutionPolicy,
+    PoolTrace,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -67,6 +68,14 @@ impl ComputationManager {
         }
     }
 
+    /// Creates a manager scheduled by an explicit [`ExecutionPolicy`] —
+    /// the first-class path behind `GuptRuntimeBuilder::execution`.
+    pub fn with_execution(policy: ChamberPolicy, exec: ExecutionPolicy) -> Self {
+        ComputationManager {
+            pool: ChamberPool::with_execution(policy, exec),
+        }
+    }
+
     /// Creates a manager sized to the machine's parallelism.
     pub fn with_default_parallelism(policy: ChamberPolicy) -> Self {
         ComputationManager {
@@ -82,6 +91,11 @@ impl ComputationManager {
     /// The chamber policy the pool runs under.
     pub fn policy(&self) -> &ChamberPolicy {
         self.pool.policy()
+    }
+
+    /// The execution policy scheduling the chamber pool.
+    pub fn execution(&self) -> &ExecutionPolicy {
+        self.pool.execution()
     }
 
     /// Runs `program` on every block in its own chamber; report order
@@ -106,13 +120,40 @@ impl ComputationManager {
         views: Vec<BlockView>,
         cap: Option<Duration>,
     ) -> (Vec<ChamberReport>, PoolTrace) {
-        match cap {
-            Some(cap) if self.pool.policy().execution_budget.is_none() => {
-                let policy = self.pool.policy().clone().with_execution_budget(cap);
-                self.pool.with_policy(policy).run_all_traced(program, views)
+        self.execute_blocks_planned(program, views, cap, None, None)
+    }
+
+    /// The full-featured dispatch behind the runtime's query path:
+    /// optional deadline cap (same precedence as
+    /// [`ComputationManager::execute_blocks_capped`]), optional
+    /// per-query [`ExecutionPolicy`] override (a `QuerySpec::execution`
+    /// or a service worker-budget cap), and optional per-query seed
+    /// base from which chamber `i`'s RNG stream is split *before*
+    /// fan-out, keeping answers bit-identical at any thread count.
+    pub fn execute_blocks_planned(
+        &self,
+        program: &Arc<dyn BlockProgram>,
+        views: Vec<BlockView>,
+        cap: Option<Duration>,
+        exec: Option<&ExecutionPolicy>,
+        seed_base: Option<u64>,
+    ) -> (Vec<ChamberReport>, PoolTrace) {
+        let mut pool = match exec {
+            Some(exec) if exec != self.pool.execution() => {
+                self.pool.with_execution_policy(exec.clone())
             }
-            _ => self.pool.run_all_traced(program, views),
+            _ => self.pool.clone(),
+        };
+        if let Some(cap) = cap {
+            // An explicitly configured chamber budget always wins — the
+            // owner's §6.2 timing-attack bound is not loosened by a
+            // lenient query deadline.
+            if pool.policy().execution_budget.is_none() {
+                let policy = pool.policy().clone().with_execution_budget(cap);
+                pool = pool.with_policy(policy);
+            }
         }
+        pool.run_all_traced_seeded(program, views, seed_base)
     }
 
     /// Runs `program` once over an entire row store (used on aged,
@@ -223,5 +264,64 @@ mod tests {
     fn default_parallelism() {
         let manager = ComputationManager::with_default_parallelism(ChamberPolicy::unbounded());
         assert!(manager.workers() >= 1);
+    }
+
+    #[test]
+    fn explicit_execution_policy_sizes_the_pool() {
+        let manager = ComputationManager::with_execution(
+            ChamberPolicy::unbounded(),
+            ExecutionPolicy::parallel(3),
+        );
+        assert_eq!(manager.workers(), 3);
+        assert_eq!(manager.execution().threads, 3);
+    }
+
+    #[test]
+    fn per_query_execution_override_applies() {
+        let manager = ComputationManager::with_execution(
+            ChamberPolicy::unbounded(),
+            ExecutionPolicy::sequential(),
+        );
+        let blocks: Vec<BlockView> = (0..6).map(|b| view(&[vec![b as f64]])).collect();
+        let (reports, trace) = manager.execute_blocks_planned(
+            &mean_program(),
+            blocks,
+            None,
+            Some(&ExecutionPolicy::parallel(3)),
+            None,
+        );
+        assert_eq!(trace.workers_used, 3);
+        for (b, r) in reports.iter().enumerate() {
+            assert_eq!(r.output, vec![b as f64]);
+        }
+    }
+
+    #[test]
+    fn seed_base_threads_through_to_chambers() {
+        struct SeedEcho;
+        impl BlockProgram for SeedEcho {
+            fn run(&self, _b: &BlockView, scratch: &mut gupt_sandbox::Scratch) -> Vec<f64> {
+                vec![scratch.seed().map_or(-1.0, |s| (s % 97) as f64)]
+            }
+            fn output_dimension(&self) -> usize {
+                1
+            }
+        }
+        let manager = ComputationManager::new(ChamberPolicy::unbounded(), 4);
+        let program: Arc<dyn BlockProgram> = Arc::new(SeedEcho);
+        let blocks = || (0..12).map(|b| view(&[vec![b as f64]])).collect::<Vec<_>>();
+        let (seq, _) = manager.execute_blocks_planned(
+            &program,
+            blocks(),
+            None,
+            Some(&ExecutionPolicy::sequential()),
+            Some(42),
+        );
+        let (par, _) = manager.execute_blocks_planned(&program, blocks(), None, None, Some(42));
+        let bits = |rs: &[ChamberReport]| -> Vec<u64> {
+            rs.iter().map(|r| r.output[0].to_bits()).collect()
+        };
+        assert_eq!(bits(&seq), bits(&par));
+        assert!(seq.iter().all(|r| r.output[0] >= 0.0), "seeds were present");
     }
 }

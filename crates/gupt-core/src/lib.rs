@@ -84,6 +84,7 @@ pub use dataset_manager::{DatasetEntry, DatasetManager, DatasetRegistration, Led
 pub use error::GuptError;
 pub use explain::{BudgetSplit, QueryPlan};
 pub use gupt_sandbox::view::{BlockRows, BlockView, RowStore};
+pub use gupt_sandbox::ExecutionPolicy;
 pub use output_range::{RangeEstimation, RangeTranslator};
 pub use principal::{validate_principal_name, ExhaustedPolicy, PrincipalState, PrincipalTable};
 pub use query::{BlockSizeSpec, BudgetSpec, QuerySpec};
@@ -95,6 +96,6 @@ pub use storage::{
     RecoveredLedger, StorageConfig, StorageStats,
 };
 pub use telemetry::{
-    BlockCounters, LedgerEvent, QueryTelemetry, ServeTelemetry, Stage, StageTiming,
-    TelemetryReport, TELEMETRY_SCHEMA_VERSION,
+    BlockCounters, LedgerEvent, ParallelTelemetry, QueryTelemetry, ServeTelemetry, Stage,
+    StageTiming, TelemetryReport, TELEMETRY_SCHEMA_VERSION,
 };

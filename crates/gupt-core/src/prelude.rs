@@ -30,7 +30,8 @@
 //! least one `examples/` program or is part of the durable-service
 //! surface (service config/stats, durability config, ledger
 //! inspection, the zero-copy data-plane types [`RowStore`] and
-//! [`BlockView`], the answer-cache stats [`CacheStats`]); plumbing
+//! [`BlockView`], the chamber-pool [`ExecutionPolicy`], the
+//! answer-cache stats [`CacheStats`]); plumbing
 //! types like the batch answer, query plans or range translators stay
 //! behind `gupt_core::{batch, explain, output_range}`.
 
@@ -46,3 +47,4 @@ pub use crate::service::{QueryService, ServiceConfig, ServiceStats};
 pub use crate::storage::{Durability, FsyncPolicy, RecoveredLedger, StorageConfig, StorageStats};
 pub use gupt_dp::{Epsilon, OutputRange};
 pub use gupt_sandbox::view::{BlockView, RowStore};
+pub use gupt_sandbox::ExecutionPolicy;

@@ -12,7 +12,7 @@ use crate::cache::ProgramIdentity;
 use crate::output_range::RangeEstimation;
 use gupt_dp::Epsilon;
 use gupt_sandbox::view::BlockView;
-use gupt_sandbox::{BlockProgram, ClosureProgram, RowSliceProgram};
+use gupt_sandbox::{BlockProgram, ClosureProgram, ExecutionPolicy, RowSliceProgram};
 use std::fmt;
 use std::sync::Arc;
 
@@ -47,6 +47,7 @@ pub struct QuerySpec {
     pub(crate) gamma: usize,
     pub(crate) aggregator: Aggregator,
     pub(crate) telemetry: bool,
+    pub(crate) execution: Option<ExecutionPolicy>,
 }
 
 impl fmt::Debug for QuerySpec {
@@ -59,6 +60,7 @@ impl fmt::Debug for QuerySpec {
             .field("block_size", &self.block_size)
             .field("gamma", &self.gamma)
             .field("aggregator", &self.aggregator)
+            .field("execution", &self.execution)
             .finish()
     }
 }
@@ -155,6 +157,7 @@ impl QuerySpec {
             gamma: 1,
             aggregator: Aggregator::default(),
             telemetry: false,
+            execution: None,
         }
     }
 
@@ -240,6 +243,26 @@ impl QuerySpec {
     /// The aggregation strategy.
     pub fn aggregation_strategy(&self) -> Aggregator {
         self.aggregator
+    }
+
+    /// Overrides the runtime's [`ExecutionPolicy`] for this query only
+    /// (`.execution(ExecutionPolicy::parallel(8))`). Because per-chamber
+    /// seeds are split from the query seed before fan-out, the override
+    /// changes scheduling — never the answer: a seeded query returns
+    /// bit-identical values at any worker count. The policy is therefore
+    /// deliberately excluded from the answer-cache fingerprint.
+    ///
+    /// The query service may cap the effective worker count below the
+    /// requested one to keep `in_flight × workers` within its shared
+    /// budget (see [`crate::service::ServiceConfig::worker_budget`]).
+    pub fn execution(mut self, exec: ExecutionPolicy) -> Self {
+        self.execution = Some(exec);
+        self
+    }
+
+    /// The per-query execution override, when one was set.
+    pub fn execution_policy(&self) -> Option<&ExecutionPolicy> {
+        self.execution.as_ref()
     }
 
     /// Requests a [`crate::telemetry::TelemetryReport`] on the answer.
@@ -348,6 +371,15 @@ mod tests {
         }));
         let spec = QuerySpec::from_program(program).with_identity("wrapped-binary", 1);
         assert_eq!(spec.identity().unwrap().name(), "wrapped-binary");
+    }
+
+    #[test]
+    fn execution_override_rides_the_spec() {
+        let spec = QuerySpec::view_program(|_: &BlockView| vec![0.0]);
+        assert!(spec.execution_policy().is_none());
+        let spec = spec.execution(ExecutionPolicy::parallel(6));
+        assert_eq!(spec.execution_policy(), Some(&ExecutionPolicy::parallel(6)));
+        assert!(format!("{spec:?}").contains("execution"));
     }
 
     #[test]

@@ -42,7 +42,7 @@ use crate::query::{BlockSizeSpec, BudgetSpec, QuerySpec};
 use crate::storage::{CacheRecord, RecoveredLedger, StorageStats};
 use crate::telemetry::{LedgerEvent, QueryTelemetry, Stage, TelemetryReport};
 use gupt_dp::{Epsilon, OutputRange};
-use gupt_sandbox::ChamberPolicy;
+use gupt_sandbox::{ChamberPolicy, ExecutionPolicy};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -79,7 +79,7 @@ pub struct GuptRuntimeBuilder {
     manager: DatasetManager,
     seed: Option<u64>,
     policy: ChamberPolicy,
-    workers: Option<usize>,
+    execution: Option<ExecutionPolicy>,
     cache_capacity: usize,
 }
 
@@ -90,7 +90,7 @@ impl GuptRuntimeBuilder {
             manager: DatasetManager::new(),
             seed: None,
             policy: ChamberPolicy::unbounded(),
-            workers: None,
+            execution: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
@@ -147,10 +147,30 @@ impl GuptRuntimeBuilder {
         self
     }
 
-    /// Sets the number of parallel chamber workers.
-    pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = Some(workers.max(1));
+    /// Sets the execution policy for the chamber pool: worker count,
+    /// chunking, and reduce determinism. This is the first-class way to
+    /// configure parallelism:
+    ///
+    /// ```ignore
+    /// GuptRuntimeBuilder::new()
+    ///     .execution(ExecutionPolicy::parallel(8))
+    ///     .build();
+    /// ```
+    ///
+    /// Per-query overrides ride on
+    /// [`QuerySpec::execution`](crate::query::QuerySpec::execution).
+    pub fn execution(mut self, exec: ExecutionPolicy) -> Self {
+        self.execution = Some(exec);
         self
+    }
+
+    /// Sets the number of parallel chamber workers.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `.execution(ExecutionPolicy::parallel(n))` instead"
+    )]
+    pub fn workers(self, workers: usize) -> Self {
+        self.execution(ExecutionPolicy::parallel(workers))
     }
 
     /// Sets the answer-cache capacity (default
@@ -169,8 +189,8 @@ impl GuptRuntimeBuilder {
     /// longer matches the re-registered data are dropped (epoch-based
     /// invalidation), as are records the cache cannot reconstruct.
     pub fn build(self) -> GuptRuntime {
-        let computation = match self.workers {
-            Some(w) => ComputationManager::new(self.policy, w),
+        let computation = match self.execution {
+            Some(exec) => ComputationManager::with_execution(self.policy, exec),
             None => ComputationManager::with_default_parallelism(self.policy),
         };
         let seed = self.seed.unwrap_or_else(|| rand::rng().next_u64());
@@ -214,7 +234,7 @@ impl Default for GuptRuntimeBuilder {
 /// `Arc<GuptRuntime>`) can serve many analysts concurrently; the
 /// per-dataset ledgers are the only serialization point. Randomness is
 /// derived per query from the base seed plus an atomic sequence
-/// counter (`next_query_rng`).
+/// counter (`next_query_seed`).
 pub struct GuptRuntime {
     manager: DatasetManager,
     computation: ComputationManager,
@@ -488,16 +508,20 @@ impl GuptRuntime {
         }
     }
 
-    /// Derives the RNG for the next query.
+    /// Derives the seed for the next query.
     ///
-    /// The stream is a pure function of (runtime seed, sequence number):
-    /// under a fixed seed, the k-th admitted query draws identical noise
-    /// whether it runs alone or races seven other analysts — thread
-    /// interleaving decides only *which* sequence number a query gets,
-    /// never what any given sequence number produces.
-    fn next_query_rng(&self) -> StdRng {
+    /// The per-query stream is a pure function of (runtime seed, sequence
+    /// number): under a fixed seed, the k-th admitted query draws
+    /// identical noise whether it runs alone or races seven other
+    /// analysts — thread interleaving decides only *which* sequence
+    /// number a query gets, never what any given sequence number
+    /// produces. The same seed doubles as the chamber-seed base: the
+    /// pool splits one sub-seed per block index from it *before* fan-out
+    /// (`gupt_sandbox::exec::chamber_seed`), so chamber execution is
+    /// bit-identical at any worker count.
+    fn next_query_seed(&self) -> u64 {
         let seq = self.query_seq.fetch_add(1, Ordering::Relaxed);
-        StdRng::seed_from_u64(mix64(self.seed ^ mix64(seq)))
+        mix64(self.seed ^ mix64(seq))
     }
 
     /// Executes a query and returns the differentially private answer.
@@ -591,7 +615,8 @@ impl GuptRuntime {
             }
         }
 
-        let mut rng = self.next_query_rng();
+        let query_seed = self.next_query_seed();
+        let mut rng = StdRng::seed_from_u64(query_seed);
 
         // Planning-time (pre-resolution) ranges: tight as given, loose as
         // given, helper via the translator applied to the loose input
@@ -689,9 +714,13 @@ impl GuptRuntime {
         tel.record_stage(Stage::BlockPlanning, planning_head + stage_start.elapsed());
 
         let stage_start = Instant::now();
-        let (reports, trace) =
-            self.computation
-                .execute_blocks_capped(&spec.program, views, exec_cap);
+        let (reports, trace) = self.computation.execute_blocks_planned(
+            &spec.program,
+            views,
+            exec_cap,
+            spec.execution.as_ref(),
+            Some(query_seed),
+        );
         tel.record_stage(Stage::ChamberExecution, stage_start.elapsed());
         let execution = ExecutionSummary::from_reports(&reports);
         tel.record_blocks(&execution, &trace);
@@ -823,7 +852,7 @@ mod tests {
             .register_dataset("ages", age_rows(n), eps(budget))
             .unwrap()
             .seed(42)
-            .workers(4)
+            .execution(ExecutionPolicy::parallel(4))
             .build()
     }
 
@@ -858,7 +887,7 @@ mod tests {
                 .register_dataset("ages", age_rows(4000), eps(10.0))
                 .unwrap()
                 .seed(100 + s)
-                .workers(4)
+                .execution(ExecutionPolicy::parallel(4))
                 .build();
             let spec = mean_spec()
                 .epsilon(eps(4.0))
@@ -1040,6 +1069,94 @@ mod tests {
             rt.run("ages", spec).unwrap().values
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn seeded_answers_bit_identical_across_thread_counts() {
+        // The core determinism contract of the work-stealing engine: a
+        // seeded query's answer is a pure function of (seed, sequence),
+        // independent of how many workers executed the chambers.
+        let run = |threads: usize| {
+            let rt = GuptRuntimeBuilder::new()
+                .register_dataset("ages", age_rows(3000), eps(10.0))
+                .unwrap()
+                .seed(42)
+                .execution(ExecutionPolicy::parallel(threads))
+                .build();
+            let spec = mean_spec()
+                .epsilon(eps(1.0))
+                .resampling(2)
+                .range_estimation(RangeEstimation::Loose(vec![range(0.0, 1000.0)]));
+            rt.run("ages", spec).unwrap().values
+        };
+        let sequential = run(1);
+        for threads in [2, 4, 8] {
+            let parallel = run(threads);
+            let a: Vec<u64> = sequential.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = parallel.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "answer drifted at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn per_query_execution_override_reaches_the_pool() {
+        // A sequential runtime accepts a per-query parallel override; the
+        // telemetry reports the override's worker count and the answer
+        // stays bit-identical to the runtime default.
+        let rt = GuptRuntimeBuilder::new()
+            .register_dataset("ages", age_rows(2000), eps(10.0))
+            .unwrap()
+            .seed(7)
+            .execution(ExecutionPolicy::sequential())
+            .build();
+        let spec = || {
+            mean_spec()
+                .epsilon(eps(1.0))
+                .fixed_block_size(100)
+                .range_estimation(RangeEstimation::Tight(vec![range(0.0, 100.0)]))
+                .collect_telemetry()
+        };
+        let base = rt.run("ages", spec()).unwrap();
+        let tel = base.telemetry.as_ref().expect("telemetry requested");
+        assert_eq!(tel.parallel.workers, 1);
+        let overridden = rt
+            .run("ages", spec().execution(ExecutionPolicy::parallel(4)))
+            .unwrap();
+        let tel = overridden.telemetry.as_ref().expect("telemetry requested");
+        assert_eq!(tel.parallel.workers, 4);
+        // Different sequence numbers draw different noise, so compare the
+        // two overrides at the same sequence instead: rebuild runtimes.
+        let answer_at = |exec: ExecutionPolicy| {
+            let rt = GuptRuntimeBuilder::new()
+                .register_dataset("ages", age_rows(2000), eps(10.0))
+                .unwrap()
+                .seed(7)
+                .execution(ExecutionPolicy::sequential())
+                .build();
+            rt.run("ages", spec().execution(exec)).unwrap().values
+        };
+        assert_eq!(
+            answer_at(ExecutionPolicy::sequential()),
+            answer_at(ExecutionPolicy::parallel(4))
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_workers_setter_still_builds_a_parallel_pool() {
+        // `.workers(n)` is deprecated but must keep working (it maps to
+        // `.execution(ExecutionPolicy::parallel(n))`) until removal.
+        let rt = GuptRuntimeBuilder::new()
+            .register_dataset("ages", age_rows(500), eps(10.0))
+            .unwrap()
+            .seed(3)
+            .workers(3)
+            .build();
+        assert_eq!(rt.computation_manager().execution().effective_threads(), 3);
+        let spec = mean_spec()
+            .epsilon(eps(1.0))
+            .range_estimation(RangeEstimation::Tight(vec![range(0.0, 100.0)]));
+        assert!(rt.run("ages", spec).is_ok());
     }
 
     #[test]

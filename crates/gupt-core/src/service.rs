@@ -12,7 +12,12 @@
 //! - a query beyond both bounds fails fast with
 //!   [`GuptError::Overloaded`] instead of queueing without limit;
 //! - a waiting query abandons the queue once its deadline passes,
-//!   surfacing [`GuptError::DeadlineExceeded`] instead of hanging.
+//!   surfacing [`GuptError::DeadlineExceeded`] instead of hanging;
+//! - a shared **worker budget** divides chamber-pool workers across the
+//!   in-flight slots, so `max_in_flight × workers-per-query` cannot
+//!   oversubscribe the machine no matter what
+//!   [`gupt_sandbox::ExecutionPolicy`] each query asks for (the cap only
+//!   ever lowers a query's worker count).
 //!
 //! The service is a cheap handle: `Clone` shares the same runtime,
 //! gate and statistics, so each analyst thread clones its own handle.
@@ -40,15 +45,26 @@ pub struct ServiceConfig {
     /// Deadline applied to queries submitted without an explicit one.
     /// `None` waits indefinitely (but still bounded by the queue cap).
     pub default_deadline: Option<Duration>,
+    /// Total chamber workers shared by all in-flight queries. Each
+    /// admitted query's effective [`gupt_sandbox::ExecutionPolicy`] is
+    /// capped at
+    /// `max(1, worker_budget / max_in_flight)` so the service cannot
+    /// oversubscribe the machine with `in_flight × workers` threads.
+    /// Defaults to the machine's available parallelism.
+    pub worker_budget: usize,
 }
 
 impl ServiceConfig {
-    /// Limits with no default deadline; `max_in_flight` is clamped to ≥ 1.
+    /// Limits with no default deadline; `max_in_flight` is clamped to ≥ 1
+    /// and the worker budget defaults to the machine's parallelism.
     pub fn new(max_in_flight: usize, max_queued: usize) -> Self {
         ServiceConfig {
             max_in_flight: max_in_flight.max(1),
             max_queued,
             default_deadline: None,
+            worker_budget: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
         }
     }
 
@@ -56,6 +72,19 @@ impl ServiceConfig {
     pub fn default_deadline(mut self, deadline: Duration) -> Self {
         self.default_deadline = Some(deadline);
         self
+    }
+
+    /// Sets the total worker budget shared by in-flight queries
+    /// (clamped to ≥ 1).
+    pub fn worker_budget(mut self, budget: usize) -> Self {
+        self.worker_budget = budget.max(1);
+        self
+    }
+
+    /// Workers each admitted query may use:
+    /// `max(1, worker_budget / max_in_flight)`.
+    pub fn applied_workers(&self) -> usize {
+        (self.worker_budget / self.max_in_flight).max(1)
     }
 }
 
@@ -79,6 +108,9 @@ pub struct ServiceStats {
     pub rejected_overloaded: u64,
     /// Queries abandoned with [`GuptError::DeadlineExceeded`].
     pub rejected_deadline: u64,
+    /// Per-query worker cap this service applies
+    /// ([`ServiceConfig::applied_workers`]).
+    pub applied_workers: usize,
 }
 
 /// Occupancy the admission gate protects.
@@ -176,7 +208,21 @@ impl QueryService {
             admitted: self.inner.admitted.load(Ordering::Relaxed),
             rejected_overloaded: self.inner.rejected_overloaded.load(Ordering::Relaxed),
             rejected_deadline: self.inner.rejected_deadline.load(Ordering::Relaxed),
+            applied_workers: self.inner.config.applied_workers(),
         }
+    }
+
+    /// Caps a query's effective execution policy by the shared worker
+    /// budget: the query's own override (or, absent one, the runtime's
+    /// default policy) is lowered to at most
+    /// [`ServiceConfig::applied_workers`] workers — never raised.
+    fn cap_execution(&self, spec: QuerySpec) -> QuerySpec {
+        let base = spec
+            .execution_policy()
+            .cloned()
+            .unwrap_or_else(|| self.inner.runtime.computation_manager().execution().clone());
+        let cap = self.inner.config.applied_workers();
+        spec.execution(base.capped_at(cap))
     }
 
     /// Runs one query under admission control with the config's default
@@ -252,7 +298,7 @@ impl QueryService {
         });
         self.inner
             .runtime
-            .run_capped(dataset, principal, spec, exec_cap)
+            .run_capped(dataset, principal, self.cap_execution(spec), exec_cap)
     }
 
     /// Runs a §5.2 budget-distributed batch as **one** admission unit:
@@ -265,6 +311,7 @@ impl QueryService {
         total_budget: Epsilon,
     ) -> Result<BatchAnswer, GuptError> {
         let _permit = self.admit(self.inner.config.default_deadline)?;
+        let queries = queries.into_iter().map(|q| self.cap_execution(q)).collect();
         self.inner.runtime.run_batch(dataset, queries, total_budget)
     }
 
@@ -278,6 +325,7 @@ impl QueryService {
         total_budget: Epsilon,
     ) -> Result<BatchAnswer, GuptError> {
         let _permit = self.admit(self.inner.config.default_deadline)?;
+        let queries = queries.into_iter().map(|q| self.cap_execution(q)).collect();
         self.inner
             .runtime
             .run_batch_as(dataset, Some(principal), queries, total_budget)
@@ -342,6 +390,7 @@ mod tests {
     use crate::output_range::RangeEstimation;
     use crate::runtime::GuptRuntimeBuilder;
     use gupt_dp::OutputRange;
+    use gupt_sandbox::ExecutionPolicy;
     use std::thread;
 
     fn eps(v: f64) -> Epsilon {
@@ -470,6 +519,79 @@ mod tests {
     #[test]
     fn config_clamps_in_flight_to_one() {
         assert_eq!(ServiceConfig::new(0, 5).max_in_flight, 1);
+    }
+
+    #[test]
+    fn applied_workers_divides_the_budget() {
+        let config = ServiceConfig::new(4, 0).worker_budget(8);
+        assert_eq!(config.applied_workers(), 2);
+        // The floor is one worker, never zero.
+        let config = ServiceConfig::new(8, 0).worker_budget(2);
+        assert_eq!(config.applied_workers(), 1);
+        // worker_budget(0) clamps to 1.
+        assert_eq!(ServiceConfig::new(1, 0).worker_budget(0).worker_budget, 1);
+    }
+
+    #[test]
+    fn worker_budget_caps_a_greedy_query() {
+        // 4 slots sharing 8 workers → 2 per query; a spec demanding 8
+        // workers is lowered to 2, and the stats expose the cap.
+        let rows: Vec<Vec<f64>> = (0..500).map(|i| vec![(i % 50) as f64]).collect();
+        let runtime = GuptRuntimeBuilder::new()
+            .register_dataset("t", rows, eps(100.0))
+            .unwrap()
+            .seed(7)
+            .execution(ExecutionPolicy::parallel(8))
+            .build();
+        let svc = QueryService::new(runtime, ServiceConfig::new(4, 0).worker_budget(8));
+        assert_eq!(svc.stats().applied_workers, 2);
+        let spec = mean_spec()
+            .execution(ExecutionPolicy::parallel(8))
+            .collect_telemetry();
+        let answer = svc.run("t", spec).unwrap();
+        let tel = answer.telemetry.expect("telemetry requested");
+        assert_eq!(tel.parallel.workers, 2);
+    }
+
+    #[test]
+    fn worker_cap_never_raises_a_sequential_policy() {
+        // A sequential runtime under a generous budget stays sequential:
+        // the cap lowers, it never grants extra workers.
+        let rows: Vec<Vec<f64>> = (0..500).map(|i| vec![(i % 50) as f64]).collect();
+        let runtime = GuptRuntimeBuilder::new()
+            .register_dataset("t", rows, eps(100.0))
+            .unwrap()
+            .seed(7)
+            .execution(ExecutionPolicy::sequential())
+            .build();
+        let svc = QueryService::new(runtime, ServiceConfig::new(1, 0).worker_budget(64));
+        let answer = svc.run("t", mean_spec().collect_telemetry()).unwrap();
+        let tel = answer.telemetry.expect("telemetry requested");
+        assert_eq!(tel.parallel.workers, 1);
+    }
+
+    #[test]
+    fn worker_cap_does_not_change_the_answer() {
+        // The capped policy reschedules chambers but the seeded answer is
+        // bit-identical — the determinism contract survives admission.
+        let build = || {
+            let rows: Vec<Vec<f64>> = (0..500).map(|i| vec![(i % 50) as f64]).collect();
+            GuptRuntimeBuilder::new()
+                .register_dataset("t", rows, eps(100.0))
+                .unwrap()
+                .seed(7)
+                .execution(ExecutionPolicy::parallel(8))
+                .build()
+        };
+        let uncapped = QueryService::new(build(), ServiceConfig::new(1, 0).worker_budget(64))
+            .run("t", mean_spec())
+            .unwrap();
+        let capped = QueryService::new(build(), ServiceConfig::new(8, 0).worker_budget(8))
+            .run("t", mean_spec())
+            .unwrap();
+        let a: Vec<u64> = uncapped.values.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = capped.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

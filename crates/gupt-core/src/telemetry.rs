@@ -36,8 +36,10 @@ use crate::computation_manager::ExecutionSummary;
 /// recovered entries / occupancy). v4 added the optional `serve` object
 /// (network serve-plane counters: accepted / refused / in-flight,
 /// per-principal ε spent, p50/p99 latency) — present only on reports
-/// emitted by a serve plane.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 4;
+/// emitted by a serve plane. v5 added the `parallel` object (chamber
+/// work-stealing pool counters: workers used, steal count, chamber-stage
+/// wall vs cpu milliseconds).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 5;
 
 /// The six pipeline stages of one GUPT query (Algorithm 1, §3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -137,6 +139,36 @@ pub struct LedgerEvent {
     pub remaining_budget: f64,
 }
 
+/// Work-stealing chamber-pool counters for one query (schema v5
+/// `parallel` object). `wall_ms` is the chamber-execution stage's
+/// wall clock; `cpu_ms` is the sum of per-worker busy time — their
+/// ratio exposes how well the parallel fan-out packed the workers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ParallelTelemetry {
+    /// Worker threads the pool actually used for the query.
+    pub workers: usize,
+    /// Tasks a worker stole from a sibling's deque (0 on the
+    /// sequential fast path).
+    pub steals: u64,
+    /// Wall-clock milliseconds of the chamber-execution stage.
+    pub wall_ms: f64,
+    /// Cumulative busy (cpu) milliseconds across all workers.
+    pub cpu_ms: f64,
+}
+
+impl ParallelTelemetry {
+    /// Renders the schema-v5 `parallel` object (the value only, no key).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\":{},\"steals\":{},\"wall_ms\":{},\"cpu_ms\":{}}}",
+            self.workers,
+            self.steals,
+            json_f64(self.wall_ms),
+            json_f64(self.cpu_ms)
+        )
+    }
+}
+
 /// Serve-plane counters attached to telemetry emitted by a network
 /// front door (schema v4 `serve` object). Per-query reports from a bare
 /// runtime never carry one.
@@ -197,6 +229,9 @@ pub struct TelemetryReport {
     /// finished (a cache *hit* reports with empty `stages` — nothing but
     /// the lookup ran).
     pub cache: CacheStats,
+    /// Work-stealing chamber-pool counters (all-zero on a cache hit —
+    /// no chamber ran).
+    pub parallel: ParallelTelemetry,
     /// Serve-plane counters, attached only by a network front door
     /// (`None` on reports from a bare runtime).
     pub serve: Option<ServeTelemetry>,
@@ -223,7 +258,8 @@ impl TelemetryReport {
     /// `clamp_hits` (array, one count per output
     /// dimension), `ledger` (`epsilon_requested`/`epsilon_charged`/
     /// `remaining_budget`), `cache` (`hits`/`misses`/`epsilon_saved`/
-    /// `evictions`/`recovered_entries`/`entries`/`capacity`) and — when
+    /// `evictions`/`recovered_entries`/`entries`/`capacity`), `parallel`
+    /// (`workers`/`steals`/`wall_ms`/`cpu_ms`) and — when
     /// the report came from a serve plane — `serve` (`accepted`/
     /// `refused`/`in_flight`/`principals`/`p50_ms`/`p99_ms`). Non-finite
     /// floats render as `null`.
@@ -281,6 +317,8 @@ impl TelemetryReport {
             self.cache.entries,
             self.cache.capacity
         ));
+        out.push_str(",\"parallel\":");
+        out.push_str(&self.parallel.to_json());
         if let Some(serve) = &self.serve {
             out.push_str(",\"serve\":");
             out.push_str(&serve.to_json());
@@ -311,6 +349,14 @@ impl fmt::Display for TelemetryReport {
             f,
             "  data plane: {} views served, {} index bytes materialized",
             self.blocks.views_served, self.blocks.bytes_materialized
+        )?;
+        writeln!(
+            f,
+            "  parallel: {} workers, {} steals, {:.3} ms wall / {:.3} ms cpu",
+            self.parallel.workers,
+            self.parallel.steals,
+            self.parallel.wall_ms,
+            self.parallel.cpu_ms
         )?;
         writeln!(f, "  clamp hits/dim: {:?}", self.clamp_hits)?;
         writeln!(
@@ -369,6 +415,7 @@ pub struct QueryTelemetry {
     clamp_hits: Vec<usize>,
     ledger: LedgerEvent,
     cache: CacheStats,
+    parallel: ParallelTelemetry,
 }
 
 impl QueryTelemetry {
@@ -382,6 +429,7 @@ impl QueryTelemetry {
             clamp_hits: Vec::new(),
             ledger: LedgerEvent::default(),
             cache: CacheStats::default(),
+            parallel: ParallelTelemetry::default(),
         }
     }
 
@@ -395,6 +443,7 @@ impl QueryTelemetry {
             clamp_hits: Vec::new(),
             ledger: LedgerEvent::default(),
             cache: CacheStats::default(),
+            parallel: ParallelTelemetry::default(),
         }
     }
 
@@ -453,6 +502,12 @@ impl QueryTelemetry {
         self.blocks.panicked = summary.panicked;
         self.blocks.workers = trace.workers_used;
         self.blocks.worker_utilization = trace.utilization();
+        self.parallel = ParallelTelemetry {
+            workers: trace.workers_used,
+            steals: trace.steals,
+            wall_ms: ms(trace.wall),
+            cpu_ms: ms(trace.cpu()),
+        };
     }
 
     /// Records per-dimension clamp-hit counts.
@@ -498,6 +553,7 @@ impl QueryTelemetry {
             clamp_hits: self.clamp_hits,
             ledger: self.ledger,
             cache: self.cache,
+            parallel: self.parallel,
             serve: None,
             total,
         })
@@ -524,6 +580,7 @@ mod tests {
                 wall: Duration::from_millis(100),
                 workers_used: 4,
                 busy: vec![Duration::from_millis(80); 4],
+                steals: 3,
             },
         );
         tel.record_clamp_hits(vec![3, 0]);
@@ -611,7 +668,7 @@ mod tests {
         let json = sample_report().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         for key in [
-            "\"schema_version\":4",
+            "\"schema_version\":5",
             "\"total_ms\":",
             "\"stages\":{",
             "\"blocks\":{",
@@ -632,12 +689,25 @@ mod tests {
             "\"recovered_entries\":2",
             "\"entries\":4",
             "\"capacity\":256",
+            "\"parallel\":{\"workers\":4,\"steals\":3,\"wall_ms\":100,\"cpu_ms\":320}",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         for s in Stage::ALL {
             assert!(json.contains(&format!("\"{}_ms\":", s.key())), "{json}");
         }
+    }
+
+    #[test]
+    fn parallel_object_defaults_to_zero_on_cache_hits() {
+        // A cache hit never runs chambers: record_blocks is skipped and
+        // the parallel object renders all-zero rather than disappearing.
+        let tel = QueryTelemetry::enabled();
+        let json = tel.finish(Duration::ZERO).unwrap().to_json();
+        assert!(
+            json.contains("\"parallel\":{\"workers\":0,\"steals\":0,\"wall_ms\":0,\"cpu_ms\":0}"),
+            "{json}"
+        );
     }
 
     #[test]
@@ -704,6 +774,7 @@ mod tests {
         assert!(text.contains("clamp hits/dim"), "{text}");
         assert!(text.contains("views served"), "{text}");
         assert!(text.contains("cache: 3 hits / 5 misses"), "{text}");
+        assert!(text.contains("parallel: 4 workers, 3 steals"), "{text}");
     }
 
     #[test]

@@ -4,20 +4,36 @@
 //! confined worker. It enforces the [`crate::policy::ChamberPolicy`]
 //! contract: bounded execution, kill + in-range constant on overrun,
 //! panic containment, fixed output arity, fresh scratch per invocation,
-//! and optional constant-time padding. A [`ChamberPool`] dispatches many
-//! blocks across worker threads, giving GUPT its automatic parallelism.
+//! and optional constant-time padding.
+//!
+//! A [`ChamberPool`] dispatches many blocks across a work-stealing
+//! worker pool (the paper's cluster parallelism, §1), scheduled by an
+//! [`ExecutionPolicy`]. Blocks are bundled into contiguous chunks, each
+//! worker drains its own deque, and idle workers steal chunks from busy
+//! peers — so one slow chamber (a hostile program burning its budget,
+//! say) cannot strand the rest of the fan-out behind it. Two properties
+//! make the parallelism invisible to answers:
+//!
+//! - **Seeds split before fan-out.** Chamber `i`'s RNG seed is a pure
+//!   function of (query seed, `i`) derived by [`crate::exec::chamber_seed`]
+//!   and carried into the chamber's [`Scratch`]; no draw depends on
+//!   which worker ran the block or when.
+//! - **Index-ordered reduce.** Every report lands in its block's slot,
+//!   and the pool returns them in block order regardless of completion
+//!   order.
 //!
 //! Blocks arrive as [`BlockView`]s: the chamber hands the program a
 //! read-only window onto the shared row store instead of piping an owned
 //! copy, so dispatch cost is independent of block byte size.
 
+use crate::exec::{chamber_seed, ExecutionPolicy};
 use crate::policy::ChamberPolicy;
 use crate::program::BlockProgram;
 use crate::scratch::Scratch;
 use crate::view::BlockView;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How a chamber invocation ended.
@@ -68,13 +84,27 @@ impl Chamber {
     /// store: the program can read exactly its block and can never
     /// observe or mutate runtime-owned memory.
     pub fn execute(&self, program: Arc<dyn BlockProgram>, block: BlockView) -> ChamberReport {
+        self.execute_seeded(program, block, None)
+    }
+
+    /// Like [`Chamber::execute`], with a pre-derived RNG seed exposed to
+    /// the program through [`Scratch::seed`]. The seed must be a pure
+    /// function of (query seed, block index) — see
+    /// [`crate::exec::chamber_seed`] — so the invocation stays
+    /// deterministic under any scheduling.
+    pub fn execute_seeded(
+        &self,
+        program: Arc<dyn BlockProgram>,
+        block: BlockView,
+        seed: Option<u64>,
+    ) -> ChamberReport {
         let start = Instant::now();
         let dim = program.output_dimension();
         let fallback = vec![self.policy.fallback_value; dim];
 
         let (output, outcome) = match self.policy.execution_budget {
-            None => self.run_inline(program.as_ref(), &block, &fallback),
-            Some(budget) => self.run_bounded(program, block, budget, &fallback),
+            None => self.run_inline(program.as_ref(), &block, &fallback, seed),
+            Some(budget) => self.run_bounded(program, block, budget, &fallback, seed),
         };
 
         let mut output = output;
@@ -98,16 +128,25 @@ impl Chamber {
         }
     }
 
+    fn fresh_scratch(&self, seed: Option<u64>) -> Scratch {
+        let scratch = match self.policy.scratch_quota {
+            Some(q) => Scratch::with_quota(q),
+            None => Scratch::new(),
+        };
+        match seed {
+            Some(s) => scratch.with_seed(s),
+            None => scratch,
+        }
+    }
+
     fn run_inline(
         &self,
         program: &dyn BlockProgram,
         block: &BlockView,
         fallback: &[f64],
+        seed: Option<u64>,
     ) -> (Vec<f64>, ChamberOutcome) {
-        let mut scratch = match self.policy.scratch_quota {
-            Some(q) => Scratch::with_quota(q),
-            None => Scratch::new(),
-        };
+        let mut scratch = self.fresh_scratch(seed);
         let result = catch_unwind(AssertUnwindSafe(|| program.run(block, &mut scratch)));
         scratch.wipe();
         match result {
@@ -122,8 +161,9 @@ impl Chamber {
         block: BlockView,
         budget: Duration,
         fallback: &[f64],
+        seed: Option<u64>,
     ) -> (Vec<f64>, ChamberOutcome) {
-        let quota = self.policy.scratch_quota;
+        let scratch = self.fresh_scratch(seed);
         let (tx, rx) = mpsc::channel::<Vec<f64>>();
         // A dedicated worker thread, abandoned on overrun — the closest
         // safe-Rust analogue to killing the confined process. A hostile
@@ -132,10 +172,7 @@ impl Chamber {
         let handle = std::thread::Builder::new()
             .name(format!("gupt-chamber-{}", program.name()))
             .spawn(move || {
-                let mut scratch = match quota {
-                    Some(q) => Scratch::with_quota(q),
-                    None => Scratch::new(),
-                };
+                let mut scratch = scratch;
                 let result = catch_unwind(AssertUnwindSafe(|| program.run(&block, &mut scratch)));
                 scratch.wipe();
                 if let Ok(out) = result {
@@ -187,10 +224,13 @@ fn normalize_arity(out: &mut Vec<f64>, dim: usize, fill: f64) {
 pub struct PoolTrace {
     /// Wall clock of the whole dispatch.
     pub wall: Duration,
-    /// Worker threads actually spawned (`min(workers, blocks)`).
+    /// Worker threads actually used (`min(workers, tasks)`).
     pub workers_used: usize,
     /// Per-worker time spent inside chambers (unordered).
     pub busy: Vec<Duration>,
+    /// Task chunks taken from a peer's deque rather than the worker's
+    /// own — the load-balancing traffic of the work-stealing scheduler.
+    pub steals: u64,
 }
 
 impl PoolTrace {
@@ -204,31 +244,49 @@ impl PoolTrace {
         let busy: f64 = self.busy.iter().map(Duration::as_secs_f64).sum();
         (busy / capacity).min(1.0)
     }
+
+    /// Total CPU-side chamber time across workers — compare against
+    /// `wall × workers_used` to read parallel efficiency.
+    pub fn cpu(&self) -> Duration {
+        self.busy.iter().sum()
+    }
 }
 
-/// A pool of chambers executing many blocks in parallel.
+/// A contiguous run of block indices: the unit of work-stealing. Chunks
+/// keep deque traffic off the per-block fast path while leaving enough
+/// granularity for thieves to balance uneven chambers.
+type Task = std::ops::Range<usize>;
+
+/// A pool of chambers executing many blocks in parallel under an
+/// [`ExecutionPolicy`], via work-stealing deques.
 #[derive(Debug, Clone)]
 pub struct ChamberPool {
     policy: ChamberPolicy,
+    exec: ExecutionPolicy,
     workers: usize,
 }
 
 impl ChamberPool {
     /// Creates a pool running under `policy` with `workers` threads
-    /// (clamped to at least 1).
+    /// (clamped to at least 1). Equivalent to
+    /// [`ChamberPool::with_execution`] with [`ExecutionPolicy::parallel`].
     pub fn new(policy: ChamberPolicy, workers: usize) -> Self {
+        ChamberPool::with_execution(policy, ExecutionPolicy::parallel(workers))
+    }
+
+    /// Creates a pool scheduled by `exec` (the first-class path).
+    pub fn with_execution(policy: ChamberPolicy, exec: ExecutionPolicy) -> Self {
+        let workers = exec.effective_threads();
         ChamberPool {
             policy,
-            workers: workers.max(1),
+            exec,
+            workers,
         }
     }
 
     /// A pool sized to the machine's available parallelism.
     pub fn with_default_parallelism(policy: ChamberPolicy) -> Self {
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4);
-        ChamberPool::new(policy, workers)
+        ChamberPool::with_execution(policy, ExecutionPolicy::auto())
     }
 
     /// Number of worker threads.
@@ -241,14 +299,27 @@ impl ChamberPool {
         &self.policy
     }
 
-    /// A pool with the same worker count but a different policy — how
-    /// per-query policy overrides (e.g. a deadline-derived execution
+    /// The execution policy scheduling this pool.
+    pub fn execution(&self) -> &ExecutionPolicy {
+        &self.exec
+    }
+
+    /// A pool with the same scheduling but a different chamber policy —
+    /// how per-query policy overrides (e.g. a deadline-derived execution
     /// budget) are applied without touching the shared pool.
     pub fn with_policy(&self, policy: ChamberPolicy) -> ChamberPool {
         ChamberPool {
             policy,
+            exec: self.exec.clone(),
             workers: self.workers,
         }
+    }
+
+    /// A pool with the same chamber policy but a different execution
+    /// policy — how per-query `.execution(..)` overrides and service
+    /// worker-budget caps are applied.
+    pub fn with_execution_policy(&self, exec: ExecutionPolicy) -> ChamberPool {
+        ChamberPool::with_execution(self.policy.clone(), exec)
     }
 
     /// Executes `program` on every block view, in parallel, preserving
@@ -262,44 +333,131 @@ impl ChamberPool {
     }
 
     /// Like [`ChamberPool::run_all`], additionally returning a
-    /// [`PoolTrace`] with the dispatch wall clock and per-worker busy
-    /// times, for operator telemetry.
-    ///
-    /// Workers claim views by index and clone them — an O(1) pair of
-    /// `Arc` bumps, never a row copy — so shipping work to the pool
-    /// costs the same regardless of γ or dataset size.
+    /// [`PoolTrace`] with the dispatch wall clock, per-worker busy
+    /// times and steal counts, for operator telemetry.
     pub fn run_all_traced(
         &self,
         program: &Arc<dyn BlockProgram>,
         views: Vec<BlockView>,
+    ) -> (Vec<ChamberReport>, PoolTrace) {
+        self.run_all_traced_seeded(program, views, None)
+    }
+
+    /// The full-featured dispatch: optionally threads a per-query seed
+    /// base through to the chambers (chamber `i` receives
+    /// [`chamber_seed`]`(base, i)` via its scratch space).
+    ///
+    /// Workers claim chunks of views by index and clone each view — an
+    /// O(1) pair of `Arc` bumps, never a row copy — so shipping work to
+    /// the pool costs the same regardless of γ or dataset size. Reports
+    /// land in per-block slots and are returned in block order: the
+    /// deterministic reduce that, together with pre-split seeds, makes
+    /// answers bit-identical to sequential execution.
+    pub fn run_all_traced_seeded(
+        &self,
+        program: &Arc<dyn BlockProgram>,
+        views: Vec<BlockView>,
+        seed_base: Option<u64>,
     ) -> (Vec<ChamberReport>, PoolTrace) {
         let n = views.len();
         if n == 0 {
             return (Vec::new(), PoolTrace::default());
         }
         let start = Instant::now();
-        let slots: Vec<std::sync::Mutex<Option<ChamberReport>>> =
-            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
         let workers_used = self.workers.min(n);
-        let busy: Vec<std::sync::Mutex<Duration>> = (0..workers_used)
-            .map(|_| std::sync::Mutex::new(Duration::ZERO))
+
+        // Sequential fast path: one worker (or one block) runs inline on
+        // the calling thread — no spawns, no deques, no slot locking.
+        // This keeps single-threaded policies (latency-sensitive serve
+        // paths, determinism baselines) free of scheduler overhead.
+        if workers_used == 1 {
+            let chamber = Chamber::new(self.policy.clone());
+            let mut busy = Duration::ZERO;
+            let reports: Vec<ChamberReport> = views
+                .into_iter()
+                .enumerate()
+                .map(|(i, view)| {
+                    let seed = seed_base.map(|b| chamber_seed(b, i as u64));
+                    let report = chamber.execute_seeded(Arc::clone(program), view, seed);
+                    busy += report.elapsed;
+                    report
+                })
+                .collect();
+            let trace = PoolTrace {
+                wall: start.elapsed(),
+                workers_used: 1,
+                busy: vec![busy],
+                steals: 0,
+            };
+            return (reports, trace);
+        }
+
+        let chunk = self.exec.chunk_for(n, workers_used);
+        // Pre-split the index space into chunks and deal them round-robin
+        // onto per-worker deques: every worker starts with local work and
+        // only touches a peer's deque when its own runs dry.
+        let local: Vec<crossbeam::deque::Worker<Task>> = (0..workers_used)
+            .map(|_| crossbeam::deque::Worker::new_fifo())
             .collect();
+        let stealers: Vec<crossbeam::deque::Stealer<Task>> = local
+            .iter()
+            .map(crossbeam::deque::Worker::stealer)
+            .collect();
+        for (t, task_start) in (0..n).step_by(chunk).enumerate() {
+            local[t % workers_used].push(task_start..(task_start + chunk).min(n));
+        }
+
+        let slots: Vec<Mutex<Option<ChamberReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let busy: Vec<Mutex<Duration>> = (0..workers_used)
+            .map(|_| Mutex::new(Duration::ZERO))
+            .collect();
+        let steals = AtomicU64::new(0);
 
         crossbeam::thread::scope(|scope| {
-            let (views, slots, next) = (&views, &slots, &next);
-            for busy_slot in busy.iter().take(workers_used) {
+            let (views, slots, stealers, steals) = (&views, &slots, &stealers, &steals);
+            for (id, (queue, busy_slot)) in local.into_iter().zip(&busy).enumerate() {
                 scope.spawn(move |_| {
                     let chamber = Chamber::new(self.policy.clone());
                     let mut my_busy = Duration::ZERO;
+                    let mut run_task = |task: Task| {
+                        for i in task {
+                            let seed = seed_base.map(|b| chamber_seed(b, i as u64));
+                            let report =
+                                chamber.execute_seeded(Arc::clone(program), views[i].clone(), seed);
+                            my_busy += report.elapsed;
+                            *slots[i].lock().expect("report slot poisoned") = Some(report);
+                        }
+                    };
+                    // Drain local work first, then become a thief:
+                    // sweep the peers' deques until a full pass finds
+                    // them all empty (no tasks are produced after
+                    // start-up, so an all-empty pass is terminal).
+                    while let Some(task) = queue.pop() {
+                        run_task(task);
+                    }
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let mut all_empty = true;
+                        for (peer, stealer) in stealers.iter().enumerate() {
+                            if peer == id {
+                                continue;
+                            }
+                            loop {
+                                match stealer.steal() {
+                                    crossbeam::deque::Steal::Success(task) => {
+                                        all_empty = false;
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        run_task(task);
+                                    }
+                                    crossbeam::deque::Steal::Empty => break,
+                                    crossbeam::deque::Steal::Retry => {
+                                        all_empty = false;
+                                    }
+                                }
+                            }
+                        }
+                        if all_empty {
                             break;
                         }
-                        let report = chamber.execute(Arc::clone(program), views[i].clone());
-                        my_busy += report.elapsed;
-                        *slots[i].lock().expect("report slot poisoned") = Some(report);
                     }
                     *busy_slot.lock().expect("busy slot poisoned") = my_busy;
                 });
@@ -314,6 +472,7 @@ impl ChamberPool {
                 .into_iter()
                 .map(|m| m.into_inner().expect("busy slot poisoned"))
                 .collect(),
+            steals: steals.into_inner(),
         };
         let reports = slots
             .into_iter()
@@ -461,6 +620,42 @@ mod tests {
     }
 
     #[test]
+    fn seed_reaches_program_through_scratch() {
+        struct SeedEcho;
+        impl BlockProgram for SeedEcho {
+            fn run(&self, _block: &BlockView, scratch: &mut crate::Scratch) -> Vec<f64> {
+                vec![scratch.seed().map_or(-1.0, |s| (s % 1000) as f64)]
+            }
+            fn output_dimension(&self) -> usize {
+                1
+            }
+        }
+        let chamber = Chamber::new(ChamberPolicy::unbounded());
+        let p: Arc<dyn BlockProgram> = Arc::new(SeedEcho);
+        let unseeded = chamber.execute_seeded(Arc::clone(&p), view(&[vec![0.0]]), None);
+        assert_eq!(unseeded.output, vec![-1.0]);
+        let seeded = chamber.execute_seeded(p, view(&[vec![0.0]]), Some(123_456));
+        assert_eq!(seeded.output, vec![(123_456.0_f64 % 1000.0)]);
+    }
+
+    #[test]
+    fn bounded_chamber_also_carries_seed() {
+        struct SeedEcho;
+        impl BlockProgram for SeedEcho {
+            fn run(&self, _block: &BlockView, scratch: &mut crate::Scratch) -> Vec<f64> {
+                vec![scratch.seed().map_or(-1.0, |s| (s % 1000) as f64)]
+            }
+            fn output_dimension(&self) -> usize {
+                1
+            }
+        }
+        let chamber =
+            Chamber::new(ChamberPolicy::bounded(Duration::from_secs(5), 0.0).without_padding());
+        let report = chamber.execute_seeded(Arc::new(SeedEcho), view(&[vec![0.0]]), Some(777));
+        assert_eq!(report.output, vec![777.0]);
+    }
+
+    #[test]
     fn pool_preserves_block_order() {
         let pool = ChamberPool::new(ChamberPolicy::unbounded(), 4);
         let views: Vec<BlockView> = (0..32).map(|i| view(&[vec![i as f64]])).collect();
@@ -468,6 +663,22 @@ mod tests {
         assert_eq!(reports.len(), 32);
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.output, vec![i as f64], "block {i}");
+        }
+    }
+
+    #[test]
+    fn pool_preserves_order_at_every_chunk_size() {
+        for chunk in [1usize, 2, 3, 5, 32, 100] {
+            let pool = ChamberPool::with_execution(
+                ChamberPolicy::unbounded(),
+                ExecutionPolicy::parallel(4).chunk(chunk),
+            );
+            let views: Vec<BlockView> = (0..33).map(|i| view(&[vec![i as f64]])).collect();
+            let reports = pool.run_all(&sum_program(), views);
+            assert_eq!(reports.len(), 33, "chunk {chunk}");
+            for (i, r) in reports.iter().enumerate() {
+                assert_eq!(r.output, vec![i as f64], "chunk {chunk}, block {i}");
+            }
         }
     }
 
@@ -530,6 +741,7 @@ mod tests {
         assert_eq!(trace.workers_used, 3);
         assert_eq!(trace.busy.len(), 3);
         assert!(trace.wall >= Duration::from_millis(5));
+        assert!(trace.cpu() >= Duration::from_millis(6 * 5));
         let u = trace.utilization();
         assert!(u > 0.0 && u <= 1.0, "utilization = {u}");
     }
@@ -540,6 +752,7 @@ mod tests {
         let (reports, trace) = pool.run_all_traced(&sum_program(), vec![view(&[vec![1.0]])]);
         assert_eq!(reports.len(), 1);
         assert_eq!(trace.workers_used, 1);
+        assert_eq!(trace.steals, 0, "single block runs on the fast path");
     }
 
     #[test]
@@ -549,11 +762,77 @@ mod tests {
         assert!(reports.is_empty());
         assert_eq!(trace.workers_used, 0);
         assert_eq!(trace.utilization(), 0.0);
+        assert_eq!(trace.cpu(), Duration::ZERO);
     }
 
     #[test]
     fn default_parallelism_pool() {
         let pool = ChamberPool::with_default_parallelism(ChamberPolicy::unbounded());
         assert!(pool.workers() >= 1);
+        assert_eq!(pool.execution().threads, 0, "auto policy retained");
+    }
+
+    #[test]
+    fn stealing_rebalances_one_slow_chamber() {
+        // All the slow blocks are dealt to worker 0's deque (chunk 1,
+        // round-robin over 2 workers puts even indices there); the idle
+        // peer must steal to finish in ~half the sequential time — the
+        // trace proves stealing happened.
+        let p: Arc<dyn BlockProgram> = Arc::new(ClosureProgram::new(1, |b: &BlockView| {
+            if b.row(0)[0] % 2.0 == 0.0 {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            vec![b.row(0)[0]]
+        }));
+        let pool = ChamberPool::with_execution(
+            ChamberPolicy::unbounded(),
+            ExecutionPolicy::parallel(2).chunk(1),
+        );
+        let views: Vec<BlockView> = (0..8).map(|i| view(&[vec![i as f64]])).collect();
+        let (reports, trace) = pool.run_all_traced(&p, views);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.output, vec![i as f64]);
+        }
+        assert!(trace.steals > 0, "idle worker must have stolen tasks");
+    }
+
+    #[test]
+    fn seeded_dispatch_is_interleaving_independent() {
+        // A program that derives its output from the scratch seed must
+        // produce identical reports at 1, 2 and 8 threads.
+        struct SeedHash;
+        impl BlockProgram for SeedHash {
+            fn run(&self, block: &BlockView, scratch: &mut crate::Scratch) -> Vec<f64> {
+                let s = scratch.seed().expect("pool supplies seeds");
+                vec![(s % 10_000) as f64 + block.row(0)[0]]
+            }
+            fn output_dimension(&self) -> usize {
+                1
+            }
+        }
+        let p: Arc<dyn BlockProgram> = Arc::new(SeedHash);
+        let views = || -> Vec<BlockView> { (0..24).map(|i| view(&[vec![i as f64]])).collect() };
+        let run = |threads: usize| -> Vec<u64> {
+            let pool = ChamberPool::with_execution(
+                ChamberPolicy::unbounded(),
+                ExecutionPolicy::parallel(threads).chunk(1),
+            );
+            pool.run_all_traced_seeded(&p, views(), Some(0xDEAD_BEEF))
+                .0
+                .into_iter()
+                .map(|r| r.output[0].to_bits())
+                .collect()
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(8));
+    }
+
+    #[test]
+    fn execution_policy_override_keeps_chamber_policy() {
+        let pool = ChamberPool::new(ChamberPolicy::unbounded().with_fallback(3.5), 2);
+        let wide = pool.with_execution_policy(ExecutionPolicy::parallel(6));
+        assert_eq!(wide.workers(), 6);
+        assert_eq!(wide.policy().fallback_value, 3.5);
     }
 }

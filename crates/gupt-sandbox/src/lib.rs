@@ -20,8 +20,11 @@
 //!   constant fallback, panic containment, and optional padding so every
 //!   execution consumes the full budget — making the runtime
 //!   data-independent (the timing-attack defense of §6.2).
-//! - [`chamber::ChamberPool`] fans blocks out across worker threads, one
-//!   fresh chamber per block (the paper's cluster parallelism, §1).
+//! - [`chamber::ChamberPool`] fans blocks out across a work-stealing
+//!   worker pool sized by an [`exec::ExecutionPolicy`], one fresh
+//!   chamber per block (the paper's cluster parallelism, §1), with
+//!   per-chamber seeds split before fan-out and an index-ordered
+//!   reduce so answers are independent of thread interleaving.
 //! - [`attacks`] packages the three adversarial programs used by the
 //!   Table 1 comparison and the security test-suite.
 
@@ -30,12 +33,14 @@
 
 pub mod attacks;
 pub mod chamber;
+pub mod exec;
 pub mod policy;
 pub mod program;
 pub mod scratch;
 pub mod view;
 
 pub use chamber::{Chamber, ChamberOutcome, ChamberPool, ChamberReport, PoolTrace};
+pub use exec::ExecutionPolicy;
 pub use policy::ChamberPolicy;
 pub use program::{BlockProgram, ClosureProgram, RowSliceProgram};
 pub use scratch::Scratch;

@@ -22,6 +22,7 @@ pub struct Scratch {
     store: HashMap<String, Vec<f64>>,
     bytes_written: usize,
     quota: Option<usize>,
+    seed: Option<u64>,
 }
 
 impl Scratch {
@@ -37,6 +38,24 @@ impl Scratch {
             quota: Some(quota),
             ..Scratch::default()
         }
+    }
+
+    /// Attaches the chamber's pre-derived RNG seed (builder style).
+    ///
+    /// The seed is split from the per-query seed *before* fan-out — a
+    /// pure function of (query seed, block index) — so a randomized
+    /// program that draws from it produces the same output for its
+    /// block at any thread count or interleaving.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The chamber's pre-derived RNG seed, when the runtime supplied
+    /// one. Programs needing randomness should seed from this to stay
+    /// inside the determinism contract.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
     }
 
     /// The byte quota, if any.
@@ -160,5 +179,13 @@ mod tests {
         assert_eq!(s.len(), 0);
         assert_eq!(s.bytes_written(), 0);
         assert!(s.get("k").is_none());
+    }
+
+    #[test]
+    fn seed_exposed_when_supplied() {
+        assert_eq!(Scratch::new().seed(), None);
+        let s = Scratch::with_quota(64).with_seed(0xC0FFEE);
+        assert_eq!(s.seed(), Some(0xC0FFEE));
+        assert_eq!(s.quota(), Some(64));
     }
 }

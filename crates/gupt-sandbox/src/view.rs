@@ -112,6 +112,90 @@ impl RowStore {
     pub fn to_rows(&self) -> Vec<Vec<f64>> {
         self.iter_rows().map(<[f64]>::to_vec).collect()
     }
+
+    /// Sums column `d` over rows `start..start+len` with a chunked,
+    /// autovectorisable accumulation over the flat buffer.
+    ///
+    /// This is the hot inner loop of every mean/sum-shaped chamber
+    /// program: for single-column stores it reduces a contiguous `f64`
+    /// slice in independent lanes; for wider rows it runs a strided
+    /// unrolled loop. Both orders are fixed, so results are
+    /// deterministic (though not bit-identical to a naive left fold).
+    pub fn column_sum_range(&self, d: usize, start: usize, len: usize) -> f64 {
+        assert!(d < self.arity, "column {d} out of bounds");
+        assert!(start + len <= self.rows, "row range out of bounds");
+        if self.arity == 1 {
+            return sum_lanes(&self.data[start..start + len]);
+        }
+        let stride = self.arity;
+        let base = start * stride + d;
+        let mut acc = [0.0f64; 4];
+        let mut r = 0;
+        while r + 4 <= len {
+            for (k, a) in acc.iter_mut().enumerate() {
+                *a += self.data[base + (r + k) * stride];
+            }
+            r += 4;
+        }
+        let mut tail = 0.0;
+        while r < len {
+            tail += self.data[base + r * stride];
+            r += 1;
+        }
+        acc.iter().sum::<f64>() + tail
+    }
+
+    /// Like [`RowStore::column_sum_range`], clamping every value into
+    /// `[lo, hi]` before accumulating (the clamp half of the
+    /// sample-and-aggregate per-block loop). Non-finite values collapse
+    /// to a bound rather than poisoning the sum.
+    pub fn column_clamped_sum_range(
+        &self,
+        d: usize,
+        start: usize,
+        len: usize,
+        lo: f64,
+        hi: f64,
+    ) -> f64 {
+        assert!(d < self.arity, "column {d} out of bounds");
+        assert!(start + len <= self.rows, "row range out of bounds");
+        let stride = self.arity;
+        let base = start * stride + d;
+        if stride == 1 {
+            return self.data[start..start + len]
+                .chunks(8)
+                .map(|c| c.iter().map(|v| v.min(hi).max(lo)).sum::<f64>())
+                .sum();
+        }
+        let mut acc = [0.0f64; 4];
+        let mut r = 0;
+        while r + 4 <= len {
+            for (k, a) in acc.iter_mut().enumerate() {
+                *a += self.data[base + (r + k) * stride].min(hi).max(lo);
+            }
+            r += 4;
+        }
+        let mut tail = 0.0;
+        while r < len {
+            tail += self.data[base + r * stride].min(hi).max(lo);
+            r += 1;
+        }
+        acc.iter().sum::<f64>() + tail
+    }
+}
+
+/// Lane-split reduction of a contiguous slice: 8 independent partial
+/// sums the optimiser can keep in vector registers, plus a scalar tail.
+fn sum_lanes(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 8];
+    let mut chunks = xs.chunks_exact(8);
+    for c in &mut chunks {
+        for (a, v) in acc.iter_mut().zip(c) {
+            *a += v;
+        }
+    }
+    let tail: f64 = chunks.remainder().iter().sum();
+    acc.iter().sum::<f64>() + tail
 }
 
 /// Which rows of the store a [`BlockView`] exposes.
@@ -241,6 +325,40 @@ impl BlockView {
     /// equivalence tests. New programs should iterate the view directly.
     pub fn to_rows(&self) -> Vec<Vec<f64>> {
         self.iter().map(<[f64]>::to_vec).collect()
+    }
+
+    /// Sum of column `d` over the block, vectorised for dense views
+    /// (chunked reduction straight over the shared flat buffer — see
+    /// [`RowStore::column_sum_range`]); sparse views gather per index.
+    pub fn column_sum(&self, d: usize) -> f64 {
+        match &self.indices {
+            ViewIndices::Dense { start, len } => self.store.column_sum_range(d, *start, *len),
+            ViewIndices::Sparse(idx) => idx.iter().map(|&i| self.store.row(i)[d]).sum(),
+        }
+    }
+
+    /// Mean of column `d` over the block (0 for an empty block).
+    pub fn column_mean(&self, d: usize) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.column_sum(d) / n as f64
+    }
+
+    /// Sum of column `d` with every value clamped into `[lo, hi]` —
+    /// the fused clamp+sum inner loop of sample-and-aggregate block
+    /// programs, vectorised for dense views.
+    pub fn column_clamped_sum(&self, d: usize, lo: f64, hi: f64) -> f64 {
+        match &self.indices {
+            ViewIndices::Dense { start, len } => {
+                self.store.column_clamped_sum_range(d, *start, *len, lo, hi)
+            }
+            ViewIndices::Sparse(idx) => idx
+                .iter()
+                .map(|&i| self.store.row(i)[d].min(hi).max(lo))
+                .sum(),
+        }
     }
 }
 
@@ -390,5 +508,58 @@ mod tests {
             sum += row[0];
         }
         assert_eq!(sum, 11.0);
+    }
+
+    #[test]
+    fn column_sum_matches_naive_on_dense_and_sparse() {
+        // 100 single-column rows: both the lane-chunked contiguous path
+        // and the sparse gather must agree with a naive fold.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 * 0.5]).collect();
+        let s = Arc::new(RowStore::from_rows(&rows));
+        let naive: f64 = rows.iter().map(|r| r[0]).sum();
+        let dense = BlockView::full(Arc::clone(&s));
+        assert!((dense.column_sum(0) - naive).abs() < 1e-9);
+        let idx: Arc<[usize]> = (0..100).collect::<Vec<_>>().into();
+        let sparse = BlockView::sparse(Arc::clone(&s), idx);
+        assert!((sparse.column_sum(0) - naive).abs() < 1e-9);
+        // Window into the middle exercises the offset math.
+        let window = BlockView::dense(s, 10, 37);
+        let naive_window: f64 = rows[10..47].iter().map(|r| r[0]).sum();
+        assert!((window.column_sum(0) - naive_window).abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_sum_strided_multi_column() {
+        let rows: Vec<Vec<f64>> = (0..23).map(|i| vec![i as f64, 100.0 + i as f64]).collect();
+        let v = BlockView::from_rows(&rows);
+        let naive0: f64 = rows.iter().map(|r| r[0]).sum();
+        let naive1: f64 = rows.iter().map(|r| r[1]).sum();
+        assert!((v.column_sum(0) - naive0).abs() < 1e-9);
+        assert!((v.column_sum(1) - naive1).abs() < 1e-9);
+        assert!((v.column_mean(1) - naive1 / 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_clamped_sum_clamps_each_value() {
+        let v = BlockView::from_rows(&[vec![-5.0], vec![3.0], vec![50.0], vec![f64::NAN]]);
+        // -5 → 0, 3 → 3, 50 → 10, NaN collapses to a bound (10).
+        assert_eq!(v.column_clamped_sum(0, 0.0, 10.0), 23.0);
+        let wide: Vec<Vec<f64>> = (0..9).map(|i| vec![0.0, i as f64]).collect();
+        let w = BlockView::from_rows(&wide);
+        // Column 1 clamped into [2, 6]: 2+2+2+3+4+5+6+6+6.
+        assert_eq!(w.column_clamped_sum(1, 2.0, 6.0), 36.0);
+    }
+
+    #[test]
+    fn column_mean_of_empty_block_is_zero() {
+        let s = Arc::new(RowStore::from_rows(&[vec![1.0]]));
+        let v = BlockView::dense(s, 0, 0);
+        assert_eq!(v.column_mean(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn column_sum_rejects_bad_column() {
+        BlockView::from_rows(&[vec![1.0]]).column_sum(3);
     }
 }

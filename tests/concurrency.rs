@@ -46,7 +46,7 @@ fn runtime(total: f64, seed: u64) -> GuptRuntime {
         .register_dataset("t", rows(1_000), eps(total))
         .unwrap()
         .seed(seed)
-        .workers(2)
+        .execution(ExecutionPolicy::parallel(2))
         .build()
 }
 
@@ -169,7 +169,7 @@ fn service_enforces_in_flight_cap() {
         .register_dataset("t", rows(1_000), eps(100.0))
         .unwrap()
         .seed(5)
-        .workers(1)
+        .execution(ExecutionPolicy::sequential())
         .build();
     let svc = QueryService::new(rt, ServiceConfig::new(2, 64));
     thread::scope(|s| {

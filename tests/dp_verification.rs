@@ -11,7 +11,7 @@
 //! Event choices are the worst cases for each mechanism (one-sided tail
 //! events between the two means), where the ratio approaches `e^ε`.
 
-use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt::core::{ExecutionPolicy, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
 use gupt::dp::{
     geometric_mechanism, laplace_mechanism, Epsilon, OutputRange, RandomizedResponse, Sensitivity,
 };
@@ -164,7 +164,7 @@ fn end_to_end_runtime_respects_epsilon() {
             .register_dataset("t", rows.to_vec(), Epsilon::new(1e9).unwrap())
             .unwrap()
             .seed(seed)
-            .workers(1)
+            .execution(ExecutionPolicy::sequential())
             .build();
         let spec = QuerySpec::program(|b: &[Vec<f64>]| {
             vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
@@ -209,7 +209,7 @@ fn resampling_does_not_weaken_the_guarantee() {
             .register_dataset("t", rows.to_vec(), Epsilon::new(1e9).unwrap())
             .unwrap()
             .seed(seed)
-            .workers(1)
+            .execution(ExecutionPolicy::sequential())
             .build();
         let spec = QuerySpec::program(|b: &[Vec<f64>]| {
             vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]

@@ -1,0 +1,191 @@
+//! Parallel execution determinism suite.
+//!
+//! The work-stealing chamber pool must be invisible in the answers: a
+//! seeded query's `PrivateAnswer` is a pure function of (runtime seed,
+//! admission sequence number), never of the pool width or of how the
+//! OS interleaves workers. The engine guarantees this by splitting
+//! per-chamber RNG streams from the query seed *before* fan-out and
+//! reducing chamber reports in index order, so these tests demand
+//! bit-for-bit equality — not approximate agreement — between
+//! sequential execution and every parallel width, across resampling
+//! factors, block sizes, aggregators, aged-data registrations, and the
+//! service's principal-attributed batch path.
+//!
+//! CI runs this suite in `--release` as a race smoke: optimized timing
+//! shakes out interleavings debug builds never hit.
+
+use gupt::core::prelude::*;
+use gupt::core::Aggregator;
+use proptest::prelude::*;
+
+const WIDTHS: [usize; 3] = [2, 4, 8];
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn rows(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| vec![(i % 50) as f64, (i % 7) as f64])
+        .collect()
+}
+
+fn mean_spec(gamma: usize, block: usize) -> QuerySpec {
+    QuerySpec::program(|b: &[Vec<f64>]| {
+        vec![b.iter().map(|r| r[0]).sum::<f64>() / b.len().max(1) as f64]
+    })
+    .epsilon(eps(0.5))
+    .resampling(gamma)
+    .fixed_block_size(block)
+    .range_estimation(RangeEstimation::Tight(vec![
+        OutputRange::new(0.0, 50.0).unwrap()
+    ]))
+}
+
+/// Runs `spec` once on a fresh runtime built by `build` with the given
+/// pool width and returns the answer as raw bits.
+fn bits_at_width(
+    build: &dyn Fn() -> GuptRuntimeBuilder,
+    width: usize,
+    spec: QuerySpec,
+) -> Vec<u64> {
+    let policy = if width == 1 {
+        ExecutionPolicy::sequential()
+    } else {
+        ExecutionPolicy::parallel(width)
+    };
+    let runtime = build().execution(policy).build();
+    let answer = runtime.run("t", spec).expect("query runs");
+    answer.values.iter().map(|v| v.to_bits()).collect()
+}
+
+// Core property: for any (seed, γ, block size), every pool width
+// replays the sequential answer bit for bit.
+proptest! {
+    #[test]
+    fn seeded_answers_identical_across_pool_widths(
+        seed in 0u64..1_000_000,
+        gamma in 1usize..4,
+        block_idx in 0usize..4,
+    ) {
+        let block = [20, 30, 50, 75][block_idx];
+        let build = move || {
+            GuptRuntimeBuilder::new()
+                .register_dataset("t", rows(300), eps(1e6))
+                .unwrap()
+                .seed(seed)
+        };
+        let sequential = bits_at_width(&build, 1, mean_spec(gamma, block));
+        for width in WIDTHS {
+            let parallel = bits_at_width(&build, width, mean_spec(gamma, block));
+            prop_assert_eq!(
+                &sequential, &parallel,
+                "width {} diverged (seed {}, gamma {}, block {})",
+                width, seed, gamma, block
+            );
+        }
+    }
+}
+
+/// Aged-data registrations (the §5.1 non-sensitive slice) and the
+/// DP-median aggregator with loose ranges follow different code paths
+/// through range resolution — the pool width must be invisible there
+/// too.
+#[test]
+fn aged_data_and_median_paths_are_width_invariant() {
+    for seed in [3u64, 17, 4242, 990_017] {
+        let build = move || {
+            let dataset = Dataset::new(rows(400))
+                .unwrap()
+                .with_aged_fraction(0.2)
+                .unwrap();
+            GuptRuntimeBuilder::new()
+                .register("t", dataset, eps(1e6))
+                .unwrap()
+                .seed(seed)
+        };
+        let spec = || {
+            QuerySpec::program(|b: &[Vec<f64>]| {
+                vec![b.iter().map(|r| r[1]).sum::<f64>() / b.len().max(1) as f64]
+            })
+            .epsilon(eps(0.5))
+            .resampling(2)
+            .aggregator(Aggregator::DpMedian)
+            .range_estimation(RangeEstimation::Loose(vec![
+                OutputRange::new(0.0, 10.0).unwrap()
+            ]))
+        };
+        let sequential = bits_at_width(&build, 1, spec());
+        for width in WIDTHS {
+            assert_eq!(
+                sequential,
+                bits_at_width(&build, width, spec()),
+                "aged/median path diverged at width {width} (seed {seed})"
+            );
+        }
+    }
+}
+
+/// The service's principal-attributed batch path: one atomic debit,
+/// several member queries, worker caps applied by the admission layer —
+/// and still bit-identical answers at every pool width.
+#[test]
+fn batch_as_principal_is_width_invariant() {
+    let batch_bits = |width: usize| -> Vec<Vec<u64>> {
+        let policy = if width == 1 {
+            ExecutionPolicy::sequential()
+        } else {
+            ExecutionPolicy::parallel(width)
+        };
+        let registration = Dataset::new(rows(300))
+            .unwrap()
+            .builder()
+            .budget(eps(1e6))
+            .principal("alice", 100.0);
+        let runtime = GuptRuntimeBuilder::new()
+            .dataset("t", registration)
+            .unwrap()
+            .seed(71)
+            .execution(policy)
+            .build();
+        // An ample worker budget so the admission cap never lowers the
+        // width under test below the requested one.
+        let service = QueryService::new(runtime, ServiceConfig::new(2, 16).worker_budget(64));
+        // Member ε values are overridden by the batch's budget shares.
+        let queries = (1..=3).map(|gamma| mean_spec(gamma, 30)).collect();
+        let batch = service
+            .run_batch_as("t", "alice", queries, eps(1.5))
+            .expect("batch runs");
+        batch
+            .answers
+            .iter()
+            .map(|a| a.values.iter().map(|v| v.to_bits()).collect())
+            .collect()
+    };
+    let sequential = batch_bits(1);
+    for width in WIDTHS {
+        assert_eq!(
+            sequential,
+            batch_bits(width),
+            "batch answers diverged at width {width}"
+        );
+    }
+}
+
+/// A service worker cap rewrites the *policy*, not the answer: capping
+/// an 8-wide query to a 1-worker budget must replay the uncapped bits.
+#[test]
+fn service_worker_cap_preserves_bits() {
+    let run_with_budget = |budget: usize| -> Vec<u64> {
+        let runtime = GuptRuntimeBuilder::new()
+            .register_dataset("t", rows(300), eps(1e6))
+            .unwrap()
+            .seed(5)
+            .execution(ExecutionPolicy::parallel(8))
+            .build();
+        let service = QueryService::new(runtime, ServiceConfig::new(2, 16).worker_budget(budget));
+        let answer = service.run("t", mean_spec(2, 30)).expect("query runs");
+        answer.values.iter().map(|v| v.to_bits()).collect()
+    };
+    assert_eq!(run_with_budget(64), run_with_budget(1));
+}

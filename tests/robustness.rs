@@ -1,7 +1,7 @@
 //! Failure-injection tests: the runtime's behaviour when analyst
 //! programs crash, stall, or lie — individually and en masse.
 
-use gupt::core::{Aggregator, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt::core::{Aggregator, ExecutionPolicy, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
 use gupt::dp::{Epsilon, OutputRange};
 use gupt::sandbox::ChamberPolicy;
 use std::time::Duration;
@@ -52,7 +52,7 @@ fn partial_timeouts_still_produce_usable_answers() {
         .register_dataset("t", data, eps(100.0))
         .unwrap()
         .seed(2)
-        .workers(2)
+        .execution(ExecutionPolicy::parallel(2))
         .chamber_policy(ChamberPolicy::bounded(Duration::from_millis(40), 50.0).without_padding())
         .build();
     let spec = QuerySpec::program(|b: &[Vec<f64>]| {

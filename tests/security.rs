@@ -3,7 +3,7 @@
 //! boundaries of §3 (hostile programs cannot crash, overspend, or leak
 //! through arity/NaN channels).
 
-use gupt::core::{GuptRuntimeBuilder, QuerySpec, RangeEstimation};
+use gupt::core::{ExecutionPolicy, GuptRuntimeBuilder, QuerySpec, RangeEstimation};
 use gupt::dp::{Epsilon, OutputRange};
 use gupt::sandbox::{ChamberPolicy, ClosureProgram};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,7 +78,7 @@ fn timing_is_data_independent_under_bounded_policy() {
             .register_dataset("t", rows(with_victim), Epsilon::new(10.0).unwrap())
             .unwrap()
             .seed(3)
-            .workers(1)
+            .execution(ExecutionPolicy::sequential())
             .chamber_policy(ChamberPolicy::bounded(Duration::from_millis(30), 0.0))
             .build();
         let spec = QuerySpec::program(|b: &[Vec<f64>]| {
